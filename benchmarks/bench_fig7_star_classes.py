@@ -1,0 +1,55 @@
+"""Figure 7: equivalence-class counts for star queries.
+
+(a) views collapse into equivalence classes that grow with a decreasing
+slope; (b) view tuples grow while their coverage classes stay bounded.
+The timed operation is the grouping machinery itself (the cost the paper
+says "paid off later"); the class counts land in ``extra_info``.
+"""
+
+import pytest
+
+from repro.containment import minimize
+from repro.core import (
+    group_cores_by_coverage,
+    group_equivalent_views,
+    tuple_cores,
+    view_representatives,
+    view_tuples,
+)
+
+from conftest import VIEW_COUNTS, star_workload
+
+
+@pytest.mark.parametrize("num_views", VIEW_COUNTS)
+def test_fig7a_view_equivalence_classes(benchmark, num_views):
+    workload = star_workload(num_views)
+    views = list(workload.views)
+    classes = benchmark(group_equivalent_views, views)
+    benchmark.extra_info["num_views"] = num_views
+    benchmark.extra_info["view_classes"] = len(classes)
+    assert 0 < len(classes) <= num_views
+
+
+@pytest.mark.parametrize("num_views", VIEW_COUNTS)
+def test_fig7b_view_tuple_classes(benchmark, num_views):
+    workload = star_workload(num_views)
+    minimized = minimize(workload.query)
+    representatives = view_representatives(list(workload.views))
+
+    def compute():
+        tuples = view_tuples(minimized, representatives)
+        cores = tuple_cores(minimized, tuples)
+        return tuples, group_cores_by_coverage(cores)
+
+    tuples, groups = benchmark(compute)
+    maximal = sum(
+        1
+        for covered in groups
+        if covered and not any(covered < other for other in groups)
+    )
+    benchmark.extra_info["total_view_tuples"] = len(tuples)
+    benchmark.extra_info["view_tuple_classes"] = len(groups)
+    benchmark.extra_info["maximal_tuple_classes"] = maximal
+    # Figure 7(b)'s claim: tuples grow with views, classes stay bounded by
+    # the coverage-subset space (independent of the number of views).
+    assert len(groups) <= 2 ** len(minimized.body)

@@ -1,0 +1,53 @@
+"""Figure 9: equivalence-class counts for chain queries.
+
+(a) view equivalence classes grow with a decreasing slope;
+(b) representative view tuples stay near-constant (< 10 maximal coverage
+classes) while the raw view-tuple count grows.
+"""
+
+import pytest
+
+from repro.containment import minimize
+from repro.core import (
+    group_cores_by_coverage,
+    group_equivalent_views,
+    tuple_cores,
+    view_representatives,
+    view_tuples,
+)
+
+from conftest import VIEW_COUNTS, chain_workload
+
+
+@pytest.mark.parametrize("num_views", VIEW_COUNTS)
+def test_fig9a_view_equivalence_classes(benchmark, num_views):
+    workload = chain_workload(num_views)
+    views = list(workload.views)
+    classes = benchmark(group_equivalent_views, views)
+    benchmark.extra_info["num_views"] = num_views
+    benchmark.extra_info["view_classes"] = len(classes)
+    assert 0 < len(classes) <= num_views
+
+
+@pytest.mark.parametrize("num_views", VIEW_COUNTS)
+def test_fig9b_view_tuple_classes(benchmark, num_views):
+    workload = chain_workload(num_views)
+    minimized = minimize(workload.query)
+    representatives = view_representatives(list(workload.views))
+
+    def compute():
+        tuples = view_tuples(minimized, representatives)
+        cores = tuple_cores(minimized, tuples)
+        return tuples, group_cores_by_coverage(cores)
+
+    tuples, groups = benchmark(compute)
+    maximal = sum(
+        1
+        for covered in groups
+        if covered and not any(covered < other for other in groups)
+    )
+    benchmark.extra_info["total_view_tuples"] = len(tuples)
+    benchmark.extra_info["view_tuple_classes"] = len(groups)
+    benchmark.extra_info["maximal_tuple_classes"] = maximal
+    # The paper's "< 10 representative view tuples" claim for chains.
+    assert maximal < 10

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_fig*`` module regenerates one figure of the paper's Section 7
+(the benchmark's timing is the figure's y-axis where the figure plots
+time; class counts and costs are attached as ``extra_info`` so the
+benchmark report doubles as the figure's data series).
+
+Workloads are generated once per parameterization — the benchmarks time
+only the algorithm under study, never the generator.
+"""
+
+import pytest
+
+from repro.workload import WorkloadConfig, generate_workload
+
+#: Abbreviated view-count axis (the paper sweeps 100..1000; EXPERIMENTS.md
+#: records a full-axis run via ``python -m repro.experiments.figures``).
+VIEW_COUNTS = (100, 250, 500, 1000)
+
+STAR_RELATIONS = 13
+CHAIN_RELATIONS = 40
+
+
+def star_workload(num_views, nondistinguished=0, seed=17):
+    return generate_workload(
+        WorkloadConfig(
+            shape="star",
+            num_relations=STAR_RELATIONS,
+            num_views=num_views,
+            nondistinguished=nondistinguished,
+            seed=seed,
+        )
+    )
+
+
+def chain_workload(num_views, nondistinguished=0, seed=23):
+    return generate_workload(
+        WorkloadConfig(
+            shape="chain",
+            num_relations=CHAIN_RELATIONS,
+            num_views=num_views,
+            nondistinguished=nondistinguished,
+            seed=seed,
+        )
+    )
+
+
+def attach_corecover_stats(benchmark, result):
+    """Record the Figure 7/9 series on the benchmark report."""
+    stats = result.stats
+    benchmark.extra_info["view_classes"] = stats.view_classes
+    benchmark.extra_info["total_view_tuples"] = stats.total_view_tuples
+    benchmark.extra_info["view_tuple_classes"] = stats.view_tuple_classes
+    benchmark.extra_info["maximal_tuple_classes"] = stats.maximal_tuple_classes
+    benchmark.extra_info["gmr_count"] = len(result.rewritings)
+    benchmark.extra_info["gmr_size"] = result.minimum_subgoals()

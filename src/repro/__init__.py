@@ -1,0 +1,136 @@
+"""repro — Generating Efficient Plans for Queries Using Views.
+
+A faithful, from-scratch reproduction of Li, Afrati & Ullman (SIGMOD
+2001): equivalent rewritings of conjunctive queries using materialized
+views under the closed-world assumption, the CoreCover / CoreCover*
+algorithms, the M1/M2/M3 cost models, and the Section 6 attribute-drop
+heuristic — plus the substrates they need (datalog data model,
+Chandra-Merlin containment, an in-memory relational engine, workload
+generators) and the MiniCon/Bucket baselines.
+
+Quickstart::
+
+    from repro import parse_query, ViewCatalog, core_cover
+
+    query = parse_query("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+    views = ViewCatalog([
+        "v1(A, B) :- a(A, B), a(B, B)",
+        "v2(C, D) :- a(C, E), b(C, D)",
+    ])
+    result = core_cover(query, views)
+    for rewriting in result.rewritings:
+        print(rewriting)       # q(X, Y) :- v1(X, Z), v2(Z, Y)
+"""
+
+from .datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Substitution,
+    UnionQuery,
+    Variable,
+    make_query,
+    parse_atom,
+    parse_program,
+    parse_query,
+)
+from .containment import (
+    canonical_database,
+    is_contained_in,
+    is_equivalent_to,
+    is_minimal,
+    minimize,
+)
+from .engine import Database, Relation, evaluate, materialize_views
+from .views import (
+    View,
+    ViewCatalog,
+    expand,
+    is_equivalent_rewriting,
+    is_locally_minimal,
+    locally_minimize,
+)
+from .core import (
+    CoreCoverResult,
+    TupleCore,
+    ViewTuple,
+    core_cover,
+    core_cover_star,
+    naive_gmr_search,
+    tuple_core,
+    view_tuples,
+)
+from .cost import (
+    PhysicalPlan,
+    StatisticsCatalog,
+    best_rewriting_m2,
+    cost_m1,
+    cost_m2,
+    cost_m3,
+    execute_plan,
+    heuristic_plan,
+    improve_with_filters,
+    optimal_plan_m2,
+    optimal_plan_m3,
+    supplementary_plan,
+)
+from .baselines import bucket_algorithm, certain_answers, minicon
+from .mediator import MediatedAnswer, Mediator
+from .workload import WorkloadConfig, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "MediatedAnswer",
+    "Mediator",
+    "CoreCoverResult",
+    "Database",
+    "PhysicalPlan",
+    "Relation",
+    "StatisticsCatalog",
+    "Substitution",
+    "TupleCore",
+    "UnionQuery",
+    "Variable",
+    "View",
+    "ViewCatalog",
+    "ViewTuple",
+    "WorkloadConfig",
+    "best_rewriting_m2",
+    "bucket_algorithm",
+    "canonical_database",
+    "certain_answers",
+    "core_cover",
+    "core_cover_star",
+    "cost_m1",
+    "cost_m2",
+    "cost_m3",
+    "evaluate",
+    "execute_plan",
+    "expand",
+    "generate_workload",
+    "heuristic_plan",
+    "improve_with_filters",
+    "is_contained_in",
+    "is_equivalent_rewriting",
+    "is_equivalent_to",
+    "is_locally_minimal",
+    "is_minimal",
+    "locally_minimize",
+    "make_query",
+    "materialize_views",
+    "minicon",
+    "minimize",
+    "naive_gmr_search",
+    "optimal_plan_m2",
+    "optimal_plan_m3",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "supplementary_plan",
+    "tuple_core",
+    "view_tuples",
+]

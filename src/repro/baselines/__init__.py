@@ -1,0 +1,29 @@
+"""Baseline rewriting algorithms: Bucket, MiniCon, and inverse rules."""
+
+from .bucket import Bucket, BucketResult, bucket_algorithm, build_buckets
+from .inverse_rules import (
+    InverseRule,
+    SkolemValue,
+    certain_answers,
+    contains_skolem,
+    derive_base_facts,
+    invert_views,
+)
+from .minicon import MCD, MiniConResult, form_mcds, minicon
+
+__all__ = [
+    "Bucket",
+    "BucketResult",
+    "InverseRule",
+    "MCD",
+    "MiniConResult",
+    "SkolemValue",
+    "bucket_algorithm",
+    "build_buckets",
+    "certain_answers",
+    "contains_skolem",
+    "derive_base_facts",
+    "form_mcds",
+    "invert_views",
+    "minicon",
+]

@@ -1,0 +1,168 @@
+"""The Bucket algorithm (Levy et al. 1996; [12, 17] in the paper).
+
+The earliest practical rewriting algorithm: for every query subgoal build
+a *bucket* of view literals whose definitions could supply that subgoal,
+then try every combination of one literal per bucket, checking each
+candidate rewriting by an expensive containment test.
+
+Compared with MiniCon and CoreCover, the bucket algorithm ignores how a
+view's variables interact across subgoals, so its Cartesian product is
+much larger and most candidates fail the containment check — which is
+exactly why the paper's approaches exist.  It serves here as the second
+baseline for the scalability benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Optional
+
+from ..containment.containment import is_contained_in, is_equivalent_to
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery, fresh_factory_for
+from ..datalog.substitution import Substitution
+from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..views.expansion import expand
+from ..views.view import View, ViewCatalog
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """The candidate view literals for one query subgoal."""
+
+    subgoal_index: int
+    literals: tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class BucketResult:
+    """Buckets, the number of combinations tried, and the rewritings found."""
+
+    buckets: tuple[Bucket, ...]
+    combinations_tried: int
+    contained_rewritings: tuple[ConjunctiveQuery, ...]
+    equivalent_rewritings: tuple[ConjunctiveQuery, ...]
+
+
+def build_buckets(query: ConjunctiveQuery, views: ViewCatalog) -> list[Bucket]:
+    """Phase one: a bucket of candidate view literals per query subgoal."""
+    buckets = []
+    for index, subgoal in enumerate(query.body):
+        literals: list[Atom] = []
+        for view in views:
+            for literal in _bucket_entries(subgoal, view, query):
+                if literal not in literals:
+                    literals.append(literal)
+        buckets.append(Bucket(index, tuple(literals)))
+    return buckets
+
+
+def _bucket_entries(
+    subgoal: Atom, view: View, query: ConjunctiveQuery
+) -> Iterator[Atom]:
+    """View literals that can supply *subgoal*.
+
+    A view body atom matching the subgoal yields a literal whose head
+    arguments are instantiated by the unifier; distinguished query
+    variables must land on view head variables (otherwise the value could
+    not be returned).
+    """
+    factory = fresh_factory_for(query)
+    definition, _renaming = view.definition.rename_apart(factory)
+    head_vars = tuple(definition.head.args)
+    head_var_set = set(head_vars)
+    distinguished = query.distinguished_variables()
+    for body_atom in definition.body:
+        binding = _unify(subgoal, body_atom, distinguished, head_var_set)
+        if binding is None:
+            continue
+        args: list[Term] = []
+        for position, head_var in enumerate(head_vars):
+            image = binding.get(head_var)
+            if image is None:
+                args.append(Variable(f"NB_{view.name}_{position}"))
+            else:
+                args.append(image)
+        yield Atom(view.name, tuple(args))
+
+
+def _unify(
+    subgoal: Atom,
+    body_atom: Atom,
+    distinguished: frozenset[Variable],
+    head_vars: set[Variable],
+) -> Optional[dict[Variable, Term]]:
+    """Unify a query subgoal with a view body atom, view-side bindings."""
+    if (
+        subgoal.predicate != body_atom.predicate
+        or subgoal.arity != body_atom.arity
+    ):
+        return None
+    binding: dict[Variable, Term] = {}
+    for query_term, view_term in zip(subgoal.args, body_atom.args):
+        if isinstance(view_term, Constant):
+            if isinstance(query_term, Constant) and query_term != view_term:
+                return None
+            if is_variable(query_term) and query_term in distinguished:
+                # The view pins this position to a constant; the literal
+                # cannot return the distinguished variable's value...
+                # unless the query variable is also equated elsewhere, which
+                # the final containment check would catch; be conservative.
+                return None
+            continue
+        # view_term is a view variable.
+        if is_variable(query_term) and query_term in distinguished:
+            if view_term not in head_vars:
+                return None
+        bound = binding.get(view_term)
+        if bound is None:
+            binding[view_term] = query_term
+        elif bound != query_term:
+            return None
+    return binding
+
+
+def bucket_algorithm(
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    max_combinations: int | None = 200_000,
+) -> BucketResult:
+    """Run the bucket algorithm end to end.
+
+    Candidates are deduplicated after merging identical literals; each is
+    kept when its expansion is contained in the query, and marked
+    equivalent when the closed-world test also succeeds.
+    """
+    buckets = build_buckets(query, views)
+    if any(not bucket.literals for bucket in buckets):
+        return BucketResult(tuple(buckets), 0, (), ())
+
+    contained: list[ConjunctiveQuery] = []
+    equivalent: list[ConjunctiveQuery] = []
+    seen: set[str] = set()
+    tried = 0
+    for combo in product(*(bucket.literals for bucket in buckets)):
+        tried += 1
+        if max_combinations is not None and tried > max_combinations:
+            break
+        body: list[Atom] = []
+        for literal in combo:
+            if literal not in body:
+                body.append(literal)
+        candidate = ConjunctiveQuery(query.head, tuple(body))
+        marker = candidate.canonical_form()
+        if marker in seen:
+            continue
+        seen.add(marker)
+        if not candidate.is_safe():
+            continue
+        expansion = expand(candidate, views)
+        if not is_contained_in(expansion, query):
+            continue
+        contained.append(candidate)
+        if is_equivalent_to(expansion, query):
+            equivalent.append(candidate)
+    return BucketResult(
+        tuple(buckets), tried, tuple(contained), tuple(equivalent)
+    )

@@ -1,0 +1,285 @@
+"""The MiniCon algorithm (Pottinger & Levy, VLDB 2000; [20] in the paper).
+
+MiniCon is the open-world baseline CoreCover is compared against in
+Section 4.3.  It forms *MiniCon descriptions* (MCDs): for a view ``V`` and
+a query ``Q``, an MCD maps a **minimal** closed set of query subgoals into
+``V``'s body such that
+
+* a distinguished query variable never maps to an existential view
+  variable, and
+* a query variable mapped to an existential view variable has *all* its
+  query subgoals inside the MCD (property C2 — the same closure that
+  appears as properties (2)/(3) of the paper's Definition 4.1).
+
+Rewritings are then combinations of MCDs whose covered sets *partition*
+the query subgoals (MCDs never overlap, unlike tuple-cores).
+
+Two consequences reproduced here and exercised by the Example 4.2 tests:
+
+* MiniCon's rewritings are only guaranteed to be **contained** in the
+  query (open world); equivalence must be checked separately; and
+* because each MCD is minimal, combinations can carry subgoals that are
+  redundant *given the view definitions*, which MiniCon's own
+  query-minimization post-pass cannot remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..containment.containment import is_contained_in, is_equivalent_to
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery, fresh_factory_for
+from ..datalog.substitution import Substitution
+from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..views.expansion import expand
+from ..views.view import View, ViewCatalog
+
+
+@dataclass(frozen=True)
+class MCD:
+    """A MiniCon description: a view usage covering some query subgoals."""
+
+    view: View
+    #: Indices of the covered query subgoals.
+    covered: frozenset[int]
+    #: The view literal this MCD contributes to a rewriting.
+    literal: Atom
+
+    def __str__(self) -> str:
+        indices = ", ".join(str(i) for i in sorted(self.covered))
+        return f"MCD({self.literal} covers {{{indices}}})"
+
+
+def form_mcds(query: ConjunctiveQuery, views: ViewCatalog) -> list[MCD]:
+    """All MCDs of *query* over *views* (first phase of MiniCon)."""
+    mcds: list[MCD] = []
+    seen: set[tuple[str, frozenset[int], Atom]] = set()
+    for view in views:
+        for mcd in _view_mcds(query, view):
+            key = (view.name, mcd.covered, mcd.literal)
+            if key not in seen:
+                seen.add(key)
+                mcds.append(mcd)
+    return mcds
+
+
+def _view_mcds(query: ConjunctiveQuery, view: View) -> Iterator[MCD]:
+    """MCDs for one view: start from each subgoal, close under C2."""
+    view = _standardized_apart(view, query)
+    distinguished = query.distinguished_variables()
+    head_vars = set(view.head_variables)
+    atoms_of_var: dict[Variable, set[int]] = {}
+    for index, atom in enumerate(query.body):
+        for variable in atom.variable_set():
+            atoms_of_var.setdefault(variable, set()).add(index)
+
+    def extend(
+        pending: set[int],
+        covered: frozenset[int],
+        mapping: Substitution,
+    ) -> Iterator[tuple[frozenset[int], Substitution]]:
+        """Close the MCD under property C2, branching on atom placement."""
+        if not pending:
+            yield covered, mapping
+            return
+        index = min(pending)
+        atom = query.body[index]
+        for target in view.definition.body:
+            extended = _unify_into_view(
+                atom, target, mapping, distinguished, head_vars
+            )
+            if extended is None:
+                continue
+            new_pending = (pending - {index}) | _new_closure(
+                atom, extended, head_vars, atoms_of_var, covered | {index}
+            )
+            yield from extend(
+                new_pending - (covered | {index}),
+                covered | {index},
+                extended,
+            )
+
+    emitted: set[tuple[frozenset[int], Substitution]] = set()
+    for start in range(len(query.body)):
+        for covered, mapping in extend({start}, frozenset(), Substitution()):
+            if start not in covered:
+                continue
+            key = (covered, mapping)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            yield MCD(view, covered, _literal_for(view, mapping, query))
+
+
+def _unify_into_view(
+    atom: Atom,
+    target: Atom,
+    mapping: Substitution,
+    distinguished: frozenset[Variable],
+    head_vars: set[Variable],
+) -> Optional[Substitution]:
+    """Map a query atom onto a view body atom, respecting C2's clause (1).
+
+    The substitution sends query variables to *view* terms.  A
+    distinguished query variable must land on a view head variable.
+    """
+    if atom.predicate != target.predicate or atom.arity != target.arity:
+        return None
+    current = mapping
+    for arg, view_term in zip(atom.args, target.args):
+        if isinstance(arg, Constant):
+            if isinstance(view_term, Constant):
+                if arg != view_term:
+                    return None
+                continue
+            # Constant meets a view variable: only a head variable can be
+            # specialized to the constant when the view is used.
+            if view_term not in head_vars:
+                return None
+            extended = current.extended(view_term, arg)  # view var -> const
+            if extended is None:
+                return None
+            current = extended
+            continue
+        if arg in distinguished and (
+            not is_variable(view_term) or view_term not in head_vars
+        ):
+            return None
+        extended = current.extended(arg, view_term)
+        if extended is None:
+            return None
+        current = extended
+    return current
+
+
+def _standardized_apart(view: View, query: ConjunctiveQuery) -> View:
+    """Rename the view's variables so none collide with the query's."""
+    factory = fresh_factory_for(query)
+    renamed, _renaming = view.definition.rename_apart(factory)
+    return View(renamed)
+
+
+def _new_closure(
+    atom: Atom,
+    mapping: Substitution,
+    head_vars: set[Variable],
+    atoms_of_var: dict[Variable, set[int]],
+    covered: frozenset[int] | set[int],
+) -> set[int]:
+    """Query atoms that must join the MCD because of existential images.
+
+    The view is standardized apart, so a variable image distinct from the
+    view's head variables is necessarily an existential view variable.
+    """
+    required: set[int] = set()
+    for variable in atom.variable_set():
+        image = mapping.apply_term(variable)
+        if is_variable(image) and image not in head_vars:
+            required |= atoms_of_var[variable] - set(covered)
+    return required
+
+
+def _literal_for(
+    view: View, mapping: Substitution, query: ConjunctiveQuery
+) -> Atom:
+    """The view literal an MCD contributes: head vars pulled back to Q-terms.
+
+    The MCD's substitution maps query variables to view head/existential
+    variables, and view head variables to constants (when a query constant
+    met a head position).  Inverting the head-variable part yields the
+    literal's arguments; head variables with no image become fresh
+    variables (deterministically named per view).
+    """
+    head_var_set = set(view.head_variables)
+    inverse: dict[Variable, Term] = {}
+    for source, image in mapping.items():
+        if source in head_var_set and isinstance(image, Constant):
+            inverse.setdefault(source, image)
+        elif is_variable(image) and image in head_var_set:
+            # Two query vars mapping to one head var would require a head
+            # homomorphism equating them; keep the first (the rewriting's
+            # expansion check rejects bad combinations).
+            inverse.setdefault(image, source)
+    args: list[Term] = []
+    for position, head_var in enumerate(view.head_variables):
+        bound = inverse.get(head_var)
+        if bound is None:
+            args.append(Variable(f"NV_{view.name}_{position}"))
+        else:
+            args.append(bound)
+    return Atom(view.name, tuple(args))
+
+
+@dataclass(frozen=True)
+class MiniConResult:
+    """MiniCon's output: MCDs, contained rewritings, and the equivalent ones."""
+
+    mcds: tuple[MCD, ...]
+    contained_rewritings: tuple[ConjunctiveQuery, ...]
+    equivalent_rewritings: tuple[ConjunctiveQuery, ...]
+
+
+def minicon(
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    require_equivalent: bool = False,
+    max_rewritings: int | None = None,
+) -> MiniConResult:
+    """Run MiniCon: form MCDs, combine partitions, optionally filter.
+
+    With ``require_equivalent=True`` the contained rewritings are filtered
+    by the closed-world equivalence test, making the output comparable to
+    CoreCover's (Section 4.3 comparison).
+    """
+    mcds = form_mcds(query, views)
+    universe = frozenset(range(len(query.body)))
+    combinations = _partitions(universe, mcds, max_rewritings)
+    contained: list[ConjunctiveQuery] = []
+    equivalent: list[ConjunctiveQuery] = []
+    seen: set[str] = set()
+    for combo in combinations:
+        body: list[Atom] = []
+        for mcd in combo:
+            if mcd.literal not in body:
+                body.append(mcd.literal)
+        rewriting = ConjunctiveQuery(query.head, tuple(body))
+        if not rewriting.is_safe():
+            continue
+        marker = rewriting.canonical_form()
+        if marker in seen:
+            continue
+        seen.add(marker)
+        expansion = expand(rewriting, views)
+        if not is_contained_in(expansion, query):
+            continue
+        contained.append(rewriting)
+        if is_equivalent_to(expansion, query):
+            equivalent.append(rewriting)
+    if require_equivalent:
+        contained = [r for r in contained if r in equivalent]
+    return MiniConResult(tuple(mcds), tuple(contained), tuple(equivalent))
+
+
+def _partitions(
+    universe: frozenset[int],
+    mcds: Sequence[MCD],
+    max_results: int | None,
+) -> list[tuple[MCD, ...]]:
+    """All ways to partition *universe* into pairwise-disjoint MCDs."""
+    results: list[tuple[MCD, ...]] = []
+
+    def branch(uncovered: frozenset[int], chosen: tuple[MCD, ...]) -> None:
+        if max_results is not None and len(results) >= max_results:
+            return
+        if not uncovered:
+            results.append(chosen)
+            return
+        pivot = min(uncovered)
+        for mcd in mcds:
+            if pivot in mcd.covered and mcd.covered <= uncovered:
+                branch(uncovered - mcd.covered, chosen + (mcd,))
+
+    branch(universe, ())
+    return results

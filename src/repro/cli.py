@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro rewrite  "q(X) :- e(X, X)" --views views.dl [--certify]
+    python -m repro optimize "q(X) :- e(X, X)" --views views.dl --data db.json
+    python -m repro certain  "q(X) :- e(X, X)" --views views.dl --view-data v.json
+    python -m repro figures fig6a [--full] [--csv DIR]
+
+* ``rewrite`` runs a rewriting algorithm (CoreCover by default) and
+  prints the rewritings it generates; ``--certify`` re-verifies the
+  result from first principles.
+* ``optimize`` additionally loads a base database (JSON: relation name to
+  list of rows), materializes the views, and prints the cost-optimal
+  physical plan under the chosen cost model (``--explain`` for a step
+  table).
+* ``certain`` computes certain answers from a *view* instance with the
+  inverse-rules algorithm (no equivalent rewriting required).
+* ``figures`` regenerates the Section 7 experiment series (delegates to
+  :mod:`repro.experiments.figures`).
+
+Queries can be given inline or as ``@path/to/file``; view files contain
+one datalog rule per line (``#``/``%`` comments allowed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baselines import bucket_algorithm, certain_answers, minicon
+from .core import certify, core_cover, core_cover_star, naive_gmr_search
+from .cost import (
+    best_rewriting_m2,
+    explain_plan,
+    improve_with_filters,
+    optimal_plan_m3,
+)
+from .datalog import ConjunctiveQuery, parse_program, parse_query
+from .datalog.sql import SqlSchema, parse_sql
+from .engine import Database, evaluate, materialize_views
+from .views import ViewCatalog
+
+
+def _load_text(value: str) -> str:
+    if value.startswith("@"):
+        return Path(value[1:]).read_text()
+    return value
+
+
+def _load_query(value: str, sql_schema: str | None = None) -> ConjunctiveQuery:
+    """Parse a query given as datalog, or as SQL when a schema is supplied.
+
+    ``sql_schema`` is a path to a JSON file mapping table names to ordered
+    column-name lists.
+    """
+    text = _load_text(value).strip()
+    if sql_schema is None:
+        return parse_query(text)
+    schema = SqlSchema(json.loads(Path(sql_schema).read_text()))
+    return parse_sql(text, schema)
+
+
+def _load_views(path: str) -> ViewCatalog:
+    return ViewCatalog(parse_program(Path(path).read_text()))
+
+
+def _load_database(path: str) -> Database:
+    payload = json.loads(Path(path).read_text())
+    database = Database()
+    for name, rows in payload.items():
+        if not rows:
+            raise SystemExit(
+                f"relation {name!r} is empty; arity cannot be inferred"
+            )
+        for row in rows:
+            database.add_fact(name, tuple(row))
+    return database
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    query = _load_query(args.query, args.sql_schema)
+    views = _load_views(args.views)
+
+    if args.algorithm == "corecover":
+        result = core_cover(query, views)
+        rewritings = result.rewritings
+    elif args.algorithm == "corecover-star":
+        result = core_cover_star(query, views, max_rewritings=args.limit)
+        rewritings = result.rewritings
+    elif args.algorithm == "naive":
+        result = None
+        rewritings = naive_gmr_search(query, views)
+    elif args.algorithm == "minicon":
+        result = None
+        rewritings = minicon(
+            query, views, require_equivalent=True, max_rewritings=args.limit
+        ).contained_rewritings
+    elif args.algorithm == "bucket":
+        result = None
+        rewritings = bucket_algorithm(query, views).equivalent_rewritings
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+
+    print(f"query: {query}")
+    if not rewritings:
+        print("no equivalent rewriting exists for this query and view set")
+        return 1
+    print(f"{len(rewritings)} rewriting(s):")
+    for rewriting in rewritings:
+        print("   ", rewriting)
+    if result is not None and args.certify:
+        certificate = certify(result, views, verify_minimality=True)
+        print(certificate)
+        if not certificate.ok:
+            return 3
+    if result is not None and args.verbose:
+        print("\nview tuples:")
+        for core in result.cores:
+            print("   ", core)
+        if result.filter_candidates:
+            print("filter candidates:",
+                  ", ".join(str(f) for f in result.filter_candidates))
+        stats = result.stats
+        print(
+            f"stats: {stats.total_views} views in {stats.view_classes} "
+            f"classes; {stats.total_view_tuples} view tuples in "
+            f"{stats.view_tuple_classes} classes; "
+            f"{stats.elapsed_seconds * 1000:.1f} ms"
+        )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    query = _load_query(args.query, args.sql_schema)
+    views = _load_views(args.views)
+    base = _load_database(args.data)
+    view_db = materialize_views(views, base)
+
+    result = core_cover_star(query, views, max_rewritings=args.limit)
+    if not result.rewritings:
+        print("no equivalent rewriting exists for this query and view set")
+        return 1
+
+    if args.model == "m1":
+        best = min(result.rewritings, key=lambda r: len(r.body))
+        print(f"M1-optimal rewriting ({len(best.body)} subgoals):")
+        print("   ", best)
+        return 0
+
+    if args.model == "m2":
+        best = best_rewriting_m2(result.rewritings, view_db)
+        if args.filters:
+            best = improve_with_filters(
+                best.rewriting, result.filter_candidates, view_db
+            )
+        print(f"M2-optimal rewriting (cost {best.cost:g}):")
+        print("    rewriting:", best.rewriting)
+        print("    plan     :", best.plan)
+    else:  # m3
+        candidates = [
+            optimal_plan_m3(r, query, views, view_db, args.annotator)
+            for r in result.rewritings
+            if len(r.body) <= 8
+        ]
+        best = min(candidates, key=lambda plan: plan.cost)
+        print(f"M3-optimal rewriting (cost {best.cost:g}, "
+              f"{args.annotator} drops):")
+        print("    rewriting:", best.rewriting)
+        print("    plan     :", best.plan)
+
+    if args.explain:
+        print()
+        print(explain_plan(best))
+    expected = evaluate(query, base)
+    answer = best.execution.answer
+    print(f"    answer   : {len(answer)} tuples "
+          f"({'matches' if answer == expected else 'MISMATCH with'} "
+          "the query on base data)")
+    return 0 if answer == expected else 2
+
+
+def _cmd_certain(args: argparse.Namespace) -> int:
+    """Certain answers from a view instance via the inverse-rules algorithm."""
+    query = _load_query(args.query, args.sql_schema)
+    views = _load_views(args.views)
+    view_db = _load_database(args.view_data)
+    answers = sorted(certain_answers(query, views, view_db), key=repr)
+    print(f"query: {query}")
+    print(f"{len(answers)} certain answer(s):")
+    for row in answers:
+        print("   ", row)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import figures
+
+    forwarded = [args.figure]
+    if args.full:
+        forwarded.append("--full")
+    if args.queries:
+        forwarded.extend(["--queries", str(args.queries)])
+    if args.csv:
+        forwarded.extend(["--csv", args.csv])
+    return figures.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Generating Efficient Plans for Queries Using Views "
+            "(Li/Afrati/Ullman, SIGMOD 2001) - reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rewrite = sub.add_parser("rewrite", help="generate equivalent rewritings")
+    rewrite.add_argument("query", help="datalog rule or @file")
+    rewrite.add_argument("--views", required=True, help="datalog program file")
+    rewrite.add_argument(
+        "--algorithm",
+        choices=["corecover", "corecover-star", "naive", "minicon", "bucket"],
+        default="corecover",
+    )
+    rewrite.add_argument("--limit", type=int, default=64,
+                         help="cap on enumerated rewritings")
+    rewrite.add_argument("--verbose", action="store_true",
+                         help="print tuple-cores and statistics")
+    rewrite.add_argument(
+        "--sql-schema", metavar="JSON", default=None,
+        help="treat the query as SQL, with this table->columns schema file",
+    )
+    rewrite.add_argument(
+        "--certify", action="store_true",
+        help="re-verify the result from first principles (exit 3 on failure)",
+    )
+    rewrite.set_defaults(func=_cmd_rewrite)
+
+    optimize = sub.add_parser(
+        "optimize", help="pick a cost-optimal rewriting and plan"
+    )
+    optimize.add_argument("query", help="datalog rule or @file")
+    optimize.add_argument("--views", required=True)
+    optimize.add_argument("--data", required=True,
+                          help="JSON file: relation -> list of rows")
+    optimize.add_argument("--model", choices=["m1", "m2", "m3"], default="m2")
+    optimize.add_argument(
+        "--annotator", choices=["supplementary", "heuristic"],
+        default="heuristic", help="M3 attribute-drop strategy",
+    )
+    optimize.add_argument("--filters", action="store_true",
+                          help="try adding filtering subgoals (M2)")
+    optimize.add_argument("--limit", type=int, default=32)
+    optimize.add_argument("--sql-schema", metavar="JSON", default=None,
+                          help="treat the query as SQL with this schema file")
+    optimize.add_argument("--explain", action="store_true",
+                          help="print an EXPLAIN-style step table")
+    optimize.set_defaults(func=_cmd_optimize)
+
+    certain = sub.add_parser(
+        "certain",
+        help="certain answers from a view instance (inverse rules)",
+    )
+    certain.add_argument("query", help="datalog rule or @file")
+    certain.add_argument("--views", required=True)
+    certain.add_argument("--view-data", required=True,
+                         help="JSON file: view relation -> list of rows")
+    certain.add_argument("--sql-schema", metavar="JSON", default=None)
+    certain.set_defaults(func=_cmd_certain)
+
+    figures = sub.add_parser("figures", help="regenerate Section 7 figures")
+    figures.add_argument("figure", help="fig6a..fig9b or 'all'")
+    figures.add_argument("--full", action="store_true")
+    figures.add_argument("--queries", type=int, default=None)
+    figures.add_argument("--csv", metavar="DIR", default=None)
+    figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

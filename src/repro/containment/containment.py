@@ -1,0 +1,86 @@
+"""Chandra-Merlin containment and equivalence of conjunctive queries.
+
+``Q1 ⊑ Q2`` (Definition 2.1) holds iff there is a *containment mapping*
+from ``Q2`` to ``Q1``: a homomorphism on the body atoms that also maps the
+head of ``Q2`` onto the head of ``Q1`` (Chandra & Merlin 1977, cited as
+[5] in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.substitution import Substitution
+from ..datalog.terms import Constant
+from .homomorphism import find_homomorphism, find_homomorphisms, unify_atom
+
+
+class IncompatibleQueriesError(ValueError):
+    """Raised when comparing queries with different head predicates/arities."""
+
+
+def head_unifier(source: ConjunctiveQuery, target: ConjunctiveQuery) -> Optional[Substitution]:
+    """The substitution sending *source*'s head onto *target*'s head.
+
+    Returns ``None`` when the heads cannot be unified (different
+    predicate/arity, constant clash, or one source variable required to map
+    to two distinct targets).
+    """
+    if source.head.predicate != target.head.predicate:
+        return None
+    return unify_atom(source.head, target.head, Substitution())
+
+
+def containment_mappings(
+    outer: ConjunctiveQuery, inner: ConjunctiveQuery
+) -> Iterator[Substitution]:
+    """All containment mappings from *outer* to *inner*.
+
+    Each yielded substitution witnesses ``inner ⊑ outer``.
+    """
+    seed = head_unifier(outer, inner)
+    if seed is None:
+        return
+    yield from find_homomorphisms(outer.body, inner.body, seed)
+
+
+def containment_mapping(
+    outer: ConjunctiveQuery, inner: ConjunctiveQuery
+) -> Optional[Substitution]:
+    """One containment mapping from *outer* to *inner*, or ``None``."""
+    return next(containment_mappings(outer, inner), None)
+
+
+def is_contained_in(inner: ConjunctiveQuery, outer: ConjunctiveQuery) -> bool:
+    """Whether ``inner ⊑ outer`` (the answer of *inner* is always a subset).
+
+    Both queries must be pure conjunctive queries over relational atoms;
+    built-in comparison atoms are rejected (see
+    :mod:`repro.extensions` notes in the docs for that case).
+    """
+    _reject_comparisons(inner)
+    _reject_comparisons(outer)
+    return containment_mapping(outer, inner) is not None
+
+
+def is_equivalent_to(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Whether the two queries compute the same answer on every database."""
+    return is_contained_in(left, right) and is_contained_in(right, left)
+
+
+def is_properly_contained_in(
+    inner: ConjunctiveQuery, outer: ConjunctiveQuery
+) -> bool:
+    """Whether ``inner ⊑ outer`` but not ``outer ⊑ inner``."""
+    return is_contained_in(inner, outer) and not is_contained_in(outer, inner)
+
+
+def _reject_comparisons(query: ConjunctiveQuery) -> None:
+    for atom in query.body:
+        if atom.is_comparison:
+            raise IncompatibleQueriesError(
+                "Chandra-Merlin containment handles pure conjunctive queries; "
+                f"comparison atom {atom} is not supported here"
+            )

@@ -1,0 +1,74 @@
+"""Minimization of conjunctive queries (core computation).
+
+A conjunctive query is *minimal* when no body subgoal can be removed while
+preserving equivalence.  The minimal equivalent of a query is unique up to
+variable renaming (its *core*).  Minimization is step (1) of the CoreCover
+algorithm (Figure 4): "Minimize Q by removing its redundant subgoals."
+
+The implementation repeatedly looks for a homomorphism from the query into
+itself that fixes the head and avoids some subgoal; removing all atoms
+outside the homomorphism's image strictly shrinks the body and preserves
+equivalence.  This folding approach converges to the core in at most
+``len(body)`` iterations.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.substitution import Substitution
+from .containment import is_contained_in
+from .homomorphism import find_homomorphisms, unify_atom
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Whether no single body subgoal of *query* is redundant."""
+    deduped = query.dedup_body()
+    if len(deduped.body) != len(query.body):
+        return False
+    for index in range(len(deduped.body)):
+        candidate = deduped.without_atom(index)
+        if is_contained_in(candidate, deduped):
+            return False
+    return True
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return a minimal equivalent of *query* (unique up to renaming).
+
+    The returned query uses only atoms of the original body, so its
+    variables are a subset of the original variables.
+    """
+    current = query.dedup_body()
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate = current.without_atom(index)
+            # Removing an atom can only generalize the query, so
+            # ``current ⊑ candidate`` always holds; equivalence reduces to
+            # the other direction.
+            if _folds_into(current, candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _folds_into(query: ConjunctiveQuery, candidate: ConjunctiveQuery) -> bool:
+    """Whether ``candidate ⊑ query`` given candidate's body ⊆ query's body.
+
+    Equivalent to a head-fixing homomorphism from ``query`` into
+    ``candidate``; written directly to avoid re-deriving the head seed.
+    """
+    seed = unify_atom(query.head, candidate.head, Substitution())
+    if seed is None:
+        return False
+    return (
+        next(find_homomorphisms(query.body, candidate.body, seed), None) is not None
+    )
+
+
+def core_size(query: ConjunctiveQuery) -> int:
+    """Number of subgoals in the minimal equivalent of *query*."""
+    return len(minimize(query).body)

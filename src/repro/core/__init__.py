@@ -1,0 +1,63 @@
+"""The paper's contribution: view tuples, tuple-cores, CoreCover."""
+
+from .certify import Certificate, certify
+from .corecover import (
+    CoreCoverResult,
+    CoreCoverStats,
+    add_filter_subgoal,
+    core_cover,
+    core_cover_star,
+)
+from .enumerate_lmrs import enumerate_view_tuple_lmrs, view_tuple_lattice
+from .equivalence import (
+    core_representatives,
+    group_cores_by_coverage,
+    group_equivalent_views,
+    view_representatives,
+)
+from .lattice import (
+    LmrLattice,
+    RewritingRegion,
+    build_lmr_lattice,
+    classify_rewriting,
+)
+from .naive import naive_gmr_search
+from .set_cover import greedy_cover, irredundant_covers, minimum_covers
+from .tuple_core import (
+    TupleCore,
+    enumerate_consistent_cores,
+    tuple_core,
+    tuple_cores,
+)
+from .view_tuples import ViewTuple, to_view_tuple_rewriting, view_tuples
+
+__all__ = [
+    "Certificate",
+    "CoreCoverResult",
+    "CoreCoverStats",
+    "LmrLattice",
+    "RewritingRegion",
+    "TupleCore",
+    "ViewTuple",
+    "add_filter_subgoal",
+    "build_lmr_lattice",
+    "certify",
+    "classify_rewriting",
+    "core_cover",
+    "core_cover_star",
+    "core_representatives",
+    "enumerate_consistent_cores",
+    "enumerate_view_tuple_lmrs",
+    "greedy_cover",
+    "group_cores_by_coverage",
+    "group_equivalent_views",
+    "irredundant_covers",
+    "minimum_covers",
+    "naive_gmr_search",
+    "to_view_tuple_rewriting",
+    "tuple_core",
+    "tuple_cores",
+    "view_representatives",
+    "view_tuple_lattice",
+    "view_tuples",
+]

@@ -1,0 +1,125 @@
+"""Independent certification of CoreCover results.
+
+A downstream system acting on CoreCover's output (e.g. an optimizer
+shipping plans to production) may want a certificate that the result is
+trustworthy without re-deriving the theory.  This module re-checks a
+:class:`~repro.core.corecover.CoreCoverResult` from first principles:
+
+* the minimized query is equivalent to the input query;
+* every emitted rewriting is safe, uses only catalog views, and is an
+  *equivalent* rewriting (expansion test, Definition 2.3);
+* every filter candidate can be appended to a rewriting without breaking
+  equivalence;
+* optionally, global minimality is verified by brute force: no
+  combination of view tuples with fewer subgoals is a rewriting
+  (exponential — gated by ``verify_minimality``).
+
+All checks use only the containment substrate, none of the CoreCover
+internals, so a bug in tuple-cores or the set cover cannot hide from the
+certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..containment.containment import containment_mapping, is_equivalent_to
+from ..datalog.query import ConjunctiveQuery
+from ..views.expansion import expand
+from ..views.rewriting import is_equivalent_rewriting
+from ..views.view import ViewCatalog
+from .corecover import CoreCoverResult, add_filter_subgoal
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The outcome of certification: valid, or a list of found issues."""
+
+    issues: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not self.issues
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "certificate: OK"
+        rendered = "\n  - ".join(self.issues)
+        return f"certificate: {len(self.issues)} issue(s)\n  - {rendered}"
+
+
+def certify(
+    result: CoreCoverResult,
+    views: ViewCatalog,
+    verify_minimality: bool = False,
+) -> Certificate:
+    """Re-check a CoreCover result from first principles."""
+    issues: list[str] = []
+
+    if not is_equivalent_to(result.minimized_query, result.query):
+        issues.append(
+            "minimized query is not equivalent to the input query"
+        )
+
+    view_names = set(views.names())
+    for rewriting in result.rewritings:
+        label = str(rewriting)
+        if not rewriting.is_safe():
+            issues.append(f"unsafe rewriting: {label}")
+            continue
+        unknown = {
+            atom.predicate
+            for atom in rewriting.body
+            if atom.predicate not in view_names
+        }
+        if unknown:
+            issues.append(
+                f"rewriting {label} uses non-view predicates {sorted(unknown)}"
+            )
+            continue
+        if not is_equivalent_rewriting(rewriting, result.query, views):
+            issues.append(f"not an equivalent rewriting: {label}")
+
+    if result.rewritings:
+        sample = result.rewritings[0]
+        for filter_tuple in result.filter_candidates:
+            extended = add_filter_subgoal(sample, filter_tuple)
+            if not is_equivalent_rewriting(extended, result.query, views):
+                issues.append(
+                    f"filter candidate {filter_tuple} breaks equivalence"
+                )
+
+    if verify_minimality and result.rewritings:
+        claimed = result.minimum_subgoals() or 0
+        smaller = _smaller_rewriting_exists(result, views, claimed)
+        if smaller is not None:
+            issues.append(
+                f"claimed minimum {claimed} subgoals, but found smaller "
+                f"rewriting: {smaller}"
+            )
+
+    return Certificate(tuple(issues))
+
+
+def _smaller_rewriting_exists(
+    result: CoreCoverResult, views: ViewCatalog, claimed: int
+) -> ConjunctiveQuery | None:
+    """Brute-force search for a rewriting below the claimed minimum.
+
+    Only combinations of the (already computed) view tuples need checking
+    — Theorem 3.1 guarantees the view-tuple space contains a GMR.
+    """
+    minimized = result.minimized_query
+    for size in range(1, claimed):
+        for combo in combinations(result.view_tuples, size):
+            candidate = ConjunctiveQuery(
+                minimized.head, tuple(vt.atom for vt in combo)
+            )
+            if not candidate.is_safe():
+                continue
+            expansion = expand(candidate, views)
+            if containment_mapping(minimized, expansion) is not None:
+                return candidate
+    return None

@@ -1,0 +1,249 @@
+"""The CoreCover and CoreCover* algorithms (Sections 4 and 5).
+
+``CoreCover`` (Figure 4) finds all globally-minimal rewritings (GMRs) of a
+query — optimal under cost model M1:
+
+1. minimize the query;
+2. compute the view tuples ``T(Q, V)`` over the canonical database;
+3. compute each view tuple's tuple-core;
+4. cover the query subgoals with the minimum number of tuple-cores; each
+   cover yields a GMR (Theorem 4.1 / Corollary 4.1).
+
+``CoreCover*`` (Section 5.1) differs only in the last step: it enumerates
+*all* irredundant covers, yielding all minimal rewritings using view
+tuples — the search space guaranteed to contain an M2-optimal rewriting
+(Theorem 5.1).  Empty-core view tuples are reported as candidate
+*filtering subgoals* for the optimizer (rewriting P3 of the car-loc-part
+example).
+
+Both entry points accept ``group_views``/``group_tuples`` switches so the
+Section 5.2 concise representation can be ablated, reproducing the
+scalability argument of Section 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..containment.canonical import canonical_database
+from ..containment.minimize import minimize
+from ..datalog.query import ConjunctiveQuery
+from ..views.view import View, ViewCatalog
+from .equivalence import (
+    core_representatives,
+    group_cores_by_coverage,
+    group_equivalent_views,
+)
+from .set_cover import irredundant_covers, minimum_covers
+from .tuple_core import TupleCore, tuple_cores
+from .view_tuples import ViewTuple, view_tuples
+
+
+@dataclass(frozen=True)
+class CoreCoverStats:
+    """Instrumentation matching the quantities plotted in Figures 6-9."""
+
+    total_views: int
+    view_classes: int
+    total_view_tuples: int
+    view_tuple_classes: int
+    #: Coverage classes not strictly contained in another class — the
+    #: small family the paper's "bounded by the number of query subgoals"
+    #: argument refers to (Section 5.2, advantage (2)).
+    maximal_tuple_classes: int
+    nonempty_cores: int
+    elapsed_seconds: float
+    minimize_seconds: float
+    grouping_seconds: float
+    view_tuple_seconds: float
+    core_seconds: float
+    cover_seconds: float
+
+
+@dataclass(frozen=True)
+class CoreCoverResult:
+    """Everything CoreCover computed on the way to its rewritings."""
+
+    query: ConjunctiveQuery
+    minimized_query: ConjunctiveQuery
+    view_tuples: tuple[ViewTuple, ...]
+    cores: tuple[TupleCore, ...]
+    rewritings: tuple[ConjunctiveQuery, ...]
+    filter_candidates: tuple[ViewTuple, ...]
+    stats: CoreCoverStats
+
+    @property
+    def has_rewriting(self) -> bool:
+        """Whether the query has any equivalent rewriting using the views."""
+        return bool(self.rewritings)
+
+    def minimum_subgoals(self) -> int | None:
+        """Number of subgoals of a GMR, or ``None`` without rewritings."""
+        if not self.rewritings:
+            return None
+        return min(len(rewriting.body) for rewriting in self.rewritings)
+
+
+def core_cover(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View],
+    group_views: bool = True,
+    group_tuples: bool = True,
+) -> CoreCoverResult:
+    """All globally-minimal rewritings of *query* using *views* (M1-optimal)."""
+    return _run(query, views, all_minimal=False,
+                group_views=group_views, group_tuples=group_tuples)
+
+
+def core_cover_star(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View],
+    group_views: bool = True,
+    group_tuples: bool = True,
+    max_rewritings: int | None = None,
+) -> CoreCoverResult:
+    """All minimal rewritings using view tuples (the M2 search space)."""
+    return _run(query, views, all_minimal=True,
+                group_views=group_views, group_tuples=group_tuples,
+                max_rewritings=max_rewritings)
+
+
+def _run(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View],
+    all_minimal: bool,
+    group_views: bool,
+    group_tuples: bool,
+    max_rewritings: int | None = None,
+) -> CoreCoverResult:
+    started = time.perf_counter()
+    view_list = list(views)
+    _reject_comparisons(query, view_list)
+
+    # Step (1): minimize the query.
+    t0 = time.perf_counter()
+    minimized = minimize(query)
+    minimize_seconds = time.perf_counter() - t0
+
+    # Section 5.2: group views into equivalence classes, keep representatives.
+    t0 = time.perf_counter()
+    if group_views:
+        classes = group_equivalent_views(view_list)
+        representatives = [members[0] for members in classes]
+        view_classes = len(classes)
+    else:
+        representatives = view_list
+        view_classes = len(view_list)
+    grouping_seconds = time.perf_counter() - t0
+
+    # Step (2): view tuples over the canonical database.
+    t0 = time.perf_counter()
+    canonical = canonical_database(minimized)
+    tuples = view_tuples(minimized, representatives, canonical)
+    view_tuple_seconds = time.perf_counter() - t0
+
+    # Step (3): tuple-cores.
+    t0 = time.perf_counter()
+    cores = tuple_cores(minimized, tuples)
+    core_seconds = time.perf_counter() - t0
+
+    # Section 5.2 again: group view tuples by coverage.
+    if group_tuples:
+        working_cores = core_representatives(cores)
+    else:
+        working_cores = list(cores)
+    coverage_sets = set(group_cores_by_coverage(cores))
+    tuple_class_count = len(coverage_sets)
+    maximal_tuple_classes = sum(
+        1
+        for covered in coverage_sets
+        if covered
+        and not any(covered < other for other in coverage_sets)
+    )
+
+    nonempty = [core for core in working_cores if not core.is_empty]
+    empty = [core.view_tuple for core in cores if core.is_empty]
+
+    # Step (4): cover the query subgoals.
+    t0 = time.perf_counter()
+    universe = frozenset(range(len(minimized.body)))
+    cover_inputs = [core.covered for core in nonempty]
+    if all_minimal:
+        covers = irredundant_covers(universe, cover_inputs, max_rewritings)
+    else:
+        covers = minimum_covers(universe, cover_inputs)
+    rewritings = tuple(
+        _build_rewriting(minimized, [nonempty[i] for i in cover])
+        for cover in covers
+    )
+    cover_seconds = time.perf_counter() - t0
+
+    stats = CoreCoverStats(
+        total_views=len(view_list),
+        view_classes=view_classes,
+        total_view_tuples=len(tuples),
+        view_tuple_classes=tuple_class_count,
+        maximal_tuple_classes=maximal_tuple_classes,
+        nonempty_cores=len(nonempty),
+        elapsed_seconds=time.perf_counter() - started,
+        minimize_seconds=minimize_seconds,
+        grouping_seconds=grouping_seconds,
+        view_tuple_seconds=view_tuple_seconds,
+        core_seconds=core_seconds,
+        cover_seconds=cover_seconds,
+    )
+    return CoreCoverResult(
+        query=query,
+        minimized_query=minimized,
+        view_tuples=tuple(tuples),
+        cores=tuple(cores),
+        rewritings=rewritings,
+        filter_candidates=tuple(empty),
+        stats=stats,
+    )
+
+
+def _reject_comparisons(
+    query: ConjunctiveQuery, view_list: Sequence[View]
+) -> None:
+    """CoreCover handles pure conjunctive queries (Section 2.1).
+
+    Built-in comparison predicates make rewritings unions of CQs
+    (Section 8); raising here beats silently reporting "no rewriting".
+    """
+    offenders = [str(atom) for atom in query.body if atom.is_comparison]
+    for view in view_list:
+        offenders.extend(
+            f"{view.name}: {atom}"
+            for atom in view.definition.body
+            if atom.is_comparison
+        )
+    if offenders:
+        raise ValueError(
+            "CoreCover supports pure conjunctive queries/views; found "
+            f"comparison atoms: {', '.join(offenders)}. See "
+            "repro.extensions for the Section 8 built-in-predicate support."
+        )
+
+
+def _build_rewriting(
+    minimized: ConjunctiveQuery, chosen: Sequence[TupleCore]
+) -> ConjunctiveQuery:
+    """Combine the chosen view tuples into a rewriting (Theorem 4.1)."""
+    body = tuple(core.view_tuple.atom for core in chosen)
+    return ConjunctiveQuery(minimized.head, body)
+
+
+def add_filter_subgoal(
+    rewriting: ConjunctiveQuery, filter_tuple: ViewTuple
+) -> ConjunctiveQuery:
+    """Append an (empty-core) view tuple as a filtering subgoal.
+
+    Under M2 this can lower the plan cost when the filter relation is
+    selective (rewriting P3 vs. P2 in the car-loc-part example); the
+    result is still an equivalent rewriting because the filter's expansion
+    maps into the query.
+    """
+    return rewriting.with_body(rewriting.body + (filter_tuple.atom,))

@@ -1,0 +1,95 @@
+"""Equivalence classes of views and view tuples (Section 5.2).
+
+The paper's concise representation partitions
+
+* the **views** into classes of queries equivalent *as queries* (view V1
+  and V5 of the car-loc-part example), so CoreCover only processes one
+  representative per class; and
+* the **view tuples** into classes with identical tuple-cores (same set
+  of covered query subgoals), so the cover search is bounded by the number
+  of query subgoals, independent of the number of views.
+
+Both partitions use cheap structural invariants as a pre-filter before the
+quadratic pairwise equivalence tests (the paper notes this up-front cost
+"paid off later when the number of views was more than 100").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..containment.containment import is_equivalent_to
+from ..containment.minimize import minimize
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..views.view import View
+from .tuple_core import TupleCore
+
+#: Head predicate used to compare view definitions regardless of view name.
+_NEUTRAL_HEAD = "__view_cmp__"
+
+
+def _neutral_definition(view: View) -> ConjunctiveQuery:
+    definition = view.definition
+    return ConjunctiveQuery(
+        Atom(_NEUTRAL_HEAD, definition.head.args), definition.body
+    )
+
+
+def group_equivalent_views(views: Iterable[View]) -> list[list[View]]:
+    """Partition views into classes equivalent as queries.
+
+    Two views are compared by their definitions with the head predicate
+    neutralized (V1 and V5 have different names but the same definition).
+    Definitions are minimized once, bucketed by structural signature, and
+    only compared pairwise within a bucket.
+    """
+    minimized: list[tuple[View, ConjunctiveQuery]] = [
+        (view, minimize(_neutral_definition(view))) for view in views
+    ]
+    buckets: dict[tuple, list[tuple[View, ConjunctiveQuery]]] = {}
+    for view, definition in minimized:
+        buckets.setdefault(definition.signature(), []).append((view, definition))
+
+    classes: list[list[View]] = []
+    for bucket in buckets.values():
+        representatives: list[tuple[ConjunctiveQuery, list[View]]] = []
+        for view, definition in bucket:
+            for rep_definition, members in representatives:
+                if is_equivalent_to(definition, rep_definition):
+                    members.append(view)
+                    break
+            else:
+                representatives.append((definition, [view]))
+        classes.extend(members for _, members in representatives)
+    return classes
+
+
+def view_representatives(views: Iterable[View]) -> list[View]:
+    """One representative view per equivalence class, in stable order."""
+    return [members[0] for members in group_equivalent_views(views)]
+
+
+def group_cores_by_coverage(
+    cores: Sequence[TupleCore],
+) -> dict[frozenset[int], list[TupleCore]]:
+    """Partition tuple-cores by the set of query subgoals they cover.
+
+    All view tuples in one class are interchangeable in a cover, which is
+    the paper's advantage (4): the optimizer may later swap a view tuple
+    for a classmate (e.g. a smaller materialized relation) and still have
+    a rewriting.
+    """
+    groups: dict[frozenset[int], list[TupleCore]] = {}
+    for core in cores:
+        groups.setdefault(core.covered, []).append(core)
+    return groups
+
+
+def core_representatives(cores: Sequence[TupleCore]) -> list[TupleCore]:
+    """One representative tuple-core per coverage class (nonempty first)."""
+    groups = group_cores_by_coverage(cores)
+    ordered = sorted(
+        groups.items(), key=lambda item: (-len(item[0]), sorted(item[0]))
+    )
+    return [members[0] for _, members in ordered]

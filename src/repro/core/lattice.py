@@ -1,0 +1,129 @@
+"""The structure of rewritings: Figure 1 regions and the LMR partial order.
+
+Section 3.2 analyzes the internal relationship of a query's rewritings:
+locally-minimal rewritings (LMRs) form a partial order under query
+containment; by Lemma 3.1, containment between LMRs also orders their
+subgoal counts.  The bottom elements are the containment-minimal
+rewritings (CMRs), and Propositions 3.1/3.2 show the CMRs contain a
+globally-minimal rewriting (GMR) — though a GMR need not be a CMR (the
+``e(X, X)`` example of Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Flag, auto
+from typing import Iterable, Sequence
+
+from ..containment.containment import is_contained_in, is_properly_contained_in
+from ..datalog.query import ConjunctiveQuery
+from ..views.rewriting import (
+    is_equivalent_rewriting,
+    is_locally_minimal,
+    is_minimal_as_query,
+)
+from ..views.view import ViewCatalog
+
+
+class RewritingRegion(Flag):
+    """The Figure 1 classification of a rewriting."""
+
+    NONE = 0
+    REWRITING = auto()
+    MINIMAL = auto()
+    LOCALLY_MINIMAL = auto()
+    CONTAINMENT_MINIMAL = auto()
+    GLOBALLY_MINIMAL = auto()
+
+
+@dataclass(frozen=True)
+class LmrLattice:
+    """The containment partial order over a set of LMRs.
+
+    ``edges`` holds the Hasse diagram: ``(i, j)`` means rewriting ``i``
+    properly contains rewriting ``j`` (as queries) with no LMR strictly
+    between them — the upper-to-lower edges of Figure 2.
+    """
+
+    rewritings: tuple[ConjunctiveQuery, ...]
+    edges: tuple[tuple[int, int], ...]
+    cmr_indices: tuple[int, ...]
+    gmr_indices: tuple[int, ...]
+
+    def cmrs(self) -> tuple[ConjunctiveQuery, ...]:
+        """The containment-minimal rewritings (bottom elements)."""
+        return tuple(self.rewritings[i] for i in self.cmr_indices)
+
+    def gmrs(self) -> tuple[ConjunctiveQuery, ...]:
+        """The rewritings with the fewest subgoals."""
+        return tuple(self.rewritings[i] for i in self.gmr_indices)
+
+
+def build_lmr_lattice(lmrs: Sequence[ConjunctiveQuery]) -> LmrLattice:
+    """Compute the Figure 2 partial order for the given LMRs.
+
+    Callers are responsible for passing genuine LMRs of one query (use
+    :func:`repro.views.rewriting.is_locally_minimal`).
+    """
+    n = len(lmrs)
+    properly_contains = [
+        [
+            i != j and is_properly_contained_in(lmrs[j], lmrs[i])
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+
+    edges: list[tuple[int, int]] = []
+    for i in range(n):
+        for j in range(n):
+            if not properly_contains[i][j]:
+                continue
+            has_intermediate = any(
+                properly_contains[i][k] and properly_contains[k][j]
+                for k in range(n)
+                if k not in (i, j)
+            )
+            if not has_intermediate:
+                edges.append((i, j))
+
+    cmr_indices = tuple(
+        j
+        for j in range(n)
+        if not any(properly_contains[j][k] for k in range(n))
+    )
+    min_size = min((len(q.body) for q in lmrs), default=0)
+    gmr_indices = tuple(i for i, q in enumerate(lmrs) if len(q.body) == min_size)
+    return LmrLattice(tuple(lmrs), tuple(edges), cmr_indices, gmr_indices)
+
+
+def classify_rewriting(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    known_lmrs: Iterable[ConjunctiveQuery] = (),
+    known_minimum: int | None = None,
+) -> RewritingRegion:
+    """Place *rewriting* in the Figure 1 regions.
+
+    ``CONTAINMENT_MINIMAL`` and ``GLOBALLY_MINIMAL`` are relative to the
+    supplied context: *known_lmrs* (other LMRs to compare against) and
+    *known_minimum* (the query's GMR size, e.g. from CoreCover).
+    """
+    region = RewritingRegion.NONE
+    if not is_equivalent_rewriting(rewriting, query, views):
+        return region
+    region |= RewritingRegion.REWRITING
+    if not is_minimal_as_query(rewriting):
+        return region
+    region |= RewritingRegion.MINIMAL
+    if not is_locally_minimal(rewriting, query, views):
+        return region
+    region |= RewritingRegion.LOCALLY_MINIMAL
+    if not any(
+        is_properly_contained_in(other, rewriting) for other in known_lmrs
+    ):
+        region |= RewritingRegion.CONTAINMENT_MINIMAL
+    if known_minimum is not None and len(rewriting.body) == known_minimum:
+        region |= RewritingRegion.GLOBALLY_MINIMAL
+    return region

@@ -1,0 +1,69 @@
+"""The naive GMR search suggested by Theorem 3.1.
+
+"We compute all the view tuples for the query.  We start checking
+combinations of view tuples [...] first all combinations containing one
+view tuple, then all combinations containing two view tuples, and so on.
+Each combination could be a rewriting P.  We test whether there is a
+containment mapping from Q to P^exp.  [...]  We stop after having
+considered all combinations of up to n view tuples" (n = number of query
+subgoals, by [16]).
+
+This baseline exists for correctness cross-checks against CoreCover and
+for the scalability ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..containment.containment import containment_mapping
+from ..containment.minimize import minimize
+from ..datalog.query import ConjunctiveQuery
+from ..views.expansion import expand
+from ..views.view import View, ViewCatalog
+from .view_tuples import ViewTuple, view_tuples
+
+
+def naive_gmr_search(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View],
+) -> list[ConjunctiveQuery]:
+    """All GMRs of *query*, by brute-force combination of view tuples.
+
+    Exponential in the number of view tuples; use only on small inputs.
+    """
+    minimized = minimize(query)
+    catalog = views if isinstance(views, ViewCatalog) else ViewCatalog(views)
+    tuples = view_tuples(minimized, catalog)
+    limit = len(minimized.body)
+
+    for size in range(1, limit + 1):
+        found: list[ConjunctiveQuery] = []
+        for combo in combinations(tuples, size):
+            candidate = ConjunctiveQuery(
+                minimized.head, tuple(vt.atom for vt in combo)
+            )
+            if not candidate.is_safe():
+                continue
+            if _is_rewriting(candidate, minimized, catalog):
+                found.append(candidate)
+        if found:
+            return found
+    return []
+
+
+def _is_rewriting(
+    candidate: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> bool:
+    """Rewriting test for view-tuple candidates.
+
+    The view-tuple construction guarantees a containment mapping from the
+    candidate's expansion to the query (hence ``Q ⊑ candidate^exp``); the
+    only direction left to check is a containment mapping from ``Q`` to
+    the expansion, witnessing ``candidate^exp ⊑ Q``.
+    """
+    expansion = expand(candidate, views)
+    return containment_mapping(query, expansion) is not None

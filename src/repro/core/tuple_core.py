@@ -1,0 +1,280 @@
+"""Tuple-cores: the query subgoals covered by a view tuple (Section 4.1).
+
+Definition 4.1: the tuple-core of a view tuple ``t_v`` for a minimal query
+``Q`` is a *maximal* collection ``G`` of query subgoals admitting a
+containment mapping ``φ : G → t_v^exp`` such that
+
+1. ``φ`` is one-to-one and is the identity on arguments of ``G`` that
+   appear among ``t_v``'s arguments;
+2. every distinguished variable of ``Q`` occurring in ``G`` is mapped to a
+   distinguished variable of ``t_v^exp`` (hence, by (1), to itself);
+3. if a nondistinguished variable ``X`` of ``G`` is mapped to an
+   existential variable of ``t_v``'s expansion, then ``G`` contains *all*
+   query subgoals using ``X`` (the MiniCon-style closure property).
+
+Consequences used by the implementation (see Lemma 4.1): every variable of
+``G`` is mapped either to itself — possible exactly when it occurs among
+``t_v``'s arguments — or, injectively, to a fresh existential variable of
+the expansion.  A query variable is never mapped onto a *different*
+view-tuple argument (that would break the global identity-on-``Var(P)``
+property) nor onto a constant of the view body (the canonical-database
+construction already aligns such constants with the query's own
+constants).
+
+Lemma 4.2 states the maximal ``G`` is unique; the search below therefore
+returns the maximum-cardinality consistent ``G``, and the property-based
+tests assert uniqueness on random inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.substitution import Substitution
+from ..datalog.terms import (
+    Constant,
+    FreshVariableFactory,
+    Term,
+    Variable,
+    is_variable,
+)
+from .view_tuples import ViewTuple
+
+
+@dataclass(frozen=True)
+class TupleCore:
+    """The (unique) tuple-core of a view tuple w.r.t. a minimal query.
+
+    ``covered`` holds the indices of the covered subgoals in the minimal
+    query's body; ``mapping`` is a witnessing containment mapping
+    (variables of the covered subgoals to terms of the expansion).
+    """
+
+    view_tuple: ViewTuple
+    covered: frozenset[int]
+    mapping: Substitution
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the view tuple covers no query subgoal."""
+        return not self.covered
+
+    def covered_atoms(self, query: ConjunctiveQuery) -> tuple[Atom, ...]:
+        """The covered subgoals of *query*, in body order."""
+        return tuple(query.body[i] for i in sorted(self.covered))
+
+    def __str__(self) -> str:
+        indices = ", ".join(str(i) for i in sorted(self.covered))
+        return f"core({self.view_tuple}) = {{{indices}}}"
+
+
+class _CoreSearch:
+    """Backtracking search for the maximum consistent covered set."""
+
+    def __init__(self, query: ConjunctiveQuery, view_tuple: ViewTuple) -> None:
+        self.query = query
+        self.view_tuple = view_tuple
+        factory = FreshVariableFactory(
+            v.name for v in query.variables() | _atom_variables(view_tuple.atom)
+        )
+        self.exp_atoms, self.fresh_existentials = view_tuple.expansion(factory)
+        self.tuple_args = view_tuple.argument_terms()
+        self.distinguished = query.distinguished_variables()
+        # Per query subgoal: all (exp atom, partial binding) candidates.
+        self.candidates = [
+            self._atom_candidates(atom) for atom in query.body
+        ]
+        # Query atoms indexed by variable, for the property-(3) closure.
+        self.atoms_of_var: dict[Variable, set[int]] = {}
+        for index, atom in enumerate(query.body):
+            for variable in atom.variable_set():
+                self.atoms_of_var.setdefault(variable, set()).add(index)
+
+    # -- candidate generation --------------------------------------------
+    def _atom_candidates(self, atom: Atom) -> list[dict[Variable, Variable]]:
+        """All ways to map *atom* into the expansion, as existential bindings.
+
+        Each candidate is the set of ``query var -> fresh existential``
+        bindings it requires; identity mappings are implicit.  An empty
+        dict means the atom maps by pure identity.
+        """
+        results: list[dict[Variable, Variable]] = []
+        for exp_atom in self.exp_atoms:
+            binding = self._match(atom, exp_atom)
+            if binding is not None and binding not in results:
+                results.append(binding)
+        return results
+
+    def _match(
+        self, atom: Atom, exp_atom: Atom
+    ) -> Optional[dict[Variable, Variable]]:
+        if atom.predicate != exp_atom.predicate or atom.arity != exp_atom.arity:
+            return None
+        binding: dict[Variable, Variable] = {}
+        for arg, target in zip(atom.args, exp_atom.args):
+            if isinstance(arg, Constant):
+                if arg != target:
+                    return None
+                continue
+            # arg is a query variable.
+            if target == arg:
+                # Identity mapping; legal only when arg occurs among the
+                # view tuple's arguments (then it is distinguished in the
+                # expansion).  Since target equals arg and arg is a query
+                # variable, arg necessarily came from the tuple's args.
+                if arg in binding:
+                    return None  # previously needed an existential image
+                continue
+            if target in self.fresh_existentials:
+                if arg in self.distinguished:
+                    return None  # property (2)
+                if arg in self.tuple_args:
+                    return None  # property (1): identity is forced
+                bound = binding.get(arg)
+                if bound is None:
+                    binding[arg] = target
+                elif bound != target:
+                    return None
+                continue
+            # target is a different query term or a view-body constant —
+            # both are rejected (see module docstring).
+            return None
+        return binding
+
+    # -- search ----------------------------------------------------------------
+    def run(self) -> TupleCore:
+        """Find the maximum covered set and return the tuple-core."""
+        n = len(self.query.body)
+        best: dict[str, object] = {"covered": frozenset(), "binding": {}}
+
+        def consistent(
+            binding: dict[Variable, Variable], addition: dict[Variable, Variable]
+        ) -> Optional[dict[Variable, Variable]]:
+            merged = dict(binding)
+            used = set(binding.values())
+            for variable, target in addition.items():
+                bound = merged.get(variable)
+                if bound is None:
+                    if target in used:
+                        return None  # injectivity among existential images
+                    merged[variable] = target
+                    used.add(target)
+                elif bound != target:
+                    return None
+            return merged
+
+        def closure_ok(covered: set[int], binding: dict[Variable, Variable]) -> bool:
+            return all(
+                self.atoms_of_var[variable] <= covered for variable in binding
+            )
+
+        def backtrack(
+            index: int, covered: set[int], binding: dict[Variable, Variable]
+        ) -> None:
+            if index == n:
+                if len(covered) > len(best["covered"]) and closure_ok(
+                    covered, binding
+                ):
+                    best["covered"] = frozenset(covered)
+                    best["binding"] = dict(binding)
+                return
+            # Upper-bound prune: even covering everything left cannot beat best.
+            if len(covered) + (n - index) <= len(best["covered"]):
+                return
+            for addition in self.candidates[index]:
+                merged = consistent(binding, addition)
+                if merged is not None:
+                    covered.add(index)
+                    backtrack(index + 1, covered, merged)
+                    covered.remove(index)
+            # Exclude this atom.  Property (3) ultimately requires that no
+            # variable of an excluded atom is existentially mapped; bindings
+            # only grow along a branch, so exclusion is already doomed when
+            # one of the atom's variables is existentially bound now.  A
+            # variable bound *later* is caught by closure_ok at the leaves.
+            if not (self.query.body[index].variable_set() & binding.keys()):
+                backtrack(index + 1, covered, binding)
+
+        backtrack(0, set(), {})
+        mapping = Substitution(dict(best["binding"]))  # type: ignore[arg-type]
+        return TupleCore(self.view_tuple, best["covered"], mapping)  # type: ignore[arg-type]
+
+
+def enumerate_consistent_cores(
+    query: ConjunctiveQuery, view_tuple: ViewTuple
+) -> list[frozenset[int]]:
+    """All inclusion-maximal covered sets consistent with Definition 4.1.
+
+    Lemma 4.2 asserts this list has at most one element (the tuple-core);
+    the property-based tests call this function to check the lemma on
+    random inputs rather than trusting the maximum-cardinality search.
+    """
+    search = _CoreSearch(query, view_tuple)
+    n = len(query.body)
+    consistent: set[frozenset[int]] = set()
+
+    def merge(
+        binding: dict[Variable, Variable], addition: dict[Variable, Variable]
+    ) -> dict[Variable, Variable] | None:
+        merged = dict(binding)
+        used = set(binding.values())
+        for variable, target in addition.items():
+            bound = merged.get(variable)
+            if bound is None:
+                if target in used:
+                    return None
+                merged[variable] = target
+                used.add(target)
+            elif bound != target:
+                return None
+        return merged
+
+    def closure_ok(covered: set[int], binding: dict[Variable, Variable]) -> bool:
+        return all(
+            search.atoms_of_var[variable] <= covered for variable in binding
+        )
+
+    def backtrack(
+        index: int, covered: set[int], binding: dict[Variable, Variable]
+    ) -> None:
+        if index == n:
+            if closure_ok(covered, binding):
+                consistent.add(frozenset(covered))
+            return
+        for addition in search.candidates[index]:
+            merged = merge(binding, addition)
+            if merged is not None:
+                covered.add(index)
+                backtrack(index + 1, covered, merged)
+                covered.remove(index)
+        backtrack(index + 1, covered, binding)
+
+    backtrack(0, set(), {})
+    return [
+        candidate
+        for candidate in consistent
+        if not any(candidate < other for other in consistent)
+    ]
+
+
+def tuple_core(query: ConjunctiveQuery, view_tuple: ViewTuple) -> TupleCore:
+    """Compute the unique tuple-core of *view_tuple* for the minimal *query*.
+
+    *query* must already be minimal (CoreCover minimizes first); the
+    function does not re-minimize.
+    """
+    return _CoreSearch(query, view_tuple).run()
+
+
+def tuple_cores(
+    query: ConjunctiveQuery, tuples: Sequence[ViewTuple]
+) -> list[TupleCore]:
+    """Tuple-cores for a collection of view tuples, in the given order."""
+    return [tuple_core(query, view_tuple) for view_tuple in tuples]
+
+
+def _atom_variables(atom: Atom) -> set[Variable]:
+    return {arg for arg in atom.args if is_variable(arg)}

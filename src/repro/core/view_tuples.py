@@ -1,0 +1,138 @@
+"""View tuples ``T(Q, V)`` (Section 3.3).
+
+A view tuple is obtained by (i) freezing the (minimized) query into its
+canonical database ``D_Q``, (ii) evaluating each view definition over
+``D_Q``, and (iii) thawing each answer tuple's frozen constants back to
+the query's variables.  By construction, any rewriting built from view
+tuples admits a containment mapping from its expansion to the query
+(Lemma 3.2), which is what lets CoreCover skip half of the equivalence
+test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..containment.canonical import (
+    CanonicalDatabase,
+    FrozenMarker,
+    canonical_database,
+)
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.substitution import Substitution
+from ..datalog.terms import Constant, FreshVariableFactory, Term, Variable
+from ..engine.database import Database
+from ..engine.evaluate import evaluate
+from ..views.view import View, ViewCatalog
+
+
+@dataclass(frozen=True)
+class ViewTuple:
+    """One element of ``T(Q, V)``: a view atom over the query's terms.
+
+    ``atom`` is the view predicate applied to query variables/constants,
+    e.g. ``v1(M, anderson, C)`` in the car-loc-part example.
+    """
+
+    view: View
+    atom: Atom
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+    @property
+    def name(self) -> str:
+        """The underlying view's name."""
+        return self.view.name
+
+    def argument_terms(self) -> frozenset[Term]:
+        """The set of query terms among the view tuple's arguments."""
+        return frozenset(self.atom.args)
+
+    def expansion(
+        self, factory: FreshVariableFactory
+    ) -> tuple[tuple[Atom, ...], frozenset[Variable]]:
+        """The expansion ``t_v^exp`` and its set of fresh existential variables.
+
+        Head variables of the view are substituted by the view tuple's
+        arguments; existential variables become fresh variables drawn from
+        *factory* (Definition 2.2 applied to a single subgoal).
+        """
+        mapping: dict[Variable, Term] = {
+            head_var: arg
+            for head_var, arg in zip(self.view.head_variables, self.atom.args)
+        }
+        fresh: set[Variable] = set()
+        for existential in sorted(
+            self.view.existential_variables(), key=lambda v: v.name
+        ):
+            renamed = factory.fresh_like(existential)
+            mapping[existential] = renamed
+            fresh.add(renamed)
+        substitution = Substitution(mapping)
+        return substitution.apply_atoms(self.view.definition.body), frozenset(fresh)
+
+
+def to_view_tuple_rewriting(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: "ViewCatalog",
+) -> ConjunctiveQuery | None:
+    """The Lemma 3.2 transformation: rewrite *rewriting* over view tuples.
+
+    Given any equivalent rewriting ``P``, there is a rewriting ``P'``
+    whose subgoals are all view tuples, with ``P' ⊑ P``.  The
+    construction follows the lemma's proof: take a containment mapping
+    ``φ`` from ``P``'s expansion to the query (such a mapping witnesses
+    ``Q ⊑ P^exp`` and always exists for equivalent rewritings) and
+    replace every variable of ``P`` by its image, then drop duplicate
+    subgoals.  The paper's example transforms P1 of car-loc-part into P2.
+
+    When ``P`` is an equivalent rewriting the result is too; for a
+    merely "containing" ``P`` (``Q ⊑ P^exp`` but not conversely) the
+    transformation still applies but yields no equivalence guarantee.
+    Returns ``None`` when ``Q ⋢ P^exp`` (no mapping exists at all).
+    """
+    from ..containment.containment import containment_mapping
+    from ..views.expansion import expand
+
+    expansion = expand(rewriting, views)
+    mapping = containment_mapping(expansion, query)
+    if mapping is None:
+        return None
+    transformed = rewriting.apply(mapping)
+    return transformed.dedup_body()
+
+
+def _thaw_value(value: object) -> Term:
+    if isinstance(value, FrozenMarker):
+        return Variable(value.variable_name)
+    return Constant(value)
+
+
+def view_tuples(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Iterable[View],
+    canonical: CanonicalDatabase | None = None,
+) -> list[ViewTuple]:
+    """Compute ``T(Q, V)`` for a (preferably minimized) query.
+
+    The result is deterministic: tuples appear grouped by view in catalog
+    order, then sorted by their rendered atom.
+    """
+    if canonical is None:
+        canonical = canonical_database(query)
+    database = Database.from_facts(canonical.facts)
+    tuples: list[ViewTuple] = []
+    for view in views:
+        rows = evaluate(view.definition, database)
+        atoms = {
+            Atom(view.name, tuple(_thaw_value(value) for value in row))
+            for row in rows
+        }
+        tuples.extend(
+            ViewTuple(view, atom) for atom in sorted(atoms, key=str)
+        )
+    return tuples

@@ -1,0 +1,78 @@
+"""Cost models M1/M2/M3, physical plans, and the plan optimizer."""
+
+from .estimator import RelationStats, StatisticsCatalog
+from .intermediates import (
+    PlanExecution,
+    PlanExecutionError,
+    StepTrace,
+    VarTable,
+    execute_plan,
+    join_atoms,
+    join_step,
+)
+from .iomodel import IoParameters, IoReport, io_tracks_m2, simulate_plan_io
+from .models import cost_m1, cost_m2, cost_m3
+from .monotonic import (
+    check_m1_monotonic,
+    check_m2_monotonic,
+    covering_containment_mapping,
+    verify_monotonicity,
+)
+from .optimizer import (
+    OptimizedPlan,
+    optimal_plan_io,
+    TooManySubgoalsError,
+    best_rewriting_m2,
+    improve_with_filters,
+    optimal_plan_m2,
+    optimal_plan_m2_estimated,
+    optimal_plan_m3,
+    optimal_plan_m3_estimated,
+)
+from .plans import PhysicalPlan, PlanStep
+from .report import explain_plan
+from .supplementary import (
+    heuristic_drops,
+    heuristic_plan,
+    supplementary_drops,
+    supplementary_plan,
+)
+
+__all__ = [
+    "IoParameters",
+    "IoReport",
+    "OptimizedPlan",
+    "PhysicalPlan",
+    "PlanExecution",
+    "PlanExecutionError",
+    "PlanStep",
+    "RelationStats",
+    "StatisticsCatalog",
+    "StepTrace",
+    "TooManySubgoalsError",
+    "VarTable",
+    "best_rewriting_m2",
+    "check_m1_monotonic",
+    "check_m2_monotonic",
+    "cost_m1",
+    "cost_m2",
+    "cost_m3",
+    "covering_containment_mapping",
+    "verify_monotonicity",
+    "execute_plan",
+    "explain_plan",
+    "io_tracks_m2",
+    "heuristic_drops",
+    "heuristic_plan",
+    "improve_with_filters",
+    "join_atoms",
+    "join_step",
+    "optimal_plan_io",
+    "optimal_plan_m2",
+    "optimal_plan_m2_estimated",
+    "optimal_plan_m3",
+    "optimal_plan_m3_estimated",
+    "simulate_plan_io",
+    "supplementary_drops",
+    "supplementary_plan",
+]

@@ -1,0 +1,137 @@
+"""Cardinality estimation for cost models M2/M3 without materialized data.
+
+The exact costs in :mod:`repro.cost.intermediates` require a view
+database.  When only statistics are available, this module estimates
+intermediate sizes with the classic System-R assumptions [22]:
+
+* attribute values are uniformly distributed;
+* join attributes are independent;
+* the selectivity of an equality ``R.a = S.b`` is
+  ``1 / max(V(R, a), V(S, b))`` where ``V`` counts distinct values;
+* the selectivity of ``R.a = constant`` is ``1 / V(R, a)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant, Variable, is_variable
+from ..engine.database import Database
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Cardinality and per-column distinct counts for one relation."""
+
+    name: str
+    cardinality: int
+    distinct: tuple[int, ...]
+
+    def distinct_at(self, position: int) -> int:
+        """Distinct values in the given column (at least 1)."""
+        return max(1, self.distinct[position])
+
+
+class StatisticsCatalog:
+    """Statistics for a set of relations, used by the size estimator."""
+
+    def __init__(self, stats: Iterable[RelationStats] = ()) -> None:
+        self._stats: dict[str, RelationStats] = {s.name: s for s in stats}
+
+    @classmethod
+    def from_database(cls, database: Database) -> "StatisticsCatalog":
+        """Collect exact statistics from a materialized database."""
+        collected = []
+        for relation in database:
+            distinct = tuple(
+                len({row[position] for row in relation})
+                for position in range(relation.arity)
+            )
+            collected.append(
+                RelationStats(relation.name, len(relation), distinct)
+            )
+        return cls(collected)
+
+    def add(self, stats: RelationStats) -> None:
+        """Register (or replace) statistics for one relation."""
+        self._stats[stats.name] = stats
+
+    def stats(self, name: str) -> RelationStats:
+        """Statistics for the named relation."""
+        return self._stats[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._stats
+
+    # -- estimation ----------------------------------------------------------
+    def estimate_join_size(self, atoms: Sequence[Atom]) -> float:
+        """Estimated cardinality of the natural join of *atoms*.
+
+        Every occurrence of a variable beyond its first, and every
+        constant, contributes one equality selectivity.
+        """
+        size = 1.0
+        # First occurrence of each variable: (relation stats, position).
+        first_seen: dict[Variable, tuple[RelationStats, int]] = {}
+        for atom in atoms:
+            stats = self._stats.get(atom.predicate)
+            if stats is None:
+                return 0.0
+            size *= stats.cardinality
+            for position, arg in enumerate(atom.args):
+                if isinstance(arg, Constant):
+                    size /= stats.distinct_at(position)
+                    continue
+                seen = first_seen.get(arg)
+                if seen is None:
+                    first_seen[arg] = (stats, position)
+                else:
+                    other_stats, other_position = seen
+                    size /= max(
+                        stats.distinct_at(position),
+                        other_stats.distinct_at(other_position),
+                    )
+        return size
+
+    def estimate_relation_size(self, atom: Atom) -> int:
+        """The cardinality of the relation a subgoal scans (0 if unknown)."""
+        stats = self._stats.get(atom.predicate)
+        return stats.cardinality if stats is not None else 0
+
+    def variable_domain(self, atoms: Sequence[Atom], variable) -> float:
+        """Estimated number of distinct values *variable* can take.
+
+        The minimum of the distinct counts of the columns the variable
+        occupies (each occurrence restricts the domain).
+        """
+        best: float | None = None
+        for atom in atoms:
+            stats = self._stats.get(atom.predicate)
+            if stats is None:
+                continue
+            for position, arg in enumerate(atom.args):
+                if arg == variable:
+                    candidate = float(stats.distinct_at(position))
+                    if best is None or candidate < best:
+                        best = candidate
+        return best if best is not None else 1.0
+
+    def estimate_projection_size(
+        self, row_count: float, domain_product: float
+    ) -> float:
+        """Distinct rows after projecting *row_count* rows onto columns
+        whose value combinations span *domain_product* possibilities.
+
+        Cardenas' formula under uniformity:
+        ``D * (1 - (1 - 1/D)^n)`` — at most ``min(n, D)``.
+        """
+        if row_count <= 0 or domain_product <= 0:
+            return 0.0
+        if domain_product >= 1e12:
+            return row_count  # effectively no collisions
+        collisionless = domain_product * (
+            1.0 - (1.0 - 1.0 / domain_product) ** row_count
+        )
+        return min(row_count, collisionless)

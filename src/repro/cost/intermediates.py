@@ -1,0 +1,187 @@
+"""Exact execution of physical plans with intermediate-size tracking.
+
+Cost models M2 and M3 price a plan by the sizes of the relations it
+touches: the view relations, the intermediate relations ``IR_i`` (all
+attributes retained, [11]), and the generalized supplementary relations
+``GSR_i`` (annotated attributes dropped).  This module executes plans over
+a materialized view database and records every one of those sizes.
+
+Intermediate relations are represented as variable-schema tables: the
+columns are the plan's live variables in first-appearance order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant, Variable, is_variable
+from ..engine.database import Database
+from .plans import PhysicalPlan
+
+
+class PlanExecutionError(RuntimeError):
+    """Raised when a plan is not executable (missing relation, bad head)."""
+
+
+@dataclass(frozen=True)
+class VarTable:
+    """An intermediate relation keyed by plan variables."""
+
+    schema: tuple[Variable, ...]
+    rows: frozenset[tuple[object, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def project(self, keep: Sequence[Variable]) -> "VarTable":
+        """Project (with duplicate elimination) onto *keep*."""
+        positions = [self.schema.index(v) for v in keep]
+        projected = frozenset(
+            tuple(row[p] for p in positions) for row in self.rows
+        )
+        return VarTable(tuple(keep), projected)
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """Sizes observed while processing one plan step."""
+
+    atom: Atom
+    subgoal_size: int
+    intermediate_size: int
+    schema: tuple[Variable, ...]
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """The full trace of a plan run: per-step sizes and the final answer."""
+
+    plan: PhysicalPlan
+    steps: tuple[StepTrace, ...]
+    answer: frozenset[tuple[object, ...]]
+
+    def subgoal_sizes(self) -> tuple[int, ...]:
+        """``size(g_i)`` for each step."""
+        return tuple(step.subgoal_size for step in self.steps)
+
+    def intermediate_sizes(self) -> tuple[int, ...]:
+        """``size(IR_i)`` (or ``size(GSR_i)`` when the plan drops) per step."""
+        return tuple(step.intermediate_size for step in self.steps)
+
+
+def join_step(
+    table: VarTable, atom: Atom, database: Database
+) -> VarTable:
+    """Join *table* with the relation of *atom* on shared variables.
+
+    Constants and repeated variables within the atom become selections;
+    variables absent from the table's schema are appended as new columns.
+    """
+    if not database.has_relation(atom.predicate):
+        raise PlanExecutionError(f"no materialized relation for {atom.predicate!r}")
+    relation = database.relation(atom.predicate)
+    if relation.arity != atom.arity:
+        raise PlanExecutionError(
+            f"subgoal {atom} does not match relation "
+            f"{relation.name}/{relation.arity}"
+        )
+
+    key_positions: list[int] = []
+    key_columns: list[int] = []
+    constant_checks: list[tuple[int, object]] = []
+    new_vars: dict[Variable, int] = {}
+    equality_checks: list[tuple[int, int]] = []
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Constant):
+            constant_checks.append((position, arg.value))
+        elif arg in table.schema:
+            key_positions.append(position)
+            key_columns.append(table.schema.index(arg))
+        elif arg in new_vars:
+            equality_checks.append((new_vars[arg], position))
+        else:
+            new_vars[arg] = position
+
+    def row_ok(row: tuple[object, ...]) -> bool:
+        return all(row[p] == value for p, value in constant_checks) and all(
+            row[p1] == row[p2] for p1, p2 in equality_checks
+        )
+
+    index: dict[tuple[object, ...], list[tuple[object, ...]]] = {}
+    for row in relation:
+        if row_ok(row):
+            key = tuple(row[p] for p in key_positions)
+            index.setdefault(key, []).append(row)
+
+    new_schema = table.schema + tuple(new_vars)
+    joined: set[tuple[object, ...]] = set()
+    for left in table.rows:
+        key = tuple(left[c] for c in key_columns)
+        for right in index.get(key, ()):
+            joined.add(left + tuple(right[p] for p in new_vars.values()))
+    return VarTable(new_schema, frozenset(joined))
+
+
+def execute_plan(plan: PhysicalPlan, database: Database) -> PlanExecution:
+    """Run *plan* over the view database, tracking every size Table 1 needs.
+
+    The per-step ``intermediate_size`` is ``size(IR_i)`` when the plan has
+    no annotations and ``size(GSR_i)`` otherwise (drops are applied right
+    after each join, as in the supplementary-relation evaluation [4]).
+    """
+    table = VarTable((), frozenset({()}))
+    traces: list[StepTrace] = []
+    for step in plan.steps:
+        subgoal_size = (
+            len(database.relation(step.atom.predicate))
+            if database.has_relation(step.atom.predicate)
+            else 0
+        )
+        table = join_step(table, step.atom, database)
+        if step.dropped:
+            keep = tuple(v for v in table.schema if v not in step.dropped)
+            table = table.project(keep)
+        traces.append(
+            StepTrace(step.atom, subgoal_size, len(table), table.schema)
+        )
+
+    answer = _project_head(plan, table)
+    return PlanExecution(plan, tuple(traces), answer)
+
+
+def join_atoms(atoms: Sequence[Atom], database: Database) -> VarTable:
+    """The natural join of *atoms* with all attributes retained.
+
+    Used by the M2 dynamic program: the size of ``IR_i`` depends only on
+    the *set* of the first ``i`` subgoals, not on their order.
+    """
+    table = VarTable((), frozenset({()}))
+    for atom in atoms:
+        table = join_step(table, atom, database)
+    return table
+
+
+def _project_head(plan: PhysicalPlan, table: VarTable) -> frozenset[tuple[object, ...]]:
+    positions: list[int | None] = []
+    constants: dict[int, object] = {}
+    for i, arg in enumerate(plan.head.args):
+        if is_variable(arg):
+            if arg not in table.schema:
+                raise PlanExecutionError(
+                    f"head variable {arg} was dropped and never rebound; "
+                    "the plan cannot produce the answer"
+                )
+            positions.append(table.schema.index(arg))
+        else:
+            positions.append(None)
+            constants[i] = arg.value
+    answer = frozenset(
+        tuple(
+            constants[i] if position is None else row[position]
+            for i, position in enumerate(positions)
+        )
+        for row in table.rows
+    )
+    return answer

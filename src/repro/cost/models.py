@@ -1,0 +1,60 @@
+"""The three cost models of Table 1.
+
+===========  ==============================================  =========================================
+Cost model   Physical plan                                   Cost measure
+===========  ==============================================  =========================================
+``M1``       a set of subgoals                               number ``n`` of subgoals
+``M2``       a list of subgoals                              ``Σ_i (size(g_i) + size(IR_i))``
+``M3``       a list of subgoals annotated with dropped       ``Σ_i (size(g_i) + size(GSR_i))``
+             attributes
+===========  ==============================================  =========================================
+
+``M2`` and ``M3`` need concrete sizes; :func:`cost_m2` / :func:`cost_m3`
+take a :class:`~repro.cost.intermediates.PlanExecution` trace (exact, from
+a materialized view database) and the ``estimate_*`` twins take a
+:class:`~repro.cost.estimator.StatisticsCatalog`.
+"""
+
+from __future__ import annotations
+
+from ..datalog.query import ConjunctiveQuery
+from .intermediates import PlanExecution
+from .plans import PhysicalPlan
+
+
+def cost_m1(plan: PhysicalPlan | ConjunctiveQuery) -> int:
+    """M1: the number of view subgoals in the plan (join-count proxy)."""
+    if isinstance(plan, ConjunctiveQuery):
+        return len(plan.body)
+    return len(plan.steps)
+
+
+def cost_m2(execution: PlanExecution) -> int:
+    """M2: total size of views read plus all intermediate relations.
+
+    The execution must come from an *unannotated* plan, so that each
+    step's intermediate relation is the full ``IR_i``.
+    """
+    _require_no_drops(execution, "M2")
+    return sum(
+        step.subgoal_size + step.intermediate_size for step in execution.steps
+    )
+
+
+def cost_m3(execution: PlanExecution) -> int:
+    """M3: total size of views read plus all generalized supplementary
+    relations (drops applied)."""
+    return sum(
+        step.subgoal_size + step.intermediate_size for step in execution.steps
+    )
+
+
+def _require_no_drops(execution: PlanExecution, model: str) -> None:
+    if any(step.dropped for step in execution.plan.steps):
+        raise ValueError(
+            f"{model} prices full intermediate relations; the plan has drop "
+            "annotations — use cost_m3 instead"
+        )
+
+
+# Containment monotonicity (Section 5.3) lives in repro.cost.monotonic.

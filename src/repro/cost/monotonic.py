@@ -1,0 +1,70 @@
+"""Containment-monotonic cost models (Section 5.3).
+
+A cost model ``M`` is *containment monotonic* when, for rewritings
+``P1``, ``P2``: if there is a containment mapping from ``P1`` to ``P2``
+whose image uses all of ``P2``'s subgoals, then the optimal plan of
+``P2`` costs no more than the optimal plan of ``P1`` under ``M``.
+Theorem 5.1 generalizes to every containment-monotonic model: the minimal
+rewritings using view tuples contain an optimal rewriting.
+
+This module provides the witness check (does the premise hold for a pair
+of rewritings?) and an empirical verifier used by the test suite to
+confirm M1 and M2 are containment monotonic on concrete databases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..containment.containment import containment_mappings
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.substitution import Substitution
+from ..engine.database import Database
+from .optimizer import OptimizedPlan, optimal_plan_m2
+
+
+def covering_containment_mapping(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Substitution | None:
+    """A containment mapping ``source -> target`` whose image is onto.
+
+    Returns a mapping under which *every* subgoal of *target* is the
+    image of some subgoal of *source* (the premise of Section 5.3), or
+    ``None`` when no such mapping exists.
+    """
+    target_atoms = set(target.body)
+    for mapping in containment_mappings(source, target):
+        image = set(mapping.apply_atoms(source.body))
+        if target_atoms <= image:
+            return mapping
+    return None
+
+
+def check_m1_monotonic(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> bool:
+    """M1 monotonicity for one pair: image-onto mapping ⇒ |P2| ≤ |P1|."""
+    if covering_containment_mapping(source, target) is None:
+        return True  # premise fails; nothing to check
+    return len(target.body) <= len(source.body)
+
+
+def check_m2_monotonic(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    database: Database,
+) -> bool:
+    """M2 monotonicity for one pair over a concrete view database."""
+    if covering_containment_mapping(source, target) is None:
+        return True
+    source_cost = optimal_plan_m2(source, database).cost
+    target_cost = optimal_plan_m2(target, database).cost
+    return target_cost <= source_cost
+
+
+def verify_monotonicity(
+    pairs: Iterable[tuple[ConjunctiveQuery, ConjunctiveQuery]],
+    check: Callable[[ConjunctiveQuery, ConjunctiveQuery], bool],
+) -> list[tuple[ConjunctiveQuery, ConjunctiveQuery]]:
+    """Run a monotonicity check over many pairs; return the violations."""
+    return [(p1, p2) for p1, p2 in pairs if not check(p1, p2)]

@@ -1,0 +1,112 @@
+"""Physical plans for rewritings (Section 2.2, Table 1).
+
+Under M1 a physical plan is just the *set* of view subgoals; under M2 it
+is an *ordered list* of subgoals joined left to right with all attributes
+retained; under M3 each subgoal is additionally annotated with the set of
+attributes that may be dropped once it has been processed.
+
+A :class:`PhysicalPlan` covers all three: the order carries the M2
+semantics and the per-step ``dropped`` annotations carry M3 (all-empty
+annotations make M3 degenerate to M2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.terms import Variable
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One annotated subgoal ``g_i^{X_i}`` of a physical plan.
+
+    ``dropped`` is the annotation ``X_i``: the attributes (variables) that
+    are *not relevant* after this subgoal is processed and are removed from
+    the generalized supplementary relation ``GSR_i``.
+    """
+
+    atom: Atom
+    dropped: frozenset[Variable] = frozenset()
+
+    def __str__(self) -> str:
+        if not self.dropped:
+            return f"{self.atom}{{}}"
+        names = ", ".join(sorted(v.name for v in self.dropped))
+        return f"{self.atom}{{{names}}}"
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """An ordered, annotated join plan for a rewriting."""
+
+    head: Atom
+    steps: tuple[PlanStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a physical plan needs at least one subgoal")
+
+    @classmethod
+    def from_rewriting(
+        cls,
+        rewriting: ConjunctiveQuery,
+        order: Sequence[int] | None = None,
+        drops: Sequence[Iterable[Variable]] | None = None,
+    ) -> "PhysicalPlan":
+        """Build a plan from a rewriting, an order over its body, and drops.
+
+        ``order`` is a permutation of body indices (default: body order);
+        ``drops[i]`` annotates the i-th *plan step* (default: no drops).
+        """
+        if order is None:
+            order = range(len(rewriting.body))
+        atoms = [rewriting.body[i] for i in order]
+        if sorted(order) != list(range(len(rewriting.body))):
+            raise ValueError(f"order {order!r} is not a permutation of the body")
+        if drops is None:
+            drops = [frozenset() for _ in atoms]
+        if len(drops) != len(atoms):
+            raise ValueError("one drop annotation per plan step is required")
+        steps = tuple(
+            PlanStep(atom, frozenset(drop)) for atom, drop in zip(atoms, drops)
+        )
+        return cls(rewriting.head, steps)
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """The subgoals in execution order."""
+        return tuple(step.atom for step in self.steps)
+
+    def rewriting(self) -> ConjunctiveQuery:
+        """The logical rewriting this plan evaluates (order forgotten)."""
+        return ConjunctiveQuery(self.head, self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(step) for step in self.steps)
+        return f"{self.head} <= [{rendered}]"
+
+    def schema_after(self, position: int) -> tuple[Variable, ...]:
+        """Variables retained after the step at *position* (0-based).
+
+        This is the schema of ``GSR_{position+1}``: all variables of the
+        first ``position + 1`` subgoals minus the annotations applied so
+        far, in first-appearance order.  A variable dropped at an earlier
+        step and occurring again in a later subgoal *re-enters* the schema:
+        under the Section 6.2 renaming semantics the dropped prefix copy
+        was a distinct (renamed) variable, so the later occurrence is a
+        fresh binding with no equality to the severed one.
+        """
+        kept: dict[Variable, None] = {}
+        for step in self.steps[: position + 1]:
+            for variable in step.atom.variables():
+                kept.setdefault(variable, None)
+            for variable in step.dropped:
+                kept.pop(variable, None)
+        return tuple(kept)

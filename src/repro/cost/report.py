@@ -1,0 +1,63 @@
+"""Human-readable plan reports (EXPLAIN-style output).
+
+Renders an :class:`~repro.cost.optimizer.OptimizedPlan` as a step table
+with the Table 1 quantities — per-subgoal relation sizes, intermediate /
+generalized-supplementary sizes, drop annotations — and, optionally, the
+simulated disk IOs from :mod:`repro.cost.iomodel`.
+"""
+
+from __future__ import annotations
+
+from .intermediates import PlanExecution
+from .iomodel import IoParameters, simulate_plan_io
+from .optimizer import OptimizedPlan
+
+
+def explain_plan(
+    optimized: OptimizedPlan,
+    io_params: IoParameters | None = None,
+) -> str:
+    """A multi-line report for an optimized plan.
+
+    Requires the plan to carry its execution trace (exact costing);
+    estimated-only plans render without the size table.
+    """
+    lines = [
+        f"rewriting : {optimized.rewriting}",
+        f"plan      : {optimized.plan}",
+        f"cost      : {optimized.cost:g}",
+    ]
+    execution = optimized.execution
+    if execution is None:
+        lines.append("(no execution trace: estimated costing)")
+        return "\n".join(lines)
+
+    lines.append(_step_table(execution))
+    lines.append(f"answer    : {len(execution.answer)} tuple(s)")
+    if io_params is not None:
+        report = simulate_plan_io(execution, io_params)
+        per_step = ", ".join(str(step.total) for step in report.steps)
+        lines.append(
+            f"simulated IO: {report.total} page reads/writes "
+            f"(per step: {per_step}; page={io_params.tuples_per_page} "
+            f"tuples, buffer={io_params.memory_pages} pages)"
+        )
+    return "\n".join(lines)
+
+
+def _step_table(execution: PlanExecution) -> str:
+    header = f"{'#':>3} {'subgoal':<28} {'|g_i|':>7} {'|inter|':>8} {'drops':<16}"
+    rows = [header, "-" * len(header)]
+    for index, (step, trace) in enumerate(
+        zip(execution.plan.steps, execution.steps), start=1
+    ):
+        drops = (
+            ", ".join(sorted(v.name for v in step.dropped))
+            if step.dropped
+            else "-"
+        )
+        rows.append(
+            f"{index:>3} {str(step.atom):<28.28} {trace.subgoal_size:>7} "
+            f"{trace.intermediate_size:>8} {drops:<16.16}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,167 @@
+"""Supplementary relations and the Section 6.2 attribute-dropping heuristic.
+
+Classic supplementary relations [4]: after the ``i``-th subgoal of an
+ordering, drop every attribute that is used neither by a later subgoal nor
+by the head.
+
+Section 6.2's improvement: an attribute ``Y`` that *is* used by a later
+subgoal may still be dropped, provided that renaming ``Y``'s occurrences
+in the prefix ``g_1 … g_i`` to a fresh variable ``Y'`` leaves the
+rewriting equivalent to the original query (the equality comparison the
+drop removes was redundant — variable ``B`` in Example 6.1).
+
+The paper sketches per-variable tests; this implementation *commits* each
+successful rename before testing the next candidate, so the combined set
+of drops is always jointly valid (individually-droppable variables are
+not guaranteed to be jointly droppable).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery, fresh_factory_for
+from ..datalog.substitution import Substitution
+from ..datalog.terms import FreshVariableFactory, Variable
+from ..views.rewriting import is_equivalent_rewriting
+from ..views.view import ViewCatalog
+from .plans import PhysicalPlan, PlanStep
+
+
+def _ordered_body(
+    rewriting: ConjunctiveQuery, order: Sequence[int] | None
+) -> tuple[Atom, ...]:
+    if order is None:
+        return rewriting.body
+    if sorted(order) != list(range(len(rewriting.body))):
+        raise ValueError(f"order {order!r} is not a permutation of the body")
+    return tuple(rewriting.body[i] for i in order)
+
+
+def supplementary_drops(
+    rewriting: ConjunctiveQuery, order: Sequence[int] | None = None
+) -> list[frozenset[Variable]]:
+    """The classic supplementary-relation annotations ``X_1 … X_n``.
+
+    ``X_i`` holds the variables that become dead right after step ``i``:
+    they occur in the first ``i`` subgoals but in neither the head nor any
+    later subgoal.
+    """
+    atoms = _ordered_body(rewriting, order)
+    head_vars = rewriting.distinguished_variables()
+    drops: list[frozenset[Variable]] = []
+    live: set[Variable] = set()
+    for position, atom in enumerate(atoms):
+        live |= atom.variable_set()
+        used_later: set[Variable] = set()
+        for later in atoms[position + 1 :]:
+            used_later |= later.variable_set()
+        dead = frozenset(
+            v for v in live if v not in head_vars and v not in used_later
+        )
+        drops.append(dead)
+        live -= dead
+    return drops
+
+
+def supplementary_plan(
+    rewriting: ConjunctiveQuery, order: Sequence[int] | None = None
+) -> PhysicalPlan:
+    """A plan for *rewriting* with classic supplementary-relation drops."""
+    atoms = _ordered_body(rewriting, order)
+    drops = supplementary_drops(rewriting, order)
+    return PhysicalPlan(
+        rewriting.head,
+        tuple(PlanStep(atom, drop) for atom, drop in zip(atoms, drops)),
+    )
+
+
+def heuristic_drops(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    order: Sequence[int] | None = None,
+) -> tuple[list[frozenset[Variable]], ConjunctiveQuery]:
+    """Section 6.2 drops: dead variables plus rename-safe live variables.
+
+    Returns the per-step annotations (in terms of the original rewriting's
+    variables) together with the final renamed rewriting, whose equivalence
+    to *query* certifies that executing the annotated plan computes the
+    original answer.
+    """
+    atoms = list(_ordered_body(rewriting, order))
+    head_vars = rewriting.distinguished_variables()
+    factory = fresh_factory_for(rewriting, query, *(v.definition for v in views))
+
+    drops: list[frozenset[Variable]] = []
+    # ``working`` is the progressively renamed body; ``schema`` tracks the
+    # live columns of the generalized supplementary relation.
+    working = list(atoms)
+    schema: set[Variable] = set()
+    for position in range(len(atoms)):
+        schema |= working[position].variable_set()
+        used_later: set[Variable] = set()
+        for later in working[position + 1 :]:
+            used_later |= later.variable_set()
+
+        dropped_here: set[Variable] = set()
+        for variable in sorted(schema, key=lambda v: v.name):
+            if variable not in head_vars and variable not in used_later:
+                dropped_here.add(variable)  # classic dead-variable rule
+                continue
+            if variable not in used_later:
+                continue  # head variable with no later rebinding: must stay
+            renamed = _rename_prefix(
+                working, position, variable, factory, rewriting.head
+            )
+            if renamed is None:
+                continue
+            candidate_body, candidate = renamed
+            if candidate.is_safe() and is_equivalent_rewriting(
+                candidate, query, views
+            ):
+                working = candidate_body
+                dropped_here.add(variable)
+        drops.append(frozenset(dropped_here))
+        schema -= dropped_here
+    return drops, ConjunctiveQuery(rewriting.head, tuple(working))
+
+
+def _rename_prefix(
+    body: list[Atom],
+    position: int,
+    variable: Variable,
+    factory: FreshVariableFactory,
+    head: Atom,
+) -> tuple[list[Atom], ConjunctiveQuery] | None:
+    """Rename *variable* to a fresh one in ``body[: position + 1]``.
+
+    Returns ``None`` when the variable does not occur in the prefix (there
+    is nothing to sever).
+    """
+    if not any(
+        variable in atom.variable_set() for atom in body[: position + 1]
+    ):
+        return None
+    renaming = Substitution({variable: factory.fresh_like(variable)})
+    new_body = [
+        renaming.apply_atom(atom) if index <= position else atom
+        for index, atom in enumerate(body)
+    ]
+    return new_body, ConjunctiveQuery(head, tuple(new_body))
+
+
+def heuristic_plan(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    order: Sequence[int] | None = None,
+) -> PhysicalPlan:
+    """A plan annotated with the Section 6.2 generalized drops."""
+    atoms = _ordered_body(rewriting, order)
+    drops, _renamed = heuristic_drops(rewriting, query, views, order)
+    return PhysicalPlan(
+        rewriting.head,
+        tuple(PlanStep(atom, drop) for atom, drop in zip(atoms, drops)),
+    )

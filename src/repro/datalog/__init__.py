@@ -1,0 +1,51 @@
+"""Datalog substrate: terms, atoms, conjunctive queries, and a parser."""
+
+from .atoms import COMPARISON_PREDICATES, Atom, make_atom
+from .parser import DatalogSyntaxError, parse_atom, parse_program, parse_query
+from .query import (
+    ConjunctiveQuery,
+    MalformedQueryError,
+    fresh_factory_for,
+    make_query,
+)
+from .substitution import IDENTITY, Substitution
+from .terms import (
+    Constant,
+    FreshVariableFactory,
+    Term,
+    Variable,
+    is_constant,
+    is_variable,
+)
+from .sql import SqlError, SqlSchema, parse_sql, to_sql
+from .ucq import UnionQuery, as_union, union_contained_in, union_equivalent
+
+__all__ = [
+    "Atom",
+    "COMPARISON_PREDICATES",
+    "Constant",
+    "ConjunctiveQuery",
+    "DatalogSyntaxError",
+    "FreshVariableFactory",
+    "IDENTITY",
+    "MalformedQueryError",
+    "SqlError",
+    "SqlSchema",
+    "Substitution",
+    "Term",
+    "UnionQuery",
+    "Variable",
+    "as_union",
+    "fresh_factory_for",
+    "is_constant",
+    "is_variable",
+    "make_atom",
+    "make_query",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "parse_sql",
+    "to_sql",
+    "union_contained_in",
+    "union_equivalent",
+]

@@ -1,0 +1,80 @@
+"""Atoms (subgoals) of conjunctive queries.
+
+An atom is a predicate name applied to a tuple of terms, e.g.
+``car(M, 'anderson')``.  Atoms are immutable and hashable so they can be
+used as dictionary keys and set members throughout the containment and
+CoreCover machinery.
+
+Besides *relational* atoms, the module supports *comparison* atoms
+(``X <= Y`` and friends) used by the Section 8 extension on built-in
+predicates.  Comparison atoms are ordinary :class:`Atom` objects whose
+predicate is one of :data:`COMPARISON_PREDICATES`; most algorithms in the
+package treat them separately or reject them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .terms import Constant, Term, Variable, is_variable
+
+#: Built-in comparison predicates supported by the engine extension.
+COMPARISON_PREDICATES = frozenset({"<", "<=", ">", ">=", "!=", "="})
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate applied to terms: ``predicate(args[0], ..., args[n-1])``."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise TypeError(
+                    f"atom argument must be a Variable or Constant, got {arg!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def is_comparison(self) -> bool:
+        """Whether this atom is a built-in comparison such as ``<=``."""
+        return self.predicate in COMPARISON_PREDICATES
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables among the arguments, with repetitions."""
+        for arg in self.args:
+            if is_variable(arg):
+                yield arg
+
+    def variable_set(self) -> frozenset[Variable]:
+        """The set of variables appearing in this atom."""
+        return frozenset(self.variables())
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants among the arguments, with repetitions."""
+        for arg in self.args:
+            if isinstance(arg, Constant):
+                yield arg
+
+    def __str__(self) -> str:
+        if self.is_comparison and self.arity == 2:
+            return f"{self.args[0]} {self.predicate} {self.args[1]}"
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.predicate}({rendered})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {self.args!r})"
+
+
+def make_atom(predicate: str, args: Sequence[Term]) -> Atom:
+    """Convenience constructor accepting any sequence of terms."""
+    return Atom(predicate, tuple(args))

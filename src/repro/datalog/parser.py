@@ -1,0 +1,160 @@
+"""A small parser for the datalog-style syntax used throughout the paper.
+
+Grammar (informal)::
+
+    rule      :=  atom ":-" literal ("," literal)*
+    literal   :=  atom | term CMP term
+    atom      :=  IDENT "(" term ("," term)* ")"  |  IDENT "(" ")"
+    term      :=  VARIABLE | CONSTANT
+    CMP       :=  "<=" | ">=" | "!=" | "<" | ">" | "="
+
+Following the paper's convention (Section 2.1), identifiers beginning with
+an upper-case letter are variables and identifiers beginning with a
+lower-case letter or a digit are constants.  Quoted strings and bare
+integers are constants.  ``_`` denotes a fresh anonymous variable.
+
+Example::
+
+    >>> parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)")
+    ConjunctiveQuery(q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C))
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator
+
+from .atoms import COMPARISON_PREDICATES, Atom
+from .query import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+
+
+class DatalogSyntaxError(ValueError):
+    """Raised when the input text is not valid datalog."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-)
+  | (?P<cmp><=|>=|!=|<|>|=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DatalogSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            yield kind, match.group()
+    yield "eof", ""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+        self._anon = itertools.count()
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        actual_kind, value = self._advance()
+        if actual_kind != kind:
+            raise DatalogSyntaxError(f"expected {kind}, got {value!r}")
+        return value
+
+    # -- grammar -----------------------------------------------------------
+    def parse_rule(self) -> ConjunctiveQuery:
+        head = self.parse_atom()
+        self._expect("arrow")
+        body = [self.parse_literal()]
+        while self._peek()[0] == "comma":
+            self._advance()
+            body.append(self.parse_literal())
+        self._expect("eof")
+        return ConjunctiveQuery(head, tuple(body))
+
+    def parse_literal(self) -> Atom:
+        # Either ``ident(...)`` or ``term CMP term``.
+        kind, _value = self._peek()
+        if kind == "ident" and self._tokens[self._index + 1][0] == "lparen":
+            return self.parse_atom()
+        left = self.parse_term()
+        operator = self._expect("cmp")
+        right = self.parse_term()
+        if operator not in COMPARISON_PREDICATES:
+            raise DatalogSyntaxError(f"unknown comparison {operator!r}")
+        return Atom(operator, (left, right))
+
+    def parse_atom(self) -> Atom:
+        predicate = self._expect("ident")
+        self._expect("lparen")
+        args: list[Term] = []
+        if self._peek()[0] != "rparen":
+            args.append(self.parse_term())
+            while self._peek()[0] == "comma":
+                self._advance()
+                args.append(self.parse_term())
+        self._expect("rparen")
+        return Atom(predicate, tuple(args))
+
+    def parse_term(self) -> Term:
+        kind, value = self._advance()
+        if kind == "string":
+            return Constant(value[1:-1])
+        if kind == "number":
+            return Constant(float(value) if "." in value else int(value))
+        if kind == "ident":
+            if value == "_":
+                return Variable(f"_Anon{next(self._anon)}")
+            if value[0].isupper():
+                return Variable(value)
+            return Constant(value)
+        raise DatalogSyntaxError(f"expected a term, got {value!r}")
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive-query rule such as ``q(X) :- e(X, X)``."""
+    return _Parser(text).parse_rule()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``v1(M, a, C)``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    parser._expect("eof")
+    return atom
+
+
+def parse_program(text: str) -> list[ConjunctiveQuery]:
+    """Parse one rule per non-empty, non-comment (``#``/``%``) line."""
+    rules = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "%")):
+            continue
+        rules.append(parse_query(stripped))
+    return rules

@@ -1,0 +1,214 @@
+"""Conjunctive queries (select-project-join queries).
+
+A conjunctive query has the form (Section 2.1)::
+
+    h(X1, ..., Xk) :- g1(Y11, ...), ..., gn(Yn1, ...)
+
+where the head arguments are the *distinguished* terms and body variables
+not in the head are *nondistinguished* (existential).  Queries are
+immutable; all transformation helpers return new queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .atoms import Atom
+from .substitution import Substitution
+from .terms import Constant, FreshVariableFactory, Term, Variable, is_variable
+
+
+class MalformedQueryError(ValueError):
+    """Raised when a query violates a structural requirement (e.g. safety)."""
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """An immutable conjunctive query ``head :- body``.
+
+    The body is a *tuple* (ordered, possibly with duplicates removed on
+    construction only when requested); order matters for physical plans but
+    not for query semantics.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+
+    # -- basic structure ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The head predicate name."""
+        return self.head.predicate
+
+    @property
+    def arity(self) -> int:
+        """The head arity."""
+        return self.head.arity
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.head} :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self!s})"
+
+    # -- variables ------------------------------------------------------------
+    def head_variables(self) -> tuple[Variable, ...]:
+        """Distinguished variables in head-argument order (no duplicates)."""
+        seen: dict[Variable, None] = {}
+        for arg in self.head.args:
+            if is_variable(arg):
+                seen.setdefault(arg, None)
+        return tuple(seen)
+
+    def distinguished_variables(self) -> frozenset[Variable]:
+        """The set of distinguished (head) variables."""
+        return frozenset(self.head.variables())
+
+    def body_variables(self) -> frozenset[Variable]:
+        """All variables appearing in the body."""
+        result: set[Variable] = set()
+        for atom in self.body:
+            result.update(atom.variables())
+        return frozenset(result)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the query (head and body)."""
+        return self.distinguished_variables() | self.body_variables()
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """Body variables that do not appear in the head."""
+        return self.body_variables() - self.distinguished_variables()
+
+    def constants(self) -> frozenset[Constant]:
+        """All constants appearing in the query."""
+        result: set[Constant] = set(
+            arg for arg in self.head.args if isinstance(arg, Constant)
+        )
+        for atom in self.body:
+            result.update(atom.constants())
+        return frozenset(result)
+
+    def predicates(self) -> frozenset[str]:
+        """The set of body predicate names."""
+        return frozenset(atom.predicate for atom in self.body)
+
+    def atoms_with(self, variable: Variable) -> tuple[Atom, ...]:
+        """The body atoms in which *variable* occurs."""
+        return tuple(atom for atom in self.body if variable in atom.variable_set())
+
+    # -- validation -----------------------------------------------------------
+    def is_safe(self) -> bool:
+        """Safety: every head variable appears in the body (Section 2.1)."""
+        return self.distinguished_variables() <= self.body_variables()
+
+    def check_safe(self) -> "ConjunctiveQuery":
+        """Raise :class:`MalformedQueryError` if the query is unsafe."""
+        if not self.is_safe():
+            missing = self.distinguished_variables() - self.body_variables()
+            names = ", ".join(sorted(v.name for v in missing))
+            raise MalformedQueryError(
+                f"unsafe query: head variables {{{names}}} do not occur in the body"
+            )
+        return self
+
+    # -- transformations --------------------------------------------------------
+    def apply(self, substitution: Substitution) -> "ConjunctiveQuery":
+        """Apply a substitution to the head and every body atom."""
+        return ConjunctiveQuery(
+            substitution.apply_atom(self.head),
+            substitution.apply_atoms(self.body),
+        )
+
+    def with_body(self, body: Iterable[Atom]) -> "ConjunctiveQuery":
+        """Return a query with the same head and the given body."""
+        return ConjunctiveQuery(self.head, tuple(body))
+
+    def without_atom(self, index: int) -> "ConjunctiveQuery":
+        """Return a query with the body atom at *index* removed."""
+        return ConjunctiveQuery(
+            self.head, self.body[:index] + self.body[index + 1 :]
+        )
+
+    def dedup_body(self) -> "ConjunctiveQuery":
+        """Remove duplicate body atoms, preserving first occurrences."""
+        seen: dict[Atom, None] = {}
+        for atom in self.body:
+            seen.setdefault(atom, None)
+        return self.with_body(seen)
+
+    def rename_apart(
+        self, factory: FreshVariableFactory, keep: Iterable[Variable] = ()
+    ) -> tuple["ConjunctiveQuery", Substitution]:
+        """Rename all variables (except *keep*) to fresh ones.
+
+        Returns the renamed query and the renaming substitution used.
+        """
+        kept = set(keep)
+        renaming = Substitution(
+            {
+                var: factory.fresh_like(var)
+                for var in sorted(self.variables(), key=lambda v: v.name)
+                if var not in kept
+            }
+        )
+        return self.apply(renaming), renaming
+
+    def canonical_form(self) -> str:
+        """A string invariant under body reordering (not under renaming).
+
+        Useful as a cheap pre-filter before expensive equivalence checks.
+        """
+        body = sorted(str(atom) for atom in self.body)
+        return f"{self.head} :- {'; '.join(body)}"
+
+    # -- structural invariants used as hashing pre-filters -------------------
+    def signature(self) -> tuple:
+        """A renaming-invariant structural signature.
+
+        Two equivalent *minimized* queries necessarily have equal
+        signatures, so grouping by signature is a sound pre-partition for
+        equivalence-class computation (Section 5.2).
+        """
+        predicate_counts = sorted(
+            (atom.predicate, atom.arity) for atom in self.body
+        )
+        constant_positions = sorted(
+            (atom.predicate, i, repr(arg.value))
+            for atom in self.body
+            for i, arg in enumerate(atom.args)
+            if isinstance(arg, Constant)
+        )
+        return (
+            self.head.predicate,
+            self.head.arity,
+            tuple(predicate_counts),
+            tuple(constant_positions),
+            len(self.existential_variables()),
+        )
+
+
+def make_query(
+    head_predicate: str,
+    head_args: Sequence[Term],
+    body: Iterable[Atom],
+) -> ConjunctiveQuery:
+    """Convenience constructor that also checks safety."""
+    query = ConjunctiveQuery(Atom(head_predicate, tuple(head_args)), tuple(body))
+    return query.check_safe()
+
+
+def fresh_factory_for(*queries: ConjunctiveQuery) -> FreshVariableFactory:
+    """A fresh-variable factory avoiding the variables of all *queries*."""
+    names: set[str] = set()
+    for query in queries:
+        names.update(v.name for v in query.variables())
+    return FreshVariableFactory(names)

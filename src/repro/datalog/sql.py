@@ -1,0 +1,318 @@
+"""A SQL front-end for conjunctive queries.
+
+The paper works with select-project-join queries, which are exactly the
+``SELECT DISTINCT … FROM … WHERE …`` fragment of SQL with conjunctive
+``WHERE`` clauses.  This module translates between that fragment and
+:class:`~repro.datalog.query.ConjunctiveQuery`, so view definitions and
+queries can be authored in SQL:
+
+    >>> schema = SqlSchema({"car": ["make", "dealer"],
+    ...                     "loc": ["dealer", "city"]})
+    >>> q = parse_sql(
+    ...     "SELECT c.make, l.city FROM car c, loc l "
+    ...     "WHERE c.dealer = l.dealer AND c.dealer = 'anderson'",
+    ...     schema, name="q1")
+    >>> print(q)
+    q1(C_MAKE, L_CITY) :- car(C_MAKE, anderson), loc(anderson, L_CITY)
+
+Supported: table aliases, equality joins, column = literal, literal
+comparisons (``<``, ``<=``, …) between columns or against literals, and
+``SELECT *``.  Everything is set semantics (``DISTINCT`` is implied), as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import COMPARISON_PREDICATES, Atom
+from .query import ConjunctiveQuery
+from .terms import Constant, Term, Variable, is_variable
+
+
+class SqlError(ValueError):
+    """Raised for unsupported or malformed SQL."""
+
+
+class SqlSchema:
+    """Relation schemas: table name -> ordered column names."""
+
+    def __init__(self, tables: Mapping[str, Sequence[str]]) -> None:
+        self._tables = {
+            name: tuple(columns) for name, columns in tables.items()
+        }
+
+    def columns(self, table: str) -> tuple[str, ...]:
+        try:
+            return self._tables[table.lower()]
+        except KeyError:
+            raise SqlError(f"unknown table {table!r}") from None
+
+    def position(self, table: str, column: str) -> int:
+        columns = self.columns(table)
+        try:
+            return columns.index(column.lower())
+        except ValueError:
+            raise SqlError(
+                f"table {table!r} has no column {column!r}; "
+                f"columns are {list(columns)}"
+            ) from None
+
+    def __contains__(self, table: object) -> bool:
+        return isinstance(table, str) and table.lower() in self._tables
+
+
+@dataclass(frozen=True)
+class _ColumnRef:
+    alias: str
+    column: str
+
+    def variable(self) -> Variable:
+        return Variable(f"{self.alias.upper()}_{self.column.upper()}")
+
+
+_SQL_RE = re.compile(
+    r"^\s*select\s+(?P<select>.*?)\s+from\s+(?P<tables>.*?)"
+    r"(?:\s+where\s+(?P<where>.*?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_LITERAL_RE = re.compile(r"^(?:'(?P<str>[^']*)'|(?P<num>-?\d+(?:\.\d+)?))$")
+_COLUMN_RE = re.compile(r"^(?P<alias>[A-Za-z_][\w]*)\.(?P<column>[A-Za-z_][\w]*)$")
+_CMP_RE = re.compile(r"(<=|>=|<>|!=|=|<|>)")
+
+
+class _UnionFind:
+    """Union-find over column references, for join-equality classes."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def find(self, item: object) -> object:
+        self._parent.setdefault(item, item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: object, right: object) -> None:
+        self._parent[self.find(left)] = self.find(right)
+
+    def items(self) -> Iterable[object]:
+        return list(self._parent)
+
+
+def _parse_literal(text: str) -> Constant | None:
+    match = _LITERAL_RE.match(text.strip())
+    if match is None:
+        return None
+    if match.group("str") is not None:
+        return Constant(match.group("str"))
+    number = match.group("num")
+    return Constant(float(number) if "." in number else int(number))
+
+
+def _parse_column(text: str, aliases: Mapping[str, str]) -> _ColumnRef | None:
+    text = text.strip()
+    match = _COLUMN_RE.match(text)
+    if match is None:
+        return None
+    alias = match.group("alias").lower()
+    if alias not in aliases:
+        raise SqlError(f"unknown table alias {alias!r} in {text!r}")
+    return _ColumnRef(alias, match.group("column").lower())
+
+
+def parse_sql(
+    sql: str, schema: SqlSchema, name: str = "q"
+) -> ConjunctiveQuery:
+    """Translate a SELECT-FROM-WHERE statement into a conjunctive query."""
+    match = _SQL_RE.match(sql)
+    if match is None:
+        raise SqlError("expected SELECT ... FROM ... [WHERE ...]")
+
+    # FROM: ``table [AS] alias`` entries.
+    aliases: dict[str, str] = {}
+    order: list[str] = []
+    for entry in match.group("tables").split(","):
+        tokens = entry.split()
+        if not tokens:
+            raise SqlError("empty FROM entry")
+        table = tokens[0].lower()
+        if len(tokens) == 1:
+            alias = table
+        elif len(tokens) == 2:
+            alias = tokens[1].lower()
+        elif len(tokens) == 3 and tokens[1].lower() == "as":
+            alias = tokens[2].lower()
+        else:
+            raise SqlError(f"cannot parse FROM entry {entry.strip()!r}")
+        if alias in aliases:
+            raise SqlError(f"duplicate alias {alias!r}")
+        if table not in schema:
+            raise SqlError(f"unknown table {table!r}")
+        aliases[alias] = table
+        order.append(alias)
+
+    def resolve_column(text_item: str) -> _ColumnRef | None:
+        ref = _parse_column(text_item, aliases)
+        if ref is not None:
+            # Validate the column against the schema now.
+            schema.position(aliases[ref.alias], ref.column)
+        return ref
+
+    # WHERE: conjunctive predicates.
+    equalities = _UnionFind()
+    constants: dict[object, Constant] = {}
+    comparisons: list[tuple[str, object, object]] = []
+    where = match.group("where")
+    if where:
+        for clause in re.split(r"\s+and\s+", where, flags=re.IGNORECASE):
+            parts = _CMP_RE.split(clause, maxsplit=1)
+            if len(parts) != 3:
+                raise SqlError(f"cannot parse predicate {clause.strip()!r}")
+            left_text, operator, right_text = parts
+            operator = "!=" if operator == "<>" else operator
+            left = resolve_column(left_text) or _parse_literal(left_text)
+            right = resolve_column(right_text) or _parse_literal(right_text)
+            if left is None or right is None:
+                raise SqlError(f"cannot parse predicate {clause.strip()!r}")
+            if operator == "=":
+                if isinstance(left, Constant) and isinstance(right, Constant):
+                    raise SqlError("constant = constant predicates are not supported")
+                if isinstance(left, Constant):
+                    left, right = right, left
+                if isinstance(right, Constant):
+                    root = equalities.find(left)
+                    existing = constants.get(root)
+                    if existing is not None and existing != right:
+                        raise SqlError(
+                            f"column {left} equated to two constants"
+                        )
+                    constants[root] = right
+                else:
+                    # Re-root constants after the union.
+                    pinned = constants.pop(equalities.find(left), None) or \
+                        constants.pop(equalities.find(right), None)
+                    equalities.union(left, right)
+                    if pinned is not None:
+                        constants[equalities.find(left)] = pinned
+            else:
+                comparisons.append((operator, left, right))
+
+    def term_for(ref_or_const: object) -> Term:
+        if isinstance(ref_or_const, Constant):
+            return ref_or_const
+        root = equalities.find(ref_or_const)
+        pinned = constants.get(root)
+        if pinned is not None:
+            return pinned
+        assert isinstance(root, _ColumnRef)
+        return root.variable()
+
+    # Normalize the constant map so lookups use current roots.
+    constants = {equalities.find(k): v for k, v in constants.items()}
+
+    # Body atoms: one per FROM entry.
+    body: list[Atom] = []
+    for alias in order:
+        table = aliases[alias]
+        args = tuple(
+            term_for(_ColumnRef(alias, column))
+            for column in schema.columns(table)
+        )
+        body.append(Atom(table, args))
+    for operator, left, right in comparisons:
+        body.append(Atom(operator, (term_for(left), term_for(right))))
+
+    # Head: the SELECT list.
+    select = match.group("select").strip()
+    if select.lower().startswith("distinct"):
+        select = select[len("distinct"):].strip()
+    head_args: list[Term] = []
+    if select == "*":
+        seen: set[Term] = set()
+        for alias in order:
+            for column in schema.columns(aliases[alias]):
+                term = term_for(_ColumnRef(alias, column))
+                if is_variable(term) and term not in seen:
+                    seen.add(term)
+                    head_args.append(term)
+    else:
+        for item in select.split(","):
+            item = item.split()[0]  # drop "AS alias" renames
+            column = resolve_column(item)
+            if column is None:
+                literal = _parse_literal(item)
+                if literal is None:
+                    raise SqlError(f"cannot parse SELECT item {item!r}")
+                head_args.append(literal)
+            else:
+                head_args.append(term_for(column))
+
+    return ConjunctiveQuery(Atom(name, tuple(head_args)), tuple(body))
+
+
+def to_sql(query: ConjunctiveQuery, schema: SqlSchema) -> str:
+    """Render a conjunctive query back to a SELECT statement.
+
+    Every relational subgoal becomes a FROM entry (aliased ``t0, t1, …``);
+    shared variables and constants become WHERE equalities; comparison
+    atoms become WHERE predicates.
+    """
+    relational = [atom for atom in query.body if not atom.is_comparison]
+    comparisons = [atom for atom in query.body if atom.is_comparison]
+
+    first_site: dict[Variable, str] = {}
+    predicates: list[str] = []
+    from_entries: list[str] = []
+    for index, atom in enumerate(relational):
+        alias = f"t{index}"
+        columns = schema.columns(atom.predicate)
+        if len(columns) != atom.arity:
+            raise SqlError(
+                f"schema arity mismatch for {atom.predicate!r}"
+            )
+        from_entries.append(f"{atom.predicate} {alias}")
+        for column, arg in zip(columns, atom.args):
+            site = f"{alias}.{column}"
+            if isinstance(arg, Constant):
+                predicates.append(f"{site} = {_render_literal(arg)}")
+            elif arg in first_site:
+                predicates.append(f"{site} = {first_site[arg]}")
+            else:
+                first_site[arg] = site
+
+    for atom in comparisons:
+        left, right = (
+            first_site[arg] if is_variable(arg) else _render_literal(arg)
+            for arg in atom.args
+        )
+        predicates.append(f"{left} {atom.predicate} {right}")
+
+    select_items = []
+    for arg in query.head.args:
+        if isinstance(arg, Constant):
+            select_items.append(_render_literal(arg))
+        else:
+            try:
+                select_items.append(first_site[arg])
+            except KeyError:
+                raise SqlError(f"head variable {arg} not bound in the body")
+    # Boolean (zero-ary) queries follow the EXISTS convention: SELECT 1.
+    select = ", ".join(select_items) if select_items else "1"
+
+    sql = f"SELECT DISTINCT {select} FROM {', '.join(from_entries)}"
+    if predicates:
+        sql += " WHERE " + " AND ".join(predicates)
+    return sql
+
+
+def _render_literal(constant: Constant) -> str:
+    value = constant.value
+    if isinstance(value, (int, float)):
+        return str(value)
+    return "'" + str(value).replace("'", "''") + "'"

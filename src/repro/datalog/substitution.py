@@ -1,0 +1,123 @@
+"""Substitutions: finite mappings from variables to terms.
+
+Substitutions implement the "mappings" of the paper: containment mappings
+(Chandra-Merlin), the head unification used to seed them, the thawing map
+of canonical databases, and the variable renamings of Sections 3.3 and 6.2.
+
+A substitution maps variables to terms; constants are always mapped to
+themselves (Section 2.1: a containment mapping "maps each constant to the
+same constant").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom
+from .terms import Term, Variable, is_variable
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Variables not present in the mapping are left unchanged by
+    :meth:`apply_term`, so every substitution is total on terms.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Variable, Term] | Iterable[tuple[Variable, Term]] = ()) -> None:
+        self._mapping: dict[Variable, Term] = dict(mapping)
+        for key in self._mapping:
+            if not is_variable(key):
+                raise TypeError(f"substitution keys must be variables, got {key!r}")
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, key: Variable) -> Term:
+        return self._mapping[key]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._mapping == other._mapping
+        if isinstance(other, Mapping):
+            return self._mapping == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{k} -> {v}" for k, v in sorted(self._mapping.items(), key=lambda kv: kv[0].name))
+        return f"Substitution({{{entries}}})"
+
+    # -- application -------------------------------------------------------
+    def apply_term(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if is_variable(term):
+            return self._mapping.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of *atom*."""
+        return Atom(atom.predicate, tuple(self.apply_term(arg) for arg in atom.args))
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        """Apply the substitution to a sequence of atoms."""
+        return tuple(self.apply_atom(atom) for atom in atoms)
+
+    # -- construction ------------------------------------------------------
+    def extended(self, variable: Variable, term: Term) -> Optional["Substitution"]:
+        """Return a new substitution with ``variable -> term`` added.
+
+        Returns ``None`` when the binding conflicts with an existing one
+        (the key is already bound to a different term).
+        """
+        bound = self._mapping.get(variable)
+        if bound is not None:
+            return self if bound == term else None
+        new_mapping = dict(self._mapping)
+        new_mapping[variable] = term
+        return Substitution(new_mapping)
+
+    def merged(self, other: "Substitution") -> Optional["Substitution"]:
+        """Union of two substitutions, or ``None`` on conflicting bindings."""
+        result: "Substitution" = self
+        for variable, term in other.items():
+            extended = result.extended(variable, term)
+            if extended is None:
+                return None
+            result = extended
+        return result
+
+    def compose(self, then: "Substitution") -> "Substitution":
+        """Return the substitution equivalent to applying *self* then *then*."""
+        mapping: dict[Variable, Term] = {
+            var: then.apply_term(term) for var, term in self._mapping.items()
+        }
+        for var, term in then.items():
+            mapping.setdefault(var, term)
+        return Substitution(mapping)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Keep only the bindings for *variables*."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._mapping.items() if v in keep})
+
+    def is_injective_on(self, variables: Iterable[Variable]) -> bool:
+        """Whether distinct *variables* are mapped to distinct terms."""
+        images = [self.apply_term(v) for v in set(variables)]
+        return len(images) == len(set(images))
+
+    def as_dict(self) -> dict[Variable, Term]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._mapping)
+
+
+#: The identity substitution (leaves every term unchanged).
+IDENTITY = Substitution()

@@ -1,0 +1,93 @@
+"""Terms of the datalog fragment: variables and constants.
+
+The paper works with conjunctive queries whose arguments are either
+variables or constants (Section 2.1).  Following the paper's notation,
+variable names conventionally begin with an upper-case letter and constants
+with a lower-case letter, but the classes below are explicit and never guess
+a term's kind from its spelling; only the parser applies that convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable, identified by its name.
+
+    Two variables with the same name are the same variable within a single
+    query; queries are implicitly standardized apart by :func:`fresh_variables`
+    when combined.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant value.  Any hashable Python value may be used."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: A term is either a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+class FreshVariableFactory:
+    """Produces variables guaranteed not to collide with a set of used names.
+
+    The factory is used when standardizing queries apart, when expanding
+    views (existential variables become fresh variables, Definition 2.2),
+    and by the Section 6.2 renaming heuristic.
+    """
+
+    def __init__(self, used_names: Iterable[str] = ()) -> None:
+        self._used = set(used_names)
+        self._counter = itertools.count()
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark *names* as used so they are never produced."""
+        self._used.update(names)
+
+    def fresh(self, base: str = "F") -> Variable:
+        """Return a new variable whose name starts with *base*."""
+        while True:
+            candidate = f"{base}_{next(self._counter)}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return Variable(candidate)
+
+    def fresh_like(self, variable: Variable) -> Variable:
+        """Return a fresh variable whose name is derived from *variable*."""
+        return self.fresh(variable.name)
+
+    def stream(self, base: str = "F") -> Iterator[Variable]:
+        """Yield an endless stream of fresh variables."""
+        while True:
+            yield self.fresh(base)

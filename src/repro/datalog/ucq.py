@@ -1,0 +1,87 @@
+"""Unions of conjunctive queries (Section 8 extension).
+
+When the query and views contain built-in predicates, or when maximally
+contained rewritings are sought, a rewriting can be a *union* of
+conjunctive queries.  This module provides the data structure and the
+classic containment test for unions (Sagiv-Yannakakis): a UCQ ``U1`` is
+contained in ``U2`` iff every disjunct of ``U1`` is contained in some
+disjunct of ``U2`` (for pure conjunctive disjuncts without built-ins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .query import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries sharing one head predicate/arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a union query needs at least one disjunct")
+        heads = {(q.head.predicate, q.head.arity) for q in self.disjuncts}
+        if len(heads) != 1:
+            raise ValueError(
+                f"disjuncts disagree on the head predicate/arity: {sorted(heads)}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The common head predicate name."""
+        return self.disjuncts[0].head.predicate
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        return "\n".join(str(q) for q in self.disjuncts)
+
+    def total_subgoals(self) -> int:
+        """Total number of body subgoals across all disjuncts.
+
+        The Section 8 discussion compares rewritings both by the number of
+        disjuncts and by their subgoal counts; neither dominates the other.
+        """
+        return sum(len(q) for q in self.disjuncts)
+
+
+def union_contained_in(
+    left: UnionQuery,
+    right: UnionQuery,
+    cq_contained: Callable[[ConjunctiveQuery, ConjunctiveQuery], bool],
+) -> bool:
+    """Sagiv-Yannakakis containment for unions of pure CQs.
+
+    ``left ⊑ right`` iff each disjunct of *left* is contained in some
+    disjunct of *right*.  The conjunctive-query containment test is
+    injected to avoid a circular import with :mod:`repro.containment`.
+    """
+    return all(
+        any(cq_contained(l, r) for r in right.disjuncts) for l in left.disjuncts
+    )
+
+
+def union_equivalent(
+    left: UnionQuery,
+    right: UnionQuery,
+    cq_contained: Callable[[ConjunctiveQuery, ConjunctiveQuery], bool],
+) -> bool:
+    """Equivalence of two unions of pure conjunctive queries."""
+    return union_contained_in(left, right, cq_contained) and union_contained_in(
+        right, left, cq_contained
+    )
+
+
+def as_union(query: ConjunctiveQuery | UnionQuery | Iterable[ConjunctiveQuery]) -> UnionQuery:
+    """Coerce a CQ, UCQ, or iterable of CQs into a :class:`UnionQuery`."""
+    if isinstance(query, UnionQuery):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionQuery((query,))
+    return UnionQuery(tuple(query))

@@ -1,0 +1,31 @@
+"""In-memory relational engine: relations, databases, CQ evaluation."""
+
+from .database import Database, UnknownRelationError
+from .evaluate import evaluate, evaluate_bindings
+from .materialize import materialize_query, materialize_views
+from .operators import (
+    HashJoin,
+    NestedLoopJoin,
+    Project,
+    Scan,
+    Select,
+    build_left_deep_tree,
+)
+from .relation import ArityError, Relation
+
+__all__ = [
+    "ArityError",
+    "Database",
+    "HashJoin",
+    "NestedLoopJoin",
+    "Project",
+    "Scan",
+    "Select",
+    "build_left_deep_tree",
+    "Relation",
+    "UnknownRelationError",
+    "evaluate",
+    "evaluate_bindings",
+    "materialize_query",
+    "materialize_views",
+]

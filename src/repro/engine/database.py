@@ -1,0 +1,113 @@
+"""Databases: collections of named relations.
+
+A :class:`Database` maps predicate names to :class:`Relation` objects.  It
+can be built directly, from ground atoms (e.g. a canonical database), or
+by materializing views over a base database
+(:mod:`repro.engine.materialize`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant
+from .relation import Relation
+
+
+class UnknownRelationError(KeyError):
+    """Raised when a query references a relation absent from the database."""
+
+
+class Database:
+    """A mutable mapping from predicate names to relations."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_facts(cls, facts: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms (all arguments constants).
+
+        This is how canonical databases (Section 3.3) become executable.
+        """
+        db = cls()
+        for fact in facts:
+            values = []
+            for arg in fact.args:
+                if not isinstance(arg, Constant):
+                    raise ValueError(f"fact {fact} is not ground")
+                values.append(arg.value)
+            db.add_fact(fact.predicate, values)
+        return db
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Sequence[object]]]) -> "Database":
+        """Build a database from ``{name: iterable of rows}``.
+
+        Arity is inferred from the first row; empty relations need
+        :meth:`add_relation` with an explicit arity.
+        """
+        db = cls()
+        for name, rows in data.items():
+            rows = [tuple(row) for row in rows]
+            if not rows:
+                raise ValueError(
+                    f"cannot infer arity of empty relation {name!r}; "
+                    "use add_relation with an explicit arity"
+                )
+            relation = Relation(name, len(rows[0]), rows)
+            db.add_relation(relation)
+        return db
+
+    # -- mutation ------------------------------------------------------------
+    def add_relation(self, relation: Relation) -> None:
+        """Register (or replace) a relation under its own name."""
+        self._relations[relation.name] = relation
+
+    def ensure_relation(self, name: str, arity: int) -> Relation:
+        """Get the named relation, creating an empty one if missing."""
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = Relation(name, arity)
+            self._relations[name] = relation
+        return relation
+
+    def add_fact(self, name: str, row: Sequence[object]) -> None:
+        """Insert a tuple, creating the relation on first use."""
+        self.ensure_relation(name, len(row)).add(row)
+
+    # -- access ------------------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        """The relation registered under *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def has_relation(self, name: str) -> bool:
+        """Whether a relation named *name* exists."""
+        return name in self._relations
+
+    def names(self) -> tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}/{rel.arity}({len(rel)})" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

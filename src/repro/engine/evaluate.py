@@ -1,0 +1,171 @@
+"""Evaluation of conjunctive queries over in-memory databases.
+
+The evaluator performs a pipelined multiway hash join: relational subgoals
+are ordered greedily (bound-variables-first, then smallest relation) and
+each is matched against its relation through a hash index on the already
+bound positions.  Built-in comparison atoms (the Section 8 extension) are
+applied as filters as soon as both sides are bound.
+
+This evaluator is used for:
+
+* computing view tuples ``T(Q, V)`` by running view definitions over
+  canonical databases (Section 3.3);
+* materializing views over base data (closed-world assumption);
+* checking that rewritings and the original query return identical answers
+  on concrete instances (the closed-world guarantee the paper relies on).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.terms import Constant, Variable, is_variable
+from .database import Database
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "!=": operator.ne,
+}
+
+Binding = dict[Variable, object]
+
+
+def evaluate(query: ConjunctiveQuery, database: Database) -> frozenset[tuple[object, ...]]:
+    """The answer of *query* on *database*: a set of head tuples."""
+    bindings = evaluate_bindings(query.body, database)
+    answers = set()
+    for binding in bindings:
+        answers.add(
+            tuple(
+                binding[arg] if is_variable(arg) else arg.value
+                for arg in query.head.args
+            )
+        )
+    return frozenset(answers)
+
+
+def evaluate_bindings(atoms: Sequence[Atom], database: Database) -> list[Binding]:
+    """All satisfying assignments of the variables of *atoms*.
+
+    Comparison atoms act as filters; every variable in a comparison must
+    also occur in some relational atom (safety of built-in predicates).
+    """
+    relational = [atom for atom in atoms if not atom.is_comparison]
+    comparisons = [atom for atom in atoms if atom.is_comparison]
+
+    bindings: list[Binding] = [{}]
+    remaining = list(relational)
+    pending = list(comparisons)
+
+    while remaining:
+        bound: set[Variable] = set()
+        if bindings:
+            bound = set(bindings[0])
+        atom = _pick_next(remaining, bound, database)
+        remaining.remove(atom)
+        bindings = _join_atom(bindings, atom, database)
+        if not bindings:
+            return []
+        pending = _apply_ready_comparisons(bindings, pending)
+        if not bindings:
+            return []
+
+    for comparison in pending:
+        bindings = [b for b in bindings if _comparison_holds(comparison, b)]
+    return bindings
+
+
+def _pick_next(
+    remaining: Sequence[Atom], bound: set[Variable], database: Database
+) -> Atom:
+    """Greedy join ordering: most bound variables, then smallest relation."""
+
+    def score(atom: Atom) -> tuple[int, int]:
+        shared = sum(1 for v in atom.variable_set() if v in bound)
+        size = (
+            len(database.relation(atom.predicate))
+            if database.has_relation(atom.predicate)
+            else 0
+        )
+        return (-shared, size)
+
+    return min(remaining, key=score)
+
+
+def _join_atom(
+    bindings: list[Binding], atom: Atom, database: Database
+) -> list[Binding]:
+    """Extend each binding with all matches of *atom* in its relation."""
+    if not database.has_relation(atom.predicate):
+        return []
+    relation = database.relation(atom.predicate)
+    if relation.arity != atom.arity:
+        return []
+
+    bound_vars: set[Variable] = set(bindings[0]) if bindings else set()
+    key_positions: list[int] = []
+    key_getters: list[Variable] = []
+    constant_checks: list[tuple[int, object]] = []
+    # Positions where a variable occurs for the first time in this atom;
+    # repeated occurrences become equality checks.
+    new_var_positions: dict[Variable, int] = {}
+    equality_checks: list[tuple[int, int]] = []
+
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Constant):
+            constant_checks.append((position, arg.value))
+        elif arg in bound_vars:
+            key_positions.append(position)
+            key_getters.append(arg)
+        elif arg in new_var_positions:
+            equality_checks.append((new_var_positions[arg], position))
+        else:
+            new_var_positions[arg] = position
+
+    def row_ok(row: tuple[object, ...]) -> bool:
+        return all(row[p] == value for p, value in constant_checks) and all(
+            row[p1] == row[p2] for p1, p2 in equality_checks
+        )
+
+    index = relation.index_on(key_positions)
+    result: list[Binding] = []
+    for binding in bindings:
+        key = tuple(binding[v] for v in key_getters)
+        for row in index.get(key, ()):
+            if not row_ok(row):
+                continue
+            extended = dict(binding)
+            for variable, position in new_var_positions.items():
+                extended[variable] = row[position]
+            result.append(extended)
+    return result
+
+
+def _apply_ready_comparisons(
+    bindings: list[Binding], pending: list[Atom]
+) -> list[Atom]:
+    """Filter *bindings* in place with comparisons whose variables are bound."""
+    if not bindings:
+        return pending
+    bound = set(bindings[0])
+    still_pending: list[Atom] = []
+    for comparison in pending:
+        if comparison.variable_set() <= bound:
+            bindings[:] = [b for b in bindings if _comparison_holds(comparison, b)]
+        else:
+            still_pending.append(comparison)
+    return still_pending
+
+
+def _comparison_holds(comparison: Atom, binding: Mapping[Variable, object]) -> bool:
+    left, right = comparison.args
+    left_value = binding[left] if is_variable(left) else left.value
+    right_value = binding[right] if is_variable(right) else right.value
+    return _COMPARATORS[comparison.predicate](left_value, right_value)

@@ -1,0 +1,39 @@
+"""View materialization under the closed-world assumption.
+
+In the paper's closed-world model (Section 1), view relations are
+*computed from* the base relations.  Materializing a set of view
+definitions over a base database therefore yields a *view database* on
+which rewritings are executed and whose relation sizes feed cost models
+M2 and M3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from ..datalog.query import ConjunctiveQuery
+from .database import Database
+from .evaluate import evaluate
+from .relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..views.view import View
+
+
+def materialize_query(
+    definition: ConjunctiveQuery, base: Database, name: str | None = None
+) -> Relation:
+    """Evaluate one view definition over *base* into a relation."""
+    answer = evaluate(definition, base)
+    return Relation(name or definition.name, definition.arity, answer)
+
+
+def materialize_views(
+    views: Iterable["View | ConjunctiveQuery"], base: Database
+) -> Database:
+    """Materialize every view over *base* into a fresh view database."""
+    view_db = Database()
+    for view in views:
+        definition = getattr(view, "definition", view)
+        view_db.add_relation(materialize_query(definition, base))
+    return view_db

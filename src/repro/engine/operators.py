@@ -1,0 +1,254 @@
+"""Volcano-style physical operators over variable-schema streams.
+
+The evaluator in :mod:`repro.engine.evaluate` is a monolithic pipelined
+join; this module exposes the same capability as composable iterator
+operators — the execution model of the System-R lineage the paper's
+optimizer discussion assumes [22].  Each operator produces rows under an
+explicit *schema* (a tuple of variables), so plans over rewritings map
+1:1 onto operator trees:
+
+* :class:`Scan` — read a relation, binding its columns to plan variables
+  (applying constant and repeated-variable selections);
+* :class:`Select` — filter by a comparison predicate;
+* :class:`Project` — keep a subset of columns (set semantics);
+* :class:`HashJoin` — equi-join two inputs on their shared variables;
+* :class:`NestedLoopJoin` — the fallback join, same semantics.
+
+Operators are deterministic and re-iterable; ``rows()`` materializes the
+input streams it needs (this is an in-memory engine, not a paging one —
+page behaviour is modeled separately in :mod:`repro.cost.iomodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant, Variable, is_variable
+from .database import Database
+from .evaluate import _COMPARATORS  # shared comparison semantics
+from .relation import Relation
+
+
+class Operator(Protocol):
+    """A physical operator: a schema plus a row stream."""
+
+    @property
+    def schema(self) -> tuple[Variable, ...]: ...
+
+    def rows(self) -> Iterator[tuple[object, ...]]: ...
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Bind a relation's columns to the variables of a subgoal atom.
+
+    Constants and repeated variables in the atom become selections, as in
+    the paper's treatment of view subgoals.
+    """
+
+    relation: Relation
+    atom: Atom
+
+    def __post_init__(self) -> None:
+        if self.relation.arity != self.atom.arity:
+            raise ValueError(
+                f"atom {self.atom} does not fit relation "
+                f"{self.relation.name}/{self.relation.arity}"
+            )
+
+    @property
+    def schema(self) -> tuple[Variable, ...]:
+        seen: dict[Variable, None] = {}
+        for arg in self.atom.args:
+            if is_variable(arg):
+                seen.setdefault(arg, None)
+        return tuple(seen)
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        positions: dict[Variable, int] = {}
+        constant_checks: list[tuple[int, object]] = []
+        equality_checks: list[tuple[int, int]] = []
+        for index, arg in enumerate(self.atom.args):
+            if isinstance(arg, Constant):
+                constant_checks.append((index, arg.value))
+            elif arg in positions:
+                equality_checks.append((positions[arg], index))
+            else:
+                positions[arg] = index
+        out_positions = [positions[v] for v in self.schema]
+        for row in self.relation:
+            if all(row[p] == v for p, v in constant_checks) and all(
+                row[a] == row[b] for a, b in equality_checks
+            ):
+                yield tuple(row[p] for p in out_positions)
+
+
+@dataclass(frozen=True)
+class Select:
+    """Filter rows by a binary comparison over schema variables/constants."""
+
+    source: Operator
+    comparison: Atom
+
+    def __post_init__(self) -> None:
+        if not self.comparison.is_comparison:
+            raise ValueError(f"{self.comparison} is not a comparison atom")
+        for arg in self.comparison.args:
+            if is_variable(arg) and arg not in self.source.schema:
+                raise ValueError(
+                    f"comparison variable {arg} is not in the input schema"
+                )
+
+    @property
+    def schema(self) -> tuple[Variable, ...]:
+        return self.source.schema
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        operator = _COMPARATORS[self.comparison.predicate]
+        left_arg, right_arg = self.comparison.args
+        schema = self.source.schema
+
+        def value(arg, row):
+            if is_variable(arg):
+                return row[schema.index(arg)]
+            return arg.value
+
+        for row in self.source.rows():
+            if operator(value(left_arg, row), value(right_arg, row)):
+                yield row
+
+
+@dataclass(frozen=True)
+class Project:
+    """Duplicate-eliminating projection onto a subset of the schema."""
+
+    source: Operator
+    keep: tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        missing = [v for v in self.keep if v not in self.source.schema]
+        if missing:
+            raise ValueError(f"cannot project onto unknown columns {missing}")
+
+    @property
+    def schema(self) -> tuple[Variable, ...]:
+        return self.keep
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        positions = [self.source.schema.index(v) for v in self.keep]
+        seen: set[tuple[object, ...]] = set()
+        for row in self.source.rows():
+            projected = tuple(row[p] for p in positions)
+            if projected not in seen:
+                seen.add(projected)
+                yield projected
+
+
+def _join_schema(
+    left: Operator, right: Operator
+) -> tuple[tuple[Variable, ...], list[Variable]]:
+    shared = [v for v in right.schema if v in left.schema]
+    combined = left.schema + tuple(
+        v for v in right.schema if v not in left.schema
+    )
+    return combined, shared
+
+
+@dataclass(frozen=True)
+class HashJoin:
+    """Equi-join on all shared variables (natural join); builds on the right."""
+
+    left: Operator
+    right: Operator
+
+    @property
+    def schema(self) -> tuple[Variable, ...]:
+        return _join_schema(self.left, self.right)[0]
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        _combined, shared = _join_schema(self.left, self.right)
+        right_schema = self.right.schema
+        key_right = [right_schema.index(v) for v in shared]
+        extra_right = [
+            i for i, v in enumerate(right_schema) if v not in self.left.schema
+        ]
+        index: dict[tuple[object, ...], list[tuple[object, ...]]] = {}
+        for row in self.right.rows():
+            key = tuple(row[p] for p in key_right)
+            index.setdefault(key, []).append(tuple(row[p] for p in extra_right))
+
+        left_schema = self.left.schema
+        key_left = [left_schema.index(v) for v in shared]
+        for row in self.left.rows():
+            key = tuple(row[p] for p in key_left)
+            for extra in index.get(key, ()):
+                yield row + extra
+
+
+@dataclass(frozen=True)
+class NestedLoopJoin:
+    """The same natural join computed by nested loops (no hash index)."""
+
+    left: Operator
+    right: Operator
+
+    @property
+    def schema(self) -> tuple[Variable, ...]:
+        return _join_schema(self.left, self.right)[0]
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        _combined, shared = _join_schema(self.left, self.right)
+        left_schema, right_schema = self.left.schema, self.right.schema
+        key_left = [left_schema.index(v) for v in shared]
+        key_right = [right_schema.index(v) for v in shared]
+        extra_right = [
+            i for i, v in enumerate(right_schema) if v not in left_schema
+        ]
+        right_rows = list(self.right.rows())
+        for left_row in self.left.rows():
+            left_key = tuple(left_row[p] for p in key_left)
+            for right_row in right_rows:
+                if tuple(right_row[p] for p in key_right) == left_key:
+                    yield left_row + tuple(right_row[p] for p in extra_right)
+
+
+def build_left_deep_tree(
+    atoms: Sequence[Atom],
+    database: Database,
+    join_class: type = HashJoin,
+) -> Operator:
+    """A left-deep operator tree scanning/joining *atoms* in order.
+
+    Comparison atoms become :class:`Select` operators applied as soon as
+    their variables are available.
+    """
+    relational = [a for a in atoms if not a.is_comparison]
+    comparisons = [a for a in atoms if a.is_comparison]
+    if not relational:
+        raise ValueError("need at least one relational atom")
+
+    def with_ready_selections(operator: Operator) -> Operator:
+        nonlocal comparisons
+        remaining = []
+        for comparison in comparisons:
+            if comparison.variable_set() <= set(operator.schema):
+                operator = Select(operator, comparison)
+            else:
+                remaining.append(comparison)
+        comparisons = remaining
+        return operator
+
+    current: Operator = Scan(
+        database.relation(relational[0].predicate), relational[0]
+    )
+    current = with_ready_selections(current)
+    for atom in relational[1:]:
+        scan = Scan(database.relation(atom.predicate), atom)
+        current = join_class(current, scan)
+        current = with_ready_selections(current)
+    if comparisons:
+        unresolved = ", ".join(str(c) for c in comparisons)
+        raise ValueError(f"unbound comparison variables in: {unresolved}")
+    return current

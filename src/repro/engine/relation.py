@@ -1,0 +1,99 @@
+"""In-memory relations: named sets of fixed-arity tuples.
+
+The engine is deliberately simple — set semantics, hashable Python values
+as the domain — because every use in this package (canonical databases,
+view materialization, physical-plan execution, cost measurement) needs
+exact answers on small-to-medium data rather than raw throughput.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Iterator, Sequence
+
+
+class ArityError(ValueError):
+    """Raised when a tuple's width disagrees with the relation's arity."""
+
+
+class Relation:
+    """A named relation: an arity and a set of tuples.
+
+    Tuples are plain Python tuples of hashable values.  The relation keeps
+    set semantics (no duplicates), matching the paper's conjunctive-query
+    setting.
+    """
+
+    __slots__ = ("name", "arity", "_tuples")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Iterable[Sequence[object]] = (),
+    ) -> None:
+        if arity < 0:
+            raise ArityError(f"arity must be nonnegative, got {arity}")
+        self.name = name
+        self.arity = arity
+        self._tuples: set[tuple[object, ...]] = set()
+        for row in tuples:
+            self.add(row)
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, row: Sequence[object]) -> None:
+        """Insert one tuple (duplicates are silently absorbed)."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ArityError(
+                f"relation {self.name}/{self.arity} cannot hold a "
+                f"{len(row)}-tuple {row!r}"
+            )
+        self._tuples.add(row)
+
+    def add_all(self, rows: Iterable[Sequence[object]]) -> None:
+        """Insert many tuples."""
+        for row in rows:
+            self.add(row)
+
+    # -- access ----------------------------------------------------------------
+    @property
+    def tuples(self) -> AbstractSet[tuple[object, ...]]:
+        """A read-only view of the tuple set."""
+        return frozenset(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, rows={len(self)})"
+
+    def copy(self, name: str | None = None) -> "Relation":
+        """A shallow copy, optionally renamed."""
+        return Relation(name or self.name, self.arity, self._tuples)
+
+    def index_on(self, positions: Sequence[int]) -> dict[tuple[object, ...], list[tuple[object, ...]]]:
+        """A hash index mapping projected key values to matching tuples.
+
+        Used by the hash joins in :mod:`repro.engine.evaluate` and the plan
+        executor.
+        """
+        index: dict[tuple[object, ...], list[tuple[object, ...]]] = {}
+        for row in self._tuples:
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return index

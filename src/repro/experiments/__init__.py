@@ -1,0 +1,27 @@
+"""Experiment harness and the Section 7 figure drivers."""
+
+from .harness import SweepConfig, SweepPoint, format_points, run_sweep, write_csv
+from .figures import (
+    FIGURES,
+    FULL_VIEW_COUNTS,
+    QUICK_VIEW_COUNTS,
+    print_figure,
+    run_figure,
+    sweep_config_for,
+)
+from . import paper_examples
+
+__all__ = [
+    "FIGURES",
+    "FULL_VIEW_COUNTS",
+    "QUICK_VIEW_COUNTS",
+    "SweepConfig",
+    "SweepPoint",
+    "format_points",
+    "paper_examples",
+    "print_figure",
+    "run_figure",
+    "run_sweep",
+    "sweep_config_for",
+    "write_csv",
+]

@@ -1,0 +1,151 @@
+"""The Section 7 experiment harness.
+
+Each Figure 6-9 data point averages CoreCover over several random queries
+at a fixed number of views.  The harness runs those sweeps and returns
+structured rows; :mod:`repro.experiments.figures` maps figure names to
+sweep configurations and renders the rows as the paper's series.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.corecover import CoreCoverResult, core_cover
+from ..workload.generator import (
+    WorkloadConfig,
+    WorkloadError,
+    generate_workload,
+    workload_series,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Averaged measurements for one (shape, #views) configuration."""
+
+    num_views: int
+    queries: int
+    mean_time_ms: float
+    max_time_ms: float
+    mean_view_classes: float
+    mean_total_view_tuples: float
+    mean_view_tuple_classes: float
+    mean_maximal_tuple_classes: float
+    mean_gmr_count: float
+    mean_gmr_size: float
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A full sweep: the workload template plus the view-count axis."""
+
+    shape: str
+    num_relations: int
+    nondistinguished: int
+    view_counts: tuple[int, ...]
+    queries_per_point: int = 40
+    query_subgoals: int = 8
+    seed: int = 1
+
+    def workload_config(self, num_views: int) -> WorkloadConfig:
+        """The workload template at a specific view count."""
+        return WorkloadConfig(
+            shape=self.shape,
+            num_relations=self.num_relations,
+            query_subgoals=self.query_subgoals,
+            num_views=num_views,
+            nondistinguished=self.nondistinguished,
+            seed=self.seed,
+        )
+
+
+def run_sweep(
+    config: SweepConfig,
+    algorithm: Callable[..., CoreCoverResult] = core_cover,
+    group_views: bool = True,
+    group_tuples: bool = True,
+) -> list[SweepPoint]:
+    """Run CoreCover over the sweep, averaging per view count.
+
+    ``algorithm`` may be swapped (e.g. for ``core_cover_star`` or an
+    ablated variant); it must accept ``(query, views, group_views=...,
+    group_tuples=...)`` and return a :class:`CoreCoverResult`.
+    """
+    points = []
+    for num_views in config.view_counts:
+        template = config.workload_config(num_views)
+        times_ms: list[float] = []
+        view_classes: list[int] = []
+        total_tuples: list[int] = []
+        tuple_classes: list[int] = []
+        maximal_classes: list[int] = []
+        gmr_counts: list[int] = []
+        gmr_sizes: list[int] = []
+        for workload in workload_series(template, config.queries_per_point):
+            started = time.perf_counter()
+            result = algorithm(
+                workload.query,
+                workload.views,
+                group_views=group_views,
+                group_tuples=group_tuples,
+            )
+            times_ms.append((time.perf_counter() - started) * 1000.0)
+            stats = result.stats
+            view_classes.append(stats.view_classes)
+            total_tuples.append(stats.total_view_tuples)
+            tuple_classes.append(stats.view_tuple_classes)
+            maximal_classes.append(stats.maximal_tuple_classes)
+            gmr_counts.append(len(result.rewritings))
+            if result.has_rewriting:
+                gmr_sizes.append(result.minimum_subgoals() or 0)
+        points.append(
+            SweepPoint(
+                num_views=num_views,
+                queries=config.queries_per_point,
+                mean_time_ms=statistics.fmean(times_ms),
+                max_time_ms=max(times_ms),
+                mean_view_classes=statistics.fmean(view_classes),
+                mean_total_view_tuples=statistics.fmean(total_tuples),
+                mean_view_tuple_classes=statistics.fmean(tuple_classes),
+                mean_maximal_tuple_classes=statistics.fmean(maximal_classes),
+                mean_gmr_count=statistics.fmean(gmr_counts),
+                mean_gmr_size=statistics.fmean(gmr_sizes) if gmr_sizes else 0.0,
+            )
+        )
+    return points
+
+
+def write_csv(points: Sequence[SweepPoint], path: str) -> None:
+    """Write sweep points to a CSV file (one row per view count)."""
+    import csv
+    import dataclasses
+
+    fields = [f.name for f in dataclasses.fields(SweepPoint)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for point in points:
+            writer.writerow(
+                [getattr(point, field) for field in fields]
+            )
+
+
+def format_points(points: Sequence[SweepPoint]) -> str:
+    """Render sweep points as an aligned text table."""
+    header = (
+        f"{'views':>6} {'time(ms)':>9} {'max(ms)':>9} {'viewcls':>8} "
+        f"{'tuples':>7} {'tuplecls':>9} {'maxcls':>7} {'GMRs':>6} {'|GMR|':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.num_views:>6} {p.mean_time_ms:>9.1f} {p.max_time_ms:>9.1f} "
+            f"{p.mean_view_classes:>8.1f} {p.mean_total_view_tuples:>7.1f} "
+            f"{p.mean_view_tuple_classes:>9.1f} "
+            f"{p.mean_maximal_tuple_classes:>7.1f} {p.mean_gmr_count:>6.1f} "
+            f"{p.mean_gmr_size:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Every worked example of the paper, as reusable fixtures.
+
+These are shared by the test suite, the runnable examples, and the
+benchmark harness, so the paper's claims are checked against one single
+encoding of each example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.parser import parse_query
+from ..datalog.query import ConjunctiveQuery
+from ..engine.database import Database
+from ..views.view import ViewCatalog
+
+
+@dataclass(frozen=True)
+class CarLocPart:
+    """Example 1.1: the running car-loc-part example."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    p1: ConjunctiveQuery
+    p2: ConjunctiveQuery
+    p3: ConjunctiveQuery
+    p4: ConjunctiveQuery
+    p5: ConjunctiveQuery
+
+
+def car_loc_part() -> CarLocPart:
+    """The car/loc/part schema, query Q, views V1-V5, rewritings P1-P5.
+
+    The constant ``anderson`` is abbreviated ``a`` as in the paper.
+    """
+    query = parse_query(
+        "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)"
+    )
+    views = ViewCatalog(
+        [
+            "v1(M, D, C) :- car(M, D), loc(D, C)",
+            "v2(S, M, C) :- part(S, M, C)",
+            "v3(S) :- car(M, a), loc(a, C), part(S, M, C)",
+            "v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C)",
+            "v5(M, D, C) :- car(M, D), loc(D, C)",
+        ]
+    )
+    return CarLocPart(
+        query=query,
+        views=views,
+        p1=parse_query("q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)"),
+        p2=parse_query("q1(S, C) :- v1(M, a, C), v2(S, M, C)"),
+        p3=parse_query("q1(S, C) :- v3(S), v1(M, a, C), v2(S, M, C)"),
+        p4=parse_query("q1(S, C) :- v4(M, a, C, S)"),
+        p5=parse_query("q1(S, C) :- v1(M, a, C1), v5(M1, a, C), v2(S, M, C)"),
+    )
+
+
+def car_loc_part_database(
+    dealers: int = 4, makes: int = 5, cities: int = 6, stores: int = 8
+) -> Database:
+    """A small deterministic base instance for the car-loc-part schema.
+
+    Built so that view V3 is *selective* (few stores qualify), which is
+    the paper's motivation for filtering subgoals: P3 can beat P2 under M2.
+    """
+    database = Database()
+    for make in range(makes):
+        for dealer in range(dealers):
+            if (make + dealer) % 2 == 0:
+                database.add_fact("car", (f"m{make}", "a" if dealer == 0 else f"d{dealer}"))
+    for dealer in range(dealers):
+        for city in range(cities):
+            if (dealer * 3 + city) % 3 == 0:
+                database.add_fact("loc", ("a" if dealer == 0 else f"d{dealer}", f"c{city}"))
+    for store in range(stores):
+        for make in range(makes):
+            for city in range(cities):
+                if (store + 2 * make + city) % 7 == 0:
+                    database.add_fact("part", (f"s{store}", f"m{make}", f"c{city}"))
+    return database
+
+
+def car_loc_part_selective_database() -> Database:
+    """A base instance on which the V3 filter *strictly* pays off.
+
+    Anderson sells many makes across many cities (``v1`` is large) and
+    most stores sell parts in *other* cities (``v2`` is large but barely
+    joins), while only two stores satisfy V3.  Joining the tiny ``v3``
+    first shrinks every intermediate relation, so the optimizer's filter
+    pass turns P2 into P3 with a strictly lower M2 cost — the paper's
+    Section 5.1 motivation.
+    """
+    database = Database()
+    for make in range(25):
+        database.add_fact("car", (f"m{make}", "a"))
+    for city in range(20):
+        database.add_fact("loc", ("a", f"c{city}"))
+    for store in range(50):
+        database.add_fact(
+            "part", (f"s{store}", f"m{store % 25}", f"cx{store % 9}")
+        )
+    database.add_fact("part", ("s0", "m0", "c0"))
+    database.add_fact("part", ("s1", "m1", "c1"))
+    return database
+
+
+@dataclass(frozen=True)
+class LmrChain:
+    """Example 3.1: a chain of LMRs ``P1 ⊏ P2 ⊏ … ⊏ Pm``."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    rewritings: tuple[ConjunctiveQuery, ...]
+
+
+def example_31(m: int = 3) -> LmrChain:
+    """Example 3.1 generalized to ``m`` base relations.
+
+    The view joins all ``e_i`` on a shared variable; ``P_j`` uses ``j``
+    view literals, each contributing one covered subgoal, forming a
+    containment chain of LMRs of length ``m``.
+    """
+    if m < 1:
+        raise ValueError("need at least one relation")
+    body = ", ".join(f"e{i}(X{i}, c)" for i in range(1, m + 1))
+    head_vars = ", ".join(f"X{i}" for i in range(1, m + 1))
+    query = parse_query(f"q({head_vars}) :- {body}")
+    view_body = ", ".join(f"e{i}(X{i}, W)" for i in range(1, m + 1))
+    views = ViewCatalog([f"v({head_vars}, W) :- {view_body}"])
+
+    rewritings = []
+    for j in range(1, m + 1):
+        # P_j uses j literals.  As in the paper, the first literal supplies
+        # the first m-j+1 variables and each later literal supplies exactly
+        # one of the remaining ones; unsupplied positions get fresh
+        # variables private to their literal.
+        literals = []
+        for use in range(j):
+            supplied = (
+                range(1, m - j + 2) if use == 0 else [m - j + 1 + use]
+            )
+            supplied_set = set(supplied)
+            args = [
+                f"X{i}" if i in supplied_set else f"F{use}_{i}"
+                for i in range(1, m + 1)
+            ]
+            literals.append(f"v({', '.join(args)}, c)")
+        rewritings.append(parse_query(f"q({head_vars}) :- {', '.join(literals)}"))
+    return LmrChain(query, views, tuple(rewritings))
+
+
+@dataclass(frozen=True)
+class GmrNotCmr:
+    """The Section 3.2 example showing a GMR that is not a CMR."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    p1: ConjunctiveQuery
+    p2: ConjunctiveQuery
+
+
+def gmr_not_cmr() -> GmrNotCmr:
+    """``Q: q(X) :- e(X, X)`` with ``V: v(A, B) :- e(A, A), e(A, B)``."""
+    return GmrNotCmr(
+        query=parse_query("q(X) :- e(X, X)"),
+        views=ViewCatalog(["v(A, B) :- e(A, A), e(A, B)"]),
+        p1=parse_query("q(X) :- v(X, B)"),
+        p2=parse_query("q(X) :- v(X, X)"),
+    )
+
+
+@dataclass(frozen=True)
+class Example41:
+    """Example 4.1 / Table 2: tuple-cores of three view tuples."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+
+
+def example_41() -> Example41:
+    """``q(X,Y) :- a(X,Z), a(Z,Z), b(Z,Y)`` with views V1, V2."""
+    return Example41(
+        query=parse_query("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)"),
+        views=ViewCatalog(
+            [
+                "v1(A, B) :- a(A, B), a(B, B)",
+                "v2(C, D) :- a(C, E), b(C, D)",
+            ]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class Example42:
+    """Example 4.2: CoreCover vs. MiniCon on the k-path query."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    k: int
+
+
+def example_42(k: int = 3) -> Example42:
+    """The Section 4.3 comparison query with ``2k`` subgoals.
+
+    View ``v`` is the whole query body; views ``v1 … v_{k-1}`` each cover
+    one ``a_i/b_i`` pair.  CoreCover finds the single-literal GMR; MiniCon
+    also produces combinations with redundant subgoals.
+    """
+    if k < 2:
+        raise ValueError("the example needs k >= 2")
+    body = ", ".join(f"a{i}(X, Z{i}), b{i}(Z{i}, Y)" for i in range(1, k + 1))
+    query = parse_query(f"q(X, Y) :- {body}")
+    definitions = [f"v(X, Y) :- {body}"]
+    for i in range(1, k):
+        definitions.append(f"v{i}(X, Y) :- a{i}(X, Z{i}), b{i}(Z{i}, Y)")
+    return Example42(query, ViewCatalog(definitions), k)
+
+
+@dataclass(frozen=True)
+class Example61:
+    """Example 6.1 / Figure 5: attribute dropping under cost model M3."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    base: Database
+    p1: ConjunctiveQuery
+    p2: ConjunctiveQuery
+
+
+def example_61() -> Example61:
+    """The r/s/t schema with the exact Figure 5 instance.
+
+    ``r`` is the self-loop on node 1 plus nothing else diagonal beyond it;
+    ``s`` holds the diagonal pairs on the even nodes; ``t`` the odd→even
+    edges.  Materializing V1/V2 gives the paper's view relations
+    (``v1 = {⟨1,2⟩, ⟨1,4⟩, ⟨1,6⟩, ⟨1,8⟩}``, ``v2 = {⟨1,2⟩, ⟨3,4⟩,
+    ⟨5,6⟩, ⟨7,8⟩}``).
+    """
+    base = Database.from_dict(
+        {
+            "r": [(1, 1)],
+            "s": [(2, 2), (4, 4), (6, 6), (8, 8)],
+            "t": [(1, 2), (3, 4), (5, 6), (7, 8)],
+        }
+    )
+    return Example61(
+        query=parse_query("q(A) :- r(A, A), t(A, B), s(B, B)"),
+        views=ViewCatalog(
+            [
+                "v1(A, B) :- r(A, A), s(B, B)",
+                "v2(A, B) :- t(A, B), s(B, B)",
+            ]
+        ),
+        base=base,
+        p1=parse_query("q(A) :- v1(A, B), v2(A, C)"),
+        p2=parse_query("q(A) :- v1(A, B), v2(A, B)"),
+    )
+
+
+@dataclass(frozen=True)
+class Section8Ucq:
+    """The Section 8 example with a built-in ``≤`` predicate."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    union_rewriting: tuple[ConjunctiveQuery, ConjunctiveQuery]
+    single_rewriting: ConjunctiveQuery
+
+
+def section8_ucq() -> Section8Ucq:
+    """``q(X,Y,U,W) :- p(X,Y), r(U,W), r(W,U)`` with an inequality view."""
+    query = parse_query("q(X, Y, U, W) :- p(X, Y), r(U, W), r(W, U)")
+    views = ViewCatalog(
+        [
+            "v1(A, B, C, D) :- p(A, B), r(C, D), C <= D",
+            "v2(E, F) :- r(E, F)",
+        ]
+    )
+    union_rewriting = (
+        parse_query("q(X, Y, U, W) :- v1(X, Y, U, W), v2(W, U)"),
+        parse_query("q(X, Y, U, W) :- v1(X, Y, W, U), v2(U, W)"),
+    )
+    single_rewriting = parse_query(
+        "q(X, Y, U, W) :- v1(X, Y, C, D), v2(U, W), v2(W, U)"
+    )
+    return Section8Ucq(query, views, union_rewriting, single_rewriting)

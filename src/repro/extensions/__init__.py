@@ -1,0 +1,23 @@
+"""Section 8 extensions: built-in comparisons and union rewritings."""
+
+from .comparisons import (
+    TooManyTermsError,
+    completions,
+    is_contained_with_comparisons,
+    is_equivalent_with_comparisons,
+)
+from .ucq_rewriting import (
+    expand_union,
+    is_equivalent_ucq_rewriting,
+    maximally_contained_rewriting,
+)
+
+__all__ = [
+    "TooManyTermsError",
+    "completions",
+    "expand_union",
+    "is_contained_with_comparisons",
+    "is_equivalent_ucq_rewriting",
+    "is_equivalent_with_comparisons",
+    "maximally_contained_rewriting",
+]

@@ -1,0 +1,197 @@
+"""Containment of conjunctive queries with built-in comparisons.
+
+Section 8 of the paper extends the rewriting problem to queries and views
+with built-in predicates (``<=`` etc.), where rewritings become unions of
+conjunctive queries.  Chandra-Merlin homomorphisms are no longer complete
+for such queries; the classic complete test (Klug 1988; Gupta, Sagiv,
+Ullman, Widom 1994) enumerates the *completions* of the containee:
+
+    ``Q1 ⊑ Q2`` over densely ordered domains iff for **every** total
+    preorder of ``Q1``'s terms consistent with ``Q1``'s comparisons,
+    the canonical database induced by that preorder satisfies ``Q2``.
+
+A completion is an ordered set partition of the terms: terms in one block
+are equal, and blocks are strictly increasing.  The number of completions
+is the ordered Bell number of the term count — fine for the small queries
+of the Section 8 examples (the test guards against larger inputs).
+
+Comparisons are interpreted over a dense linear order; constants must be
+mutually comparable Python values (e.g. all numbers).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..datalog.ucq import UnionQuery, as_union
+from ..engine.database import Database
+from ..engine.evaluate import evaluate
+
+#: Completion enumeration is (ordered Bell number)-sized; this caps the
+#: number of distinct terms for which the test is attempted.
+MAX_TERMS = 7
+
+
+class TooManyTermsError(ValueError):
+    """Raised when a query has too many terms for completion enumeration."""
+
+
+def _ordered_partitions(items: Sequence[object]) -> Iterator[list[list[object]]]:
+    """All ordered set partitions (sequences of disjoint blocks) of *items*."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _ordered_partitions(rest):
+        # Insert ``first`` into an existing block...
+        for index in range(len(partition)):
+            grown = [list(block) for block in partition]
+            grown[index].append(first)
+            yield grown
+        # ...or as a new singleton block at any position.
+        for index in range(len(partition) + 1):
+            grown = [list(block) for block in partition]
+            grown.insert(index, [first])
+            yield grown
+
+
+def _comparison_holds_on_ranks(op: str, left: int, right: int) -> bool:
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    raise ValueError(f"unknown comparison {op!r}")
+
+
+def _terms_of(query: ConjunctiveQuery) -> list[Term]:
+    seen: dict[Term, None] = {}
+    for atom in query.body:
+        for arg in atom.args:
+            seen.setdefault(arg, None)
+    for arg in query.head.args:
+        seen.setdefault(arg, None)
+    return list(seen)
+
+
+def completions(query: ConjunctiveQuery) -> Iterator[dict[Term, int]]:
+    """All rank assignments (term -> block index) consistent with *query*.
+
+    Each yielded mapping is one completion: equal ranks mean equated
+    terms, and ranks increase with the dense order.  Completions placing
+    two distinct constants in one block, ordering constants against their
+    actual values, or violating the query's own comparisons are skipped.
+    """
+    terms = _terms_of(query)
+    if len(terms) > MAX_TERMS:
+        raise TooManyTermsError(
+            f"{len(terms)} distinct terms exceed the completion test's "
+            f"limit ({MAX_TERMS})"
+        )
+    comparisons = [atom for atom in query.body if atom.is_comparison]
+
+    for partition in _ordered_partitions(terms):
+        ranks: dict[Term, int] = {}
+        valid = True
+        previous_constant = None
+        for rank, block in enumerate(partition):
+            constants = [t for t in block if isinstance(t, Constant)]
+            if len(constants) > 1:
+                valid = False
+                break
+            if constants:
+                value = constants[0].value
+                if previous_constant is not None and not previous_constant < value:
+                    valid = False
+                    break
+                previous_constant = value
+            for term in block:
+                ranks[term] = rank
+        if not valid:
+            continue
+        if all(
+            _comparison_holds_on_ranks(
+                atom.predicate, ranks[atom.args[0]], ranks[atom.args[1]]
+            )
+            for atom in comparisons
+        ):
+            yield ranks
+
+
+def _canonical_database_for(
+    query: ConjunctiveQuery, ranks: dict[Term, int]
+) -> tuple[Database, tuple[int, ...]]:
+    """The canonical database of one completion, plus the head's rank tuple.
+
+    Every term is interpreted by its block rank (an integer), so the
+    engine's comparison filters evaluate the dense order faithfully.
+    """
+    database = Database()
+    for atom in query.body:
+        if atom.is_comparison:
+            continue
+        database.add_fact(atom.predicate, tuple(ranks[arg] for arg in atom.args))
+    head = tuple(ranks[arg] for arg in query.head.args)
+    return database, head
+
+
+def is_contained_with_comparisons(
+    inner: ConjunctiveQuery | UnionQuery,
+    outer: ConjunctiveQuery | UnionQuery,
+) -> bool:
+    """Complete containment test for (unions of) CQs with comparisons.
+
+    ``inner ⊑ outer`` over densely ordered domains.  For unions the test
+    distributes over the containee's disjuncts (each completion of each
+    disjunct must satisfy *some* disjunct of *outer* — checked at once by
+    evaluating the whole union on the completion's canonical database).
+    """
+    inner_union = as_union(inner)
+    outer_union = as_union(outer)
+    _reject_constants(inner_union)
+    _reject_constants(outer_union)
+    for disjunct in inner_union.disjuncts:
+        for ranks in completions(disjunct):
+            database, head = _canonical_database_for(disjunct, ranks)
+            if not any(
+                head in evaluate(outer_disjunct, database)
+                for outer_disjunct in outer_union.disjuncts
+            ):
+                return False
+    return True
+
+
+def _reject_constants(union: UnionQuery) -> None:
+    """The rank-based canonical databases interpret terms by block index,
+    which is sound only when no constants need interpreting alongside the
+    dense order.  Constant support would require rational representatives
+    pinned to the constant values; it is out of scope (as in the paper's
+    Section 8, which uses variable-only examples)."""
+    for disjunct in union.disjuncts:
+        if disjunct.constants():
+            raise NotImplementedError(
+                "the completion-based containment test supports "
+                "variable-only queries; found constants in "
+                f"{disjunct}"
+            )
+
+
+def is_equivalent_with_comparisons(
+    left: ConjunctiveQuery | UnionQuery,
+    right: ConjunctiveQuery | UnionQuery,
+) -> bool:
+    """Equivalence over densely ordered domains."""
+    return is_contained_with_comparisons(
+        left, right
+    ) and is_contained_with_comparisons(right, left)

@@ -1,0 +1,82 @@
+"""Union-of-CQ rewritings (Section 8).
+
+Two pieces of the paper's closing discussion become executable here:
+
+* :func:`is_equivalent_ucq_rewriting` — the closed-world equivalence test
+  for a rewriting that is a *union* of conjunctive queries whose
+  expansion may contain built-in comparisons (the paper's P1/P2 example);
+* :func:`maximally_contained_rewriting` — for the open-world side the
+  paper mentions as ongoing work: the union of all MiniCon combinations,
+  which is the maximally-contained rewriting for pure conjunctive
+  queries (Pottinger & Levy 2000).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..baselines.minicon import minicon
+from ..containment.containment import is_contained_in
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.ucq import UnionQuery, as_union
+from ..views.expansion import expand
+from ..views.view import ViewCatalog
+from .comparisons import is_equivalent_with_comparisons
+
+
+def expand_union(
+    rewriting: ConjunctiveQuery | UnionQuery | Iterable[ConjunctiveQuery],
+    views: ViewCatalog,
+) -> UnionQuery:
+    """Expand every disjunct of a UCQ rewriting over the views."""
+    union = as_union(rewriting)
+    return UnionQuery(tuple(expand(q, views) for q in union.disjuncts))
+
+
+def is_equivalent_ucq_rewriting(
+    rewriting: ConjunctiveQuery | UnionQuery | Iterable[ConjunctiveQuery],
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> bool:
+    """Definition 2.3 lifted to unions with comparisons.
+
+    The rewriting's disjuncts are expanded over the views and the
+    resulting union is compared with the query under the dense-order
+    semantics (completion-based test).
+    """
+    expansion = expand_union(rewriting, views)
+    return is_equivalent_with_comparisons(expansion, as_union(query))
+
+
+def maximally_contained_rewriting(
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    max_disjuncts: int | None = 64,
+) -> UnionQuery | None:
+    """The union of MiniCon's contained rewritings, redundancy-pruned.
+
+    For pure conjunctive queries and views this union is the maximally
+    contained rewriting.  Disjuncts whose expansion is contained in
+    another disjunct's expansion are dropped, so the result is a minimal
+    union.  Returns ``None`` when no contained rewriting exists.
+    """
+    result = minicon(query, views, max_rewritings=max_disjuncts)
+    disjuncts = list(result.contained_rewritings)
+    if not disjuncts:
+        return None
+
+    expansions = {id(d): expand(d, views) for d in disjuncts}
+    kept: list[ConjunctiveQuery] = []
+    for candidate in disjuncts:
+        if any(
+            is_contained_in(expansions[id(candidate)], expansions[id(k)])
+            for k in kept
+        ):
+            continue  # already covered by a kept disjunct
+        kept = [
+            k
+            for k in kept
+            if not is_contained_in(expansions[id(k)], expansions[id(candidate)])
+        ]
+        kept.append(candidate)
+    return UnionQuery(tuple(kept))

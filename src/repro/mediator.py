@@ -1,0 +1,166 @@
+"""A query mediator: the paper's pipeline packaged as one object.
+
+This is the interface a data-integration or warehousing system (the
+applications motivating the paper's introduction) would actually embed:
+clients ask conjunctive queries, the mediator holds the view definitions
+and the materialized view relations, and every answer is produced by
+
+1. generating the rewriting search space with CoreCover*,
+2. picking a cost-optimal physical plan (M2 by default, with the
+   filtering-subgoal pass),
+3. executing the plan over the view database.
+
+When a query has **no** equivalent rewriting, the mediator degrades
+gracefully to the *certain answers* computed by the inverse-rules
+algorithm — sound (a subset of the true answer) rather than failing.
+
+Plans are cached per query (keyed by a canonical form), so repeated
+queries pay the rewriting search once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .baselines.inverse_rules import certain_answers
+from .core.corecover import core_cover_star
+from .cost.optimizer import (
+    OptimizedPlan,
+    best_rewriting_m2,
+    improve_with_filters,
+    optimal_plan_m3,
+)
+from .cost.report import explain_plan
+from .datalog.query import ConjunctiveQuery
+from .engine.database import Database
+from .engine.materialize import materialize_views
+from .views.view import View, ViewCatalog
+
+
+@dataclass(frozen=True)
+class MediatedAnswer:
+    """An answer plus how it was obtained."""
+
+    rows: frozenset[tuple[object, ...]]
+    #: ``"rewriting"`` (exact, via an equivalent rewriting) or
+    #: ``"certain"`` (sound lower bound, via inverse rules).
+    method: str
+    plan: OptimizedPlan | None = None
+
+    @property
+    def exact(self) -> bool:
+        """Whether the rows are exactly the query's answer."""
+        return self.method == "rewriting"
+
+
+class Mediator:
+    """Answers conjunctive queries using only materialized views."""
+
+    def __init__(
+        self,
+        views: ViewCatalog | Iterable[View],
+        view_database: Database | None = None,
+        base_database: Database | None = None,
+        cost_model: str = "m2",
+        use_filters: bool = True,
+        max_rewritings: int = 32,
+    ) -> None:
+        """Create a mediator over *views*.
+
+        Provide either the already-materialized ``view_database`` or a
+        ``base_database`` to materialize from (closed world).  The
+        ``cost_model`` is ``"m1"``, ``"m2"`` (default), or ``"m3"``.
+        """
+        self.views = (
+            views if isinstance(views, ViewCatalog) else ViewCatalog(views)
+        )
+        if view_database is None:
+            if base_database is None:
+                raise ValueError(
+                    "provide view_database or base_database to answer from"
+                )
+            view_database = materialize_views(self.views, base_database)
+        self.view_database = view_database
+        if cost_model not in {"m1", "m2", "m3"}:
+            raise ValueError(f"unknown cost model {cost_model!r}")
+        self.cost_model = cost_model
+        self.use_filters = use_filters
+        self.max_rewritings = max_rewritings
+        self._plan_cache: dict[str, OptimizedPlan | None] = {}
+
+    # -- public API ----------------------------------------------------------
+    def answer(self, query: ConjunctiveQuery) -> MediatedAnswer:
+        """Answer *query* from the views.
+
+        Exact when an equivalent rewriting exists; otherwise the certain
+        answers (inverse rules), flagged by ``method``.
+        """
+        plan = self.plan_for(query)
+        if plan is not None:
+            from .cost.intermediates import execute_plan
+
+            execution = plan.execution or execute_plan(
+                plan.plan, self.view_database
+            )
+            return MediatedAnswer(execution.answer, "rewriting", plan)
+        rows = certain_answers(query, self.views, self.view_database)
+        return MediatedAnswer(rows, "certain")
+
+    def plan_for(self, query: ConjunctiveQuery) -> OptimizedPlan | None:
+        """The cached cost-optimal plan for *query* (None if unrewritable)."""
+        key = query.canonical_form()
+        if key not in self._plan_cache:
+            self._plan_cache[key] = self._optimize(query)
+        return self._plan_cache[key]
+
+    def explain(self, query: ConjunctiveQuery) -> str:
+        """An EXPLAIN-style report for the query's chosen plan."""
+        plan = self.plan_for(query)
+        if plan is None:
+            return (
+                "no equivalent rewriting exists; the mediator would return "
+                "certain answers via the inverse-rules algorithm"
+            )
+        return explain_plan(plan)
+
+    def cache_info(self) -> dict[str, int]:
+        """Cache statistics: total entries and unrewritable entries."""
+        return {
+            "entries": len(self._plan_cache),
+            "unrewritable": sum(
+                1 for plan in self._plan_cache.values() if plan is None
+            ),
+        }
+
+    # -- internals ------------------------------------------------------------
+    def _optimize(self, query: ConjunctiveQuery) -> OptimizedPlan | None:
+        result = core_cover_star(
+            query, self.views, max_rewritings=self.max_rewritings
+        )
+        if not result.rewritings:
+            return None
+        if self.cost_model == "m1":
+            from .cost.optimizer import optimal_plan_m2
+
+            smallest = min(result.rewritings, key=lambda r: len(r.body))
+            return optimal_plan_m2(smallest, self.view_database)
+        if self.cost_model == "m2":
+            best = best_rewriting_m2(result.rewritings, self.view_database)
+            assert best is not None
+            if self.use_filters and result.filter_candidates:
+                best = improve_with_filters(
+                    best.rewriting,
+                    result.filter_candidates,
+                    self.view_database,
+                )
+            return best
+        # m3: permutation search per rewriting with the Section 6.2 drops.
+        candidates = [
+            optimal_plan_m3(
+                rewriting, query, self.views, self.view_database, "heuristic"
+            )
+            for rewriting in result.rewritings
+            if len(rewriting.body) <= 8
+        ]
+        return min(candidates, key=lambda plan: plan.cost)

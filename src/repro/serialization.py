@@ -1,0 +1,106 @@
+"""Serialization helpers: datalog text and JSON interchange.
+
+Everything the CLI reads and writes is available programmatically here:
+
+* queries and view catalogs round-trip through datalog text (one rule per
+  line, ``#`` comments);
+* databases round-trip through JSON (``{relation: [[v, ...], ...]}``),
+  restricted to JSON-representable scalar values;
+* workloads (config + query + views) round-trip through a single JSON
+  document, so generated experiment inputs can be archived and replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .datalog.parser import parse_program, parse_query
+from .datalog.query import ConjunctiveQuery
+from .engine.database import Database
+from .views.view import ViewCatalog
+from .workload.generator import Workload, WorkloadConfig
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+# -- datalog text -----------------------------------------------------------
+
+def catalog_to_text(views: ViewCatalog) -> str:
+    """Render a view catalog as a datalog program."""
+    return "\n".join(str(view.definition) for view in views) + "\n"
+
+
+def catalog_from_text(text: str) -> ViewCatalog:
+    """Parse a datalog program into a view catalog."""
+    return ViewCatalog(parse_program(text))
+
+
+# -- databases ---------------------------------------------------------------
+
+def database_to_json(database: Database) -> str:
+    """Serialize a database to JSON.  Values must be JSON scalars."""
+    payload: dict[str, list[list[object]]] = {}
+    for relation in database:
+        rows = []
+        for row in sorted(relation, key=repr):
+            for value in row:
+                if not isinstance(value, _SCALARS):
+                    raise TypeError(
+                        f"relation {relation.name!r} holds a non-JSON value "
+                        f"{value!r} ({type(value).__name__})"
+                    )
+            rows.append(list(row))
+        payload[relation.name] = rows
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def database_from_json(text: str) -> Database:
+    """Deserialize a database from JSON.
+
+    Empty relations cannot be represented (arity is inferred from rows);
+    re-register them with :meth:`Database.ensure_relation` if needed.
+    """
+    payload = json.loads(text)
+    database = Database()
+    for name, rows in payload.items():
+        for row in rows:
+            database.add_fact(name, tuple(row))
+    return database
+
+
+# -- workloads ------------------------------------------------------------------
+
+def workload_to_json(workload: Workload) -> str:
+    """Serialize a generated workload (config, query, views)."""
+    return json.dumps(
+        {
+            "config": dataclasses.asdict(workload.config),
+            "query": str(workload.query),
+            "views": [str(v.definition) for v in workload.views],
+        },
+        indent=2,
+    )
+
+
+def workload_from_json(text: str) -> Workload:
+    """Deserialize a workload saved by :func:`workload_to_json`."""
+    payload = json.loads(text)
+    config = WorkloadConfig(**payload["config"])
+    query = parse_query(payload["query"])
+    views = ViewCatalog(payload["views"])
+    return Workload(query, views, config)
+
+
+# -- file helpers -----------------------------------------------------------------
+
+def save(text: str, path: str | Path) -> None:
+    """Write serialized *text* to *path*."""
+    Path(path).write_text(text)
+
+
+def load(path: str | Path) -> str:
+    """Read serialized text from *path*."""
+    return Path(path).read_text()

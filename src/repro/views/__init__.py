@@ -1,0 +1,29 @@
+"""Views substrate: definitions, expansion, and rewriting predicates."""
+
+from .expansion import expand, expand_atom, expand_atoms
+from .rewriting import (
+    enumerate_lmrs_within,
+    is_contained_rewriting,
+    is_equivalent_rewriting,
+    is_locally_minimal,
+    is_minimal_as_query,
+    locally_minimize,
+    subgoal_count,
+)
+from .view import View, ViewCatalog, as_view
+
+__all__ = [
+    "View",
+    "ViewCatalog",
+    "as_view",
+    "enumerate_lmrs_within",
+    "expand",
+    "expand_atom",
+    "expand_atoms",
+    "is_contained_rewriting",
+    "is_equivalent_rewriting",
+    "is_locally_minimal",
+    "is_minimal_as_query",
+    "locally_minimize",
+    "subgoal_count",
+]

@@ -1,0 +1,73 @@
+"""Expansion (unfolding) of rewritings into base predicates.
+
+``P^exp`` (Definition 2.2) is obtained from a rewriting ``P`` by replacing
+every view subgoal with the view's body: head variables are substituted by
+the subgoal's arguments and existential variables are replaced by fresh
+variables, independently for each view occurrence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery, fresh_factory_for
+from ..datalog.substitution import Substitution
+from ..datalog.terms import FreshVariableFactory, Variable
+from .view import View, ViewCatalog
+
+
+def expand_atom(
+    atom: Atom, view: View, factory: FreshVariableFactory
+) -> tuple[Atom, ...]:
+    """Unfold one view subgoal into the view's base-relation body.
+
+    Existential variables of the view become fresh variables drawn from
+    *factory*, so repeated uses of the same view stay standardized apart.
+    """
+    if atom.arity != view.arity:
+        raise ValueError(
+            f"subgoal {atom} does not match view {view.name}/{view.arity}"
+        )
+    mapping: dict[Variable, object] = {
+        head_var: arg for head_var, arg in zip(view.head_variables, atom.args)
+    }
+    for existential in sorted(view.existential_variables(), key=lambda v: v.name):
+        mapping[existential] = factory.fresh_like(existential)
+    substitution = Substitution(mapping)
+    return substitution.apply_atoms(view.definition.body)
+
+
+def expand(
+    rewriting: ConjunctiveQuery, views: ViewCatalog
+) -> ConjunctiveQuery:
+    """The expansion ``P^exp`` of *rewriting* over the catalog's views.
+
+    Subgoals whose predicate is not a catalog view (base relations or
+    built-in comparisons) are kept unchanged, which supports the mixed
+    rewritings of the related work ([6, 27]) as well as the paper's pure
+    view rewritings.
+    """
+    factory = fresh_factory_for(rewriting, *(v.definition for v in views))
+    expanded: list[Atom] = []
+    for atom in rewriting.body:
+        if atom.predicate in views and not atom.is_comparison:
+            expanded.extend(expand_atom(atom, views.get(atom.predicate), factory))
+        else:
+            expanded.append(atom)
+    return ConjunctiveQuery(rewriting.head, tuple(expanded))
+
+
+def expand_atoms(
+    atoms: Sequence[Atom],
+    views: ViewCatalog,
+    factory: FreshVariableFactory,
+) -> tuple[Atom, ...]:
+    """Expand a list of subgoals without a head (used by tuple-cores)."""
+    expanded: list[Atom] = []
+    for atom in atoms:
+        if atom.predicate in views and not atom.is_comparison:
+            expanded.extend(expand_atom(atom, views.get(atom.predicate), factory))
+        else:
+            expanded.append(atom)
+    return tuple(expanded)

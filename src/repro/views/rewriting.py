@@ -1,0 +1,125 @@
+"""Equivalent rewritings and the minimality notions of Section 3.
+
+Terminology (Figure 1):
+
+* **rewriting** — a query over view predicates whose expansion is
+  *equivalent* to the query (Definition 2.3);
+* **minimal rewriting** — no redundant subgoals *as a query over the view
+  predicates* (Chandra-Merlin minimality);
+* **locally minimal rewriting (LMR)** — no subgoal can be dropped while
+  the *expansion* stays equivalent to the query;
+* **containment-minimal rewriting (CMR)** — an LMR with no other LMR
+  properly contained in it as a query (see :mod:`repro.core.lattice`);
+* **globally minimal rewriting (GMR)** — fewest subgoals overall.
+
+Note the subtlety demonstrated by P2/P3 of the car-loc-part example: a
+rewriting can be minimal as a query yet not locally minimal, because
+removing a subgoal changes the query but may preserve the *expansion's*
+equivalence to ``Q``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from ..containment.containment import is_contained_in, is_equivalent_to
+from ..containment.minimize import is_minimal
+from ..datalog.query import ConjunctiveQuery
+from .expansion import expand
+from .view import ViewCatalog
+
+
+def is_equivalent_rewriting(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> bool:
+    """Definition 2.3: ``P`` is an equivalent rewriting iff ``P^exp ≡ Q``."""
+    return is_equivalent_to(expand(rewriting, views), query)
+
+
+def is_contained_rewriting(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> bool:
+    """Whether ``P^exp ⊑ Q`` (the open-world notion used by the baselines)."""
+    return is_contained_in(expand(rewriting, views), query)
+
+
+def is_minimal_as_query(rewriting: ConjunctiveQuery) -> bool:
+    """Minimality over the view predicates (region 1 of Figure 1)."""
+    return is_minimal(rewriting)
+
+
+def is_locally_minimal(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> bool:
+    """Whether no single subgoal can be dropped while staying a rewriting."""
+    if not is_equivalent_rewriting(rewriting, query, views):
+        return False
+    for index in range(len(rewriting.body)):
+        candidate = rewriting.without_atom(index)
+        if candidate.is_safe() and is_equivalent_rewriting(candidate, query, views):
+            return False
+    return True
+
+
+def locally_minimize(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> ConjunctiveQuery:
+    """Greedily drop subgoals until the rewriting is locally minimal.
+
+    This is the two-step minimization of Section 3.1: the result is an LMR
+    reachable from *rewriting*; different drop orders may reach different
+    LMRs (use :func:`enumerate_lmrs_within` for all of them).
+    """
+    current = rewriting.dedup_body()
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate = current.without_atom(index)
+            if candidate.is_safe() and is_equivalent_rewriting(
+                candidate, query, views
+            ):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def enumerate_lmrs_within(
+    rewriting: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> Iterator[ConjunctiveQuery]:
+    """All LMRs whose subgoals are a subset of *rewriting*'s subgoals.
+
+    Enumerates subsets smallest-first and keeps the subset-minimal
+    equivalent ones.  Exponential in ``len(rewriting)``; intended for the
+    small rewritings that arise from view-tuple search spaces.
+    """
+    body = rewriting.dedup_body().body
+    found: list[frozenset[int]] = []
+    for size in range(1, len(body) + 1):
+        for indices in combinations(range(len(body)), size):
+            index_set = frozenset(indices)
+            if any(previous <= index_set for previous in found):
+                continue
+            candidate = rewriting.with_body(body[i] for i in indices)
+            if not candidate.is_safe():
+                continue
+            if is_equivalent_rewriting(candidate, query, views):
+                found.append(index_set)
+                yield candidate
+
+
+def subgoal_count(rewriting: ConjunctiveQuery) -> int:
+    """The M1 size of a rewriting: its number of subgoals."""
+    return len(rewriting.body)

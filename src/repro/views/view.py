@@ -1,0 +1,109 @@
+"""View definitions and view catalogs.
+
+A view is a safe conjunctive query over the base relations (Section 2.1).
+As is standard (and as in every example of the paper), view heads must
+list distinct variables — the view relation's schema — with no constants
+or repeated variables; this keeps view expansion a pure substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..datalog.query import ConjunctiveQuery, MalformedQueryError
+from ..datalog.parser import parse_query
+from ..datalog.terms import Variable, is_variable
+
+
+@dataclass(frozen=True)
+class View:
+    """A named materialized view with a conjunctive definition."""
+
+    definition: ConjunctiveQuery
+
+    def __post_init__(self) -> None:
+        self.definition.check_safe()
+        head_args = self.definition.head.args
+        if not all(is_variable(arg) for arg in head_args):
+            raise MalformedQueryError(
+                f"view {self.name}: head arguments must be variables"
+            )
+        if len(set(head_args)) != len(head_args):
+            raise MalformedQueryError(
+                f"view {self.name}: head variables must be distinct"
+            )
+
+    @property
+    def name(self) -> str:
+        """The view's relation name (head predicate)."""
+        return self.definition.name
+
+    @property
+    def arity(self) -> int:
+        """The view relation's arity."""
+        return self.definition.arity
+
+    @property
+    def head_variables(self) -> tuple[Variable, ...]:
+        """The view's distinguished variables in schema order."""
+        return tuple(self.definition.head.args)  # all variables by validation
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """The view's nondistinguished variables."""
+        return self.definition.existential_variables()
+
+    def __str__(self) -> str:
+        return str(self.definition)
+
+
+class ViewCatalog:
+    """A set of views indexed by name.
+
+    The catalog is what a rewriting is interpreted against: any body
+    predicate of a rewriting that names a catalog view is unfolded by
+    :func:`repro.views.expansion.expand`.
+    """
+
+    def __init__(self, views: Iterable[View | ConjunctiveQuery | str] = ()) -> None:
+        self._views: dict[str, View] = {}
+        for view in views:
+            self.add(view)
+
+    def add(self, view: View | ConjunctiveQuery | str) -> View:
+        """Register a view given as a :class:`View`, a CQ, or datalog text."""
+        view = as_view(view)
+        if view.name in self._views:
+            raise ValueError(f"duplicate view name {view.name!r}")
+        self._views[view.name] = view
+        return view
+
+    def get(self, name: str) -> View:
+        """The view registered under *name* (raises ``KeyError`` if absent)."""
+        return self._views[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._views
+
+    def __iter__(self) -> Iterator[View]:
+        return iter(self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def names(self) -> tuple[str, ...]:
+        """All view names in registration order."""
+        return tuple(self._views)
+
+    def definitions(self) -> tuple[ConjunctiveQuery, ...]:
+        """All view definitions in registration order."""
+        return tuple(view.definition for view in self._views.values())
+
+
+def as_view(view: View | ConjunctiveQuery | str) -> View:
+    """Coerce datalog text or a conjunctive query into a :class:`View`."""
+    if isinstance(view, View):
+        return view
+    if isinstance(view, str):
+        view = parse_query(view)
+    return View(view)

@@ -1,0 +1,41 @@
+"""Workload generation: query/view shapes and random base-data instances."""
+
+from .generator import (
+    Workload,
+    WorkloadConfig,
+    WorkloadError,
+    generate_workload,
+    workload_series,
+)
+from .instances import schema_of, skewed_database, uniform_database
+from .shapes import (
+    chain_query,
+    chain_view,
+    cycle_query,
+    cycle_view,
+    random_query,
+    random_view,
+    relation_name,
+    star_query,
+    star_view,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadError",
+    "chain_query",
+    "chain_view",
+    "cycle_query",
+    "cycle_view",
+    "generate_workload",
+    "random_query",
+    "random_view",
+    "relation_name",
+    "schema_of",
+    "skewed_database",
+    "star_query",
+    "star_view",
+    "uniform_database",
+    "workload_series",
+]

@@ -1,0 +1,87 @@
+"""Random base-database instances for the M2/M3 experiments.
+
+The paper's M2/M3 sections reason about the *sizes* of view relations and
+intermediate relations.  To measure those sizes exactly we generate random
+base data, materialize the views over it (closed-world assumption), and
+execute physical plans on the resulting view database.
+
+Two generators are provided: a uniform-random one and a *skewed* one whose
+Zipf-like key reuse produces the selective/non-selective contrasts that
+make filtering subgoals (Section 5.1) and attribute drops (Section 6)
+visible in costs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping, Sequence
+
+from ..datalog.query import ConjunctiveQuery
+from ..engine.database import Database
+from ..engine.relation import Relation
+
+
+def uniform_database(
+    schema: Mapping[str, int],
+    tuples_per_relation: int,
+    domain_size: int,
+    rng: random.Random,
+) -> Database:
+    """Random tuples with i.i.d. uniform attribute values.
+
+    ``schema`` maps relation names to arities.  Duplicate tuples collapse
+    under set semantics, so very small domains may yield fewer than
+    ``tuples_per_relation`` rows.
+    """
+    database = Database()
+    for name, arity in schema.items():
+        relation = Relation(name, arity)
+        for _ in range(tuples_per_relation):
+            relation.add(tuple(rng.randrange(domain_size) for _ in range(arity)))
+        database.add_relation(relation)
+    return database
+
+
+def skewed_database(
+    schema: Mapping[str, int],
+    tuples_per_relation: int,
+    domain_size: int,
+    rng: random.Random,
+    skew: float = 1.1,
+) -> Database:
+    """Random tuples with Zipf-skewed values (heavier reuse of small keys).
+
+    Skewed joins produce large intermediate relations for bad orders and
+    small ones for good orders, which is what cost model M2 is designed to
+    distinguish.
+    """
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain_size)]
+    values = list(range(domain_size))
+    database = Database()
+    for name, arity in schema.items():
+        relation = Relation(name, arity)
+        for _ in range(tuples_per_relation):
+            relation.add(
+                tuple(rng.choices(values, weights=weights)[0] for _ in range(arity))
+            )
+        database.add_relation(relation)
+    return database
+
+
+def schema_of(
+    query: ConjunctiveQuery, *more: ConjunctiveQuery
+) -> dict[str, int]:
+    """The base schema (name -> arity) used by the given queries/definitions."""
+    schema: dict[str, int] = {}
+    for q in (query, *more):
+        for atom in q.body:
+            if atom.is_comparison:
+                continue
+            existing = schema.get(atom.predicate)
+            if existing is not None and existing != atom.arity:
+                raise ValueError(
+                    f"inconsistent arity for {atom.predicate!r}: "
+                    f"{existing} vs {atom.arity}"
+                )
+            schema[atom.predicate] = atom.arity
+    return schema

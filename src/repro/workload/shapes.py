@@ -1,0 +1,252 @@
+"""Query/view shape builders: star, chain, and random (Section 7 / [23]).
+
+The paper's generator takes the number of base relations, attributes,
+views, subgoals per view (1-3), subgoals per query (8), the shape, and the
+distinguished-variable policy.  The builders below construct single
+queries/views; :mod:`repro.workload.generator` assembles whole workloads.
+
+Conventions:
+
+* all base relations are binary (as stated for the chain experiments; we
+  keep stars binary too, sharing the center variable in position 0);
+* **star**: subgoal ``r_i(X0, X_i)`` — every subgoal shares the center
+  ``X0``;
+* **chain**: subgoal ``r_i(X_{i-1}, X_i)`` over consecutive relations;
+* **random**: each subgoal picks a random relation and two random
+  variables from a small pool.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.terms import Variable
+from ..views.view import View
+
+
+def relation_name(index: int) -> str:
+    """The canonical name of the i-th base relation."""
+    return f"r{index}"
+
+
+# -- star ---------------------------------------------------------------------
+
+def star_query(
+    relation_indices: Sequence[int],
+    head_name: str = "q",
+    nondistinguished: int = 0,
+) -> ConjunctiveQuery:
+    """A star query over the given relations, center variable ``X0``.
+
+    ``nondistinguished`` satellite variables (from the last subgoals) are
+    left out of the head, mirroring the Figure 6(b) configuration.
+    """
+    center = Variable("X0")
+    satellites = [Variable(f"X{i + 1}") for i in range(len(relation_indices))]
+    body = tuple(
+        Atom(relation_name(r), (center, satellites[i]))
+        for i, r in enumerate(relation_indices)
+    )
+    head_vars: list[Variable] = [center] + satellites
+    if nondistinguished:
+        head_vars = head_vars[: len(head_vars) - nondistinguished]
+    return ConjunctiveQuery(Atom(head_name, tuple(head_vars)), body)
+
+
+def star_view(
+    relation_indices: Sequence[int],
+    name: str,
+    nondistinguished: int = 0,
+    rng: random.Random | None = None,
+) -> View:
+    """A star-shaped view over the given relations.
+
+    With ``nondistinguished > 0``, that many randomly chosen satellite
+    variables are dropped from the head (the center always stays, so the
+    view remains joinable).
+    """
+    center = Variable("C")
+    satellites = [Variable(f"Y{i}") for i in range(len(relation_indices))]
+    body = tuple(
+        Atom(relation_name(r), (center, satellites[i]))
+        for i, r in enumerate(relation_indices)
+    )
+    head_vars = [center] + satellites
+    if nondistinguished:
+        rng = rng or random.Random(0)
+        removable = satellites[:]
+        rng.shuffle(removable)
+        removed = set(removable[:nondistinguished])
+        head_vars = [v for v in head_vars if v not in removed]
+    return View(ConjunctiveQuery(Atom(name, tuple(head_vars)), body))
+
+
+# -- chain -----------------------------------------------------------------------
+
+def chain_query(
+    start: int,
+    length: int,
+    head_name: str = "q",
+    nondistinguished: int = 0,
+) -> ConjunctiveQuery:
+    """A chain query over relations ``r_start .. r_{start+length-1}``.
+
+    All chain variables are distinguished by default; with
+    ``nondistinguished > 0`` that many *interior* variables (never the two
+    endpoints) are dropped from the head.
+    """
+    variables = [Variable(f"X{i}") for i in range(length + 1)]
+    body = tuple(
+        Atom(relation_name(start + i), (variables[i], variables[i + 1]))
+        for i in range(length)
+    )
+    head_vars = list(variables)
+    if nondistinguished:
+        interior = variables[1:-1]
+        if nondistinguished > len(interior):
+            raise ValueError("cannot drop more interior variables than exist")
+        removed = set(interior[:nondistinguished])
+        head_vars = [v for v in head_vars if v not in removed]
+    return ConjunctiveQuery(Atom(head_name, tuple(head_vars)), body)
+
+
+def chain_view(
+    start: int,
+    length: int,
+    name: str,
+    nondistinguished: int = 0,
+    rng: random.Random | None = None,
+) -> View:
+    """A chain view over ``length`` consecutive relations from *start*.
+
+    As in the paper's setup, single-subgoal views keep both variables
+    distinguished; longer views may drop interior variables.
+    """
+    variables = [Variable(f"Y{i}") for i in range(length + 1)]
+    body = tuple(
+        Atom(relation_name(start + i), (variables[i], variables[i + 1]))
+        for i in range(length)
+    )
+    head_vars = list(variables)
+    interior = variables[1:-1]
+    if nondistinguished and interior:
+        rng = rng or random.Random(0)
+        removable = interior[:]
+        rng.shuffle(removable)
+        removed = set(removable[:nondistinguished])
+        head_vars = [v for v in head_vars if v not in removed]
+    return View(ConjunctiveQuery(Atom(name, tuple(head_vars)), body))
+
+
+# -- cycle --------------------------------------------------------------------
+
+def cycle_query(
+    relation_indices: Sequence[int],
+    head_name: str = "q",
+    nondistinguished: int = 0,
+) -> ConjunctiveQuery:
+    """A cycle query: ``r_i(X_i, X_{i+1})`` with the last edge closing
+    back to ``X_0`` (one of the [23] shapes the paper's generator follows).
+    """
+    n = len(relation_indices)
+    if n < 2:
+        raise ValueError("a cycle needs at least two relations")
+    variables = [Variable(f"X{i}") for i in range(n)]
+    body = tuple(
+        Atom(
+            relation_name(r),
+            (variables[i], variables[(i + 1) % n]),
+        )
+        for i, r in enumerate(relation_indices)
+    )
+    head_vars = list(variables)
+    if nondistinguished:
+        if nondistinguished >= n:
+            raise ValueError("cannot drop every cycle variable")
+        head_vars = head_vars[: n - nondistinguished]
+    return ConjunctiveQuery(Atom(head_name, tuple(head_vars)), body)
+
+
+def cycle_view(
+    relation_indices: Sequence[int],
+    start: int,
+    length: int,
+    name: str,
+    nondistinguished: int = 0,
+    rng: random.Random | None = None,
+) -> View:
+    """A view over a contiguous *arc* of the cycle's relations.
+
+    The arc may wrap around; like chain views, interior variables may be
+    made nondistinguished while the endpoints stay in the head.
+    """
+    n = len(relation_indices)
+    if not 1 <= length <= n:
+        raise ValueError("arc length must be between 1 and the cycle size")
+    variables = [Variable(f"Y{i}") for i in range(length + 1)]
+    body = tuple(
+        Atom(
+            relation_name(relation_indices[(start + i) % n]),
+            (variables[i], variables[i + 1]),
+        )
+        for i in range(length)
+    )
+    head_vars = list(variables)
+    interior = variables[1:-1]
+    if nondistinguished and interior:
+        rng = rng or random.Random(0)
+        removable = interior[:]
+        rng.shuffle(removable)
+        removed = set(removable[:nondistinguished])
+        head_vars = [v for v in head_vars if v not in removed]
+    return View(ConjunctiveQuery(Atom(name, tuple(head_vars)), body))
+
+
+# -- random ---------------------------------------------------------------------
+
+def random_query(
+    num_relations: int,
+    num_subgoals: int,
+    rng: random.Random,
+    head_name: str = "q",
+    variable_pool: int | None = None,
+    nondistinguished: int = 0,
+) -> ConjunctiveQuery:
+    """A random binary-join query: each subgoal picks a relation and vars."""
+    pool = variable_pool or num_subgoals + 2
+    variables = [Variable(f"X{i}") for i in range(pool)]
+    body = []
+    for _ in range(num_subgoals):
+        relation = relation_name(rng.randrange(num_relations))
+        left, right = rng.choice(variables), rng.choice(variables)
+        body.append(Atom(relation, (left, right)))
+    used: list[Variable] = []
+    for atom in body:
+        for variable in atom.variables():
+            if variable not in used:
+                used.append(variable)
+    head_vars = used[: max(1, len(used) - nondistinguished)]
+    return ConjunctiveQuery(Atom(head_name, tuple(head_vars)), tuple(body))
+
+
+def random_view(
+    num_relations: int,
+    num_subgoals: int,
+    name: str,
+    rng: random.Random,
+    variable_pool: int | None = None,
+    nondistinguished: int = 0,
+) -> View:
+    """A random binary-join view (head variables deduplicated)."""
+    query = random_query(
+        num_relations,
+        num_subgoals,
+        rng,
+        head_name=name,
+        variable_pool=variable_pool,
+        nondistinguished=nondistinguished,
+    )
+    return View(query)

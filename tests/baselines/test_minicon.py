@@ -1,0 +1,103 @@
+"""Tests for the MiniCon baseline and the Section 4.3 comparison."""
+
+import pytest
+
+from repro.baselines import form_mcds, minicon
+from repro.core import core_cover
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part, example_42
+from repro.views import ViewCatalog, is_equivalent_rewriting
+
+
+class TestMcdFormation:
+    def test_mcds_cover_pairs_in_example_42(self):
+        ex = example_42(3)
+        mcds = form_mcds(ex.query, ex.views)
+        v_mcds = [m for m in mcds if m.view.name == "v"]
+        # One MCD per a_i/b_i pair, as the paper describes.
+        assert sorted(tuple(sorted(m.covered)) for m in v_mcds) == [
+            (0, 1), (2, 3), (4, 5),
+        ]
+
+    def test_distinguished_variable_blocks_mcd(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        views = ViewCatalog(["v(A) :- e(A, B)"])  # B existential
+        assert form_mcds(q, views) == []
+
+    def test_existential_closure_enforced(self):
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["v(A, B) :- e(A, C), f(C, B)"])
+        mcds = form_mcds(q, views)
+        assert len(mcds) == 1
+        assert mcds[0].covered == {0, 1}
+
+    def test_closure_failure_yields_no_mcd(self):
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["v(A) :- e(A, C)"])
+        assert form_mcds(q, views) == []
+
+    def test_constant_in_query_meets_head_variable(self):
+        q = parse_query("q(X) :- e(X, a)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        mcds = form_mcds(q, views)
+        assert len(mcds) == 1
+        assert str(mcds[0].literal) == "v(X, a)"
+
+
+class TestExample42Comparison:
+    """Section 4.3: MiniCon produces redundant rewritings, CoreCover not."""
+
+    def test_minicon_produces_redundant_combinations(self):
+        ex = example_42(3)
+        result = minicon(ex.query, ex.views)
+        sizes = sorted(len(r.body) for r in result.contained_rewritings)
+        assert sizes[0] == 1  # the good rewriting q :- v(X, Y)
+        assert sizes[-1] > 1  # plus redundant combinations
+
+    def test_corecover_produces_only_the_gmr(self):
+        ex = example_42(3)
+        result = core_cover(ex.query, ex.views)
+        assert [len(r.body) for r in result.rewritings] == [1]
+
+    def test_minicon_redundant_rewritings_still_equivalent(self):
+        """Closed world: the redundant combinations compute the answer too."""
+        ex = example_42(2)
+        result = minicon(ex.query, ex.views)
+        for rewriting in result.contained_rewritings:
+            assert is_equivalent_rewriting(rewriting, ex.query, ex.views)
+
+
+class TestMiniConGeneral:
+    def test_car_loc_part_equivalents_found_but_never_p4(self):
+        """MiniCon's minimal MCDs cannot merge into one v4 literal.
+
+        Every MCD covers a minimal closed subgoal set, so the combination
+        step emits one literal per MCD: MiniCon finds 3-subgoal equivalent
+        rewritings (e.g. three v4 literals) but never the 1-subgoal GMR P4
+        — the Section 4.3 criticism CoreCover addresses.
+        """
+        clp = car_loc_part()
+        result = minicon(clp.query, clp.views, require_equivalent=True)
+        assert result.contained_rewritings
+        sizes = {len(r.body) for r in result.contained_rewritings}
+        assert min(sizes) == 3
+        rendered = {r.canonical_form() for r in result.contained_rewritings}
+        assert clp.p4.canonical_form() not in rendered
+
+    def test_contained_rewritings_are_contained(self):
+        clp = car_loc_part()
+        from repro.views import is_contained_rewriting
+
+        result = minicon(clp.query, clp.views)
+        for rewriting in result.contained_rewritings:
+            assert is_contained_rewriting(rewriting, clp.query, clp.views)
+
+    def test_no_views_no_rewritings(self):
+        q = parse_query("q(X) :- e(X, X)")
+        result = minicon(q, ViewCatalog([]))
+        assert result.contained_rewritings == ()
+
+    def test_max_rewritings_cap(self):
+        ex = example_42(4)
+        result = minicon(ex.query, ex.views, max_rewritings=2)
+        assert len(result.contained_rewritings) <= 2

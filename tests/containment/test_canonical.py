@@ -1,0 +1,63 @@
+"""Tests for canonical (frozen) databases."""
+
+from repro.containment import canonical_database, is_frozen, thaw_atom, thaw_term
+from repro.containment.canonical import FrozenMarker, freeze_variable
+from repro.datalog import Constant, Variable, parse_query
+
+
+class TestFreezing:
+    def test_facts_are_ground(self):
+        q = parse_query("q(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+        cdb = canonical_database(q)
+        for fact in cdb.facts:
+            assert all(isinstance(arg, Constant) for arg in fact.args)
+
+    def test_distinct_variables_get_distinct_constants(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        cdb = canonical_database(q)
+        fact = cdb.facts[0]
+        assert fact.args[0] != fact.args[1]
+
+    def test_repeated_variable_shares_constant(self):
+        q = parse_query("q(X) :- e(X, X)")
+        cdb = canonical_database(q)
+        fact = cdb.facts[0]
+        assert fact.args[0] == fact.args[1]
+
+    def test_real_constants_preserved(self):
+        q = parse_query("q(X) :- e(X, anderson)")
+        cdb = canonical_database(q)
+        assert Constant("anderson") in cdb.facts[0].args
+
+    def test_frozen_constants_cannot_collide_with_real_ones(self):
+        # Even a constant literally named like a frozen marker's variable
+        # stays distinct, because frozen payloads are FrozenMarker objects.
+        q = parse_query("q(X) :- e(X, 'X')")
+        cdb = canonical_database(q)
+        frozen, real = cdb.facts[0].args
+        assert is_frozen(frozen)
+        assert not is_frozen(real)
+        assert frozen != real
+
+    def test_frozen_head(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        cdb = canonical_database(q)
+        assert is_frozen(cdb.frozen_head.args[0])
+
+
+class TestThawing:
+    def test_round_trip(self):
+        q = parse_query("q(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+        cdb = canonical_database(q)
+        thawed = tuple(thaw_atom(fact) for fact in cdb.facts)
+        assert thawed == q.body
+
+    def test_thaw_term_on_plain_constant(self):
+        assert thaw_term(Constant("a")) == Constant("a")
+
+    def test_freeze_then_thaw_variable(self):
+        v = Variable("City")
+        assert thaw_term(freeze_variable(v)) == v
+
+    def test_marker_str(self):
+        assert str(FrozenMarker("X")) == "~X"

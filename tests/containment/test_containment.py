@@ -1,0 +1,113 @@
+"""Tests for Chandra-Merlin containment and equivalence."""
+
+import pytest
+
+from repro.containment import (
+    containment_mapping,
+    containment_mappings,
+    head_unifier,
+    is_contained_in,
+    is_equivalent_to,
+    is_properly_contained_in,
+)
+from repro.containment.containment import IncompatibleQueriesError
+from repro.datalog import parse_query
+
+
+class TestContainment:
+    def test_specialization_is_contained(self):
+        specific = parse_query("q(X) :- e(X, X)")
+        general = parse_query("q(X) :- e(X, Y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_extra_subgoal_restricts(self):
+        more = parse_query("q(X) :- e(X, Y), f(Y, Z)")
+        less = parse_query("q(X) :- e(X, Y)")
+        assert is_contained_in(more, less)
+        assert not is_contained_in(less, more)
+
+    def test_constants_must_match(self):
+        with_const = parse_query("q(X) :- e(X, a)")
+        with_var = parse_query("q(X) :- e(X, Y)")
+        assert is_contained_in(with_const, with_var)
+        assert not is_contained_in(with_var, with_const)
+
+    def test_different_head_predicates_incomparable(self):
+        q = parse_query("q(X) :- e(X, X)")
+        p = parse_query("p(X) :- e(X, X)")
+        assert not is_contained_in(q, p)
+
+    def test_head_constant_unification(self):
+        grounded = parse_query("q(a) :- e(a, a)")
+        general = parse_query("q(X) :- e(X, X)")
+        assert is_contained_in(grounded, general)
+        assert not is_contained_in(general, grounded)
+
+    def test_classic_path_vs_cycle(self):
+        # A boolean 2-cycle query is contained in the 2-path query.
+        cycle = parse_query("q(X) :- e(X, Y), e(Y, X)")
+        path = parse_query("q(X) :- e(X, Y), e(Y, Z)")
+        assert is_contained_in(cycle, path)
+        assert not is_contained_in(path, cycle)
+
+    def test_rejects_comparison_atoms(self):
+        q = parse_query("q(X) :- e(X, Y), X <= Y")
+        with pytest.raises(IncompatibleQueriesError):
+            is_contained_in(q, q)
+
+
+class TestEquivalence:
+    def test_renaming_equivalence(self):
+        q1 = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        q2 = parse_query("q(U, V) :- e(U, W), f(W, V)")
+        assert is_equivalent_to(q1, q2)
+
+    def test_redundant_subgoal_equivalence(self):
+        q1 = parse_query("q(X) :- e(X, Y), e(X, Z)")
+        q2 = parse_query("q(X) :- e(X, Y)")
+        assert is_equivalent_to(q1, q2)
+
+    def test_body_order_irrelevant(self):
+        q1 = parse_query("q(X) :- e(X, Y), f(Y, X)")
+        q2 = parse_query("q(X) :- f(Y, X), e(X, Y)")
+        assert is_equivalent_to(q1, q2)
+
+    def test_not_equivalent(self):
+        assert not is_equivalent_to(
+            parse_query("q(X) :- e(X, X)"), parse_query("q(X) :- e(X, Y)")
+        )
+
+    def test_proper_containment(self):
+        specific = parse_query("q(X) :- e(X, X)")
+        general = parse_query("q(X) :- e(X, Y)")
+        assert is_properly_contained_in(specific, general)
+        assert not is_properly_contained_in(general, general)
+
+
+class TestMappings:
+    def test_head_unifier_binds_positionally(self):
+        outer = parse_query("q(U, V) :- e(U, V)")
+        inner = parse_query("q(X, a) :- e(X, a)")
+        seed = head_unifier(outer, inner)
+        assert seed is not None
+        assert seed.apply_atom(outer.head) == inner.head
+
+    def test_head_unifier_conflict(self):
+        outer = parse_query("q(U, U) :- e(U, U)")
+        inner = parse_query("q(X, Y) :- e(X, Y)")
+        # U must map to both X and Y: impossible.
+        assert head_unifier(outer, inner) is None
+
+    def test_containment_mapping_witness(self):
+        outer = parse_query("q(X) :- e(X, Y)")
+        inner = parse_query("q(X) :- e(X, X)")
+        mapping = containment_mapping(outer, inner)
+        assert mapping is not None
+        mapped_body = mapping.apply_atoms(outer.body)
+        assert set(mapped_body) <= set(inner.body)
+
+    def test_all_mappings_enumerated(self):
+        outer = parse_query("q(X) :- e(X, Y)")
+        inner = parse_query("q(X) :- e(X, Z), e(X, W)")
+        assert len(list(containment_mappings(outer, inner))) == 2

@@ -1,0 +1,69 @@
+"""Tests for conjunctive-query minimization (core computation)."""
+
+from repro.containment import is_equivalent_to, is_minimal, minimize
+from repro.containment.minimize import core_size
+from repro.datalog import parse_query
+
+
+class TestMinimize:
+    def test_removes_duplicate_atoms(self):
+        q = parse_query("q(X) :- e(X, Y), e(X, Y)")
+        assert len(minimize(q)) == 1
+
+    def test_removes_subsumed_atom(self):
+        q = parse_query("q(X) :- e(X, Y), e(X, Z)")
+        m = minimize(q)
+        assert len(m) == 1
+        assert is_equivalent_to(m, q)
+
+    def test_keeps_constant_restriction(self):
+        # e(X, a) is more specific than e(X, Y): neither subsumes the other
+        # at the query level because dropping e(X, Y) is fine but dropping
+        # e(X, a) is not.
+        q = parse_query("q(X) :- e(X, a), e(X, Y)")
+        m = minimize(q)
+        assert len(m) == 1
+        assert m.body[0] == parse_query("q(X) :- e(X, a)").body[0]
+
+    def test_already_minimal_untouched(self):
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        assert minimize(q) == q
+
+    def test_triangle_folds_onto_loop(self):
+        # Boolean query: a 2-path folds onto the self-loop.
+        q = parse_query("q() :- e(X, Y), e(Y, X), e(X, X)")
+        m = minimize(q)
+        assert len(m) == 1
+        assert is_equivalent_to(m, q)
+
+    def test_distinguished_variables_block_folding(self):
+        # With X and Y distinguished, nothing can fold.
+        q = parse_query("q(X, Y) :- e(X, Y), e(Y, X)")
+        assert minimize(q) == q
+
+    def test_equivalence_preserved(self):
+        q = parse_query(
+            "q(X) :- e(X, Y), e(X, Z), f(Z, W), f(Z, U), e(X, X)"
+        )
+        m = minimize(q)
+        assert is_equivalent_to(m, q)
+        assert is_minimal(m)
+
+    def test_core_size(self):
+        assert core_size(parse_query("q(X) :- e(X, Y), e(X, Z)")) == 1
+
+
+class TestIsMinimal:
+    def test_minimal_query(self):
+        assert is_minimal(parse_query("q(X) :- e(X, Y), f(Y, X)"))
+
+    def test_redundant_query(self):
+        assert not is_minimal(parse_query("q(X) :- e(X, Y), e(X, Z)"))
+
+    def test_duplicate_atoms_not_minimal(self):
+        assert not is_minimal(parse_query("q(X) :- e(X, Y), e(X, Y)"))
+
+    def test_minimize_idempotent(self):
+        q = parse_query("q(X) :- e(X, Y), e(Y, Z), e(X, Z), e(X, W)")
+        once = minimize(q)
+        assert minimize(once) == once

@@ -1,0 +1,96 @@
+"""Tests for the CoreCover certification layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import core_cover, core_cover_star
+from repro.core.certify import Certificate, certify
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part, example_41
+from repro.views import ViewCatalog
+from repro.workload import WorkloadConfig, generate_workload
+
+
+class TestValidResults:
+    def test_car_loc_part_certifies(self):
+        clp = car_loc_part()
+        result = core_cover(clp.query, clp.views)
+        certificate = certify(result, clp.views, verify_minimality=True)
+        assert certificate.ok, str(certificate)
+
+    def test_example_41_certifies(self):
+        ex = example_41()
+        result = core_cover(ex.query, ex.views)
+        assert certify(result, ex.views, verify_minimality=True).ok
+
+    def test_star_variant_certifies(self):
+        clp = car_loc_part()
+        result = core_cover_star(clp.query, clp.views)
+        assert certify(result, clp.views).ok
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_random_workload_certifies(self, seed):
+        workload = generate_workload(
+            WorkloadConfig(
+                shape="chain",
+                num_relations=15,
+                query_subgoals=4,
+                num_views=20,
+                seed=seed,
+            )
+        )
+        result = core_cover(workload.query, workload.views)
+        certificate = certify(result, workload.views, verify_minimality=True)
+        assert certificate.ok, str(certificate)
+
+    def test_empty_result_certifies(self):
+        q = parse_query("q(X) :- e(X, X), f(X, X)")
+        views = ViewCatalog(["v(A) :- e(A, A)"])
+        assert certify(core_cover(q, views), views).ok
+
+
+class TestTamperedResults:
+    def test_bogus_rewriting_detected(self):
+        clp = car_loc_part()
+        result = core_cover(clp.query, clp.views)
+        bogus = parse_query("q1(S, C) :- v2(S, M, C)")
+        tampered = dataclasses.replace(
+            result, rewritings=result.rewritings + (bogus,)
+        )
+        certificate = certify(tampered, clp.views)
+        assert not certificate.ok
+        assert any("not an equivalent rewriting" in i for i in certificate.issues)
+
+    def test_unsafe_rewriting_detected(self):
+        clp = car_loc_part()
+        result = core_cover(clp.query, clp.views)
+        unsafe = parse_query("q1(S, C) :- v3(S)")  # C unbound
+        tampered = dataclasses.replace(
+            result, rewritings=result.rewritings + (unsafe,)
+        )
+        certificate = certify(tampered, clp.views)
+        assert any("unsafe" in issue for issue in certificate.issues)
+
+    def test_foreign_predicate_detected(self):
+        clp = car_loc_part()
+        result = core_cover(clp.query, clp.views)
+        foreign = parse_query("q1(S, C) :- w(S, C)")
+        tampered = dataclasses.replace(
+            result, rewritings=result.rewritings + (foreign,)
+        )
+        certificate = certify(tampered, clp.views)
+        assert any("non-view predicates" in issue for issue in certificate.issues)
+
+    def test_inflated_minimum_detected(self):
+        clp = car_loc_part()
+        star = core_cover_star(clp.query, clp.views)
+        # Pretend the 2-subgoal rewriting is the best (drop the GMR).
+        only_p2 = tuple(r for r in star.rewritings if len(r.body) == 2)
+        tampered = dataclasses.replace(star, rewritings=only_p2)
+        certificate = certify(tampered, clp.views, verify_minimality=True)
+        assert any("found smaller" in issue for issue in certificate.issues)
+
+    def test_certificate_rendering(self):
+        assert str(Certificate()) == "certificate: OK"
+        assert "1 issue" in str(Certificate(("boom",)))

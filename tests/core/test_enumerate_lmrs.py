@@ -1,0 +1,70 @@
+"""Tests for LMR enumeration within the view-tuple space."""
+
+import pytest
+
+from repro.core import (
+    core_cover,
+    enumerate_view_tuple_lmrs,
+    view_tuple_lattice,
+)
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part, example_41
+from repro.views import ViewCatalog, is_locally_minimal
+
+
+class TestEnumeration:
+    def test_car_loc_part_lmrs(self):
+        clp = car_loc_part()
+        lmrs = list(enumerate_view_tuple_lmrs(clp.query, clp.views))
+        rendered = {str(q) for q in lmrs}
+        assert "q1(S, C) :- v4(M, a, C, S)" in rendered
+        assert "q1(S, C) :- v1(M, a, C), v2(S, M, C)" in rendered
+        # The v5 twin of P2 is also a distinct view-tuple LMR.
+        assert "q1(S, C) :- v2(S, M, C), v5(M, a, C)" in rendered
+
+    def test_all_yields_are_locally_minimal(self):
+        clp = car_loc_part()
+        for lmr in enumerate_view_tuple_lmrs(clp.query, clp.views):
+            assert is_locally_minimal(lmr, clp.query, clp.views), str(lmr)
+
+    def test_subset_minimality_filters_supersets(self):
+        ex = example_41()
+        lmrs = list(enumerate_view_tuple_lmrs(ex.query, ex.views))
+        assert [str(q) for q in lmrs] == ["q(X, Y) :- v1(X, Z), v2(Z, Y)"]
+
+    def test_limit_respected(self):
+        clp = car_loc_part()
+        lmrs = list(enumerate_view_tuple_lmrs(clp.query, clp.views, limit=1))
+        assert len(lmrs) == 1
+
+    def test_no_rewriting_yields_nothing(self):
+        q = parse_query("q(X) :- e(X, X), f(X, X)")
+        views = ViewCatalog(["v(A) :- e(A, A)"])
+        assert list(enumerate_view_tuple_lmrs(q, views)) == []
+
+
+class TestLattice:
+    def test_gmrs_match_corecover(self):
+        clp = car_loc_part()
+        lattice = view_tuple_lattice(clp.query, clp.views)
+        corecover = core_cover(clp.query, clp.views)
+        assert {str(q) for q in lattice.gmrs()} == {
+            str(q) for q in corecover.rewritings
+        }
+
+    def test_proposition_32_cmrs_contain_a_gmr(self):
+        """Proposition 3.2 on concrete instances."""
+        clp = car_loc_part()
+        lattice = view_tuple_lattice(clp.query, clp.views)
+        gmr_sizes = {len(q.body) for q in lattice.gmrs()}
+        cmr_sizes = {len(q.body) for q in lattice.cmrs()}
+        assert min(gmr_sizes) in cmr_sizes
+
+    def test_gmr_not_cmr_example_lattice(self):
+        from repro.experiments.paper_examples import gmr_not_cmr
+
+        ex = gmr_not_cmr()
+        lattice = view_tuple_lattice(ex.query, ex.views)
+        # The view-tuple space only contains P2 here.
+        assert [str(q) for q in lattice.rewritings] == ["q(X) :- v(X, X)"]
+        assert lattice.cmr_indices == (0,)

@@ -1,0 +1,79 @@
+"""Tests for equivalence classes of views and view tuples (Section 5.2)."""
+
+from repro.containment import minimize
+from repro.core import (
+    core_representatives,
+    group_cores_by_coverage,
+    group_equivalent_views,
+    tuple_cores,
+    view_representatives,
+    view_tuples,
+)
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part
+from repro.views import ViewCatalog, as_view
+
+
+class TestViewGrouping:
+    def test_identical_definitions_grouped(self):
+        clp = car_loc_part()
+        classes = group_equivalent_views(list(clp.views))
+        sizes = sorted(len(members) for members in classes)
+        assert sizes == [1, 1, 1, 2]  # v1 and v5 together
+        merged = next(c for c in classes if len(c) == 2)
+        assert {v.name for v in merged} == {"v1", "v5"}
+
+    def test_equivalence_modulo_renaming(self):
+        views = [
+            as_view("v1(A, B) :- e(A, C), f(C, B)"),
+            as_view("v2(X, Y) :- e(X, W), f(W, Y)"),
+        ]
+        assert len(group_equivalent_views(views)) == 1
+
+    def test_equivalence_modulo_redundancy(self):
+        views = [
+            as_view("v1(A) :- e(A, B)"),
+            as_view("v2(A) :- e(A, B), e(A, C)"),
+        ]
+        assert len(group_equivalent_views(views)) == 1
+
+    def test_different_views_not_grouped(self):
+        views = [
+            as_view("v1(A) :- e(A, B)"),
+            as_view("v2(A) :- e(B, A)"),
+        ]
+        assert len(group_equivalent_views(views)) == 2
+
+    def test_head_argument_order_matters(self):
+        views = [
+            as_view("v1(A, B) :- e(A, B)"),
+            as_view("v2(B, A) :- e(A, B)"),
+        ]
+        assert len(group_equivalent_views(views)) == 2
+
+    def test_representatives_one_per_class(self):
+        clp = car_loc_part()
+        reps = view_representatives(list(clp.views))
+        assert len(reps) == 4
+
+
+class TestCoreGrouping:
+    def test_group_by_coverage(self):
+        clp = car_loc_part()
+        minimized = minimize(clp.query)
+        tuples = view_tuples(minimized, clp.views)
+        cores = tuple_cores(minimized, tuples)
+        groups = group_cores_by_coverage(cores)
+        # Coverage sets: {0,1} (v1, v5), {2} (v2), {} (v3), {0,1,2} (v4).
+        assert len(groups) == 4
+        assert len(groups[frozenset({0, 1})]) == 2
+
+    def test_representatives_ordered_largest_first(self):
+        clp = car_loc_part()
+        minimized = minimize(clp.query)
+        tuples = view_tuples(minimized, clp.views)
+        cores = tuple_cores(minimized, tuples)
+        reps = core_representatives(cores)
+        sizes = [len(core.covered) for core in reps]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(reps) == 4

@@ -1,0 +1,108 @@
+"""Tests for the LMR partial order and Figure 1 classification."""
+
+import pytest
+
+from repro.containment import is_properly_contained_in
+from repro.core import (
+    RewritingRegion,
+    build_lmr_lattice,
+    classify_rewriting,
+    core_cover,
+)
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part, example_31, gmr_not_cmr
+from repro.views import is_locally_minimal
+
+
+class TestLemma31:
+    """Containment between LMRs bounds their subgoal counts."""
+
+    def test_car_loc_part_p2_contained_in_p1(self):
+        clp = car_loc_part()
+        assert is_properly_contained_in(clp.p2, clp.p1)
+        assert len(clp.p2.body) <= len(clp.p1.body)
+
+    def test_example_31_chain(self):
+        ex = example_31(3)
+        p1, p2, p3 = ex.rewritings
+        for rewriting in ex.rewritings:
+            assert is_locally_minimal(rewriting, ex.query, ex.views)
+        assert is_properly_contained_in(p1, p2)
+        assert is_properly_contained_in(p2, p3)
+        assert is_properly_contained_in(p1, p3)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_example_31_generalized_chain(self, m):
+        ex = example_31(m)
+        assert len(ex.rewritings) == m
+        for smaller, larger in zip(ex.rewritings, ex.rewritings[1:]):
+            assert is_properly_contained_in(smaller, larger)
+
+
+class TestLattice:
+    def test_example_31_lattice_structure(self):
+        ex = example_31(3)
+        lattice = build_lmr_lattice(ex.rewritings)
+        # Hasse edges: P3 -> P2 -> P1 (upper properly contains lower).
+        assert set(lattice.edges) == {(2, 1), (1, 0)}
+        assert lattice.cmr_indices == (0,)
+        assert lattice.gmr_indices == (0,)
+        assert [len(q.body) for q in lattice.gmrs()] == [1]
+
+    def test_car_loc_part_lattice(self):
+        clp = car_loc_part()
+        lmrs = [clp.p1, clp.p2, clp.p4, clp.p5]
+        lattice = build_lmr_lattice(lmrs)
+        cmrs = {str(q) for q in lattice.cmrs()}
+        # P2 is a CMR (Section 3.2); P1 is not.
+        assert str(clp.p2) in cmrs
+        assert str(clp.p1) not in cmrs
+        # P4 has the fewest subgoals.
+        assert [str(q) for q in lattice.gmrs()] == [str(clp.p4)]
+
+
+class TestGmrNotCmr:
+    def test_p1_gmr_but_not_cmr(self):
+        ex = gmr_not_cmr()
+        lattice = build_lmr_lattice([ex.p1, ex.p2])
+        # Both are GMRs (one subgoal each) but only P2 is a CMR.
+        assert set(lattice.gmr_indices) == {0, 1}
+        assert lattice.cmr_indices == (1,)
+        assert is_properly_contained_in(ex.p2, ex.p1)
+
+
+class TestClassification:
+    def test_figure1_regions(self):
+        clp = car_loc_part()
+        known_minimum = core_cover(clp.query, clp.views).minimum_subgoals()
+        lmrs = [clp.p1, clp.p2, clp.p4]
+
+        region_p3 = classify_rewriting(
+            clp.p3, clp.query, clp.views, lmrs, known_minimum
+        )
+        assert RewritingRegion.MINIMAL in region_p3
+        assert RewritingRegion.LOCALLY_MINIMAL not in region_p3
+
+        region_p2 = classify_rewriting(
+            clp.p2, clp.query, clp.views, [clp.p1, clp.p4], known_minimum
+        )
+        assert RewritingRegion.LOCALLY_MINIMAL in region_p2
+        assert RewritingRegion.CONTAINMENT_MINIMAL in region_p2
+        assert RewritingRegion.GLOBALLY_MINIMAL not in region_p2
+
+        region_p4 = classify_rewriting(
+            clp.p4, clp.query, clp.views, lmrs, known_minimum
+        )
+        assert RewritingRegion.GLOBALLY_MINIMAL in region_p4
+
+    def test_non_rewriting_is_none(self):
+        clp = car_loc_part()
+        bad = parse_query("q1(S, C) :- v2(S, M, C)")
+        region = classify_rewriting(bad, clp.query, clp.views)
+        assert region == RewritingRegion.NONE
+
+    def test_p1_not_containment_minimal_given_p2(self):
+        clp = car_loc_part()
+        region = classify_rewriting(clp.p1, clp.query, clp.views, [clp.p2])
+        assert RewritingRegion.LOCALLY_MINIMAL in region
+        assert RewritingRegion.CONTAINMENT_MINIMAL not in region

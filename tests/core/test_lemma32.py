@@ -1,0 +1,57 @@
+"""Tests for the constructive Lemma 3.2 transformation."""
+
+import pytest
+
+from repro.containment import is_contained_in, is_equivalent_to
+from repro.core import core_cover_star, to_view_tuple_rewriting, view_tuples
+from repro.containment import minimize
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part
+from repro.views import ViewCatalog, is_equivalent_rewriting
+
+
+@pytest.fixture(scope="module")
+def clp():
+    return car_loc_part()
+
+
+class TestTransformation:
+    def test_p1_becomes_p2(self, clp):
+        """The paper's worked example of the Lemma 3.2 proof."""
+        transformed = to_view_tuple_rewriting(clp.p1, clp.query, clp.views)
+        assert transformed is not None
+        assert is_equivalent_to(transformed, clp.p2)
+        assert len(transformed.body) == 2  # the duplicate v1 collapses
+
+    def test_result_contained_in_original(self, clp):
+        for original in (clp.p1, clp.p3, clp.p5):
+            transformed = to_view_tuple_rewriting(original, clp.query, clp.views)
+            assert transformed is not None
+            assert is_contained_in(transformed, original)
+
+    def test_result_is_equivalent_rewriting(self, clp):
+        for original in (clp.p1, clp.p2, clp.p3, clp.p4, clp.p5):
+            transformed = to_view_tuple_rewriting(original, clp.query, clp.views)
+            assert is_equivalent_rewriting(transformed, clp.query, clp.views)
+
+    def test_result_subgoals_are_view_tuples(self, clp):
+        tuple_atoms = {
+            vt.atom for vt in view_tuples(minimize(clp.query), clp.views)
+        }
+        for original in (clp.p1, clp.p2, clp.p5):
+            transformed = to_view_tuple_rewriting(original, clp.query, clp.views)
+            for atom in transformed.body:
+                assert atom in tuple_atoms, str(atom)
+
+    def test_view_tuple_rewriting_is_fixpoint(self, clp):
+        star = core_cover_star(clp.query, clp.views)
+        for rewriting in star.rewritings:
+            transformed = to_view_tuple_rewriting(rewriting, clp.query, clp.views)
+            assert set(transformed.body) == set(rewriting.body)
+
+    def test_none_when_query_not_contained(self):
+        query = parse_query("q(X) :- e(X, X)")
+        views = ViewCatalog(["v(A) :- e(A, A), g(A)"])
+        candidate = parse_query("q(X) :- v(X)")
+        # candidate^exp has g(A): Q is NOT contained in it.
+        assert to_view_tuple_rewriting(candidate, query, views) is None

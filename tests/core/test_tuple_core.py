@@ -1,0 +1,149 @@
+"""Tests for tuple-cores (Definition 4.1 / Lemma 4.2 / Table 2)."""
+
+import pytest
+
+from repro.containment import minimize
+from repro.core import tuple_core, tuple_cores, view_tuples
+from repro.datalog import Variable, parse_query
+from repro.experiments.paper_examples import car_loc_part, example_41
+from repro.views import ViewCatalog
+
+
+def cores_by_name(query, views):
+    minimized = minimize(query)
+    tuples = view_tuples(minimized, views)
+    return minimized, {
+        str(t): core for t, core in zip(tuples, tuple_cores(minimized, tuples))
+    }
+
+
+class TestTable2:
+    """Reproduces Table 2 of the paper exactly."""
+
+    def test_tuple_cores_of_example_41(self):
+        ex = example_41()
+        minimized, cores = cores_by_name(ex.query, ex.views)
+        body = [str(atom) for atom in minimized.body]
+
+        def covered_atoms(name):
+            return sorted(body[i] for i in cores[name].covered)
+
+        assert covered_atoms("v1(X, Z)") == ["a(X, Z)", "a(Z, Z)"]
+        assert covered_atoms("v1(Z, Z)") == ["a(Z, Z)"]
+        assert covered_atoms("v2(Z, Y)") == ["b(Z, Y)"]
+
+    def test_witness_mappings_are_identity_on_tuple_args(self):
+        ex = example_41()
+        _minimized, cores = cores_by_name(ex.query, ex.views)
+        for core in cores.values():
+            for variable, image in core.mapping.items():
+                # Any explicit binding targets a fresh existential.
+                assert variable != image
+
+
+class TestCarLocPart:
+    def test_cores_match_section_41(self):
+        clp = car_loc_part()
+        minimized, cores = cores_by_name(clp.query, clp.views)
+        n = len(minimized.body)
+        assert cores["v1(M, a, C)"].covered == {0, 1}
+        assert cores["v5(M, a, C)"].covered == {0, 1}
+        assert cores["v2(S, M, C)"].covered == {2}
+        assert cores["v4(M, a, C, S)"].covered == frozenset(range(n))
+
+    def test_v3_has_empty_core(self):
+        """V3's only mapping violates property (2): C is distinguished."""
+        clp = car_loc_part()
+        _minimized, cores = cores_by_name(clp.query, clp.views)
+        assert cores["v3(S)"].is_empty
+
+
+class TestProperties:
+    def test_property2_distinguished_variable_blocks_coverage(self):
+        # Y is distinguished in Q but existential in the view.
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        views = ViewCatalog(["v(A) :- e(A, B)"])
+        minimized, cores = cores_by_name(q, views)
+        assert cores["v(X)"].is_empty
+
+    def test_property3_closure_pulls_in_neighbors(self):
+        # Z is nondistinguished; the view covers e(X,Z) mapping Z to an
+        # existential, so f(Z,Y) must also be covered — and it can be.
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["v(A, B) :- e(A, C), f(C, B)"])
+        minimized, cores = cores_by_name(q, views)
+        assert cores["v(X, Y)"].covered == {0, 1}
+
+    def test_property3_closure_failure_empties_core(self):
+        # The view only has e; covering e(X,Z) maps Z existentially but
+        # f(Z,Y) cannot be covered, so the core is empty.
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["v(A) :- e(A, C)"])
+        minimized, cores = cores_by_name(q, views)
+        assert cores["v(X)"].is_empty
+
+    def test_distinguished_view_variable_avoids_closure(self):
+        # Same shape, but Z is distinguished in the view: no closure needed,
+        # single-atom coverage is fine.
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["v(A, C) :- e(A, C)"])
+        minimized, cores = cores_by_name(q, views)
+        assert cores["v(X, Z)"].covered == {0}
+
+    def test_injectivity_blocks_merging_variables(self):
+        # Covering both atoms would need Y1 and Y2 to map to the same
+        # existential variable of the view: forbidden by property (1).
+        q = parse_query("q(X) :- e(X, Y1), e(X, Y2), f(Y1, Y2)")
+        views = ViewCatalog(["v(A) :- e(A, B)"])
+        minimized, cores = cores_by_name(q, views)
+        # covering e(X,Y1) requires covering f(Y1,Y2) too (closure), which
+        # the view cannot do; the core is empty.
+        assert cores["v(X)"].is_empty
+
+    def test_core_can_exceed_view_body_size(self):
+        # One view atom covers two query atoms that fold together.
+        q = parse_query("q(X) :- e(X, Y), e(X, Z), g(Y), g(Z)")
+        views = ViewCatalog(["v(A) :- e(A, B), g(B)"])
+        minimized, cores = cores_by_name(q, views)
+        # The minimized query already folds Y/Z, so check via minimized size.
+        assert len(minimized.body) == 2
+        assert cores["v(X)"].covered == {0, 1}
+
+    def test_covered_atoms_helper(self):
+        ex = example_41()
+        minimized, cores = cores_by_name(ex.query, ex.views)
+        atoms = cores["v2(Z, Y)"].covered_atoms(minimized)
+        assert [str(a) for a in atoms] == ["b(Z, Y)"]
+
+    def test_core_with_constants(self):
+        q = parse_query("q(S) :- e(S, a), f(a, S)")
+        views = ViewCatalog(["v(S) :- e(S, a), f(a, S)"])
+        minimized, cores = cores_by_name(q, views)
+        assert cores["v(S)"].covered == {0, 1}
+
+
+class TestUniqueness:
+    """Lemma 4.2: the tuple-core is unique (maximum = maximal)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_core_invariant_under_query_body_permutation(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        clp = car_loc_part()
+        minimized = minimize(clp.query)
+        indices = list(range(len(minimized.body)))
+        rng.shuffle(indices)
+        permuted = minimized.with_body(minimized.body[i] for i in indices)
+        tuples = view_tuples(permuted, clp.views)
+        for vt, core in zip(tuples, tuple_cores(permuted, tuples)):
+            atoms = frozenset(str(permuted.body[i]) for i in core.covered)
+            base_tuples = view_tuples(minimized, clp.views)
+            base_core = {
+                str(t): c
+                for t, c in zip(base_tuples, tuple_cores(minimized, base_tuples))
+            }[str(vt)]
+            base_atoms = frozenset(
+                str(minimized.body[i]) for i in base_core.covered
+            )
+            assert atoms == base_atoms

@@ -1,0 +1,88 @@
+"""Tests for view-tuple computation (Section 3.3)."""
+
+from repro.containment import minimize
+from repro.core import view_tuples
+from repro.datalog import Variable, parse_atom, parse_query
+from repro.experiments.paper_examples import car_loc_part, example_41
+from repro.views import ViewCatalog
+
+
+class TestCarLocPart:
+    def test_paper_view_tuples(self):
+        clp = car_loc_part()
+        tuples = view_tuples(minimize(clp.query), clp.views)
+        rendered = sorted(str(t) for t in tuples)
+        assert rendered == [
+            "v1(M, a, C)",
+            "v2(S, M, C)",
+            "v3(S)",
+            "v4(M, a, C, S)",
+            "v5(M, a, C)",
+        ]
+
+    def test_view_reference_preserved(self):
+        clp = car_loc_part()
+        tuples = view_tuples(minimize(clp.query), clp.views)
+        by_name = {t.name: t for t in tuples}
+        assert by_name["v4"].view.arity == 4
+
+
+class TestExample41:
+    def test_three_view_tuples(self):
+        ex = example_41()
+        tuples = view_tuples(minimize(ex.query), ex.views)
+        rendered = sorted(str(t) for t in tuples)
+        assert rendered == ["v1(X, Z)", "v1(Z, Z)", "v2(Z, Y)"]
+
+    def test_expansion_of_view_tuple(self):
+        ex = example_41()
+        tuples = view_tuples(minimize(ex.query), ex.views)
+        from repro.datalog import FreshVariableFactory
+
+        v2_tuple = next(t for t in tuples if t.name == "v2")
+        atoms, fresh = v2_tuple.expansion(FreshVariableFactory(["X", "Y", "Z"]))
+        assert len(atoms) == 2
+        assert len(fresh) == 1  # E is existential in v2
+        # The expansion mentions the tuple's own arguments Z and Y.
+        variables = set()
+        for atom in atoms:
+            variables |= atom.variable_set()
+        assert Variable("Z") in variables and Variable("Y") in variables
+
+
+class TestGeneralBehaviour:
+    def test_view_over_missing_relation_yields_nothing(self):
+        q = parse_query("q(X) :- e(X, X)")
+        views = ViewCatalog(["v(A) :- f(A, A)"])
+        assert view_tuples(minimize(q), views) == []
+
+    def test_multiple_tuples_from_one_view(self):
+        q = parse_query("q(X, Y) :- e(X, Y), e(Y, X)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        tuples = view_tuples(minimize(q), views)
+        assert sorted(str(t) for t in tuples) == ["v(X, Y)", "v(Y, X)"]
+
+    def test_constant_in_view_restricts_tuples(self):
+        q = parse_query("q(X) :- e(X, a), e(X, b)")
+        views = ViewCatalog(["v(A) :- e(A, a)"])
+        tuples = view_tuples(minimize(q), views)
+        assert [str(t) for t in tuples] == ["v(X)"]
+
+    def test_query_constant_appears_in_tuple(self):
+        q = parse_query("q(X) :- e(X, a)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        tuples = view_tuples(minimize(q), views)
+        assert [str(t) for t in tuples] == ["v(X, a)"]
+
+    def test_deterministic_order(self):
+        clp = car_loc_part()
+        first = [str(t) for t in view_tuples(minimize(clp.query), clp.views)]
+        second = [str(t) for t in view_tuples(minimize(clp.query), clp.views)]
+        assert first == second
+
+    def test_duplicate_valuations_deduplicated(self):
+        # Two valuations of the view body can produce the same head tuple.
+        q = parse_query("q(X) :- e(X, Y), e(X, Z)")
+        views = ViewCatalog(["v(A) :- e(A, B)"])
+        tuples = view_tuples(minimize(q), views)
+        assert [str(t) for t in tuples] == ["v(X)"]

@@ -1,0 +1,70 @@
+"""Tests for the System-R style cardinality estimator."""
+
+import pytest
+
+from repro.cost import RelationStats, StatisticsCatalog
+from repro.datalog import parse_atom
+from repro.engine import Database
+
+
+class TestCatalog:
+    def test_from_database(self):
+        db = Database.from_dict({"e": [(1, 2), (1, 3), (2, 3)]})
+        catalog = StatisticsCatalog.from_database(db)
+        stats = catalog.stats("e")
+        assert stats.cardinality == 3
+        assert stats.distinct == (2, 2)
+
+    def test_contains(self):
+        catalog = StatisticsCatalog([RelationStats("e", 10, (5, 5))])
+        assert "e" in catalog and "f" not in catalog
+
+    def test_distinct_at_floors_at_one(self):
+        stats = RelationStats("e", 0, (0,))
+        assert stats.distinct_at(0) == 1
+
+
+class TestEstimates:
+    catalog = StatisticsCatalog(
+        [
+            RelationStats("e", 100, (50, 20)),
+            RelationStats("f", 200, (40, 10)),
+        ]
+    )
+
+    def test_single_scan(self):
+        assert self.catalog.estimate_join_size([parse_atom("e(X, Y)")]) == 100
+
+    def test_constant_selectivity(self):
+        # 100 / V(e, 1) = 100 / 20.
+        assert self.catalog.estimate_join_size([parse_atom("e(X, 7)")]) == 5
+
+    def test_join_selectivity_uses_max_distinct(self):
+        # 100 * 200 / max(V(e,1)=20, V(f,0)=40) = 500.
+        size = self.catalog.estimate_join_size(
+            [parse_atom("e(X, Y)"), parse_atom("f(Y, Z)")]
+        )
+        assert size == pytest.approx(100 * 200 / 40)
+
+    def test_repeated_variable_within_atom(self):
+        # 100 / max(V(e,0), V(e,1)) = 100 / 50.
+        size = self.catalog.estimate_join_size([parse_atom("e(X, X)")])
+        assert size == pytest.approx(2.0)
+
+    def test_unknown_relation_estimates_zero(self):
+        assert self.catalog.estimate_join_size([parse_atom("nope(X)")]) == 0.0
+        assert self.catalog.estimate_relation_size(parse_atom("nope(X)")) == 0
+
+    def test_estimate_matches_exact_on_uniform_keys(self):
+        # A key-foreign-key join estimated exactly under uniformity.
+        rows_e = [(i, i % 10) for i in range(100)]
+        rows_f = [(i, i + 1) for i in range(10)]
+        db = Database.from_dict({"e": rows_e, "f": rows_f})
+        catalog = StatisticsCatalog.from_database(db)
+        estimated = catalog.estimate_join_size(
+            [parse_atom("e(X, Y)"), parse_atom("f(Y, Z)")]
+        )
+        from repro.cost import join_atoms
+
+        exact = len(join_atoms([parse_atom("e(X, Y)"), parse_atom("f(Y, Z)")], db))
+        assert estimated == pytest.approx(exact)

@@ -1,0 +1,118 @@
+"""Tests for exact plan execution and intermediate sizes."""
+
+import pytest
+
+from repro.cost import PhysicalPlan, execute_plan, join_atoms, join_step
+from repro.cost.intermediates import PlanExecutionError, VarTable
+from repro.datalog import Variable, parse_atom, parse_query
+from repro.engine import Database
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+VDB = Database.from_dict(
+    {
+        "v1": [(1, 2), (1, 4), (2, 2)],
+        "v2": [(1, 2), (3, 4)],
+        "v3": [(1, 1), (2, 3)],
+    }
+)
+
+
+def start_table():
+    return VarTable((), frozenset({()}))
+
+
+class TestJoinStep:
+    def test_scan(self):
+        table = join_step(start_table(), parse_atom("v1(A, B)"), VDB)
+        assert table.schema == (A, B)
+        assert len(table) == 3
+
+    def test_join_on_shared_variable(self):
+        table = join_step(start_table(), parse_atom("v1(A, B)"), VDB)
+        table = join_step(table, parse_atom("v2(A, C)"), VDB)
+        assert table.schema == (A, B, C)
+        assert table.rows == {(1, 2, 2), (1, 4, 2)}
+
+    def test_join_on_two_shared_variables(self):
+        table = join_step(start_table(), parse_atom("v1(A, B)"), VDB)
+        table = join_step(table, parse_atom("v2(A, B)"), VDB)
+        assert table.rows == {(1, 2)}
+
+    def test_constant_selection(self):
+        table = join_step(start_table(), parse_atom("v1(2, B)"), VDB)
+        assert table.schema == (B,)
+        assert table.rows == {(2,)}
+
+    def test_repeated_variable_selection(self):
+        table = join_step(start_table(), parse_atom("v3(A, A)"), VDB)
+        assert table.rows == {(1,)}
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(PlanExecutionError):
+            join_step(start_table(), parse_atom("nope(A)"), VDB)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(PlanExecutionError):
+            join_step(start_table(), parse_atom("v1(A)"), VDB)
+
+
+class TestVarTable:
+    def test_project(self):
+        table = VarTable((A, B), frozenset({(1, 2), (1, 3)}))
+        projected = table.project((A,))
+        assert projected.schema == (A,)
+        assert projected.rows == {(1,)}
+
+
+class TestExecutePlan:
+    def test_sizes_without_drops(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        execution = execute_plan(PhysicalPlan.from_rewriting(p), VDB)
+        assert execution.subgoal_sizes() == (3, 2)
+        assert execution.intermediate_sizes() == (3, 2)
+        assert execution.answer == {(1,)}
+
+    def test_sizes_with_drops(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(p, drops=[{B}, {C}])
+        execution = execute_plan(plan, VDB)
+        assert execution.intermediate_sizes() == (2, 1)
+        assert execution.answer == {(1,)}
+
+    def test_head_constant(self):
+        p = parse_query("q(A, tag) :- v1(A, B)")
+        execution = execute_plan(PhysicalPlan.from_rewriting(p), VDB)
+        assert execution.answer == {(1, "tag"), (2, "tag")}
+
+    def test_dropping_head_variable_without_rebinding_raises(self):
+        p = parse_query("q(A) :- v1(A, B)")
+        plan = PhysicalPlan.from_rewriting(p, drops=[{A}])
+        with pytest.raises(PlanExecutionError):
+            execute_plan(plan, VDB)
+
+    def test_dropped_variable_rebinds_from_later_subgoal(self):
+        # Dropping B after step 1 severs the equality; v2's B re-enters.
+        p = parse_query("q(A, B) :- v1(A, B), v2(A, B)")
+        plan = PhysicalPlan.from_rewriting(p, drops=[{B}, frozenset()])
+        execution = execute_plan(plan, VDB)
+        assert execution.answer == {(1, 2)}
+
+    def test_order_changes_intermediates_not_answer(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        forward = execute_plan(PhysicalPlan.from_rewriting(p, [0, 1]), VDB)
+        backward = execute_plan(PhysicalPlan.from_rewriting(p, [1, 0]), VDB)
+        assert forward.answer == backward.answer
+        assert forward.intermediate_sizes() != backward.intermediate_sizes()
+
+
+class TestJoinAtoms:
+    def test_order_independence_of_full_join(self):
+        atoms = [parse_atom("v1(A, B)"), parse_atom("v2(A, C)")]
+        forward = join_atoms(atoms, VDB)
+        backward = join_atoms(list(reversed(atoms)), VDB)
+        assert len(forward) == len(backward)
+        as_sets = lambda t: {
+            frozenset(zip(t.schema, row)) for row in t.rows
+        }
+        assert as_sets(forward) == as_sets(backward)

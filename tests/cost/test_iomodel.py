@@ -1,0 +1,82 @@
+"""Tests for the page-based IO simulator behind cost model M2."""
+
+import random
+
+import pytest
+
+from repro.cost import PhysicalPlan, execute_plan
+from repro.cost.iomodel import (
+    IoParameters,
+    io_tracks_m2,
+    simulate_plan_io,
+)
+from repro.datalog import parse_query
+from repro.engine import Database
+from repro.workload import uniform_database
+
+
+class TestPages:
+    def test_rounding_up(self):
+        params = IoParameters(tuples_per_page=50)
+        assert params.pages(0) == 0
+        assert params.pages(1) == 1
+        assert params.pages(50) == 1
+        assert params.pages(51) == 2
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def execution(self):
+        database = Database.from_dict(
+            {
+                "v1": [(i, i % 7) for i in range(300)],
+                "v2": [(i % 7, i) for i in range(200)],
+            }
+        )
+        rewriting = parse_query("q(A, C) :- v1(A, B), v2(B, C)")
+        return execute_plan(PhysicalPlan.from_rewriting(rewriting), database)
+
+    def test_scan_costs_relation_pages(self, execution):
+        params = IoParameters(tuples_per_page=50, memory_pages=1000)
+        report = simulate_plan_io(execution, params)
+        assert report.steps[0].subgoal_pages == 6  # 300 / 50
+
+    def test_one_pass_join_when_memory_suffices(self, execution):
+        params = IoParameters(tuples_per_page=50, memory_pages=1000)
+        report = simulate_plan_io(execution, params)
+        assert report.steps[1].build_passes == 1
+
+    def test_two_pass_join_when_memory_tight(self, execution):
+        params = IoParameters(tuples_per_page=10, memory_pages=2)
+        report = simulate_plan_io(execution, params)
+        assert report.steps[1].build_passes == 3
+
+    def test_tight_memory_costs_more(self, execution):
+        roomy = simulate_plan_io(
+            execution, IoParameters(tuples_per_page=10, memory_pages=1000)
+        )
+        tight = simulate_plan_io(
+            execution, IoParameters(tuples_per_page=10, memory_pages=2)
+        )
+        assert tight.total > roomy.total
+
+    def test_total_is_sum_of_steps(self, execution):
+        report = simulate_plan_io(execution)
+        assert report.total == sum(step.total for step in report.steps)
+
+
+class TestM2Validation:
+    """The Section 2.2 motivation: M2 ranks plans like disk IO does."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_io_tracks_m2_across_orders(self, seed):
+        rng = random.Random(seed)
+        database = uniform_database({"v1": 2, "v2": 2, "v3": 2}, 200, 12, rng)
+        rewriting = parse_query("q(A, D) :- v1(A, B), v2(B, C), v3(C, D)")
+        from itertools import permutations
+
+        executions = [
+            execute_plan(PhysicalPlan.from_rewriting(rewriting, order), database)
+            for order in permutations(range(3))
+        ]
+        assert io_tracks_m2(executions, IoParameters(tuples_per_page=25))

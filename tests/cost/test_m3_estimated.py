@@ -1,0 +1,89 @@
+"""Tests for statistics-only M3 optimization and the projection estimator."""
+
+import random
+
+import pytest
+
+from repro.cost import (
+    StatisticsCatalog,
+    cost_m3,
+    optimal_plan_m3,
+    optimal_plan_m3_estimated,
+)
+from repro.datalog import Variable, parse_atom
+from repro.engine import materialize_views
+from repro.experiments.paper_examples import example_61
+
+
+@pytest.fixture(scope="module")
+def ex61_setup():
+    ex = example_61()
+    vdb = materialize_views(ex.views, ex.base)
+    catalog = StatisticsCatalog.from_database(vdb)
+    return ex, vdb, catalog
+
+
+class TestProjectionEstimate:
+    catalog = StatisticsCatalog()
+
+    def test_capped_by_rows(self):
+        assert self.catalog.estimate_projection_size(10, 1e6) == pytest.approx(10, rel=0.01)
+
+    def test_capped_by_domain(self):
+        assert self.catalog.estimate_projection_size(1e6, 10) <= 10
+
+    def test_zero_rows(self):
+        assert self.catalog.estimate_projection_size(0, 100) == 0.0
+
+    def test_cardenas_midrange(self):
+        # 100 rows into 100 slots: ~63.4 distinct.
+        estimate = self.catalog.estimate_projection_size(100, 100)
+        assert 60 < estimate < 67
+
+    def test_huge_domain_passthrough(self):
+        assert self.catalog.estimate_projection_size(500, 1e15) == 500
+
+
+class TestVariableDomain:
+    def test_minimum_over_occurrences(self, ex61_setup):
+        _ex, _vdb, catalog = ex61_setup
+        atoms = [parse_atom("v1(A, B)"), parse_atom("v2(A, B)")]
+        domain = catalog.variable_domain(atoms, Variable("A"))
+        # v1 column 0 has 1 distinct value; v2 column 0 has 4.
+        assert domain == 1.0
+
+    def test_unknown_variable_defaults_to_one(self, ex61_setup):
+        _ex, _vdb, catalog = ex61_setup
+        assert catalog.variable_domain([], Variable("Z")) == 1.0
+
+
+class TestEstimatedM3:
+    def test_example_61_matches_exact_costs(self, ex61_setup):
+        """The estimates land on the paper's exact 10 vs. 13."""
+        ex, _vdb, catalog = ex61_setup
+        smart = optimal_plan_m3_estimated(
+            ex.p2, ex.query, ex.views, catalog, "heuristic"
+        )
+        plain = optimal_plan_m3_estimated(
+            ex.p2, ex.query, ex.views, catalog, "supplementary"
+        )
+        assert smart.cost == pytest.approx(10.0, rel=0.05)
+        assert plain.cost == pytest.approx(13.0, rel=0.05)
+
+    def test_estimated_order_agrees_with_exact(self, ex61_setup):
+        ex, vdb, catalog = ex61_setup
+        estimated = optimal_plan_m3_estimated(
+            ex.p2, ex.query, ex.views, catalog, "heuristic"
+        )
+        exact = optimal_plan_m3(ex.p2, ex.query, ex.views, vdb, "heuristic")
+        assert cost_m3(exact.execution) <= estimated.cost * 1.5 + 1
+
+    def test_unknown_annotator_rejected(self, ex61_setup):
+        ex, _vdb, catalog = ex61_setup
+        with pytest.raises(ValueError):
+            optimal_plan_m3_estimated(ex.p2, ex.query, ex.views, catalog, "x")
+
+    def test_no_execution_attached(self, ex61_setup):
+        ex, _vdb, catalog = ex61_setup
+        plan = optimal_plan_m3_estimated(ex.p2, ex.query, ex.views, catalog)
+        assert plan.execution is None

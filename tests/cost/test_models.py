@@ -1,0 +1,69 @@
+"""Tests for the Table 1 cost models."""
+
+import pytest
+
+from repro.cost import PhysicalPlan, cost_m1, cost_m2, cost_m3, execute_plan
+from repro.datalog import parse_query
+from repro.engine import Database
+
+
+VDB = Database.from_dict(
+    {
+        "v1": [(1, 2), (1, 4), (2, 2)],
+        "v2": [(1, 2), (3, 4)],
+    }
+)
+
+
+class TestM1:
+    def test_counts_subgoals_of_plan(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        assert cost_m1(PhysicalPlan.from_rewriting(p)) == 2
+
+    def test_counts_subgoals_of_rewriting(self):
+        assert cost_m1(parse_query("q(A) :- v1(A, B)")) == 1
+
+
+class TestM2:
+    def test_sum_of_subgoal_and_intermediate_sizes(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        execution = execute_plan(PhysicalPlan.from_rewriting(p), VDB)
+        # size(v1)=3 + size(IR1)=3 + size(v2)=2 + size(IR2)=2.
+        assert cost_m2(execution) == 10
+
+    def test_rejects_annotated_plans(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        from repro.datalog import Variable
+
+        plan = PhysicalPlan.from_rewriting(
+            p, drops=[{Variable("B")}, frozenset()]
+        )
+        execution = execute_plan(plan, VDB)
+        with pytest.raises(ValueError):
+            cost_m2(execution)
+
+
+class TestM3:
+    def test_sum_with_gsr_sizes(self):
+        from repro.datalog import Variable
+
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(
+            p, drops=[{Variable("B")}, {Variable("C")}]
+        )
+        execution = execute_plan(plan, VDB)
+        # size(v1)=3 + GSR1={1,2}=2 + size(v2)=2 + GSR2={1}=1.
+        assert cost_m3(execution) == 8
+
+    def test_m3_on_unannotated_plan_equals_m2(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        execution = execute_plan(PhysicalPlan.from_rewriting(p), VDB)
+        assert cost_m3(execution) == cost_m2(execution)
+
+    def test_dropping_never_increases_cost_for_same_order(self):
+        from repro.cost import supplementary_plan
+
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        bare = execute_plan(PhysicalPlan.from_rewriting(p), VDB)
+        dropped = execute_plan(supplementary_plan(p), VDB)
+        assert cost_m3(dropped) <= cost_m2(bare)

@@ -1,0 +1,158 @@
+"""Tests for the plan optimizer (M2 dynamic program, M3 search, filters)."""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.cost import (
+    PhysicalPlan,
+    StatisticsCatalog,
+    TooManySubgoalsError,
+    best_rewriting_m2,
+    cost_m2,
+    cost_m3,
+    execute_plan,
+    improve_with_filters,
+    optimal_plan_m2,
+    optimal_plan_m2_estimated,
+    optimal_plan_m3,
+)
+from repro.core import core_cover_star
+from repro.datalog import parse_query
+from repro.engine import Database, evaluate, materialize_views
+from repro.experiments.paper_examples import example_61
+from repro.workload import uniform_database
+
+
+def brute_force_m2(rewriting, database):
+    best = None
+    for order in permutations(range(len(rewriting.body))):
+        execution = execute_plan(
+            PhysicalPlan.from_rewriting(rewriting, order), database
+        )
+        cost = cost_m2(execution)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+class TestM2DynamicProgram:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        rewriting = parse_query(
+            "q(A, D) :- v1(A, B), v2(B, C), v3(C, D), v4(A, D)"
+        )
+        database = uniform_database(
+            {"v1": 2, "v2": 2, "v3": 2, "v4": 2}, 30, 6, rng
+        )
+        optimized = optimal_plan_m2(rewriting, database)
+        assert optimized.cost == brute_force_m2(rewriting, database)
+
+    def test_execution_attached(self):
+        ex = example_61()
+        vdb = materialize_views(ex.views, ex.base)
+        optimized = optimal_plan_m2(ex.p1, vdb)
+        assert optimized.execution is not None
+        assert optimized.execution.answer == {(1,)}
+
+    def test_single_subgoal(self):
+        database = Database.from_dict({"v": [(1, 2), (3, 4)]})
+        optimized = optimal_plan_m2(parse_query("q(A) :- v(A, B)"), database)
+        assert optimized.cost == 4  # size(v) + size(IR1)
+
+    def test_too_many_subgoals_guard(self):
+        body = ", ".join(f"v{i}(X{i}, X{i + 1})" for i in range(17))
+        rewriting = parse_query(f"q(X0) :- {body}")
+        with pytest.raises(TooManySubgoalsError):
+            optimal_plan_m2(rewriting, Database())
+
+
+class TestM2Estimated:
+    def test_estimated_orders_prefer_selective_first(self):
+        rng = random.Random(7)
+        database = uniform_database({"big": 2, "small": 2}, 0, 5, rng)
+        database.relation("big").add_all([(i, i % 5) for i in range(200)])
+        database.relation("small").add_all([(1, 2), (2, 3)])
+        catalog = StatisticsCatalog.from_database(database)
+        rewriting = parse_query("q(A) :- big(A, B), small(A, C)")
+        optimized = optimal_plan_m2_estimated(rewriting, catalog)
+        assert optimized.plan.atoms[0].predicate == "small"
+
+    def test_estimated_cost_close_to_exact_on_uniform_data(self):
+        rng = random.Random(3)
+        database = uniform_database({"v1": 2, "v2": 2}, 50, 20, rng)
+        catalog = StatisticsCatalog.from_database(database)
+        rewriting = parse_query("q(A) :- v1(A, B), v2(B, C)")
+        estimated = optimal_plan_m2_estimated(rewriting, catalog)
+        exact = optimal_plan_m2(rewriting, database)
+        assert estimated.cost == pytest.approx(exact.cost, rel=0.5)
+
+
+class TestM3Optimizer:
+    def test_heuristic_beats_or_ties_supplementary(self):
+        ex = example_61()
+        vdb = materialize_views(ex.views, ex.base)
+        smart = optimal_plan_m3(ex.p2, ex.query, ex.views, vdb, "heuristic")
+        plain = optimal_plan_m3(ex.p2, ex.query, ex.views, vdb, "supplementary")
+        assert smart.cost <= plain.cost
+        assert smart.cost == 10
+
+    def test_unknown_annotator_rejected(self):
+        ex = example_61()
+        vdb = materialize_views(ex.views, ex.base)
+        with pytest.raises(ValueError):
+            optimal_plan_m3(ex.p2, ex.query, ex.views, vdb, "nope")
+
+    def test_answers_preserved(self):
+        ex = example_61()
+        vdb = materialize_views(ex.views, ex.base)
+        expected = evaluate(ex.query, ex.base)
+        for annotator in ("heuristic", "supplementary"):
+            optimized = optimal_plan_m3(
+                ex.p2, ex.query, ex.views, vdb, annotator
+            )
+            assert optimized.execution.answer == expected
+
+
+class TestFilters:
+    def test_best_rewriting_selected(self):
+        ex = example_61()
+        vdb = materialize_views(ex.views, ex.base)
+        best = best_rewriting_m2([ex.p1, ex.p2], vdb)
+        assert best is not None
+        assert best.cost == min(
+            optimal_plan_m2(ex.p1, vdb).cost, optimal_plan_m2(ex.p2, vdb).cost
+        )
+
+    def test_best_rewriting_empty(self):
+        assert best_rewriting_m2([], Database()) is None
+
+    def test_selective_filter_improves_cost(self):
+        """The P3-beats-P2 phenomenon: a selective empty-core view helps."""
+        from repro.experiments.paper_examples import car_loc_part
+
+        clp = car_loc_part()
+        base = Database()
+        # Many dealers' cars/cities, but almost no store qualifies for V3.
+        for i in range(30):
+            base.add_fact("car", (f"m{i % 6}", "a"))
+            base.add_fact("loc", ("a", f"c{i % 5}"))
+        for s in range(40):
+            base.add_fact("part", (f"s{s}", f"m{s % 6}", f"c{(s * 3) % 7}"))
+        vdb = materialize_views(clp.views, base)
+
+        result = core_cover_star(clp.query, clp.views)
+        p2 = next(r for r in result.rewritings if len(r.body) == 2)
+        improved = improve_with_filters(p2, result.filter_candidates, vdb)
+        baseline = optimal_plan_m2(p2, vdb)
+        assert improved.cost <= baseline.cost
+        # The improved plan still computes the right answer.
+        assert improved.execution.answer == evaluate(clp.query, base)
+
+    def test_useless_filter_not_added(self):
+        ex = example_61()
+        vdb = materialize_views(ex.views, ex.base)
+        improved = improve_with_filters(ex.p2, [], vdb)
+        assert improved.rewriting == ex.p2

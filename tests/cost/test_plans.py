@@ -1,0 +1,73 @@
+"""Tests for physical plans and drop annotations."""
+
+import pytest
+
+from repro.cost import PhysicalPlan, PlanStep
+from repro.datalog import Variable, parse_atom, parse_query
+
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestConstruction:
+    def test_from_rewriting_default_order(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(p)
+        assert [str(step.atom) for step in plan.steps] == [
+            "v1(A, B)", "v2(A, C)",
+        ]
+
+    def test_from_rewriting_custom_order(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(p, order=[1, 0])
+        assert plan.atoms[0].predicate == "v2"
+
+    def test_rejects_non_permutation(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        with pytest.raises(ValueError):
+            PhysicalPlan.from_rewriting(p, order=[0, 0])
+
+    def test_rejects_wrong_drop_count(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        with pytest.raises(ValueError):
+            PhysicalPlan.from_rewriting(p, drops=[frozenset()])
+
+    def test_rejects_empty_plan(self):
+        with pytest.raises(ValueError):
+            PhysicalPlan(parse_atom("q(A)"), ())
+
+    def test_rewriting_round_trip(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(p, order=[1, 0])
+        back = plan.rewriting()
+        assert set(back.body) == set(p.body)
+        assert back.head == p.head
+
+
+class TestSchemaAfter:
+    def test_no_drops_accumulates(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(p)
+        assert plan.schema_after(0) == (A, B)
+        assert plan.schema_after(1) == (A, B, C)
+
+    def test_drop_removes_column(self):
+        p = parse_query("q(A) :- v1(A, B), v2(A, C)")
+        plan = PhysicalPlan.from_rewriting(
+            p, drops=[{B}, {C}]
+        )
+        assert plan.schema_after(0) == (A,)
+        assert plan.schema_after(1) == (A,)
+
+    def test_dropped_variable_reenters_on_later_occurrence(self):
+        """Section 6.2 renaming semantics: a severed variable comes back."""
+        p = parse_query("q(A) :- v1(A, B), v2(A, B)")
+        plan = PhysicalPlan.from_rewriting(p, drops=[{B}, frozenset()])
+        assert plan.schema_after(0) == (A,)
+        assert plan.schema_after(1) == (A, B)
+
+    def test_str_rendering(self):
+        step = PlanStep(parse_atom("v1(A, B)"), frozenset({B}))
+        assert str(step) == "v1(A, B){B}"
+        plan = PhysicalPlan(parse_atom("q(A)"), (step,))
+        assert "v1(A, B){B}" in str(plan)

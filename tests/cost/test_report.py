@@ -1,0 +1,45 @@
+"""Tests for the EXPLAIN-style plan reports."""
+
+from repro.cost import explain_plan, optimal_plan_m2, optimal_plan_m3
+from repro.cost.iomodel import IoParameters
+from repro.cost.optimizer import OptimizedPlan
+from repro.cost.plans import PhysicalPlan
+from repro.datalog import parse_query
+from repro.engine import materialize_views
+from repro.experiments.paper_examples import example_61
+
+
+def make_plans():
+    ex = example_61()
+    vdb = materialize_views(ex.views, ex.base)
+    m2 = optimal_plan_m2(ex.p2, vdb)
+    m3 = optimal_plan_m3(ex.p2, ex.query, ex.views, vdb, "heuristic")
+    return m2, m3
+
+
+class TestExplain:
+    def test_contains_cost_and_steps(self):
+        m2, _m3 = make_plans()
+        report = explain_plan(m2)
+        assert "cost" in report
+        assert "v1(A, B)" in report and "v2(A, B)" in report
+        assert "answer    : 1 tuple(s)" in report
+
+    def test_drop_annotations_rendered(self):
+        _m2, m3 = make_plans()
+        report = explain_plan(m3)
+        assert " B " in report or " B\n" in report or "B               " in report
+
+    def test_io_section_optional(self):
+        m2, _m3 = make_plans()
+        without = explain_plan(m2)
+        with_io = explain_plan(m2, IoParameters(tuples_per_page=2))
+        assert "simulated IO" not in without
+        assert "simulated IO" in with_io
+
+    def test_estimated_plan_without_execution(self):
+        rewriting = parse_query("q(A) :- v1(A, B)")
+        plan = PhysicalPlan.from_rewriting(rewriting)
+        optimized = OptimizedPlan(rewriting, plan, 42.0, None)
+        report = explain_plan(optimized)
+        assert "estimated costing" in report

@@ -1,0 +1,115 @@
+"""Tests for supplementary relations and the Section 6.2 heuristic."""
+
+import pytest
+
+from repro.cost import (
+    cost_m3,
+    execute_plan,
+    heuristic_drops,
+    heuristic_plan,
+    supplementary_drops,
+    supplementary_plan,
+)
+from repro.datalog import Variable, parse_query
+from repro.engine import evaluate, materialize_views
+from repro.experiments.paper_examples import example_61
+from repro.views import is_equivalent_rewriting
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+@pytest.fixture(scope="module")
+def ex61():
+    return example_61()
+
+
+@pytest.fixture(scope="module")
+def vdb(ex61):
+    return materialize_views(ex61.views, ex61.base)
+
+
+class TestFigure5Data(object):
+    def test_materialized_views_match_paper(self, vdb):
+        assert vdb.relation("v1").tuples == {(1, 2), (1, 4), (1, 6), (1, 8)}
+        assert vdb.relation("v2").tuples == {(1, 2), (3, 4), (5, 6), (7, 8)}
+
+
+class TestSupplementaryDrops:
+    def test_dead_variable_dropped(self, ex61):
+        drops = supplementary_drops(ex61.p1)  # v1(A,B), v2(A,C)
+        assert drops[0] == {B}
+        assert drops[1] == {C}
+
+    def test_live_variable_kept(self, ex61):
+        drops = supplementary_drops(ex61.p2)  # v1(A,B), v2(A,B)
+        assert drops[0] == frozenset()  # B used later
+        assert drops[1] == {B}
+
+    def test_head_variable_never_dropped(self):
+        p = parse_query("q(A, B) :- v1(A, B), v2(A, C)")
+        drops = supplementary_drops(p)
+        assert B not in drops[0] and B not in drops[1]
+
+    def test_respects_order(self, ex61):
+        drops = supplementary_drops(ex61.p1, order=[1, 0])
+        # Order [v2(A,C), v1(A,B)]: C dead after step 1, B after step 2.
+        assert drops[0] == {C}
+        assert drops[1] == {B}
+
+
+class TestHeuristicDrops:
+    def test_example_61_drops_b_early(self, ex61):
+        drops, renamed = heuristic_drops(ex61.p2, ex61.query, ex61.views)
+        assert drops[0] == {B}
+        assert is_equivalent_rewriting(renamed, ex61.query, ex61.views)
+
+    def test_renamed_rewriting_differs_from_original(self, ex61):
+        _drops, renamed = heuristic_drops(ex61.p2, ex61.query, ex61.views)
+        assert renamed.body != ex61.p2.body
+
+    def test_does_not_drop_required_join_variable(self):
+        # Here the B-join is essential: severing it changes the answer.
+        query = parse_query("q(A) :- r(A, B), s(B, B)")
+        from repro.views import ViewCatalog
+
+        views = ViewCatalog(
+            ["v1(A, B) :- r(A, B)", "v2(B) :- s(B, B)"]
+        )
+        p = parse_query("q(A) :- v1(A, B), v2(B)")
+        drops, _renamed = heuristic_drops(p, query, views)
+        assert B not in drops[0]
+
+
+class TestExample61Costs:
+    """The paper's Example 6.1 cost comparison, with the Figure 5 data."""
+
+    def test_supplementary_cost_p1_beats_p2(self, ex61, vdb):
+        f1 = execute_plan(supplementary_plan(ex61.p1, [0, 1]), vdb)
+        f2 = execute_plan(supplementary_plan(ex61.p2, [0, 1]), vdb)
+        assert cost_m3(f1) == 10  # 4 + 1 + 4 + 1
+        assert cost_m3(f2) == 13  # 4 + 4 + 4 + 1
+        assert cost_m3(f1) < cost_m3(f2)
+
+    def test_reversed_order_does_not_favor_p2(self, ex61, vdb):
+        # The paper claims P1 stays strictly cheaper with the subgoals
+        # reversed; under set semantics the projections tie (13 = 13), so
+        # we assert the direction (P2 never wins) — see EXPERIMENTS.md.
+        f1 = execute_plan(supplementary_plan(ex61.p1, [1, 0]), vdb)
+        f2 = execute_plan(supplementary_plan(ex61.p2, [1, 0]), vdb)
+        assert cost_m3(f1) <= cost_m3(f2)
+
+    def test_heuristic_recovers_p2(self, ex61, vdb):
+        smart = execute_plan(
+            heuristic_plan(ex61.p2, ex61.query, ex61.views, [0, 1]), vdb
+        )
+        assert cost_m3(smart) == 10
+
+    def test_all_plans_compute_the_query_answer(self, ex61, vdb):
+        expected = evaluate(ex61.query, ex61.base)
+        for build in (
+            lambda: supplementary_plan(ex61.p1, [0, 1]),
+            lambda: supplementary_plan(ex61.p2, [0, 1]),
+            lambda: heuristic_plan(ex61.p2, ex61.query, ex61.views, [0, 1]),
+            lambda: heuristic_plan(ex61.p2, ex61.query, ex61.views, [1, 0]),
+        ):
+            assert execute_plan(build(), vdb).answer == expected

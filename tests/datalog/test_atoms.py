@@ -1,0 +1,54 @@
+"""Tests for atoms (subgoals)."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Variable, make_atom
+
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a = Constant("a")
+
+
+class TestAtom:
+    def test_arity(self):
+        assert Atom("car", (X, a)).arity == 2
+
+    def test_args_coerced_to_tuple(self):
+        atom = Atom("car", [X, a])  # type: ignore[arg-type]
+        assert isinstance(atom.args, tuple)
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Atom("car", ("raw-string",))  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Atom("p", (X, Y)) == Atom("p", (X, Y))
+        assert Atom("p", (X, Y)) != Atom("p", (Y, X))
+        assert len({Atom("p", (X, Y)), Atom("p", (X, Y))}) == 1
+
+    def test_variables_with_repetition(self):
+        atom = Atom("p", (X, X, a, Y))
+        assert list(atom.variables()) == [X, X, Y]
+        assert atom.variable_set() == {X, Y}
+
+    def test_constants(self):
+        atom = Atom("p", (X, a, Constant(3)))
+        assert set(atom.constants()) == {a, Constant(3)}
+
+    def test_str_relational(self):
+        assert str(Atom("car", (X, a))) == "car(X, a)"
+
+    def test_str_comparison(self):
+        assert str(Atom("<=", (X, Y))) == "X <= Y"
+
+    def test_is_comparison(self):
+        assert Atom("<=", (X, Y)).is_comparison
+        assert not Atom("le", (X, Y)).is_comparison
+
+    def test_make_atom(self):
+        assert make_atom("p", [X]) == Atom("p", (X,))
+
+    def test_zero_arity(self):
+        atom = Atom("done", ())
+        assert atom.arity == 0
+        assert str(atom) == "done()"

@@ -1,0 +1,95 @@
+"""Tests for the datalog parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    DatalogSyntaxError,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_query,
+)
+
+
+class TestTerms:
+    def test_uppercase_is_variable(self):
+        q = parse_query("q(X) :- e(X, Make)")
+        assert Variable("Make") in q.variables()
+
+    def test_lowercase_is_constant(self):
+        q = parse_query("q(X) :- car(X, anderson)")
+        assert Constant("anderson") in q.constants()
+
+    def test_quoted_string_constant(self):
+        q = parse_query("q(X) :- e(X, 'Upper Case City')")
+        assert Constant("Upper Case City") in q.constants()
+
+    def test_integer_constant(self):
+        q = parse_query("q(X) :- e(X, 42)")
+        assert Constant(42) in q.constants()
+
+    def test_negative_and_float_constants(self):
+        q = parse_query("q(X) :- e(X, -3), f(X, 2.5)")
+        assert Constant(-3) in q.constants()
+        assert Constant(2.5) in q.constants()
+
+    def test_anonymous_variables_are_distinct(self):
+        q = parse_query("q(X) :- e(X, _), f(X, _)")
+        anons = [v for v in q.variables() if v.name.startswith("_Anon")]
+        assert len(set(anons)) == 2
+
+
+class TestStructure:
+    def test_multi_subgoal_rule(self):
+        q = parse_query("q(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+        assert [atom.predicate for atom in q.body] == ["car", "loc", "part"]
+
+    def test_comparison_literal(self):
+        q = parse_query("q(X, Y) :- e(X, Y), X <= Y")
+        assert q.body[1] == Atom("<=", (Variable("X"), Variable("Y")))
+
+    def test_all_comparison_operators(self):
+        for op in ["<", "<=", ">", ">=", "=", "!="]:
+            q = parse_query(f"q(X, Y) :- e(X, Y), X {op} Y")
+            assert q.body[1].predicate == op
+
+    def test_parse_atom(self):
+        atom = parse_atom("v1(M, a, C)")
+        assert atom == Atom(
+            "v1", (Variable("M"), Constant("a"), Variable("C"))
+        )
+
+    def test_zero_arity_atom(self):
+        assert parse_atom("done()").arity == 0
+
+    def test_parse_program_skips_comments_and_blanks(self):
+        program = parse_program(
+            """
+            # a comment
+            q(X) :- e(X, Y)
+
+            % another comment
+            p(Y) :- f(Y, Y)
+            """
+        )
+        assert [rule.name for rule in program] == ["q", "p"]
+
+
+class TestErrors:
+    def test_missing_arrow(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_query("q(X) e(X, Y)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_query("q(X :- e(X, Y)")
+
+    def test_garbage_character(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_query("q(X) :- e(X, Y) @")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("v1(M) extra")

@@ -1,0 +1,113 @@
+"""Tests for conjunctive queries."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Substitution,
+    Variable,
+    make_query,
+    parse_query,
+)
+from repro.datalog.query import MalformedQueryError, fresh_factory_for
+
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a = Constant("a")
+
+
+class TestStructure:
+    def test_name_and_arity(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        assert q.name == "q"
+        assert q.arity == 2
+        assert len(q) == 1
+
+    def test_head_variables_order_and_dedup(self):
+        q = ConjunctiveQuery(Atom("q", (X, Y, X)), (Atom("e", (X, Y)),))
+        assert q.head_variables() == (X, Y)
+
+    def test_distinguished_and_existential(self):
+        q = parse_query("q(X) :- e(X, Y), f(Y, Z)")
+        assert q.distinguished_variables() == {X}
+        assert q.existential_variables() == {Y, Z}
+
+    def test_constants(self):
+        q = parse_query("q(X) :- e(X, a), f(a, b)")
+        assert q.constants() == {Constant("a"), Constant("b")}
+
+    def test_predicates(self):
+        q = parse_query("q(X) :- e(X, Y), f(Y, X), e(X, X)")
+        assert q.predicates() == {"e", "f"}
+
+    def test_atoms_with(self):
+        q = parse_query("q(X) :- e(X, Y), f(Y, Z)")
+        assert q.atoms_with(Y) == q.body
+        assert q.atoms_with(X) == (q.body[0],)
+
+
+class TestSafety:
+    def test_safe_query(self):
+        assert parse_query("q(X) :- e(X, Y)").is_safe()
+
+    def test_unsafe_query(self):
+        q = ConjunctiveQuery(Atom("q", (X,)), (Atom("e", (Y, Y)),))
+        assert not q.is_safe()
+        with pytest.raises(MalformedQueryError):
+            q.check_safe()
+
+    def test_make_query_checks_safety(self):
+        with pytest.raises(MalformedQueryError):
+            make_query("q", [X], [Atom("e", (Y, Z))])
+
+
+class TestTransformations:
+    def test_apply(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        renamed = q.apply(Substitution({Y: Z}))
+        assert renamed == parse_query("q(X) :- e(X, Z)")
+
+    def test_without_atom(self):
+        q = parse_query("q(X) :- e(X, Y), f(X, Z)")
+        assert q.without_atom(0) == parse_query("q(X) :- f(X, Z)")
+
+    def test_dedup_body(self):
+        q = parse_query("q(X) :- e(X, Y), e(X, Y), f(X, X)")
+        assert q.dedup_body() == parse_query("q(X) :- e(X, Y), f(X, X)")
+
+    def test_rename_apart_disjoint(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        factory = fresh_factory_for(q)
+        renamed, renaming = q.rename_apart(factory)
+        assert renamed.variables().isdisjoint(q.variables())
+        assert renaming.apply_atom(q.head) == renamed.head
+
+    def test_rename_apart_keep(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        factory = fresh_factory_for(q)
+        renamed, _renaming = q.rename_apart(factory, keep=[X])
+        assert X in renamed.variables()
+        assert Y not in renamed.variables()
+
+
+class TestInvariants:
+    def test_canonical_form_order_invariant(self):
+        q1 = parse_query("q(X) :- e(X, Y), f(Y, X)")
+        q2 = parse_query("q(X) :- f(Y, X), e(X, Y)")
+        assert q1.canonical_form() == q2.canonical_form()
+
+    def test_signature_equal_for_renamings(self):
+        q1 = parse_query("q(X) :- e(X, Y), f(Y, a)")
+        q2 = parse_query("q(U) :- e(U, V), f(V, a)")
+        assert q1.signature() == q2.signature()
+
+    def test_signature_distinguishes_constants(self):
+        q1 = parse_query("q(X) :- e(X, a)")
+        q2 = parse_query("q(X) :- e(X, b)")
+        assert q1.signature() != q2.signature()
+
+    def test_str_round_trip(self):
+        text = "q(X, Y) :- e(X, Z), f(Z, Y)"
+        assert str(parse_query(text)) == text

@@ -1,0 +1,159 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro.containment import is_equivalent_to
+from repro.datalog import parse_query
+from repro.datalog.sql import SqlError, SqlSchema, parse_sql, to_sql
+from repro.engine import Database, evaluate
+
+
+SCHEMA = SqlSchema(
+    {
+        "car": ["make", "dealer"],
+        "loc": ["dealer", "city"],
+        "part": ["store", "make", "city"],
+        "e": ["src", "dst"],
+    }
+)
+
+
+class TestParse:
+    def test_simple_scan(self):
+        q = parse_sql("SELECT c.make, c.dealer FROM car c", SCHEMA)
+        assert is_equivalent_to(q, parse_query("q(M, D) :- car(M, D)"))
+
+    def test_join_on_equality(self):
+        q = parse_sql(
+            "SELECT c.make, l.city FROM car c, loc l "
+            "WHERE c.dealer = l.dealer",
+            SCHEMA,
+        )
+        expected = parse_query("q(M, C) :- car(M, D), loc(D, C)")
+        assert is_equivalent_to(q, expected)
+
+    def test_constant_selection(self):
+        q = parse_sql(
+            "SELECT c.make FROM car c WHERE c.dealer = 'anderson'", SCHEMA
+        )
+        assert is_equivalent_to(q, parse_query("q(M) :- car(M, anderson)"))
+
+    def test_car_loc_part_query(self):
+        """The paper's Example 1.1 query, written in SQL."""
+        q = parse_sql(
+            "SELECT p.store, l.city FROM car c, loc l, part p "
+            "WHERE c.dealer = 'a' AND l.dealer = 'a' "
+            "AND p.make = c.make AND p.city = l.city",
+            SCHEMA,
+            name="q1",
+        )
+        expected = parse_query(
+            "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)"
+        )
+        assert is_equivalent_to(q, expected)
+
+    def test_constant_propagates_through_equality_chain(self):
+        q = parse_sql(
+            "SELECT c.make FROM car c, loc l "
+            "WHERE c.dealer = l.dealer AND l.dealer = 'a'",
+            SCHEMA,
+        )
+        expected = parse_query("q(M) :- car(M, a), loc(a, C)")
+        assert is_equivalent_to(q, expected)
+
+    def test_table_as_alias(self):
+        q = parse_sql("SELECT c.make FROM car AS c", SCHEMA)
+        assert q.body[0].predicate == "car"
+
+    def test_default_alias_is_table_name(self):
+        q = parse_sql("SELECT car.make FROM car", SCHEMA)
+        assert len(q.body) == 1
+
+    def test_select_star(self):
+        q = parse_sql("SELECT * FROM e", SCHEMA)
+        assert is_equivalent_to(q, parse_query("q(X, Y) :- e(X, Y)"))
+
+    def test_self_join(self):
+        q = parse_sql(
+            "SELECT a.src, b.dst FROM e a, e b WHERE a.dst = b.src", SCHEMA
+        )
+        expected = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)")
+        assert is_equivalent_to(q, expected)
+
+    def test_comparison_predicate(self):
+        q = parse_sql(
+            "SELECT a.src FROM e a WHERE a.src <= a.dst", SCHEMA
+        )
+        assert q.body[1].predicate == "<="
+
+    def test_numeric_literal(self):
+        q = parse_sql("SELECT a.src FROM e a WHERE a.dst = 3", SCHEMA)
+        assert evaluate(q, Database.from_dict({"e": [(1, 3), (2, 4)]})) == {(1,)}
+
+    def test_distinct_keyword_accepted(self):
+        q = parse_sql("SELECT DISTINCT c.make FROM car c", SCHEMA)
+        assert q.arity == 1
+
+
+class TestParseErrors:
+    def test_unknown_table(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT x.a FROM nope x", SCHEMA)
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT c.nope FROM car c", SCHEMA)
+
+    def test_unknown_alias(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT z.make FROM car c", SCHEMA)
+
+    def test_duplicate_alias(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT c.make FROM car c, loc c", SCHEMA)
+
+    def test_not_a_select(self):
+        with pytest.raises(SqlError):
+            parse_sql("DELETE FROM car", SCHEMA)
+
+    def test_conflicting_constants(self):
+        with pytest.raises(SqlError):
+            parse_sql(
+                "SELECT c.make FROM car c "
+                "WHERE c.dealer = 'a' AND c.dealer = 'b'",
+                SCHEMA,
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "datalog",
+        [
+            "q(M, D) :- car(M, D)",
+            "q(M, C) :- car(M, D), loc(D, C)",
+            "q(M) :- car(M, anderson)",
+            "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)",
+            "q(X, Z) :- e(X, Y), e(Y, Z)",
+            "q(X) :- e(X, X)",
+        ],
+    )
+    def test_to_sql_then_parse_preserves_semantics(self, datalog):
+        original = parse_query(datalog)
+        sql = to_sql(original, SCHEMA)
+        reparsed = parse_sql(sql, SCHEMA, name=original.name)
+        assert is_equivalent_to(reparsed, original)
+
+    def test_to_sql_renders_comparisons(self):
+        q = parse_query("q(X, Y) :- e(X, Y), X <= Y")
+        sql = to_sql(q, SCHEMA)
+        assert "<=" in sql
+
+    def test_to_sql_rejects_unbound_head(self):
+        from repro.datalog import Atom, ConjunctiveQuery, Variable
+
+        bad = ConjunctiveQuery(
+            Atom("q", (Variable("Z"),)),
+            (Atom("e", (Variable("X"), Variable("Y"))),),
+        )
+        with pytest.raises(SqlError):
+            to_sql(bad, SCHEMA)

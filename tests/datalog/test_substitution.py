@@ -1,0 +1,94 @@
+"""Tests for substitutions."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Substitution, Variable
+from repro.datalog.substitution import IDENTITY
+
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+a, b = Constant("a"), Constant("b")
+
+
+class TestApplication:
+    def test_apply_term_bound(self):
+        sub = Substitution({X: a})
+        assert sub.apply_term(X) == a
+
+    def test_apply_term_unbound_is_identity(self):
+        sub = Substitution({X: a})
+        assert sub.apply_term(Y) == Y
+
+    def test_apply_term_constant_unchanged(self):
+        sub = Substitution({X: a})
+        assert sub.apply_term(b) == b
+
+    def test_apply_atom(self):
+        sub = Substitution({X: Y, Z: a})
+        assert sub.apply_atom(Atom("p", (X, Z, W))) == Atom("p", (Y, a, W))
+
+    def test_identity(self):
+        assert IDENTITY.apply_atom(Atom("p", (X, a))) == Atom("p", (X, a))
+
+    def test_rejects_constant_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({a: X})  # type: ignore[dict-item]
+
+
+class TestConstruction:
+    def test_extended_new_binding(self):
+        sub = Substitution({X: a}).extended(Y, b)
+        assert sub is not None
+        assert sub[Y] == b
+
+    def test_extended_consistent_rebinding(self):
+        sub = Substitution({X: a})
+        assert sub.extended(X, a) == sub
+
+    def test_extended_conflict_returns_none(self):
+        assert Substitution({X: a}).extended(X, b) is None
+
+    def test_merged(self):
+        left = Substitution({X: a})
+        right = Substitution({Y: b})
+        merged = left.merged(right)
+        assert merged == Substitution({X: a, Y: b})
+
+    def test_merged_conflict(self):
+        assert Substitution({X: a}).merged(Substitution({X: b})) is None
+
+    def test_compose_applies_second_to_images(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: a})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == a
+        assert composed.apply_term(Y) == a
+
+    def test_restrict(self):
+        sub = Substitution({X: a, Y: b}).restrict([X])
+        assert X in sub and Y not in sub
+
+
+class TestProperties:
+    def test_is_injective_on_true(self):
+        sub = Substitution({X: a, Y: b})
+        assert sub.is_injective_on([X, Y])
+
+    def test_is_injective_on_false(self):
+        sub = Substitution({X: a, Y: a})
+        assert not sub.is_injective_on([X, Y])
+
+    def test_injective_counts_unbound_identity(self):
+        sub = Substitution({X: Y})
+        # X -> Y and Y -> Y collide.
+        assert not sub.is_injective_on([X, Y])
+
+    def test_equality_and_hash(self):
+        assert Substitution({X: a}) == Substitution({X: a})
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))
+
+    def test_mapping_protocol(self):
+        sub = Substitution({X: a, Y: b})
+        assert len(sub) == 2
+        assert set(sub) == {X, Y}
+        assert sub[X] == a

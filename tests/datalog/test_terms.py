@@ -1,0 +1,71 @@
+"""Tests for terms: variables, constants, and the fresh-variable factory."""
+
+import pytest
+
+from repro.datalog import Constant, Variable, is_constant, is_variable
+from repro.datalog.terms import FreshVariableFactory
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Make")) == "Make"
+
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("x"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+
+    def test_not_equal_to_variable(self):
+        assert Constant("X") != Variable("X")
+
+    def test_hashable_mixed_domain(self):
+        values = {Constant(1), Constant("a"), Constant(("t", 2))}
+        assert len(values) == 3
+
+    def test_is_constant(self):
+        assert is_constant(Constant("anderson"))
+        assert not is_constant(Variable("D"))
+
+
+class TestFreshVariableFactory:
+    def test_avoids_reserved_names(self):
+        factory = FreshVariableFactory(["F_0", "F_1"])
+        fresh = factory.fresh("F")
+        assert fresh.name not in {"F_0", "F_1"}
+
+    def test_never_repeats(self):
+        factory = FreshVariableFactory()
+        produced = {factory.fresh() for _ in range(100)}
+        assert len(produced) == 100
+
+    def test_fresh_like_derives_name(self):
+        factory = FreshVariableFactory()
+        fresh = factory.fresh_like(Variable("City"))
+        assert fresh.name.startswith("City")
+        assert fresh != Variable("City")
+
+    def test_reserve_extends_used_set(self):
+        factory = FreshVariableFactory()
+        first = factory.fresh("X")
+        factory.reserve([f"X_{i}" for i in range(10)])
+        second = factory.fresh("X")
+        assert second.name not in {f"X_{i}" for i in range(10)}
+        assert second != first
+
+    def test_stream_yields_fresh_variables(self):
+        factory = FreshVariableFactory()
+        stream = factory.stream("S")
+        names = {next(stream).name for _ in range(5)}
+        assert len(names) == 5

@@ -1,0 +1,67 @@
+"""Tests for unions of conjunctive queries (Section 8 extension)."""
+
+import pytest
+
+from repro.containment import is_contained_in
+from repro.datalog import (
+    UnionQuery,
+    as_union,
+    parse_query,
+    union_contained_in,
+    union_equivalent,
+)
+
+
+class TestConstruction:
+    def test_requires_disjuncts(self):
+        with pytest.raises(ValueError):
+            UnionQuery(())
+
+    def test_requires_matching_heads(self):
+        with pytest.raises(ValueError):
+            UnionQuery(
+                (
+                    parse_query("q(X) :- e(X, X)"),
+                    parse_query("p(X) :- e(X, X)"),
+                )
+            )
+
+    def test_as_union_coerces(self):
+        q = parse_query("q(X) :- e(X, X)")
+        assert len(as_union(q)) == 1
+        assert len(as_union([q, q])) == 2
+
+    def test_total_subgoals(self):
+        u = as_union(
+            [
+                parse_query("q(X) :- e(X, X)"),
+                parse_query("q(X) :- e(X, Y), e(Y, X)"),
+            ]
+        )
+        assert u.total_subgoals() == 3
+
+
+class TestContainment:
+    def test_single_disjunct_matches_cq_containment(self):
+        q1 = as_union(parse_query("q(X) :- e(X, X)"))
+        q2 = as_union(parse_query("q(X) :- e(X, Y)"))
+        assert union_contained_in(q1, q2, is_contained_in)
+        assert not union_contained_in(q2, q1, is_contained_in)
+
+    def test_union_contained_in_bigger_union(self):
+        small = as_union(parse_query("q(X) :- e(X, X)"))
+        big = as_union(
+            [
+                parse_query("q(X) :- e(X, X)"),
+                parse_query("q(X) :- f(X, X)"),
+            ]
+        )
+        assert union_contained_in(small, big, is_contained_in)
+        assert not union_contained_in(big, small, is_contained_in)
+
+    def test_equivalence_with_redundant_disjunct(self):
+        base = parse_query("q(X) :- e(X, Y)")
+        redundant = parse_query("q(X) :- e(X, X)")  # contained in base
+        left = as_union([base, redundant])
+        right = as_union(base)
+        assert union_equivalent(left, right, is_contained_in)

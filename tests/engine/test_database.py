@@ -1,0 +1,59 @@
+"""Tests for databases."""
+
+import pytest
+
+from repro.containment import canonical_database
+from repro.datalog import parse_query
+from repro.engine import Database, Relation, UnknownRelationError
+
+
+class TestDatabase:
+    def test_add_and_get(self):
+        db = Database([Relation("e", 2, [(1, 2)])])
+        assert len(db.relation("e")) == 1
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            Database().relation("missing")
+
+    def test_has_relation(self):
+        db = Database([Relation("e", 1)])
+        assert db.has_relation("e")
+        assert not db.has_relation("f")
+
+    def test_add_fact_creates_relation(self):
+        db = Database()
+        db.add_fact("e", (1, 2))
+        assert db.relation("e").arity == 2
+
+    def test_ensure_relation_idempotent(self):
+        db = Database()
+        first = db.ensure_relation("e", 2)
+        second = db.ensure_relation("e", 2)
+        assert first is second
+
+    def test_from_dict(self):
+        db = Database.from_dict({"e": [(1, 2)], "f": [(1,)]})
+        assert db.names() == ("e", "f")
+        assert db.total_tuples() == 2
+
+    def test_from_dict_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Database.from_dict({"e": []})
+
+    def test_from_facts_canonical_database(self):
+        q = parse_query("q(X) :- e(X, Y), f(Y, a)")
+        cdb = canonical_database(q)
+        db = Database.from_facts(cdb.facts)
+        assert db.has_relation("e") and db.has_relation("f")
+        assert db.total_tuples() == 2
+
+    def test_from_facts_rejects_nonground(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        with pytest.raises(ValueError):
+            Database.from_facts(q.body)
+
+    def test_iteration(self):
+        db = Database([Relation("e", 1, [(1,)]), Relation("f", 1, [(2,)])])
+        assert {rel.name for rel in db} == {"e", "f"}
+        assert len(db) == 2

@@ -1,0 +1,99 @@
+"""Tests for conjunctive-query evaluation."""
+
+from repro.datalog import parse_query
+from repro.engine import Database, evaluate, evaluate_bindings
+
+
+def db(**relations):
+    return Database.from_dict(relations)
+
+
+class TestSelection:
+    def test_single_atom_scan(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        assert evaluate(q, db(e=[(1, 2), (3, 4)])) == {(1, 2), (3, 4)}
+
+    def test_constant_selection(self):
+        q = parse_query("q(X) :- e(X, 2)")
+        assert evaluate(q, db(e=[(1, 2), (3, 4)])) == {(1,)}
+
+    def test_repeated_variable_selection(self):
+        q = parse_query("q(X) :- e(X, X)")
+        assert evaluate(q, db(e=[(1, 1), (1, 2), (3, 3)])) == {(1,), (3,)}
+
+    def test_projection_deduplicates(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        assert evaluate(q, db(e=[(1, 2), (1, 3)])) == {(1,)}
+
+    def test_constant_in_head(self):
+        q = parse_query("q(X, tag) :- e(X, Y)")
+        assert evaluate(q, db(e=[(1, 2)])) == {(1, "tag")}
+
+
+class TestJoins:
+    def test_two_way_join(self):
+        q = parse_query("q(X, Z) :- e(X, Y), f(Y, Z)")
+        result = evaluate(q, db(e=[(1, 2), (3, 4)], f=[(2, 5), (9, 9)]))
+        assert result == {(1, 5)}
+
+    def test_chain_join(self):
+        q = parse_query("q(A, D) :- e(A, B), e(B, C), e(C, D)")
+        result = evaluate(q, db(e=[(1, 2), (2, 3), (3, 4)]))
+        assert result == {(1, 4)}
+
+    def test_star_join(self):
+        q = parse_query("q(C, X, Y) :- e(C, X), f(C, Y)")
+        result = evaluate(q, db(e=[(0, 1), (9, 9)], f=[(0, 2), (0, 3)]))
+        assert result == {(0, 1, 2), (0, 1, 3)}
+
+    def test_cartesian_product(self):
+        q = parse_query("q(X, Y) :- e(X), f(Y)")
+        result = evaluate(q, db(e=[(1,), (2,)], f=[(8,)]))
+        assert result == {(1, 8), (2, 8)}
+
+    def test_empty_relation_kills_join(self):
+        q = parse_query("q(X) :- e(X, Y), f(Y, Y)")
+        database = db(e=[(1, 2)])
+        database.ensure_relation("f", 2)
+        assert evaluate(q, database) == frozenset()
+
+    def test_missing_relation_yields_empty(self):
+        q = parse_query("q(X) :- missing(X)")
+        assert evaluate(q, db(e=[(1, 2)])) == frozenset()
+
+    def test_arity_mismatch_yields_empty(self):
+        q = parse_query("q(X) :- e(X)")
+        assert evaluate(q, db(e=[(1, 2)])) == frozenset()
+
+    def test_self_join_different_roles(self):
+        q = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)")
+        result = evaluate(q, db(e=[(1, 2), (2, 3)]))
+        assert result == {(1, 3)}
+
+
+class TestComparisons:
+    def test_filter_le(self):
+        q = parse_query("q(X, Y) :- e(X, Y), X <= Y")
+        assert evaluate(q, db(e=[(1, 2), (3, 1)])) == {(1, 2)}
+
+    def test_filter_between_atoms(self):
+        q = parse_query("q(X, Z) :- e(X, Y), f(Y, Z), X != Z")
+        result = evaluate(q, db(e=[(1, 2), (5, 6)], f=[(2, 1), (2, 3), (6, 6)]))
+        assert result == {(1, 3), (5, 6)}
+
+    def test_comparison_with_constant(self):
+        q = parse_query("q(X) :- e(X, Y), Y >= 3")
+        assert evaluate(q, db(e=[(1, 2), (2, 3), (3, 9)])) == {(2,), (3,)}
+
+
+class TestBindings:
+    def test_evaluate_bindings_returns_full_assignments(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        bindings = evaluate_bindings(q.body, db(e=[(1, 2)]))
+        assert len(bindings) == 1
+        values = {var.name: value for var, value in bindings[0].items()}
+        assert values == {"X": 1, "Y": 2}
+
+    def test_no_relational_atoms(self):
+        bindings = evaluate_bindings([], db(e=[(1, 2)]))
+        assert bindings == [{}]

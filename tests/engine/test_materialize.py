@@ -1,0 +1,66 @@
+"""Tests for view materialization (closed-world assumption)."""
+
+from repro.datalog import parse_query
+from repro.engine import Database, evaluate, materialize_query, materialize_views
+from repro.views import ViewCatalog
+
+
+def base_db():
+    return Database.from_dict(
+        {
+            "car": [("m1", "a"), ("m2", "d1"), ("m1", "d1")],
+            "loc": [("a", "c1"), ("d1", "c2")],
+            "part": [("s1", "m1", "c1"), ("s2", "m2", "c2"), ("s3", "m1", "c2")],
+        }
+    )
+
+
+class TestMaterialize:
+    def test_materialize_query(self):
+        definition = parse_query("v1(M, D, C) :- car(M, D), loc(D, C)")
+        relation = materialize_query(definition, base_db())
+        assert relation.name == "v1"
+        assert relation.arity == 3
+        assert ("m1", "a", "c1") in relation
+        assert ("m2", "d1", "c2") in relation
+
+    def test_materialize_views_builds_view_database(self):
+        views = ViewCatalog(
+            [
+                "v1(M, D, C) :- car(M, D), loc(D, C)",
+                "v2(S, M, C) :- part(S, M, C)",
+            ]
+        )
+        vdb = materialize_views(views, base_db())
+        assert vdb.has_relation("v1") and vdb.has_relation("v2")
+        assert len(vdb.relation("v2")) == 3
+
+    def test_closed_world_identity(self):
+        """Views with identical definitions materialize identically (V1/V5)."""
+        views = ViewCatalog(
+            [
+                "v1(M, D, C) :- car(M, D), loc(D, C)",
+                "v5(M, D, C) :- car(M, D), loc(D, C)",
+            ]
+        )
+        vdb = materialize_views(views, base_db())
+        assert vdb.relation("v1").tuples == vdb.relation("v5").tuples
+
+    def test_rewriting_answer_matches_query_answer(self):
+        base = base_db()
+        views = ViewCatalog(
+            [
+                "v1(M, D, C) :- car(M, D), loc(D, C)",
+                "v2(S, M, C) :- part(S, M, C)",
+            ]
+        )
+        vdb = materialize_views(views, base)
+        query = parse_query("q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)")
+        rewriting = parse_query("q1(S, C) :- v1(M, a, C), v2(S, M, C)")
+        assert evaluate(rewriting, vdb) == evaluate(query, base)
+
+    def test_empty_view(self):
+        views = ViewCatalog(["v(X) :- car(X, nosuchdealer)"])
+        vdb = materialize_views(views, base_db())
+        assert len(vdb.relation("v")) == 0
+        assert vdb.relation("v").arity == 1

@@ -1,0 +1,136 @@
+"""Tests for the Volcano-style physical operators."""
+
+import pytest
+
+from repro.datalog import Variable, parse_atom, parse_query
+from repro.engine import Database, evaluate
+from repro.engine.operators import (
+    HashJoin,
+    NestedLoopJoin,
+    Project,
+    Scan,
+    Select,
+    build_left_deep_tree,
+)
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+DB = Database.from_dict(
+    {
+        "e": [(1, 2), (2, 3), (3, 3)],
+        "f": [(2, 10), (3, 20)],
+    }
+)
+
+
+class TestScan:
+    def test_plain_scan(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        assert scan.schema == (A, B)
+        assert set(scan.rows()) == {(1, 2), (2, 3), (3, 3)}
+
+    def test_constant_selection(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, 3)"))
+        assert scan.schema == (A,)
+        assert set(scan.rows()) == {(2,), (3,)}
+
+    def test_repeated_variable_selection(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, A)"))
+        assert set(scan.rows()) == {(3,)}
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Scan(DB.relation("e"), parse_atom("e(A)"))
+
+    def test_reiterable(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        assert list(scan.rows()) == list(scan.rows())
+
+
+class TestSelectProject:
+    def test_select(self):
+        from repro.datalog import Atom
+
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        select = Select(scan, Atom("<", (A, B)))
+        assert set(select.rows()) == {(1, 2), (2, 3)}
+
+    def test_select_requires_comparison(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        with pytest.raises(ValueError):
+            Select(scan, parse_atom("e(A, B)"))
+
+    def test_select_unknown_variable(self):
+        from repro.datalog import Atom
+
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        with pytest.raises(ValueError):
+            Select(scan, Atom("<", (A, C)))
+
+    def test_project_deduplicates(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        project = Project(scan, (B,))
+        assert set(project.rows()) == {(2,), (3,)}
+
+    def test_project_unknown_column(self):
+        scan = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        with pytest.raises(ValueError):
+            Project(scan, (C,))
+
+
+class TestJoins:
+    @pytest.mark.parametrize("join_class", [HashJoin, NestedLoopJoin])
+    def test_join_on_shared_variable(self, join_class):
+        left = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        right = Scan(DB.relation("f"), parse_atom("f(B, C)"))
+        join = join_class(left, right)
+        assert join.schema == (A, B, C)
+        assert set(join.rows()) == {(1, 2, 10), (2, 3, 20), (3, 3, 20)}
+
+    @pytest.mark.parametrize("join_class", [HashJoin, NestedLoopJoin])
+    def test_cartesian_product_when_disjoint(self, join_class):
+        left = Scan(DB.relation("f"), parse_atom("f(A, B)"))
+        right = Scan(DB.relation("f"), parse_atom("f(C, D)"))
+        join = join_class(left, right)
+        assert len(set(join.rows())) == 4
+
+    def test_hash_and_nested_loop_agree(self):
+        left = Scan(DB.relation("e"), parse_atom("e(A, B)"))
+        right = Scan(DB.relation("e"), parse_atom("e(B, C)"))
+        assert set(HashJoin(left, right).rows()) == set(
+            NestedLoopJoin(left, right).rows()
+        )
+
+
+class TestLeftDeepTree:
+    def test_matches_reference_evaluator(self):
+        query = parse_query("q(A, C) :- e(A, B), f(B, C)")
+        tree = build_left_deep_tree(query.body, DB)
+        projected = Project(tree, tuple(query.head.args))
+        assert set(projected.rows()) == evaluate(query, DB)
+
+    def test_comparisons_applied_when_ready(self):
+        query = parse_query("q(A, C) :- e(A, B), f(B, C), A < C")
+        tree = build_left_deep_tree(query.body, DB)
+        projected = Project(tree, (A, C))
+        assert set(projected.rows()) == evaluate(query, DB)
+
+    def test_unbound_comparison_rejected(self):
+        from repro.datalog import Atom
+
+        with pytest.raises(ValueError):
+            build_left_deep_tree(
+                [parse_atom("e(A, B)"), Atom("<", (A, C))], DB
+            )
+
+    def test_no_relational_atoms_rejected(self):
+        from repro.datalog import Atom
+
+        with pytest.raises(ValueError):
+            build_left_deep_tree([Atom("<", (A, B))], DB)
+
+    def test_nested_loop_variant(self):
+        query = parse_query("q(A, C) :- e(A, B), f(B, C)")
+        tree = build_left_deep_tree(query.body, DB, NestedLoopJoin)
+        projected = Project(tree, (A, C))
+        assert set(projected.rows()) == evaluate(query, DB)

@@ -1,0 +1,61 @@
+"""Tests for in-memory relations."""
+
+import pytest
+
+from repro.engine import ArityError, Relation
+
+
+class TestRelation:
+    def test_set_semantics(self):
+        rel = Relation("e", 2, [(1, 2), (1, 2), (3, 4)])
+        assert len(rel) == 2
+
+    def test_arity_enforced(self):
+        rel = Relation("e", 2)
+        with pytest.raises(ArityError):
+            rel.add((1, 2, 3))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ArityError):
+            Relation("e", -1)
+
+    def test_membership(self):
+        rel = Relation("e", 2, [(1, 2)])
+        assert (1, 2) in rel
+        assert (2, 1) not in rel
+
+    def test_add_all(self):
+        rel = Relation("e", 1)
+        rel.add_all([(1,), (2,)])
+        assert len(rel) == 2
+
+    def test_rows_coerced_to_tuples(self):
+        rel = Relation("e", 2, [[1, 2]])
+        assert (1, 2) in rel
+
+    def test_copy_is_independent(self):
+        rel = Relation("e", 1, [(1,)])
+        clone = rel.copy("e2")
+        clone.add((2,))
+        assert len(rel) == 1
+        assert clone.name == "e2"
+
+    def test_equality(self):
+        assert Relation("e", 2, [(1, 2)]) == Relation("e", 2, [(1, 2)])
+        assert Relation("e", 2, [(1, 2)]) != Relation("f", 2, [(1, 2)])
+
+    def test_index_on(self):
+        rel = Relation("e", 2, [(1, 2), (1, 3), (2, 2)])
+        index = rel.index_on([0])
+        assert sorted(index[(1,)]) == [(1, 2), (1, 3)]
+        assert index[(2,)] == [(2, 2)]
+
+    def test_index_on_empty_positions_groups_all(self):
+        rel = Relation("e", 2, [(1, 2), (2, 3)])
+        index = rel.index_on([])
+        assert len(index[()]) == 2
+
+    def test_zero_arity_relation(self):
+        rel = Relation("t", 0, [()])
+        assert len(rel) == 1
+        assert () in rel

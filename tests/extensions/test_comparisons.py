@@ -1,0 +1,96 @@
+"""Tests for the completion-based containment test with comparisons."""
+
+import pytest
+
+from repro.datalog import as_union, parse_query
+from repro.extensions import (
+    TooManyTermsError,
+    completions,
+    is_contained_with_comparisons,
+    is_equivalent_with_comparisons,
+)
+
+
+class TestCompletions:
+    def test_counts_ordered_partitions(self):
+        # Two variables: {X=Y}, {X<Y}, {Y<X} = 3 completions.
+        q = parse_query("q(X, Y) :- r(X, Y)")
+        assert len(list(completions(q))) == 3
+
+    def test_comparison_prunes_completions(self):
+        q = parse_query("q(X, Y) :- r(X, Y), X < Y")
+        ranks = list(completions(q))
+        assert len(ranks) == 1
+        from repro.datalog import Variable
+
+        (only,) = ranks
+        assert only[Variable("X")] < only[Variable("Y")]
+
+    def test_le_allows_equality(self):
+        q = parse_query("q(X, Y) :- r(X, Y), X <= Y")
+        assert len(list(completions(q))) == 2
+
+    def test_contradictory_comparisons_yield_nothing(self):
+        q = parse_query("q(X, Y) :- r(X, Y), X < Y, Y < X")
+        assert list(completions(q)) == []
+
+    def test_too_many_terms_guard(self):
+        body = ", ".join(f"r(X{i}, X{i + 1})" for i in range(8))
+        q = parse_query(f"q(X0) :- {body}")
+        with pytest.raises(TooManyTermsError):
+            list(completions(q))
+
+
+class TestContainment:
+    def test_reduces_to_chandra_merlin_without_comparisons(self):
+        specific = parse_query("q(X) :- e(X, X)")
+        general = parse_query("q(X) :- e(X, Y)")
+        assert is_contained_with_comparisons(specific, general)
+        assert not is_contained_with_comparisons(general, specific)
+
+    def test_comparison_tightens_containee(self):
+        tight = parse_query("q(X, Y) :- r(X, Y), X < Y")
+        loose = parse_query("q(X, Y) :- r(X, Y)")
+        assert is_contained_with_comparisons(tight, loose)
+        assert not is_contained_with_comparisons(loose, tight)
+
+    def test_implied_comparison(self):
+        # X < Y implies X <= Y.
+        lt = parse_query("q(X, Y) :- r(X, Y), X < Y")
+        le = parse_query("q(X, Y) :- r(X, Y), X <= Y")
+        assert is_contained_with_comparisons(lt, le)
+        assert not is_contained_with_comparisons(le, lt)
+
+    def test_transitivity_of_order_is_understood(self):
+        # X < Y and Y < Z imply X < Z — invisible to homomorphisms alone.
+        inner = parse_query("q(X, Z) :- r(X, Y), r(Y, Z), X < Y, Y < Z")
+        outer = parse_query("q(X, Z) :- r(X, U), r(V, Z), X < Z")
+        assert is_contained_with_comparisons(inner, outer)
+
+    def test_union_covers_dense_order(self):
+        base = parse_query("q(U, W) :- r(U, W)")
+        union = as_union(
+            [
+                parse_query("q(U, W) :- r(U, W), U <= W"),
+                parse_query("q(U, W) :- r(U, W), W <= U"),
+            ]
+        )
+        assert is_equivalent_with_comparisons(union, base)
+
+    def test_strict_union_leaves_the_diagonal_uncovered(self):
+        base = parse_query("q(U, W) :- r(U, W)")
+        union = as_union(
+            [
+                parse_query("q(U, W) :- r(U, W), U < W"),
+                parse_query("q(U, W) :- r(U, W), W < U"),
+            ]
+        )
+        # U = W satisfies neither strict disjunct.
+        assert is_contained_with_comparisons(union, base)
+        assert not is_contained_with_comparisons(base, union)
+
+    def test_constants_rejected(self):
+        q1 = parse_query("q(X) :- r(X, 3)")
+        q2 = parse_query("q(X) :- r(X, Y)")
+        with pytest.raises(NotImplementedError):
+            is_contained_with_comparisons(q1, q2)

@@ -1,0 +1,93 @@
+"""Tests for UCQ rewritings: equivalence with comparisons, MCR."""
+
+import pytest
+
+from repro.containment import is_contained_in, is_equivalent_to
+from repro.datalog import as_union, parse_query
+from repro.extensions import (
+    expand_union,
+    is_equivalent_ucq_rewriting,
+    maximally_contained_rewriting,
+)
+from repro.experiments.paper_examples import car_loc_part, section8_ucq
+from repro.views import ViewCatalog, expand
+
+
+class TestSection8Symbolic:
+    """Symbolic (not just data-driven) verification of the P1/P2 example."""
+
+    def test_union_rewriting_p1_is_equivalent(self):
+        ex = section8_ucq()
+        assert is_equivalent_ucq_rewriting(
+            ex.union_rewriting, ex.query, ex.views
+        )
+
+    def test_single_rewriting_p2_is_equivalent(self):
+        ex = section8_ucq()
+        assert is_equivalent_ucq_rewriting(
+            ex.single_rewriting, ex.query, ex.views
+        )
+
+    def test_single_disjunct_of_p1_is_not_equivalent(self):
+        ex = section8_ucq()
+        assert not is_equivalent_ucq_rewriting(
+            ex.union_rewriting[0], ex.query, ex.views
+        )
+
+    def test_expand_union_expands_each_disjunct(self):
+        ex = section8_ucq()
+        expansion = expand_union(ex.union_rewriting, ex.views)
+        assert len(expansion) == 2
+        for disjunct in expansion.disjuncts:
+            assert any(atom.is_comparison for atom in disjunct.body)
+
+
+class TestMaximallyContained:
+    def test_equivalent_rewriting_dominates(self):
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(
+            ["v1(X, Y) :- e(X, C), f(C, Y)", "v2(X, Z) :- e(X, Z)"]
+        )
+        mcr = maximally_contained_rewriting(q, views)
+        assert mcr is not None
+        assert len(mcr) == 1
+        assert is_equivalent_to(expand(mcr.disjuncts[0], views), q)
+
+    def test_strictly_weaker_views_yield_contained_union(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        views = ViewCatalog(
+            [
+                "v1(X) :- e(X, X)",  # loses Y: unusable (Y distinguished)
+                "v2(X, Y) :- e(X, Y), g(Y)",  # only g-marked targets
+            ]
+        )
+        mcr = maximally_contained_rewriting(q, views)
+        assert mcr is not None
+        for disjunct in mcr.disjuncts:
+            assert is_contained_in(expand(disjunct, views), q)
+            assert not is_equivalent_to(expand(disjunct, views), q)
+
+    def test_no_rewriting_returns_none(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        views = ViewCatalog(["v(A) :- f(A, A)"])
+        assert maximally_contained_rewriting(q, views) is None
+
+    def test_redundant_disjuncts_pruned(self):
+        clp = car_loc_part()
+        mcr = maximally_contained_rewriting(clp.query, clp.views)
+        assert mcr is not None
+        # No disjunct's expansion is contained in another's.
+        expansions = [expand(d, clp.views) for d in mcr.disjuncts]
+        for i, left in enumerate(expansions):
+            for j, right in enumerate(expansions):
+                if i != j:
+                    assert not is_contained_in(left, right)
+
+    def test_car_loc_part_mcr_is_equivalent_to_query(self):
+        clp = car_loc_part()
+        mcr = maximally_contained_rewriting(clp.query, clp.views)
+        # The query is rewritable, so the MCR collapses to equivalents.
+        assert all(
+            is_equivalent_to(expand(d, clp.views), clp.query)
+            for d in mcr.disjuncts
+        )

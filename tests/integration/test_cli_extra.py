@@ -1,0 +1,85 @@
+"""Tests for the CLI extensions: SQL input, certification, certain answers."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def files(tmp_path):
+    views = tmp_path / "views.dl"
+    views.write_text(
+        """
+        v1(M, D, C) :- car(M, D), loc(D, C)
+        v2(S, M, C) :- part(S, M, C)
+        v4(M, D, C, S) :- car(M, D), loc(D, C), part(S, M, C)
+        """
+    )
+    schema = tmp_path / "schema.json"
+    schema.write_text(
+        json.dumps(
+            {
+                "car": ["make", "dealer"],
+                "loc": ["dealer", "city"],
+                "part": ["store", "make", "city"],
+            }
+        )
+    )
+    view_data = tmp_path / "views.json"
+    view_data.write_text(
+        json.dumps(
+            {
+                "v1": [["m1", "a", "c1"]],
+                "v2": [["s1", "m1", "c1"], ["s2", "m2", "c9"]],
+                "v4": [["m1", "a", "c1", "s1"]],
+            }
+        )
+    )
+    return str(views), str(schema), str(view_data)
+
+
+class TestSqlInput:
+    def test_rewrite_from_sql(self, files, capsys):
+        views, schema, _data = files
+        sql = (
+            "SELECT p.store, l.city FROM car c, loc l, part p "
+            "WHERE c.dealer = 'a' AND l.dealer = 'a' "
+            "AND p.make = c.make AND p.city = l.city"
+        )
+        code = main(["rewrite", sql, "--views", views, "--sql-schema", schema])
+        assert code == 0
+        assert "v4(" in capsys.readouterr().out
+
+
+class TestCertifyFlag:
+    def test_certify_ok(self, files, capsys):
+        views, _schema, _data = files
+        code = main(
+            [
+                "rewrite",
+                "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)",
+                "--views", views,
+                "--certify",
+            ]
+        )
+        assert code == 0
+        assert "certificate: OK" in capsys.readouterr().out
+
+
+class TestCertainAnswers:
+    def test_certain_from_view_instance(self, files, capsys):
+        views, _schema, data = files
+        code = main(
+            [
+                "certain",
+                "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)",
+                "--views", views,
+                "--view-data", data,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain answer" in out
+        assert "('s1', 'c1')" in out

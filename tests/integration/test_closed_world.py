@@ -1,0 +1,87 @@
+"""Randomized end-to-end validation of the closed-world guarantee.
+
+For random workloads and random base instances: materialize the views,
+run every CoreCover rewriting, and compare with the query's answer on the
+base data.  This exercises the whole stack — generator, canonical
+databases, tuple-cores, set cover, engine — against ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.core import core_cover, core_cover_star
+from repro.engine import evaluate, materialize_views
+from repro.workload import (
+    WorkloadConfig,
+    generate_workload,
+    schema_of,
+    uniform_database,
+)
+
+
+@pytest.mark.parametrize("shape,nrel", [("star", 10), ("chain", 20)])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_gmrs_compute_query_answer(shape, nrel, seed):
+    config = WorkloadConfig(
+        shape=shape,
+        num_relations=nrel,
+        query_subgoals=5,
+        num_views=40,
+        seed=seed,
+    )
+    workload = generate_workload(config)
+    result = core_cover(workload.query, workload.views)
+    assert result.has_rewriting
+
+    schema = schema_of(workload.query, *workload.views.definitions())
+    rng = random.Random(seed * 13)
+    base = uniform_database(schema, 60, 8, rng)
+    vdb = materialize_views(workload.views, base)
+    expected = evaluate(workload.query, base)
+    for rewriting in result.rewritings:
+        assert evaluate(rewriting, vdb) == expected, str(rewriting)
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_all_minimal_rewritings_compute_query_answer(seed):
+    config = WorkloadConfig(
+        shape="star",
+        num_relations=8,
+        query_subgoals=4,
+        num_views=25,
+        nondistinguished=1,
+        seed=seed,
+    )
+    workload = generate_workload(config)
+    result = core_cover_star(workload.query, workload.views, max_rewritings=20)
+    assert result.has_rewriting
+
+    schema = schema_of(workload.query, *workload.views.definitions())
+    rng = random.Random(seed)
+    base = uniform_database(schema, 40, 5, rng)
+    vdb = materialize_views(workload.views, base)
+    expected = evaluate(workload.query, base)
+    for rewriting in result.rewritings:
+        assert evaluate(rewriting, vdb) == expected, str(rewriting)
+
+
+def test_filters_preserve_answers():
+    """Adding empty-core filter subgoals never changes the answer."""
+    from repro.core import add_filter_subgoal
+
+    config = WorkloadConfig(
+        shape="star", num_relations=8, query_subgoals=4, num_views=30, seed=9
+    )
+    workload = generate_workload(config)
+    result = core_cover(workload.query, workload.views)
+
+    schema = schema_of(workload.query, *workload.views.definitions())
+    base = uniform_database(schema, 50, 6, random.Random(99))
+    vdb = materialize_views(workload.views, base)
+    expected = evaluate(workload.query, base)
+
+    rewriting = result.rewritings[0]
+    for filter_tuple in result.filter_candidates[:5]:
+        extended = add_filter_subgoal(rewriting, filter_tuple)
+        assert evaluate(extended, vdb) == expected, str(extended)

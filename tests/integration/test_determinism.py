@@ -1,0 +1,51 @@
+"""Determinism regressions: fixed seeds must reproduce fixed counts.
+
+Timings vary across machines; the structural series (view classes, view
+tuples, coverage classes, GMR counts) are pure functions of the seeds.
+Pinning them guards the workload generator and the CoreCover pipeline
+against silent behavioural drift — if any of these change, EXPERIMENTS.md
+needs re-measuring.
+"""
+
+import pytest
+
+from repro.core import core_cover
+from repro.workload import WorkloadConfig, generate_workload
+
+
+class TestPinnedCounts:
+    def test_star_workload_seed7(self):
+        workload = generate_workload(
+            WorkloadConfig(
+                shape="star", num_relations=13, num_views=200, seed=7
+            )
+        )
+        result = core_cover(workload.query, workload.views)
+        stats = result.stats
+        assert stats.view_classes == 119
+        assert stats.total_view_tuples == 74
+        assert stats.view_tuple_classes == 62
+        assert result.minimum_subgoals() == 3
+
+    def test_chain_workload_seed7(self):
+        workload = generate_workload(
+            WorkloadConfig(
+                shape="chain", num_relations=40, num_views=200, seed=7
+            )
+        )
+        result = core_cover(workload.query, workload.views)
+        stats = result.stats
+        assert stats.view_tuple_classes == stats.total_view_tuples
+        assert stats.maximal_tuple_classes <= 6
+        assert result.has_rewriting
+
+    def test_same_seed_same_rewritings(self):
+        config = WorkloadConfig(
+            shape="cycle", num_relations=20, query_subgoals=6,
+            num_views=80, seed=12,
+        )
+        first = generate_workload(config)
+        second = generate_workload(config)
+        r1 = {str(r) for r in core_cover(first.query, first.views).rewritings}
+        r2 = {str(r) for r in core_cover(second.query, second.views).rewritings}
+        assert r1 == r2

@@ -1,0 +1,144 @@
+"""Edge cases pushed through the full pipeline.
+
+Boolean (zero-ary) queries, constant-only atoms, empty view relations,
+duplicate body atoms, views identical to the query, permuted view heads —
+each exercised end to end: CoreCover, equivalence, execution.
+"""
+
+import pytest
+
+from repro.core import core_cover, core_cover_star
+from repro.cost import optimal_plan_m2
+from repro.datalog import parse_query
+from repro.engine import Database, evaluate, materialize_views
+from repro.views import ViewCatalog, is_equivalent_rewriting
+
+
+class TestBooleanQueries:
+    def test_boolean_query_rewritten(self):
+        q = parse_query("q() :- e(X, Y), f(Y, X)")
+        views = ViewCatalog(["v(X, Y) :- e(X, Y), f(Y, X)"])
+        result = core_cover(q, views)
+        assert result.has_rewriting
+        assert [str(r) for r in result.rewritings] == ["q() :- v(X, Y)"]
+
+    def test_boolean_answers_execute(self):
+        q = parse_query("q() :- e(X, Y), f(Y, X)")
+        views = ViewCatalog(["v(X, Y) :- e(X, Y), f(Y, X)"])
+        base = Database.from_dict({"e": [(1, 2)], "f": [(2, 1)]})
+        vdb = materialize_views(views, base)
+        rewriting = core_cover(q, views).rewritings[0]
+        assert evaluate(rewriting, vdb) == evaluate(q, base) == {()}
+
+    def test_boolean_false_on_empty_data(self):
+        q = parse_query("q() :- e(X, Y)")
+        views = ViewCatalog(["v(X, Y) :- e(X, Y)"])
+        base = Database()
+        base.ensure_relation("e", 2)
+        vdb = materialize_views(views, base)
+        rewriting = core_cover(q, views).rewritings[0]
+        assert evaluate(rewriting, vdb) == frozenset()
+
+    def test_boolean_query_folds_before_covering(self):
+        # Minimization folds the two atoms; one view suffices.
+        q = parse_query("q() :- e(X, Y), e(Z, W)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        result = core_cover(q, views)
+        assert result.minimum_subgoals() == 1
+
+
+class TestConstantHeavyQueries:
+    def test_fully_ground_subgoal(self):
+        q = parse_query("q(X) :- e(X, a), g(a, b)")
+        views = ViewCatalog(
+            ["v1(X) :- e(X, a)", "v2() :- g(a, b)"]
+        )
+        result = core_cover(q, views)
+        assert result.has_rewriting
+        rewriting = result.rewritings[0]
+        base = Database.from_dict({"e": [(1, "a"), (2, "c")], "g": [("a", "b")]})
+        vdb = materialize_views(views, base)
+        assert evaluate(rewriting, vdb) == evaluate(q, base) == {(1,)}
+
+    def test_constant_in_head(self):
+        q = parse_query("q(X, tag) :- e(X, X)")
+        views = ViewCatalog(["v(A) :- e(A, A)"])
+        result = core_cover(q, views)
+        assert result.has_rewriting
+        base = Database.from_dict({"e": [(1, 1), (1, 2)]})
+        vdb = materialize_views(views, base)
+        assert evaluate(result.rewritings[0], vdb) == {(1, "tag")}
+
+    def test_view_pinning_wrong_constant_useless(self):
+        q = parse_query("q(X) :- e(X, a)")
+        views = ViewCatalog(["v(X) :- e(X, b)"])
+        assert not core_cover(q, views).has_rewriting
+
+
+class TestDegenerateShapes:
+    def test_duplicate_body_atoms_minimized_away(self):
+        q = parse_query("q(X) :- e(X, X), e(X, X)")
+        views = ViewCatalog(["v(A) :- e(A, A)"])
+        result = core_cover(q, views)
+        assert len(result.minimized_query.body) == 1
+        assert result.minimum_subgoals() == 1
+
+    def test_view_identical_to_query(self):
+        q = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["mirror(X, Y) :- e(X, Z), f(Z, Y)"])
+        result = core_cover(q, views)
+        assert [str(r) for r in result.rewritings] == [
+            "q(X, Y) :- mirror(X, Y)"
+        ]
+
+    def test_view_with_permuted_head(self):
+        q = parse_query("q(X, Y) :- e(X, Y)")
+        views = ViewCatalog(["flip(B, A) :- e(A, B)"])
+        result = core_cover(q, views)
+        assert [str(r) for r in result.rewritings] == ["q(X, Y) :- flip(Y, X)"]
+        base = Database.from_dict({"e": [(1, 2)]})
+        vdb = materialize_views(views, base)
+        assert evaluate(result.rewritings[0], vdb) == {(1, 2)}
+
+    def test_single_variable_query(self):
+        q = parse_query("q(X) :- e(X, X)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        result = core_cover(q, views)
+        assert [str(r) for r in result.rewritings] == ["q(X) :- v(X, X)"]
+
+    def test_unary_relations(self):
+        q = parse_query("q(X) :- g(X), h(X)")
+        views = ViewCatalog(["v1(A) :- g(A)", "v2(A) :- h(A)", "v3(A) :- g(A), h(A)"])
+        result = core_cover(q, views)
+        assert result.minimum_subgoals() == 1  # v3 covers both
+
+
+class TestEmptyData:
+    def test_plan_over_empty_views_costs_relation_reads_only(self):
+        q = parse_query("q(X) :- e(X, Y)")
+        views = ViewCatalog(["v(X, Y) :- e(X, Y)"])
+        vdb = Database()
+        vdb.ensure_relation("v", 2)
+        rewriting = core_cover(q, views).rewritings[0]
+        optimized = optimal_plan_m2(rewriting, vdb)
+        assert optimized.cost == 0
+        assert optimized.execution.answer == frozenset()
+
+    def test_star_space_on_no_views(self):
+        q = parse_query("q(X) :- e(X, X)")
+        result = core_cover_star(q, ViewCatalog([]))
+        assert not result.has_rewriting
+        assert result.filter_candidates == ()
+
+
+class TestRepeatedViewUse:
+    def test_rewriting_uses_same_view_twice(self):
+        q = parse_query("q(X, Z) :- e(X, Y), e(Y, Z)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        result = core_cover(q, views)
+        assert result.minimum_subgoals() == 2
+        rewriting = result.rewritings[0]
+        assert is_equivalent_rewriting(rewriting, q, views)
+        base = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        vdb = materialize_views(views, base)
+        assert evaluate(rewriting, vdb) == {(1, 3)}

@@ -1,0 +1,67 @@
+"""Tests for the experiment harness and figure drivers."""
+
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    SweepConfig,
+    format_points,
+    run_figure,
+    run_sweep,
+    sweep_config_for,
+)
+
+
+class TestFigureRegistry:
+    def test_all_eight_figures_registered(self):
+        assert sorted(FIGURES) == [
+            "fig6a", "fig6b", "fig7a", "fig7b",
+            "fig8a", "fig8b", "fig9a", "fig9b",
+        ]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_config_for("fig10z")
+
+    def test_config_shapes(self):
+        assert sweep_config_for("fig6a").shape == "star"
+        assert sweep_config_for("fig8a").shape == "chain"
+        assert sweep_config_for("fig6b").nondistinguished == 1
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def points(self):
+        config = SweepConfig(
+            shape="star",
+            num_relations=13,
+            nondistinguished=0,
+            view_counts=(20, 60),
+            queries_per_point=3,
+            seed=2,
+        )
+        return run_sweep(config)
+
+    def test_one_point_per_view_count(self, points):
+        assert [p.num_views for p in points] == [20, 60]
+
+    def test_measurements_populated(self, points):
+        for point in points:
+            assert point.mean_time_ms > 0
+            assert point.max_time_ms >= point.mean_time_ms
+            assert point.mean_gmr_count >= 1
+            assert point.mean_gmr_size >= 1
+
+    def test_view_classes_grow_with_views(self, points):
+        assert points[1].mean_view_classes > points[0].mean_view_classes
+
+    def test_format_points_renders_rows(self, points):
+        text = format_points(points)
+        assert "views" in text
+        assert str(points[0].num_views) in text
+
+    def test_run_figure_smoke(self):
+        points = run_figure("fig9b", view_counts=(15,), queries_per_point=2)
+        assert len(points) == 1
+        # Chain representative classes stay small (the paper's Fig 9(b)).
+        assert points[0].mean_maximal_tuple_classes < 10

@@ -1,0 +1,62 @@
+"""Tests for the experiment harness's output helpers."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    SweepConfig,
+    format_points,
+    print_figure,
+    run_sweep,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    config = SweepConfig(
+        shape="chain",
+        num_relations=40,
+        nondistinguished=0,
+        view_counts=(20,),
+        queries_per_point=2,
+        seed=3,
+    )
+    return run_sweep(config)
+
+
+class TestWriteCsv:
+    def test_csv_round_trips_fields(self, points, tmp_path):
+        path = tmp_path / "sweep.csv"
+        write_csv(points, str(path))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert int(rows[0]["num_views"]) == 20
+        assert float(rows[0]["mean_time_ms"]) > 0
+
+    def test_header_covers_all_fields(self, points, tmp_path):
+        import dataclasses
+
+        from repro.experiments import SweepPoint
+
+        path = tmp_path / "sweep.csv"
+        write_csv(points, str(path))
+        header = open(path).readline().strip().split(",")
+        assert header == [f.name for f in dataclasses.fields(SweepPoint)]
+
+
+class TestPrintFigure:
+    @pytest.mark.parametrize("figure", ["fig8a", "fig9a", "fig9b"])
+    def test_prints_caption_and_rows(self, points, figure, capsys):
+        print_figure(points, figure)
+        out = capsys.readouterr().out
+        assert figure in out
+        assert "20" in out
+
+    def test_format_points_alignment(self, points):
+        text = format_points(points)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, rule, one data row
+        assert lines[0].split()[0] == "views"

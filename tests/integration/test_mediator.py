@@ -1,0 +1,93 @@
+"""Tests for the Mediator facade."""
+
+import pytest
+
+from repro.datalog import parse_query
+from repro.engine import Database, evaluate, materialize_views
+from repro.experiments.paper_examples import car_loc_part, car_loc_part_database
+from repro.mediator import Mediator
+from repro.views import ViewCatalog
+
+
+@pytest.fixture(scope="module")
+def clp():
+    return car_loc_part()
+
+
+@pytest.fixture(scope="module")
+def base():
+    return car_loc_part_database()
+
+
+class TestExactAnswers:
+    @pytest.mark.parametrize("cost_model", ["m1", "m2", "m3"])
+    def test_answers_match_query_on_base(self, clp, base, cost_model):
+        mediator = Mediator(clp.views, base_database=base, cost_model=cost_model)
+        answer = mediator.answer(clp.query)
+        assert answer.exact
+        assert answer.method == "rewriting"
+        assert answer.rows == evaluate(clp.query, base)
+
+    def test_accepts_prematerialized_views(self, clp, base):
+        vdb = materialize_views(clp.views, base)
+        mediator = Mediator(clp.views, view_database=vdb)
+        assert mediator.answer(clp.query).rows == evaluate(clp.query, base)
+
+    def test_plan_cached(self, clp, base):
+        mediator = Mediator(clp.views, base_database=base)
+        first = mediator.plan_for(clp.query)
+        second = mediator.plan_for(clp.query)
+        assert first is second
+        assert mediator.cache_info()["entries"] == 1
+
+    def test_explain_mentions_plan(self, clp, base):
+        mediator = Mediator(clp.views, base_database=base)
+        report = mediator.explain(clp.query)
+        assert "rewriting :" in report and "cost" in report
+
+
+class TestFallback:
+    def test_certain_answers_when_unrewritable(self):
+        # g is not derivable from the views: no equivalent rewriting, but
+        # the e-part still yields certain answers... here none are certain.
+        query = parse_query("q(X, Y) :- e(X, Y), g(Y)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        base = Database.from_dict({"e": [(1, 2)], "g": [(2,)]})
+        mediator = Mediator(views, base_database=base)
+        answer = mediator.answer(query)
+        assert not answer.exact
+        assert answer.method == "certain"
+        assert answer.rows <= evaluate(query, base)
+
+    def test_certain_answers_can_be_complete_anyway(self):
+        # The composed view loses nothing for this query shape.
+        query = parse_query("q(X, Y) :- e(X, Z), f(Z, Y)")
+        views = ViewCatalog(["v(A, B) :- e(A, C), f(C, B)"])
+        base = Database.from_dict({"e": [(1, 5)], "f": [(5, 9)]})
+        mediator = Mediator(views, base_database=base)
+        answer = mediator.answer(query)
+        assert answer.exact  # v IS an equivalent rewriting here
+        assert answer.rows == {(1, 9)}
+
+    def test_explain_for_unrewritable(self):
+        query = parse_query("q(X) :- g(X)")
+        views = ViewCatalog(["v(A, B) :- e(A, B)"])
+        base = Database.from_dict({"e": [(1, 2)]})
+        base.ensure_relation("g", 1)
+        mediator = Mediator(views, base_database=base)
+        assert "inverse-rules" in mediator.explain(query)
+        assert mediator.cache_info()["unrewritable"] == 1
+
+
+class TestValidation:
+    def test_requires_some_database(self, clp):
+        with pytest.raises(ValueError):
+            Mediator(clp.views)
+
+    def test_unknown_cost_model(self, clp, base):
+        with pytest.raises(ValueError):
+            Mediator(clp.views, base_database=base, cost_model="m9")
+
+    def test_views_iterable_coerced(self, base, clp):
+        mediator = Mediator(list(clp.views), base_database=base)
+        assert mediator.answer(clp.query).exact

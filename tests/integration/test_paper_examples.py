@@ -1,0 +1,87 @@
+"""Sanity tests for the paper-example fixtures themselves."""
+
+import pytest
+
+from repro.engine import evaluate, materialize_views
+from repro.experiments.paper_examples import (
+    car_loc_part,
+    car_loc_part_database,
+    car_loc_part_selective_database,
+    example_31,
+    example_41,
+    example_42,
+    example_61,
+    gmr_not_cmr,
+    section8_ucq,
+)
+from repro.views import is_equivalent_rewriting
+
+
+class TestCarLocPart:
+    def test_views_match_paper(self):
+        clp = car_loc_part()
+        assert clp.views.names() == ("v1", "v2", "v3", "v4", "v5")
+        assert clp.views.get("v4").arity == 4
+
+    def test_databases_are_nonempty_and_answerable(self):
+        clp = car_loc_part()
+        for base in (car_loc_part_database(), car_loc_part_selective_database()):
+            assert evaluate(clp.query, base), "fixture must exercise the join"
+
+    def test_selective_database_makes_v3_tiny(self):
+        clp = car_loc_part()
+        vdb = materialize_views(clp.views, car_loc_part_selective_database())
+        assert len(vdb.relation("v3")) <= 3
+        assert len(vdb.relation("v1")) >= 100
+
+
+class TestExample31:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_rewritings_are_equivalent(self, m):
+        ex = example_31(m)
+        assert len(ex.rewritings) == m
+        for rewriting in ex.rewritings:
+            assert is_equivalent_rewriting(rewriting, ex.query, ex.views)
+
+    def test_subgoal_counts_increase(self):
+        ex = example_31(4)
+        assert [len(r.body) for r in ex.rewritings] == [1, 2, 3, 4]
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            example_31(0)
+
+
+class TestOtherFixtures:
+    def test_example_41_query_is_minimal(self):
+        from repro.containment import is_minimal
+
+        assert is_minimal(example_41().query)
+
+    def test_example_42_sizes(self):
+        ex = example_42(4)
+        assert len(ex.query.body) == 8
+        assert len(ex.views) == 4  # v plus v1..v3
+
+    def test_example_42_requires_k_at_least_2(self):
+        with pytest.raises(ValueError):
+            example_42(1)
+
+    def test_example_61_rewritings_are_equivalent(self):
+        ex = example_61()
+        for rewriting in (ex.p1, ex.p2):
+            assert is_equivalent_rewriting(rewriting, ex.query, ex.views)
+
+    def test_gmr_not_cmr_rewritings_are_equivalent(self):
+        ex = gmr_not_cmr()
+        for rewriting in (ex.p1, ex.p2):
+            assert is_equivalent_rewriting(rewriting, ex.query, ex.views)
+
+    def test_section8_fixture_shapes(self):
+        ex = section8_ucq()
+        assert len(ex.union_rewriting) == 2
+        assert len(ex.single_rewriting.body) == 3
+        assert any(
+            atom.is_comparison
+            for atom in ex.views.get("v1").definition.body
+        )

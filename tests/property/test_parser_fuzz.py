@@ -1,0 +1,62 @@
+"""Fuzz and round-trip properties for the datalog parser."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    DatalogSyntaxError,
+    MalformedQueryError,
+    Variable,
+    parse_query,
+)
+
+VARIABLES = [Variable(f"X{i}") for i in range(4)] + [Variable("Make")]
+CONSTANTS = [Constant("a"), Constant("anderson"), Constant(7), Constant(-3)]
+
+terms = st.one_of(st.sampled_from(VARIABLES), st.sampled_from(CONSTANTS))
+
+
+@st.composite
+def printable_queries(draw):
+    """Queries whose rendering follows the parser's naming conventions."""
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        predicate = draw(st.sampled_from(["e", "f", "car", "loc"]))
+        arity = draw(st.integers(min_value=1, max_value=3))
+        body.append(Atom(predicate, tuple(draw(terms) for _ in range(arity))))
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+    )
+    keep = draw(st.integers(min_value=0, max_value=len(body_vars)))
+    return ConjunctiveQuery(Atom("q", tuple(body_vars[:keep])), tuple(body))
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(printable_queries())
+    def test_parse_of_str_is_identity(self, query):
+        assert parse_query(str(query)) == query
+
+
+class TestFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        try:
+            parse_query(text)
+        except (DatalogSyntaxError, MalformedQueryError):
+            pass  # the two documented failure modes
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.text(
+            alphabet="qXYZabc(),:-_ <=0123456789", max_size=50
+        )
+    )
+    def test_near_miss_text_never_crashes_unexpectedly(self, text):
+        try:
+            parse_query(text)
+        except (DatalogSyntaxError, MalformedQueryError):
+            pass

@@ -1,0 +1,343 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tie the symbolic layer (Chandra-Merlin containment, minimization,
+CoreCover) to the semantic layer (the relational engine): containment
+proofs must agree with actual query answers on random databases, and
+every rewriting CoreCover emits must be a genuine equivalent rewriting.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.containment import (
+    canonical_database,
+    is_contained_in,
+    is_equivalent_to,
+    is_minimal,
+    minimize,
+    thaw_atom,
+)
+from repro.core import core_cover, tuple_core, view_tuples
+from repro.core.set_cover import irredundant_covers, minimum_covers
+from repro.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Substitution,
+    Variable,
+    parse_query,
+)
+from repro.engine import Database, evaluate
+from repro.views import ViewCatalog, is_equivalent_rewriting
+from repro.workload import WorkloadConfig, generate_workload
+
+VARIABLES = [Variable(f"X{i}") for i in range(5)]
+CONSTANTS = [Constant("a"), Constant("b")]
+PREDICATES = [("e", 2), ("f", 2), ("g", 1)]
+
+terms = st.one_of(st.sampled_from(VARIABLES), st.sampled_from(CONSTANTS))
+
+
+@st.composite
+def atoms(draw):
+    predicate, arity = draw(st.sampled_from(PREDICATES))
+    return Atom(predicate, tuple(draw(terms) for _ in range(arity)))
+
+
+@st.composite
+def queries(draw):
+    body = tuple(draw(st.lists(atoms(), min_size=1, max_size=4)))
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+    )
+    head_vars = draw(st.permutations(body_vars)) if body_vars else []
+    keep = draw(st.integers(min_value=0, max_value=len(head_vars)))
+    return ConjunctiveQuery(Atom("q", tuple(head_vars[:keep])), body)
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    values = list(range(4))
+    for predicate, arity in PREDICATES:
+        rows = draw(
+            st.lists(
+                st.tuples(*(st.sampled_from(values) for _ in range(arity))),
+                max_size=8,
+            )
+        )
+        relation = db.ensure_relation(predicate, arity)
+        for row in rows:
+            relation.add(row)
+    # Constants "a"/"b" may appear in queries; give them interpretations.
+    db.relation("e").add(("a", "b"))
+    db.relation("g").add(("a",))
+    return db
+
+
+class TestContainmentSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_containment_is_reflexive(self, q):
+        assert is_contained_in(q, q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries(), st.integers(min_value=0, max_value=3))
+    def test_dropping_an_atom_generalizes(self, q, index):
+        if len(q.body) < 2:
+            return
+        index %= len(q.body)
+        candidate = q.without_atom(index)
+        if not candidate.is_safe():
+            return
+        assert is_contained_in(q, candidate)
+
+    @settings(max_examples=30, deadline=None)
+    @given(queries(), queries(), databases())
+    def test_containment_implies_answer_subset(self, q1, q2, db):
+        """Symbolic containment must agree with the engine's semantics."""
+        if q1.arity != q2.arity:
+            return
+        q2 = ConjunctiveQuery(Atom("q", q2.head.args), q2.body)
+        if is_contained_in(q1, q2):
+            assert evaluate(q1, db) <= evaluate(q2, db)
+
+    @settings(max_examples=30, deadline=None)
+    @given(queries(), databases())
+    def test_equivalence_implies_equal_answers(self, q, db):
+        m = minimize(q)
+        assert evaluate(q, db) == evaluate(m, db)
+
+
+class TestMinimization:
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_minimize_preserves_equivalence(self, q):
+        m = minimize(q)
+        assert is_equivalent_to(m, q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_minimize_result_is_minimal(self, q):
+        assert is_minimal(minimize(q))
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_minimize_idempotent(self, q):
+        m = minimize(q)
+        assert minimize(m) == m
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_minimize_never_grows(self, q):
+        assert len(minimize(q).body) <= len(q.dedup_body().body)
+
+
+class TestCanonicalDatabase:
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_freeze_thaw_round_trip(self, q):
+        cdb = canonical_database(q)
+        assert tuple(thaw_atom(f) for f in cdb.facts) == q.body
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries())
+    def test_query_satisfied_by_own_canonical_database(self, q):
+        cdb = canonical_database(q)
+        db = Database.from_facts(cdb.facts)
+        frozen_head_tuple = tuple(
+            arg.value for arg in cdb.frozen_head.args
+        )
+        assert frozen_head_tuple in evaluate(q, db)
+
+
+class TestSubstitutions:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(st.sampled_from(VARIABLES), terms, max_size=4),
+        st.dictionaries(st.sampled_from(VARIABLES), terms, max_size=4),
+        terms,
+    )
+    def test_compose_agrees_with_sequential_application(self, m1, m2, t):
+        s1, s2 = Substitution(m1), Substitution(m2)
+        composed = s1.compose(s2)
+        assert composed.apply_term(t) == s2.apply_term(s1.apply_term(t))
+
+
+class TestSetCover:
+    subsets = st.lists(
+        st.frozensets(st.integers(min_value=0, max_value=5), max_size=4),
+        min_size=1,
+        max_size=7,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(subsets)
+    def test_minimum_covers_are_valid_and_tied(self, sets):
+        universe = frozenset(range(4))
+        covers = minimum_covers(universe, sets)
+        sizes = {len(c) for c in covers}
+        assert len(sizes) <= 1
+        for cover in covers:
+            covered = frozenset().union(*(sets[i] for i in cover)) if cover else frozenset()
+            assert universe <= covered
+
+    @settings(max_examples=60, deadline=None)
+    @given(subsets)
+    def test_irredundant_covers_are_irredundant(self, sets):
+        universe = frozenset(range(3))
+        for cover in irredundant_covers(universe, sets):
+            for drop in cover:
+                remaining = [i for i in cover if i != drop]
+                covered = (
+                    frozenset().union(*(sets[i] for i in remaining))
+                    if remaining
+                    else frozenset()
+                )
+                assert not universe <= covered
+
+    @settings(max_examples=60, deadline=None)
+    @given(subsets)
+    def test_minimum_covers_subset_of_irredundant(self, sets):
+        universe = frozenset(range(3))
+        minimum = set(minimum_covers(universe, sets))
+        irredundant = set(irredundant_covers(universe, sets))
+        assert minimum <= irredundant
+
+
+class TestCoreCoverSoundness:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_gmr_is_an_equivalent_rewriting(self, seed):
+        config = WorkloadConfig(
+            shape="star",
+            num_relations=7,
+            query_subgoals=4,
+            num_views=15,
+            seed=seed,
+            require_rewritable=False,
+        )
+        workload = generate_workload(config)
+        result = core_cover(workload.query, workload.views)
+        for rewriting in result.rewritings:
+            assert is_equivalent_rewriting(
+                rewriting, workload.query, workload.views
+            ), str(rewriting)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_gmr_sizes_are_minimum_over_view_tuple_space(self, seed):
+        from repro.core import naive_gmr_search
+
+        config = WorkloadConfig(
+            shape="chain",
+            num_relations=10,
+            query_subgoals=3,
+            num_views=8,
+            seed=seed,
+            require_rewritable=False,
+        )
+        workload = generate_workload(config)
+        clever = core_cover(workload.query, workload.views)
+        naive = naive_gmr_search(workload.query, workload.views)
+        if naive:
+            assert clever.has_rewriting
+            assert clever.minimum_subgoals() == min(len(r.body) for r in naive)
+        else:
+            assert not clever.has_rewriting
+
+
+class TestTupleCoreInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_closure_property_holds(self, seed):
+        """Property (3): existentially-mapped variables are fully covered."""
+        config = WorkloadConfig(
+            shape="star",
+            num_relations=7,
+            query_subgoals=4,
+            num_views=12,
+            nondistinguished=1,
+            seed=seed,
+            require_rewritable=False,
+        )
+        workload = generate_workload(config)
+        minimized = minimize(workload.query)
+        for vt in view_tuples(minimized, workload.views):
+            core = tuple_core(minimized, vt)
+            for variable in core.mapping:
+                using = {
+                    i
+                    for i, atom in enumerate(minimized.body)
+                    if variable in atom.variable_set()
+                }
+                assert using <= core.covered
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_mapping_images_are_injective(self, seed):
+        config = WorkloadConfig(
+            shape="chain",
+            num_relations=10,
+            query_subgoals=4,
+            num_views=10,
+            nondistinguished=1,
+            seed=seed,
+            require_rewritable=False,
+        )
+        workload = generate_workload(config)
+        minimized = minimize(workload.query)
+        for vt in view_tuples(minimized, workload.views):
+            core = tuple_core(minimized, vt)
+            images = list(core.mapping.values())
+            assert len(images) == len(set(images))
+
+
+class TestLemma42Uniqueness:
+    """Lemma 4.2: the maximal consistent covered set is unique."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_unique_maximal_core_on_random_workloads(self, seed):
+        from repro.core import enumerate_consistent_cores
+
+        config = WorkloadConfig(
+            shape="star",
+            num_relations=6,
+            query_subgoals=4,
+            num_views=10,
+            nondistinguished=1,
+            seed=seed,
+            require_rewritable=False,
+        )
+        workload = generate_workload(config)
+        minimized = minimize(workload.query)
+        for vt in view_tuples(minimized, workload.views):
+            maximal = enumerate_consistent_cores(minimized, vt)
+            assert len(maximal) <= 1, (str(vt), maximal)
+            core = tuple_core(minimized, vt)
+            if maximal:
+                assert core.covered == maximal[0]
+            else:
+                assert core.is_empty
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_unique_maximal_core_on_chains(self, seed):
+        from repro.core import enumerate_consistent_cores
+
+        config = WorkloadConfig(
+            shape="chain",
+            num_relations=8,
+            query_subgoals=4,
+            num_views=10,
+            nondistinguished=1,
+            seed=seed,
+            require_rewritable=False,
+        )
+        workload = generate_workload(config)
+        minimized = minimize(workload.query)
+        for vt in view_tuples(minimized, workload.views):
+            maximal = enumerate_consistent_cores(minimized, vt)
+            assert len(maximal) <= 1, (str(vt), maximal)

@@ -1,0 +1,69 @@
+"""Property tests for the rewriting layer's algebraic laws."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.containment import is_equivalent_to
+from repro.core import core_cover
+from repro.datalog import Substitution, Variable
+from repro.datalog.query import fresh_factory_for
+from repro.views import expand, is_equivalent_rewriting
+from repro.workload import WorkloadConfig, generate_workload
+
+
+def _rewritable_workload(seed):
+    return generate_workload(
+        WorkloadConfig(
+            shape="star",
+            num_relations=7,
+            query_subgoals=4,
+            num_views=15,
+            seed=seed,
+        )
+    )
+
+
+class TestExpansionLaws:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_expansion_invariant_under_body_permutation(self, seed):
+        workload = _rewritable_workload(seed)
+        rewriting = core_cover(workload.query, workload.views).rewritings[0]
+        rng = random.Random(seed)
+        indices = list(range(len(rewriting.body)))
+        rng.shuffle(indices)
+        permuted = rewriting.with_body(rewriting.body[i] for i in indices)
+        assert is_equivalent_to(
+            expand(rewriting, workload.views), expand(permuted, workload.views)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_equivalence_invariant_under_renaming(self, seed):
+        """A rewriting stays a rewriting under variable renaming."""
+        workload = _rewritable_workload(seed)
+        rewriting = core_cover(workload.query, workload.views).rewritings[0]
+        factory = fresh_factory_for(rewriting, workload.query)
+        # Head variables must still match the query's head positionally,
+        # so rename only the existential variables.
+        keep = rewriting.distinguished_variables()
+        renamed, _renaming = rewriting.rename_apart(factory, keep=keep)
+        assert is_equivalent_rewriting(renamed, workload.query, workload.views)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_expansion_of_base_only_query_is_identity(self, seed):
+        workload = _rewritable_workload(seed)
+        # The query itself uses no view predicates: expansion is a no-op.
+        assert expand(workload.query, workload.views) == workload.query
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_double_expansion_is_stable(self, seed):
+        """Expanding an already-expanded query changes nothing."""
+        workload = _rewritable_workload(seed)
+        rewriting = core_cover(workload.query, workload.views).rewritings[0]
+        once = expand(rewriting, workload.views)
+        twice = expand(once, workload.views)
+        assert once == twice

@@ -1,0 +1,84 @@
+"""Tests for rewriting expansion (view unfolding, Definition 2.2)."""
+
+from repro.containment import is_equivalent_to
+from repro.datalog import parse_query
+from repro.views import ViewCatalog, expand
+
+
+CATALOG = ViewCatalog(
+    [
+        "v1(M, D, C) :- car(M, D), loc(D, C)",
+        "v2(S, M, C) :- part(S, M, C)",
+        "v3(S) :- car(M, a), loc(a, C), part(S, M, C)",
+    ]
+)
+
+
+class TestExpansion:
+    def test_simple_unfolding(self):
+        p = parse_query("q1(S, C) :- v1(M, a, C), v2(S, M, C)")
+        expected = parse_query(
+            "q1(S, C) :- car(M, a), loc(a, C), part(S, M, C)"
+        )
+        assert is_equivalent_to(expand(p, CATALOG), expected)
+
+    def test_expansion_substitutes_head_arguments(self):
+        p = parse_query("q(C) :- v1(m1, a, C)")
+        expansion = expand(p, CATALOG)
+        assert str(expansion.body[0]) == "car(m1, a)"
+        assert str(expansion.body[1]) == "loc(a, C)"
+
+    def test_existential_variables_freshened(self):
+        p = parse_query("q(S) :- v3(S)")
+        expansion = expand(p, CATALOG)
+        # M and C from v3's definition must not leak verbatim when they
+        # could collide; here they may appear, but they must not be
+        # distinguished.
+        assert expansion.head == p.head
+        assert len(expansion.body) == 3
+
+    def test_repeated_view_occurrences_standardized_apart(self):
+        p = parse_query("q(S, S2) :- v3(S), v3(S2)")
+        expansion = expand(p, CATALOG)
+        # Each v3 occurrence introduces its own fresh copies of M and C:
+        # 6 atoms, and the two copies share no existential variables.
+        assert len(expansion.body) == 6
+        first_vars = set()
+        for atom in expansion.body[:3]:
+            first_vars |= atom.variable_set()
+        second_vars = set()
+        for atom in expansion.body[3:]:
+            second_vars |= atom.variable_set()
+        shared = (first_vars & second_vars) - expansion.distinguished_variables()
+        assert not shared
+
+    def test_fresh_variables_avoid_rewriting_variables(self):
+        # The rewriting already uses names like M and C; expansion must not
+        # capture them.
+        p = parse_query("q(S, M, C) :- v3(S), v2(S, M, C)")
+        expansion = expand(p, CATALOG)
+        expected = parse_query(
+            "q(S, M, C) :- car(M2, a), loc(a, C2), part(S, M2, C2), part(S, M, C)"
+        )
+        assert is_equivalent_to(expansion, expected)
+
+    def test_non_view_predicates_pass_through(self):
+        p = parse_query("q(S, M, C) :- v2(S, M, C), extra(S)")
+        expansion = expand(p, CATALOG)
+        assert str(expansion.body[1]) == "extra(S)"
+
+    def test_comparison_atoms_pass_through(self):
+        p = parse_query("q(S, M, C) :- v2(S, M, C), S != M")
+        expansion = expand(p, CATALOG)
+        assert expansion.body[1].is_comparison
+
+    def test_paper_p1_expansion(self):
+        """P1's expansion from Section 2.1 of the paper."""
+        p1 = parse_query(
+            "q1(S, C) :- v1(M, a, C1), v1(M1, a, C), v2(S, M, C)"
+        )
+        expected = parse_query(
+            "q1(S, C) :- car(M, a), loc(a, C1), car(M1, a), loc(a, C), "
+            "part(S, M, C)"
+        )
+        assert is_equivalent_to(expand(p1, CATALOG), expected)

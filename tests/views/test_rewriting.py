@@ -1,0 +1,88 @@
+"""Tests for equivalent rewritings and the Section 3 minimality notions."""
+
+import pytest
+
+from repro.containment import is_equivalent_to
+from repro.datalog import parse_query
+from repro.experiments.paper_examples import car_loc_part
+from repro.views import (
+    ViewCatalog,
+    enumerate_lmrs_within,
+    expand,
+    is_contained_rewriting,
+    is_equivalent_rewriting,
+    is_locally_minimal,
+    is_minimal_as_query,
+    locally_minimize,
+    subgoal_count,
+)
+
+
+@pytest.fixture(scope="module")
+def clp():
+    return car_loc_part()
+
+
+class TestEquivalentRewriting:
+    def test_all_paper_rewritings_are_equivalent(self, clp):
+        for p in (clp.p1, clp.p2, clp.p3, clp.p4, clp.p5):
+            assert is_equivalent_rewriting(p, clp.query, clp.views)
+
+    def test_rewritings_not_equivalent_as_queries(self, clp):
+        """P1 ≡ P2 as expansions but NOT as queries (Section 2.1)."""
+        assert is_equivalent_to(
+            expand(clp.p1, clp.views), expand(clp.p2, clp.views)
+        )
+        assert not is_equivalent_to(clp.p1, clp.p2)
+
+    def test_non_rewriting_detected(self, clp):
+        bad = parse_query("q1(S, C) :- v2(S, M, C)")
+        assert not is_equivalent_rewriting(bad, clp.query, clp.views)
+        assert not is_contained_rewriting(bad, clp.query, clp.views)
+
+    def test_contained_but_not_equivalent(self, clp):
+        # Asking for an extra join with v3 keeps containment; adding an
+        # unrelated restriction on the head vars does not break
+        # containment either, so craft a strictly-contained rewriting:
+        narrowed = parse_query("q1(S, C) :- v4(M, a, C, S), v3(S), v1(M, a, c9)")
+        assert is_contained_rewriting(narrowed, clp.query, clp.views)
+        assert not is_equivalent_rewriting(narrowed, clp.query, clp.views)
+
+
+class TestMinimality:
+    def test_p3_minimal_as_query_but_not_lmr(self, clp):
+        """P3 is a minimal rewriting but not locally minimal (Section 3.1)."""
+        assert is_minimal_as_query(clp.p3)
+        assert not is_locally_minimal(clp.p3, clp.query, clp.views)
+
+    def test_p1_and_p2_are_lmrs(self, clp):
+        assert is_locally_minimal(clp.p1, clp.query, clp.views)
+        assert is_locally_minimal(clp.p2, clp.query, clp.views)
+
+    def test_p4_is_lmr(self, clp):
+        assert is_locally_minimal(clp.p4, clp.query, clp.views)
+
+    def test_locally_minimize_p3_reaches_p2(self, clp):
+        lmr = locally_minimize(clp.p3, clp.query, clp.views)
+        assert subgoal_count(lmr) == 2
+        assert is_equivalent_to(lmr, clp.p2)
+
+    def test_locally_minimize_keeps_lmr_fixed(self, clp):
+        assert locally_minimize(clp.p2, clp.query, clp.views) == clp.p2
+
+    def test_enumerate_lmrs_within_p3(self, clp):
+        lmrs = list(enumerate_lmrs_within(clp.p3, clp.query, clp.views))
+        assert len(lmrs) == 1
+        assert is_equivalent_to(lmrs[0], clp.p2)
+
+    def test_enumerate_lmrs_multiple(self, clp):
+        combined = parse_query(
+            "q1(S, C) :- v4(M, a, C, S), v1(M2, a, C), v2(S, M2, C)"
+        )
+        lmrs = list(enumerate_lmrs_within(combined, clp.query, clp.views))
+        sizes = sorted(subgoal_count(p) for p in lmrs)
+        assert sizes == [1, 2]
+
+    def test_subgoal_count(self, clp):
+        assert subgoal_count(clp.p1) == 3
+        assert subgoal_count(clp.p4) == 1

@@ -1,0 +1,64 @@
+"""Tests for view definitions and catalogs."""
+
+import pytest
+
+from repro.datalog import MalformedQueryError, Variable, parse_query
+from repro.views import View, ViewCatalog, as_view
+
+
+class TestView:
+    def test_basic_properties(self):
+        view = as_view("v1(M, D, C) :- car(M, D), loc(D, C)")
+        assert view.name == "v1"
+        assert view.arity == 3
+        assert view.head_variables == (
+            Variable("M"), Variable("D"), Variable("C"),
+        )
+        assert view.existential_variables() == frozenset()
+
+    def test_existential_variables(self):
+        view = as_view("v3(S) :- car(M, a), loc(a, C), part(S, M, C)")
+        assert view.existential_variables() == {Variable("M"), Variable("C")}
+
+    def test_rejects_unsafe_definition(self):
+        with pytest.raises(MalformedQueryError):
+            as_view("v(X, Y) :- e(X, X)")
+
+    def test_rejects_constant_in_head(self):
+        with pytest.raises(MalformedQueryError):
+            View(parse_query("v(X, a) :- e(X, a)"))
+
+    def test_rejects_repeated_head_variable(self):
+        with pytest.raises(MalformedQueryError):
+            View(parse_query("v(X, X) :- e(X, X)"))
+
+
+class TestViewCatalog:
+    def test_accepts_strings_queries_and_views(self):
+        catalog = ViewCatalog(
+            [
+                "v1(X) :- e(X, Y)",
+                parse_query("v2(X) :- f(X, X)"),
+                as_view("v3(X, Y) :- e(X, Y)"),
+            ]
+        )
+        assert catalog.names() == ("v1", "v2", "v3")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ViewCatalog(["v(X) :- e(X, X)", "v(Y) :- f(Y, Y)"])
+
+    def test_contains_and_get(self):
+        catalog = ViewCatalog(["v(X) :- e(X, X)"])
+        assert "v" in catalog
+        assert "w" not in catalog
+        assert catalog.get("v").arity == 1
+
+    def test_definitions_order(self):
+        catalog = ViewCatalog(["b(X) :- e(X, X)", "a(X) :- f(X, X)"])
+        assert [d.name for d in catalog.definitions()] == ["b", "a"]
+
+    def test_len_and_iter(self):
+        catalog = ViewCatalog(["v1(X) :- e(X, X)", "v2(X) :- f(X, X)"])
+        assert len(catalog) == 2
+        assert {v.name for v in catalog} == {"v1", "v2"}

@@ -1,0 +1,100 @@
+"""Tests for the cycle workload shape."""
+
+import random
+
+import pytest
+
+from repro.core import core_cover
+from repro.datalog import Variable
+from repro.workload import (
+    WorkloadConfig,
+    cycle_query,
+    cycle_view,
+    generate_workload,
+)
+
+
+class TestCycleQuery:
+    def test_edges_close_the_cycle(self):
+        q = cycle_query([0, 1, 2])
+        assert [a.predicate for a in q.body] == ["r0", "r1", "r2"]
+        assert q.body[-1].args[1] == q.body[0].args[0]
+
+    def test_all_distinguished_by_default(self):
+        q = cycle_query([0, 1, 2, 3])
+        assert q.existential_variables() == frozenset()
+
+    def test_nondistinguished_drops_variables(self):
+        q = cycle_query([0, 1, 2], nondistinguished=1)
+        assert len(q.existential_variables()) == 1
+
+    def test_too_small_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_query([0])
+
+    def test_cannot_drop_everything(self):
+        with pytest.raises(ValueError):
+            cycle_query([0, 1], nondistinguished=2)
+
+
+class TestCycleView:
+    def test_arc_over_ring(self):
+        view = cycle_view([5, 6, 7], start=2, length=2, name="v")
+        # Arc starting at ring position 2 wraps: r7 then r5.
+        assert [a.predicate for a in view.definition.body] == ["r7", "r5"]
+
+    def test_arc_is_a_chain(self):
+        view = cycle_view([0, 1, 2, 3], start=0, length=3, name="v")
+        body = view.definition.body
+        for left, right in zip(body, body[1:]):
+            assert left.args[1] == right.args[0]
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_view([0, 1], start=0, length=3, name="v")
+
+    def test_interior_drop(self):
+        view = cycle_view(
+            [0, 1, 2], start=0, length=3, name="v",
+            nondistinguished=1, rng=random.Random(1),
+        )
+        assert len(view.existential_variables()) == 1
+
+
+class TestCycleWorkloads:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_rewritable_workloads_generated(self, seed):
+        workload = generate_workload(
+            WorkloadConfig(
+                shape="cycle",
+                num_relations=20,
+                query_subgoals=6,
+                num_views=60,
+                seed=seed,
+            )
+        )
+        result = core_cover(workload.query, workload.views)
+        assert result.has_rewriting
+        # A cycle can never be covered by a single ≤3-subgoal view.
+        assert result.minimum_subgoals() >= 2
+
+    def test_closed_world_on_cycles(self):
+        from repro.engine import evaluate, materialize_views
+        from repro.workload import schema_of, uniform_database
+
+        workload = generate_workload(
+            WorkloadConfig(
+                shape="cycle",
+                num_relations=15,
+                query_subgoals=5,
+                num_views=50,
+                seed=5,
+            )
+        )
+        result = core_cover(workload.query, workload.views)
+        schema = schema_of(workload.query, *workload.views.definitions())
+        base = uniform_database(schema, 60, 7, random.Random(5))
+        vdb = materialize_views(workload.views, base)
+        expected = evaluate(workload.query, base)
+        for rewriting in result.rewritings:
+            assert evaluate(rewriting, vdb) == expected

@@ -1,0 +1,93 @@
+"""Tests for the Section 7 workload generator."""
+
+import pytest
+
+from repro.core import core_cover
+from repro.workload import WorkloadConfig, WorkloadError, generate_workload
+from repro.workload.generator import workload_series
+
+
+class TestGeneration:
+    def test_rewritable_by_construction(self):
+        config = WorkloadConfig(shape="star", num_views=40, seed=3)
+        workload = generate_workload(config)
+        assert core_cover(workload.query, workload.views).has_rewriting
+
+    def test_deterministic_for_seed(self):
+        config = WorkloadConfig(shape="star", num_views=30, seed=9)
+        first = generate_workload(config)
+        second = generate_workload(config)
+        assert str(first.query) == str(second.query)
+        assert [str(v) for v in first.views] == [str(v) for v in second.views]
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadConfig(shape="star", num_views=30, seed=1))
+        b = generate_workload(WorkloadConfig(shape="star", num_views=30, seed=2))
+        assert str(a.query) != str(b.query) or [str(v) for v in a.views] != [
+            str(v) for v in b.views
+        ]
+
+    def test_view_count_respected(self):
+        config = WorkloadConfig(shape="chain", num_relations=40, num_views=25)
+        workload = generate_workload(config)
+        assert len(workload.views) == 25
+
+    def test_query_subgoals_respected(self):
+        config = WorkloadConfig(
+            shape="chain", num_relations=40, query_subgoals=5, num_views=30
+        )
+        workload = generate_workload(config)
+        assert len(workload.query.body) == 5
+
+    def test_chain_all_shapes_generate(self):
+        for shape, nrel in [("star", 13), ("chain", 40), ("random", 8)]:
+            config = WorkloadConfig(
+                shape=shape, num_relations=nrel, num_views=60, seed=11
+            )
+            workload = generate_workload(config)
+            assert core_cover(workload.query, workload.views).has_rewriting
+
+    def test_nondistinguished_configs_generate(self):
+        for shape, nrel in [("star", 13), ("chain", 40)]:
+            config = WorkloadConfig(
+                shape=shape,
+                num_relations=nrel,
+                num_views=80,
+                nondistinguished=1,
+                seed=4,
+            )
+            workload = generate_workload(config)
+            assert core_cover(workload.query, workload.views).has_rewriting
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadConfig(shape="lattice"))
+
+    def test_unrewritable_configuration_raises(self):
+        # One view over one relation cannot rewrite an 8-subgoal star
+        # (satellites of uncovered relations are lost).
+        config = WorkloadConfig(
+            shape="star",
+            num_relations=13,
+            num_views=1,
+            seed=0,
+            max_attempts=3,
+        )
+        with pytest.raises(WorkloadError):
+            generate_workload(config)
+
+    def test_require_rewritable_false_skips_check(self):
+        config = WorkloadConfig(
+            shape="star", num_views=1, seed=0, require_rewritable=False
+        )
+        workload = generate_workload(config)
+        assert len(workload.views) == 1
+
+
+class TestSeries:
+    def test_series_yields_distinct_workloads(self):
+        config = WorkloadConfig(shape="star", num_views=30, seed=5)
+        series = list(workload_series(config, 3))
+        assert len(series) == 3
+        queries = {str(w.query) for w in series}
+        assert len(queries) >= 2  # overwhelmingly distinct

@@ -1,0 +1,63 @@
+"""Tests for base-data instance generation."""
+
+import random
+
+import pytest
+
+from repro.datalog import parse_query
+from repro.workload import schema_of, skewed_database, uniform_database
+
+
+class TestUniform:
+    def test_schema_and_sizes(self):
+        rng = random.Random(0)
+        db = uniform_database({"e": 2, "f": 3}, 50, 100, rng)
+        assert db.relation("e").arity == 2
+        assert db.relation("f").arity == 3
+        assert 0 < len(db.relation("e")) <= 50
+
+    def test_values_within_domain(self):
+        rng = random.Random(1)
+        db = uniform_database({"e": 2}, 30, 5, rng)
+        for row in db.relation("e"):
+            assert all(0 <= v < 5 for v in row)
+
+    def test_deterministic_with_seed(self):
+        a = uniform_database({"e": 2}, 20, 10, random.Random(42))
+        b = uniform_database({"e": 2}, 20, 10, random.Random(42))
+        assert a.relation("e").tuples == b.relation("e").tuples
+
+
+class TestSkewed:
+    def test_skew_prefers_small_keys(self):
+        rng = random.Random(2)
+        db = skewed_database({"e": 1}, 500, 50, rng, skew=1.5)
+        values = [row[0] for row in db.relation("e")]
+        # With heavy skew, the generated distinct values concentrate low.
+        assert min(values) == 0
+
+    def test_rows_bounded(self):
+        rng = random.Random(3)
+        db = skewed_database({"e": 2}, 100, 10, rng)
+        assert len(db.relation("e")) <= 100
+
+
+class TestSchemaOf:
+    def test_collects_arities(self):
+        q = parse_query("q(X) :- e(X, Y), f(Y, X, X)")
+        assert schema_of(q) == {"e": 2, "f": 3}
+
+    def test_merges_multiple_queries(self):
+        q1 = parse_query("q(X) :- e(X, Y)")
+        q2 = parse_query("p(X) :- g(X)")
+        assert schema_of(q1, q2) == {"e": 2, "g": 1}
+
+    def test_skips_comparisons(self):
+        q = parse_query("q(X) :- e(X, Y), X <= Y")
+        assert schema_of(q) == {"e": 2}
+
+    def test_inconsistent_arity_rejected(self):
+        q1 = parse_query("q(X) :- e(X, Y)")
+        q2 = parse_query("p(X) :- e(X)")
+        with pytest.raises(ValueError):
+            schema_of(q1, q2)

@@ -1,0 +1,81 @@
+"""Tests for query/view shape builders."""
+
+import random
+
+import pytest
+
+from repro.datalog import Variable
+from repro.workload import (
+    chain_query,
+    chain_view,
+    random_query,
+    random_view,
+    relation_name,
+    star_query,
+    star_view,
+)
+
+
+class TestStar:
+    def test_query_shares_center(self):
+        q = star_query([3, 1, 4])
+        center = Variable("X0")
+        for atom in q.body:
+            assert atom.args[0] == center
+        assert [a.predicate for a in q.body] == ["r3", "r1", "r4"]
+
+    def test_all_distinguished_by_default(self):
+        q = star_query([0, 1])
+        assert q.existential_variables() == frozenset()
+
+    def test_nondistinguished_drops_tail(self):
+        q = star_query([0, 1, 2], nondistinguished=1)
+        assert len(q.existential_variables()) == 1
+
+    def test_view_nondistinguished_keeps_center(self):
+        rng = random.Random(0)
+        view = star_view([0, 1, 2], "v", nondistinguished=2, rng=rng)
+        assert Variable("C") in set(view.head_variables)
+        assert len(view.existential_variables()) == 2
+
+
+class TestChain:
+    def test_query_chains_consecutive_relations(self):
+        q = chain_query(2, 3)
+        assert [a.predicate for a in q.body] == ["r2", "r3", "r4"]
+        for left, right in zip(q.body, q.body[1:]):
+            assert left.args[1] == right.args[0]
+
+    def test_endpoints_always_distinguished(self):
+        q = chain_query(0, 4, nondistinguished=2)
+        head = set(q.head.args)
+        assert Variable("X0") in head and Variable("X4") in head
+
+    def test_cannot_drop_more_than_interior(self):
+        with pytest.raises(ValueError):
+            chain_query(0, 2, nondistinguished=2)
+
+    def test_single_subgoal_view_fully_distinguished(self):
+        view = chain_view(0, 1, "v", nondistinguished=1)
+        assert view.existential_variables() == frozenset()
+
+    def test_long_view_drops_interior(self):
+        view = chain_view(0, 3, "v", nondistinguished=1, rng=random.Random(1))
+        assert len(view.existential_variables()) == 1
+
+
+class TestRandom:
+    def test_query_is_safe(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            q = random_query(6, 5, rng)
+            assert q.is_safe()
+
+    def test_view_head_variables_distinct(self):
+        rng = random.Random(5)
+        for i in range(20):
+            view = random_view(6, 3, f"v{i}", rng)
+            assert len(set(view.head_variables)) == len(view.head_variables)
+
+    def test_relation_name(self):
+        assert relation_name(7) == "r7"
