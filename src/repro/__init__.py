@@ -75,6 +75,17 @@ from .cost import (
     supplementary_plan,
 )
 from .baselines import bucket_algorithm, certain_answers, minicon
+from .planner import (
+    PlanResult,
+    PlannerContext,
+    PlannerStats,
+    RewriterBackend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    plan,
+    register_backend,
+)
 from .mediator import MediatedAnswer, Mediator
 from .workload import WorkloadConfig, generate_workload
 
@@ -89,8 +100,13 @@ __all__ = [
     "CoreCoverResult",
     "Database",
     "PhysicalPlan",
+    "PlanResult",
+    "PlannerContext",
+    "PlannerStats",
     "Relation",
+    "RewriterBackend",
     "StatisticsCatalog",
+    "UnknownBackendError",
     "Substitution",
     "TupleCore",
     "UnionQuery",
@@ -99,6 +115,7 @@ __all__ = [
     "ViewCatalog",
     "ViewTuple",
     "WorkloadConfig",
+    "available_backends",
     "best_rewriting_m2",
     "bucket_algorithm",
     "canonical_database",
@@ -112,6 +129,7 @@ __all__ = [
     "execute_plan",
     "expand",
     "generate_workload",
+    "get_backend",
     "heuristic_plan",
     "improve_with_filters",
     "is_contained_in",
@@ -130,6 +148,8 @@ __all__ = [
     "parse_atom",
     "parse_program",
     "parse_query",
+    "plan",
+    "register_backend",
     "supplementary_plan",
     "tuple_core",
     "view_tuples",

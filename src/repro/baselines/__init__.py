@@ -1,6 +1,12 @@
 """Baseline rewriting algorithms: Bucket, MiniCon, and inverse rules."""
 
-from .bucket import Bucket, BucketResult, bucket_algorithm, build_buckets
+from .bucket import (
+    Bucket,
+    BucketResult,
+    bucket_algorithm,
+    build_buckets,
+    run_bucket_algorithm,
+)
 from .inverse_rules import (
     InverseRule,
     SkolemValue,
@@ -9,7 +15,7 @@ from .inverse_rules import (
     derive_base_facts,
     invert_views,
 )
-from .minicon import MCD, MiniConResult, form_mcds, minicon
+from .minicon import MCD, MiniConResult, form_mcds, minicon, run_minicon
 
 __all__ = [
     "Bucket",
@@ -26,4 +32,6 @@ __all__ = [
     "form_mcds",
     "invert_views",
     "minicon",
+    "run_bucket_algorithm",
+    "run_minicon",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..containment.containment import is_contained_in, is_equivalent_to
 from ..datalog.atoms import Atom
@@ -25,6 +25,9 @@ from ..datalog.substitution import Substitution
 from ..datalog.terms import Constant, Term, Variable, is_variable
 from ..views.expansion import expand
 from ..views.view import View, ViewCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
 
 
 @dataclass(frozen=True)
@@ -133,7 +136,30 @@ def bucket_algorithm(
     Candidates are deduplicated after merging identical literals; each is
     kept when its expansion is contained in the query, and marked
     equivalent when the closed-world test also succeeds.
+
+    Thin shim over ``plan(query, views, backend="bucket")``.
     """
+    from ..planner.registry import plan
+
+    return plan(
+        query, views, backend="bucket", max_combinations=max_combinations
+    ).details
+
+
+def run_bucket_algorithm(
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    *,
+    max_combinations: int | None = 200_000,
+    context: "PlannerContext | None" = None,
+) -> BucketResult:
+    """The bucket algorithm proper (registry backend entry point)."""
+    contained_in = (
+        context.is_contained_in if context is not None else is_contained_in
+    )
+    equivalent_to = (
+        context.is_equivalent_to if context is not None else is_equivalent_to
+    )
     buckets = build_buckets(query, views)
     if any(not bucket.literals for bucket in buckets):
         return BucketResult(tuple(buckets), 0, (), ())
@@ -158,10 +184,10 @@ def bucket_algorithm(
         if not candidate.is_safe():
             continue
         expansion = expand(candidate, views)
-        if not is_contained_in(expansion, query):
+        if not contained_in(expansion, query):
             continue
         contained.append(candidate)
-        if is_equivalent_to(expansion, query):
+        if equivalent_to(expansion, query):
             equivalent.append(candidate)
     return BucketResult(
         tuple(buckets), tried, tuple(contained), tuple(equivalent)

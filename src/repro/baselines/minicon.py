@@ -26,7 +26,7 @@ Two consequences reproduced here and exercised by the Example 4.2 tests:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from ..containment.containment import is_contained_in, is_equivalent_to
 from ..datalog.atoms import Atom
@@ -35,6 +35,9 @@ from ..datalog.substitution import Substitution
 from ..datalog.terms import Constant, Term, Variable, is_variable
 from ..views.expansion import expand
 from ..views.view import View, ViewCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
 
 
 @dataclass(frozen=True)
@@ -232,7 +235,35 @@ def minicon(
     With ``require_equivalent=True`` the contained rewritings are filtered
     by the closed-world equivalence test, making the output comparable to
     CoreCover's (Section 4.3 comparison).
+
+    Thin shim over ``plan(query, views, backend="minicon")``.
     """
+    from ..planner.registry import plan
+
+    return plan(
+        query,
+        views,
+        backend="minicon",
+        require_equivalent=require_equivalent,
+        max_rewritings=max_rewritings,
+    ).details
+
+
+def run_minicon(
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    *,
+    require_equivalent: bool = False,
+    max_rewritings: int | None = None,
+    context: "PlannerContext | None" = None,
+) -> MiniConResult:
+    """The MiniCon algorithm proper (registry backend entry point)."""
+    contained_in = (
+        context.is_contained_in if context is not None else is_contained_in
+    )
+    equivalent_to = (
+        context.is_equivalent_to if context is not None else is_equivalent_to
+    )
     mcds = form_mcds(query, views)
     universe = frozenset(range(len(query.body)))
     combinations = _partitions(universe, mcds, max_rewritings)
@@ -252,10 +283,10 @@ def minicon(
             continue
         seen.add(marker)
         expansion = expand(rewriting, views)
-        if not is_contained_in(expansion, query):
+        if not contained_in(expansion, query):
             continue
         contained.append(rewriting)
-        if is_equivalent_to(expansion, query):
+        if equivalent_to(expansion, query):
             equivalent.append(rewriting)
     if require_equivalent:
         contained = [r for r in contained if r in equivalent]

@@ -7,17 +7,25 @@ Subcommands::
     python -m repro certain  "q(X) :- e(X, X)" --views views.dl --view-data v.json
     python -m repro figures fig6a [--full] [--csv DIR]
 
-* ``rewrite`` runs a rewriting algorithm (CoreCover by default) and
-  prints the rewritings it generates; ``--certify`` re-verifies the
-  result from first principles.
+* ``rewrite`` runs a rewriting backend (CoreCover by default) and prints
+  the rewritings it generates; ``--certify`` re-verifies the result from
+  first principles.  Backends are resolved by name from the
+  :mod:`repro.planner.registry`, so ``--backend`` accepts anything
+  registered there (including ``inverse-rules``, which prints the
+  maximally-contained program's inverse rules instead of rewritings).
 * ``optimize`` additionally loads a base database (JSON: relation name to
   list of rows), materializes the views, and prints the cost-optimal
   physical plan under the chosen cost model (``--explain`` for a step
-  table).
+  table).  Cost models come from the :mod:`repro.cost.registry`.
 * ``certain`` computes certain answers from a *view* instance with the
   inverse-rules algorithm (no equivalent rewriting required).
 * ``figures`` regenerates the Section 7 experiment series (delegates to
   :mod:`repro.experiments.figures`).
+
+``--algorithm`` and ``--model`` still work as deprecated aliases for
+``--backend`` and ``--cost-model``.  As a convenience, ``python -m repro
+"q(X) :- ..." --views v.dl --backend minicon`` (no subcommand) is treated
+as ``rewrite``.
 
 Queries can be given inline or as ``@path/to/file``; view files contain
 one datalog rule per line (``#``/``%`` comments allowed).
@@ -31,18 +39,17 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .baselines import bucket_algorithm, certain_answers, minicon
-from .core import certify, core_cover, core_cover_star, naive_gmr_search
-from .cost import (
-    best_rewriting_m2,
-    explain_plan,
-    improve_with_filters,
-    optimal_plan_m3,
-)
+from .baselines import certain_answers
+from .core import CoreCoverResult, certify
+from .cost import UnknownCostModelError, explain_plan, improve_with_filters
 from .datalog import ConjunctiveQuery, parse_program, parse_query
 from .datalog.sql import SqlSchema, parse_sql
 from .engine import Database, evaluate, materialize_views
+from .planner import UnknownBackendError, get_backend, plan
 from .views import ViewCatalog
+
+#: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
+_SUBCOMMANDS = ("rewrite", "optimize", "certain", "figures")
 
 
 def _load_text(value: str) -> str:
@@ -81,56 +88,77 @@ def _load_database(path: str) -> Database:
     return database
 
 
+def _print_planner_stats(stats) -> None:
+    """Render a PlannerStats snapshot (``--verbose`` output)."""
+    print(
+        f"planner: {stats.hom_searches} homomorphism searches, "
+        f"{stats.core_searches} tuple-core searches; "
+        f"cache {stats.cache_hits} hits / {stats.cache_misses} misses "
+        f"({stats.cache_hit_rate:.0%} hit rate, "
+        f"caching {'on' if stats.caching_enabled else 'off'})"
+    )
+    for name, seconds in stats.stages:
+        print(f"    stage {name}: {seconds * 1000:.1f} ms")
+
+
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     query = _load_query(args.query, args.sql_schema)
     views = _load_views(args.views)
 
-    if args.algorithm == "corecover":
-        result = core_cover(query, views)
-        rewritings = result.rewritings
-    elif args.algorithm == "corecover-star":
-        result = core_cover_star(query, views, max_rewritings=args.limit)
-        rewritings = result.rewritings
-    elif args.algorithm == "naive":
-        result = None
-        rewritings = naive_gmr_search(query, views)
-    elif args.algorithm == "minicon":
-        result = None
-        rewritings = minicon(
-            query, views, require_equivalent=True, max_rewritings=args.limit
-        ).contained_rewritings
-    elif args.algorithm == "bucket":
-        result = None
-        rewritings = bucket_algorithm(query, views).equivalent_rewritings
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    try:
+        backend = get_backend(args.backend)
+    except UnknownBackendError as error:
+        raise SystemExit(str(error))
+
+    options: dict = {}
+    if backend.name == "corecover-star":
+        options["max_rewritings"] = args.limit
+    elif backend.name == "minicon":
+        options["require_equivalent"] = True
+        options["max_rewritings"] = args.limit
+
+    planned = plan(query, views, backend=backend.name, **options)
 
     print(f"query: {query}")
+    if not backend.produces_rewritings:
+        rules = planned.details
+        print(f"{len(rules)} inverse rule(s) (maximally-contained program):")
+        for rule in rules:
+            print("   ", rule)
+        if args.verbose:
+            _print_planner_stats(planned.stats)
+        return 0
+
+    rewritings = planned.rewritings
     if not rewritings:
         print("no equivalent rewriting exists for this query and view set")
         return 1
     print(f"{len(rewritings)} rewriting(s):")
     for rewriting in rewritings:
         print("   ", rewriting)
+
+    result = planned.details if isinstance(planned.details, CoreCoverResult) else None
     if result is not None and args.certify:
         certificate = certify(result, views, verify_minimality=True)
         print(certificate)
         if not certificate.ok:
             return 3
-    if result is not None and args.verbose:
-        print("\nview tuples:")
-        for core in result.cores:
-            print("   ", core)
-        if result.filter_candidates:
-            print("filter candidates:",
-                  ", ".join(str(f) for f in result.filter_candidates))
-        stats = result.stats
-        print(
-            f"stats: {stats.total_views} views in {stats.view_classes} "
-            f"classes; {stats.total_view_tuples} view tuples in "
-            f"{stats.view_tuple_classes} classes; "
-            f"{stats.elapsed_seconds * 1000:.1f} ms"
-        )
+    if args.verbose:
+        if result is not None:
+            print("\nview tuples:")
+            for core in result.cores:
+                print("   ", core)
+            if result.filter_candidates:
+                print("filter candidates:",
+                      ", ".join(str(f) for f in result.filter_candidates))
+            stats = result.stats
+            print(
+                f"stats: {stats.total_views} views in {stats.view_classes} "
+                f"classes; {stats.total_view_tuples} view tuples in "
+                f"{stats.view_tuple_classes} classes; "
+                f"{stats.elapsed_seconds * 1000:.1f} ms"
+            )
+        _print_planner_stats(planned.stats)
     return 0
 
 
@@ -140,41 +168,53 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     base = _load_database(args.data)
     view_db = materialize_views(views, base)
 
-    result = core_cover_star(query, views, max_rewritings=args.limit)
-    if not result.rewritings:
+    cost_options = {}
+    if args.cost_model == "m3":
+        cost_options["annotator"] = args.annotator
+    try:
+        planned = plan(
+            query,
+            views,
+            backend="corecover-star",
+            cost_model=args.cost_model,
+            database=view_db,
+            cost_options=cost_options,
+            max_rewritings=args.limit,
+        )
+    except (UnknownBackendError, UnknownCostModelError) as error:
+        raise SystemExit(str(error))
+    if not planned.rewritings:
         print("no equivalent rewriting exists for this query and view set")
         return 1
+    best = planned.chosen
+    if best is None:
+        print("no rewriting is plannable under the chosen cost model")
+        return 1
+    result = planned.details
 
-    if args.model == "m1":
-        best = min(result.rewritings, key=lambda r: len(r.body))
-        print(f"M1-optimal rewriting ({len(best.body)} subgoals):")
-        print("   ", best)
+    model = planned.cost_model
+    if model == "m1":
+        print(f"M1-optimal rewriting ({len(best.rewriting.body)} subgoals):")
+        print("   ", best.rewriting)
+        if args.verbose:
+            _print_planner_stats(planned.stats)
         return 0
 
-    if args.model == "m2":
-        best = best_rewriting_m2(result.rewritings, view_db)
-        if args.filters:
-            best = improve_with_filters(
-                best.rewriting, result.filter_candidates, view_db
-            )
-        print(f"M2-optimal rewriting (cost {best.cost:g}):")
-        print("    rewriting:", best.rewriting)
-        print("    plan     :", best.plan)
-    else:  # m3
-        candidates = [
-            optimal_plan_m3(r, query, views, view_db, args.annotator)
-            for r in result.rewritings
-            if len(r.body) <= 8
-        ]
-        best = min(candidates, key=lambda plan: plan.cost)
-        print(f"M3-optimal rewriting (cost {best.cost:g}, "
-              f"{args.annotator} drops):")
-        print("    rewriting:", best.rewriting)
-        print("    plan     :", best.plan)
+    if model == "m2" and args.filters:
+        best = improve_with_filters(
+            best.rewriting, result.filter_candidates, view_db
+        )
+    label = model.upper()
+    suffix = f", {args.annotator} drops" if model == "m3" else ""
+    print(f"{label}-optimal rewriting (cost {best.cost:g}{suffix}):")
+    print("    rewriting:", best.rewriting)
+    print("    plan     :", best.plan)
 
     if args.explain:
         print()
         print(explain_plan(best))
+    if args.verbose:
+        _print_planner_stats(planned.stats)
     expected = evaluate(query, base)
     answer = best.execution.answer
     print(f"    answer   : {len(answer)} tuples "
@@ -209,6 +249,21 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return figures.main(forwarded)
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Stores the value like ``store`` but notes the preferred spelling."""
+
+    def __init__(self, option_strings, dest, preferred: str = "", **kwargs):
+        self.preferred = preferred
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"note: {option_string} is deprecated; use {self.preferred}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,14 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("query", help="datalog rule or @file")
     rewrite.add_argument("--views", required=True, help="datalog program file")
     rewrite.add_argument(
-        "--algorithm",
-        choices=["corecover", "corecover-star", "naive", "minicon", "bucket"],
-        default="corecover",
+        "--backend", default="corecover", metavar="NAME",
+        help="rewriter backend (see repro.planner.available_backends())",
+    )
+    rewrite.add_argument(
+        "--algorithm", dest="backend", metavar="NAME",
+        action=_DeprecatedAlias, preferred="--backend",
+        help="(deprecated) alias for --backend",
     )
     rewrite.add_argument("--limit", type=int, default=64,
                          help="cap on enumerated rewritings")
     rewrite.add_argument("--verbose", action="store_true",
-                         help="print tuple-cores and statistics")
+                         help="print tuple-cores, cache and timing statistics")
     rewrite.add_argument(
         "--sql-schema", metavar="JSON", default=None,
         help="treat the query as SQL, with this table->columns schema file",
@@ -248,7 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--views", required=True)
     optimize.add_argument("--data", required=True,
                           help="JSON file: relation -> list of rows")
-    optimize.add_argument("--model", choices=["m1", "m2", "m3"], default="m2")
+    optimize.add_argument(
+        "--cost-model", default="m2", metavar="NAME",
+        help="cost model (see repro.cost.available_cost_models())",
+    )
+    optimize.add_argument(
+        "--model", dest="cost_model", metavar="NAME",
+        action=_DeprecatedAlias, preferred="--cost-model",
+        help="(deprecated) alias for --cost-model",
+    )
     optimize.add_argument(
         "--annotator", choices=["supplementary", "heuristic"],
         default="heuristic", help="M3 attribute-drop strategy",
@@ -256,6 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--filters", action="store_true",
                           help="try adding filtering subgoals (M2)")
     optimize.add_argument("--limit", type=int, default=32)
+    optimize.add_argument("--verbose", action="store_true",
+                          help="print cache and timing statistics")
     optimize.add_argument("--sql-schema", metavar="JSON", default=None,
                           help="treat the query as SQL with this schema file")
     optimize.add_argument("--explain", action="store_true",
@@ -284,6 +353,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Convenience: a query with --backend/--algorithm but no subcommand is
+    # a rewrite, so `python -m repro "q(X) :- ..." --views v --backend b`
+    # works directly.
+    if (
+        argv
+        and argv[0] not in _SUBCOMMANDS
+        and not argv[0].startswith("-")
+        and ("--backend" in argv or "--algorithm" in argv)
+    ):
+        argv = ["rewrite", *argv]
     args = build_parser().parse_args(argv)
     return args.func(args)
 

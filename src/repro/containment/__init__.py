@@ -22,12 +22,16 @@ from .homomorphism import (
     find_homomorphism,
     find_homomorphisms,
     has_homomorphism,
+    observe_searches,
     unify_atom,
 )
+from .memo import CacheCounter, ContainmentCache
 from .minimize import core_size, is_minimal, minimize
 
 __all__ = [
+    "CacheCounter",
     "CanonicalDatabase",
+    "ContainmentCache",
     "FrozenMarker",
     "IncompatibleQueriesError",
     "canonical_database",
@@ -45,6 +49,7 @@ __all__ = [
     "is_minimal",
     "is_properly_contained_in",
     "minimize",
+    "observe_searches",
     "thaw_atom",
     "thaw_term",
     "unify_atom",

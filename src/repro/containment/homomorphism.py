@@ -16,11 +16,41 @@ most-constrained-first, and supports:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Iterator, Optional, Protocol, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.substitution import Substitution
 from ..datalog.terms import Constant, Term, Variable, is_variable
+
+
+class SearchObserver(Protocol):
+    """Anything that wants to count homomorphism searches."""
+
+    def record_search(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+#: The active observer, if any.  A context variable (rather than a plain
+#: module global) keeps counting correct under threads and asyncio.
+_OBSERVER: ContextVar[Optional[SearchObserver]] = ContextVar(
+    "repro_homomorphism_observer", default=None
+)
+
+
+@contextmanager
+def observe_searches(observer: SearchObserver) -> Iterator[SearchObserver]:
+    """Count every homomorphism search started within the ``with`` block.
+
+    Used by :class:`repro.planner.context.PlannerContext` to attribute
+    searches to planning stages; nesting restores the previous observer.
+    """
+    token = _OBSERVER.set(observer)
+    try:
+        yield observer
+    finally:
+        _OBSERVER.reset(token)
 
 
 def unify_atom(
@@ -103,6 +133,20 @@ def find_homomorphisms(
     own images, so a variable may then never map to a constant occurring in
     *source*).
     """
+    # Count the search eagerly (this is a plain function returning a
+    # generator, so observers see the search even if it is never consumed).
+    observer = _OBSERVER.get()
+    if observer is not None:
+        observer.record_search()
+    return _search(source, target, seed, injective)
+
+
+def _search(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    seed: Substitution,
+    injective: bool,
+) -> Iterator[Substitution]:
     index = _target_index(target)
     ordered = _ordered_sources(source, index)
     all_terms = _source_terms(source) if injective else set()

@@ -6,6 +6,7 @@ from .corecover import (
     CoreCoverStats,
     add_filter_subgoal,
     core_cover,
+    core_cover_impl,
     core_cover_star,
 )
 from .enumerate_lmrs import enumerate_view_tuple_lmrs, view_tuple_lattice
@@ -21,7 +22,7 @@ from .lattice import (
     build_lmr_lattice,
     classify_rewriting,
 )
-from .naive import naive_gmr_search
+from .naive import naive_gmr_search, run_naive_gmr_search
 from .set_cover import greedy_cover, irredundant_covers, minimum_covers
 from .tuple_core import (
     TupleCore,
@@ -44,6 +45,7 @@ __all__ = [
     "certify",
     "classify_rewriting",
     "core_cover",
+    "core_cover_impl",
     "core_cover_star",
     "core_representatives",
     "enumerate_consistent_cores",
@@ -54,6 +56,7 @@ __all__ = [
     "irredundant_covers",
     "minimum_covers",
     "naive_gmr_search",
+    "run_naive_gmr_search",
     "to_view_tuple_rewriting",
     "tuple_core",
     "tuple_cores",

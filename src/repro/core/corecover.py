@@ -19,6 +19,15 @@ example).
 Both entry points accept ``group_views``/``group_tuples`` switches so the
 Section 5.2 concise representation can be ablated, reproducing the
 scalability argument of Section 7.
+
+All stages run on a :class:`~repro.planner.context.PlannerContext`:
+minimization, canonical databases, view evaluation, and tuple-cores are
+memoized on interned structural keys, and the context's counters
+(homomorphism searches, cache hits/misses) are reported through
+:class:`CoreCoverStats`.  ``core_cover`` and ``core_cover_star`` are thin
+shims over the :mod:`repro.planner.registry`; the implementation lives in
+:func:`core_cover_impl`, which the ``corecover`` / ``corecover-star``
+backends call.
 """
 
 from __future__ import annotations
@@ -27,9 +36,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..containment.canonical import canonical_database
-from ..containment.minimize import minimize
 from ..datalog.query import ConjunctiveQuery
+from ..planner.context import PlannerContext
 from ..views.view import View, ViewCatalog
 from .equivalence import (
     core_representatives,
@@ -43,7 +51,13 @@ from .view_tuples import ViewTuple, view_tuples
 
 @dataclass(frozen=True)
 class CoreCoverStats:
-    """Instrumentation matching the quantities plotted in Figures 6-9."""
+    """Instrumentation matching the quantities plotted in Figures 6-9.
+
+    The planner-level fields (``hom_searches`` onward) report this run's
+    deltas on the :class:`PlannerContext`: how many homomorphism and
+    tuple-core searches actually ran, and how often the memoization layer
+    answered instead.
+    """
 
     total_views: int
     view_classes: int
@@ -60,6 +74,21 @@ class CoreCoverStats:
     view_tuple_seconds: float
     core_seconds: float
     cover_seconds: float
+    #: Whether the run's PlannerContext had memoization enabled.
+    caching_enabled: bool = True
+    #: Homomorphism searches actually performed during this run.
+    hom_searches: int = 0
+    #: Tuple-core backtracking searches actually performed.
+    core_searches: int = 0
+    #: Cache hits/misses summed over all planner caches, for this run.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served from cache (0.0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -91,10 +120,23 @@ def core_cover(
     views: ViewCatalog | Sequence[View],
     group_views: bool = True,
     group_tuples: bool = True,
+    *,
+    context: PlannerContext | None = None,
 ) -> CoreCoverResult:
-    """All globally-minimal rewritings of *query* using *views* (M1-optimal)."""
-    return _run(query, views, all_minimal=False,
-                group_views=group_views, group_tuples=group_tuples)
+    """All globally-minimal rewritings of *query* using *views* (M1-optimal).
+
+    Thin shim over ``plan(query, views, backend="corecover")``.
+    """
+    from ..planner.registry import plan
+
+    return plan(
+        query,
+        views,
+        backend="corecover",
+        context=context,
+        group_views=group_views,
+        group_tuples=group_tuples,
+    ).details
 
 
 def core_cover_star(
@@ -103,50 +145,72 @@ def core_cover_star(
     group_views: bool = True,
     group_tuples: bool = True,
     max_rewritings: int | None = None,
+    *,
+    context: PlannerContext | None = None,
 ) -> CoreCoverResult:
-    """All minimal rewritings using view tuples (the M2 search space)."""
-    return _run(query, views, all_minimal=True,
-                group_views=group_views, group_tuples=group_tuples,
-                max_rewritings=max_rewritings)
+    """All minimal rewritings using view tuples (the M2 search space).
+
+    Thin shim over ``plan(query, views, backend="corecover-star")``.
+    """
+    from ..planner.registry import plan
+
+    return plan(
+        query,
+        views,
+        backend="corecover-star",
+        context=context,
+        group_views=group_views,
+        group_tuples=group_tuples,
+        max_rewritings=max_rewritings,
+    ).details
 
 
-def _run(
+def core_cover_impl(
     query: ConjunctiveQuery,
     views: ViewCatalog | Sequence[View],
-    all_minimal: bool,
-    group_views: bool,
-    group_tuples: bool,
+    *,
+    all_minimal: bool = False,
+    group_views: bool = True,
+    group_tuples: bool = True,
     max_rewritings: int | None = None,
+    context: PlannerContext | None = None,
 ) -> CoreCoverResult:
+    """The CoreCover pipeline (registry backend entry point)."""
+    ctx = context if context is not None else PlannerContext()
+    before = ctx.snapshot()
     started = time.perf_counter()
     view_list = list(views)
     _reject_comparisons(query, view_list)
 
     # Step (1): minimize the query.
     t0 = time.perf_counter()
-    minimized = minimize(query)
+    with ctx.stage("minimize"):
+        minimized = ctx.minimize(query)
     minimize_seconds = time.perf_counter() - t0
 
     # Section 5.2: group views into equivalence classes, keep representatives.
     t0 = time.perf_counter()
-    if group_views:
-        classes = group_equivalent_views(view_list)
-        representatives = [members[0] for members in classes]
-        view_classes = len(classes)
-    else:
-        representatives = view_list
-        view_classes = len(view_list)
+    with ctx.stage("grouping"):
+        if group_views:
+            classes = group_equivalent_views(view_list, context=ctx)
+            representatives = [members[0] for members in classes]
+            view_classes = len(classes)
+        else:
+            representatives = view_list
+            view_classes = len(view_list)
     grouping_seconds = time.perf_counter() - t0
 
     # Step (2): view tuples over the canonical database.
     t0 = time.perf_counter()
-    canonical = canonical_database(minimized)
-    tuples = view_tuples(minimized, representatives, canonical)
+    with ctx.stage("view_tuples"):
+        canonical = ctx.canonical_database(minimized)
+        tuples = view_tuples(minimized, representatives, canonical, context=ctx)
     view_tuple_seconds = time.perf_counter() - t0
 
     # Step (3): tuple-cores.
     t0 = time.perf_counter()
-    cores = tuple_cores(minimized, tuples)
+    with ctx.stage("tuple_cores"):
+        cores = tuple_cores(minimized, tuples, context=ctx)
     core_seconds = time.perf_counter() - t0
 
     # Section 5.2 again: group view tuples by coverage.
@@ -168,18 +232,20 @@ def _run(
 
     # Step (4): cover the query subgoals.
     t0 = time.perf_counter()
-    universe = frozenset(range(len(minimized.body)))
-    cover_inputs = [core.covered for core in nonempty]
-    if all_minimal:
-        covers = irredundant_covers(universe, cover_inputs, max_rewritings)
-    else:
-        covers = minimum_covers(universe, cover_inputs)
-    rewritings = tuple(
-        _build_rewriting(minimized, [nonempty[i] for i in cover])
-        for cover in covers
-    )
+    with ctx.stage("cover"):
+        universe = frozenset(range(len(minimized.body)))
+        cover_inputs = [core.covered for core in nonempty]
+        if all_minimal:
+            covers = irredundant_covers(universe, cover_inputs, max_rewritings)
+        else:
+            covers = minimum_covers(universe, cover_inputs)
+        rewritings = tuple(
+            _build_rewriting(minimized, [nonempty[i] for i in cover])
+            for cover in covers
+        )
     cover_seconds = time.perf_counter() - t0
 
+    delta = ctx.snapshot().since(before)
     stats = CoreCoverStats(
         total_views=len(view_list),
         view_classes=view_classes,
@@ -193,6 +259,11 @@ def _run(
         view_tuple_seconds=view_tuple_seconds,
         core_seconds=core_seconds,
         cover_seconds=cover_seconds,
+        caching_enabled=delta.caching_enabled,
+        hom_searches=delta.hom_searches,
+        core_searches=delta.core_searches,
+        cache_hits=delta.cache_hits,
+        cache_misses=delta.cache_misses,
     )
     return CoreCoverResult(
         query=query,

@@ -22,6 +22,7 @@ from ..containment.containment import is_equivalent_to
 from ..containment.minimize import minimize
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
+from ..planner.context import PlannerContext
 from ..views.view import View
 from .tuple_core import TupleCore
 
@@ -36,16 +37,27 @@ def _neutral_definition(view: View) -> ConjunctiveQuery:
     )
 
 
-def group_equivalent_views(views: Iterable[View]) -> list[list[View]]:
+def group_equivalent_views(
+    views: Iterable[View], context: PlannerContext | None = None
+) -> list[list[View]]:
     """Partition views into classes equivalent as queries.
 
     Two views are compared by their definitions with the head predicate
     neutralized (V1 and V5 have different names but the same definition).
     Definitions are minimized once, bucketed by structural signature, and
     only compared pairwise within a bucket.
+
+    With a :class:`PlannerContext`, both the per-view minimization and the
+    pairwise equivalence tests are memoized on structural keys — random
+    catalogs routinely contain many structurally identical definitions, so
+    most of the quadratic work collapses into cache hits.
     """
+    minimize_fn = context.minimize if context is not None else minimize
+    equivalent = (
+        context.is_equivalent_to if context is not None else is_equivalent_to
+    )
     minimized: list[tuple[View, ConjunctiveQuery]] = [
-        (view, minimize(_neutral_definition(view))) for view in views
+        (view, minimize_fn(_neutral_definition(view))) for view in views
     ]
     buckets: dict[tuple, list[tuple[View, ConjunctiveQuery]]] = {}
     for view, definition in minimized:
@@ -56,7 +68,7 @@ def group_equivalent_views(views: Iterable[View]) -> list[list[View]]:
         representatives: list[tuple[ConjunctiveQuery, list[View]]] = []
         for view, definition in bucket:
             for rep_definition, members in representatives:
-                if is_equivalent_to(definition, rep_definition):
+                if equivalent(definition, rep_definition):
                     members.append(view)
                     break
             else:
@@ -65,9 +77,11 @@ def group_equivalent_views(views: Iterable[View]) -> list[list[View]]:
     return classes
 
 
-def view_representatives(views: Iterable[View]) -> list[View]:
+def view_representatives(
+    views: Iterable[View], context: PlannerContext | None = None
+) -> list[View]:
     """One representative view per equivalence class, in stable order."""
-    return [members[0] for members in group_equivalent_views(views)]
+    return [members[0] for members in group_equivalent_views(views, context)]
 
 
 def group_cores_by_coverage(

@@ -9,13 +9,15 @@ considered all combinations of up to n view tuples" (n = number of query
 subgoals, by [16]).
 
 This baseline exists for correctness cross-checks against CoreCover and
-for the scalability ablation benchmark.
+for the scalability ablation benchmark.  It is registered as the
+``naive`` backend; :func:`naive_gmr_search` is the legacy shim over the
+registry.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..containment.containment import containment_mapping
 from ..containment.minimize import minimize
@@ -23,6 +25,9 @@ from ..datalog.query import ConjunctiveQuery
 from ..views.expansion import expand
 from ..views.view import View, ViewCatalog
 from .view_tuples import ViewTuple, view_tuples
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
 
 
 def naive_gmr_search(
@@ -32,10 +37,24 @@ def naive_gmr_search(
     """All GMRs of *query*, by brute-force combination of view tuples.
 
     Exponential in the number of view tuples; use only on small inputs.
+    Thin shim over ``plan(query, views, backend="naive")``.
     """
-    minimized = minimize(query)
+    from ..planner.registry import plan
+
+    return plan(query, views, backend="naive").details
+
+
+def run_naive_gmr_search(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View],
+    *,
+    context: "PlannerContext | None" = None,
+) -> list[ConjunctiveQuery]:
+    """The naive search proper (registry backend entry point)."""
+    minimize_fn = context.minimize if context is not None else minimize
+    minimized = minimize_fn(query)
     catalog = views if isinstance(views, ViewCatalog) else ViewCatalog(views)
-    tuples = view_tuples(minimized, catalog)
+    tuples = view_tuples(minimized, catalog, context=context)
     limit = len(minimized.body)
 
     for size in range(1, limit + 1):
@@ -46,7 +65,7 @@ def naive_gmr_search(
             )
             if not candidate.is_safe():
                 continue
-            if _is_rewriting(candidate, minimized, catalog):
+            if _is_rewriting(candidate, minimized, catalog, context):
                 found.append(candidate)
         if found:
             return found
@@ -57,6 +76,7 @@ def _is_rewriting(
     candidate: ConjunctiveQuery,
     query: ConjunctiveQuery,
     views: ViewCatalog,
+    context: "PlannerContext | None" = None,
 ) -> bool:
     """Rewriting test for view-tuple candidates.
 
@@ -66,4 +86,6 @@ def _is_rewriting(
     the expansion, witnessing ``candidate^exp ⊑ Q``.
     """
     expansion = expand(candidate, views)
+    if context is not None:
+        return context.mapping_exists(query, expansion)
     return containment_mapping(query, expansion) is not None

@@ -270,10 +270,20 @@ def tuple_core(query: ConjunctiveQuery, view_tuple: ViewTuple) -> TupleCore:
 
 
 def tuple_cores(
-    query: ConjunctiveQuery, tuples: Sequence[ViewTuple]
+    query: ConjunctiveQuery,
+    tuples: Sequence[ViewTuple],
+    *,
+    context: "PlannerContext | None" = None,
 ) -> list[TupleCore]:
-    """Tuple-cores for a collection of view tuples, in the given order."""
-    return [tuple_core(query, view_tuple) for view_tuple in tuples]
+    """Tuple-cores for a collection of view tuples, in the given order.
+
+    With a :class:`~repro.planner.context.PlannerContext`, cores are
+    memoized by (query, view definition, tuple atom) — the search runs
+    once per structurally distinct view tuple.
+    """
+    if context is None:
+        return [tuple_core(query, view_tuple) for view_tuple in tuples]
+    return [context.tuple_core(query, view_tuple) for view_tuple in tuples]
 
 
 def _atom_variables(atom: Atom) -> set[Variable]:

@@ -12,7 +12,7 @@ test.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..containment.canonical import (
     CanonicalDatabase,
@@ -26,6 +26,9 @@ from ..datalog.terms import Constant, FreshVariableFactory, Term, Variable
 from ..engine.database import Database
 from ..engine.evaluate import evaluate
 from ..views.view import View, ViewCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
 
 
 @dataclass(frozen=True)
@@ -116,23 +119,49 @@ def view_tuples(
     query: ConjunctiveQuery,
     views: ViewCatalog | Iterable[View],
     canonical: CanonicalDatabase | None = None,
+    *,
+    context: "PlannerContext | None" = None,
 ) -> list[ViewTuple]:
     """Compute ``T(Q, V)`` for a (preferably minimized) query.
 
     The result is deterministic: tuples appear grouped by view in catalog
     order, then sorted by their rendered atom.
+
+    With a :class:`~repro.planner.context.PlannerContext`, the evaluation
+    of each view definition over the canonical database is memoized by
+    (query, definition) — structurally duplicate views are evaluated once.
+    The cache is only consulted when *canonical* really is the canonical
+    database of *query*.
     """
     if canonical is None:
-        canonical = canonical_database(query)
+        canonical = (
+            context.canonical_database(query)
+            if context is not None
+            else canonical_database(query)
+        )
     database = Database.from_facts(canonical.facts)
+    use_cache = context is not None and canonical.query == query
+
+    def args_for(view: View) -> tuple[tuple, ...]:
+        rows = evaluate(view.definition, database)
+        unique = {
+            tuple(_thaw_value(value) for value in row) for row in rows
+        }
+        # Sorting by the rendered argument tuple matches the historical
+        # sort by str(atom): the view-name prefix is constant per view.
+        return tuple(
+            sorted(unique, key=lambda args: ", ".join(map(str, args)))
+        )
+
     tuples: list[ViewTuple] = []
     for view in views:
-        rows = evaluate(view.definition, database)
-        atoms = {
-            Atom(view.name, tuple(_thaw_value(value) for value in row))
-            for row in rows
-        }
+        if use_cache:
+            all_args = context.view_tuple_args(
+                query, view, lambda v=view: args_for(v)
+            )
+        else:
+            all_args = args_for(view)
         tuples.extend(
-            ViewTuple(view, atom) for atom in sorted(atoms, key=str)
+            ViewTuple(view, Atom(view.name, args)) for args in all_args
         )
     return tuples

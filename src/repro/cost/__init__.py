@@ -30,6 +30,13 @@ from .optimizer import (
     optimal_plan_m3_estimated,
 )
 from .plans import PhysicalPlan, PlanStep
+from .registry import (
+    CostModel,
+    UnknownCostModelError,
+    available_cost_models,
+    get_cost_model,
+    register_cost_model,
+)
 from .report import explain_plan
 from .supplementary import (
     heuristic_drops,
@@ -39,9 +46,11 @@ from .supplementary import (
 )
 
 __all__ = [
+    "CostModel",
     "IoParameters",
     "IoReport",
     "OptimizedPlan",
+    "UnknownCostModelError",
     "PhysicalPlan",
     "PlanExecution",
     "PlanExecutionError",
@@ -51,6 +60,7 @@ __all__ = [
     "StepTrace",
     "TooManySubgoalsError",
     "VarTable",
+    "available_cost_models",
     "best_rewriting_m2",
     "check_m1_monotonic",
     "check_m2_monotonic",
@@ -61,6 +71,7 @@ __all__ = [
     "verify_monotonicity",
     "execute_plan",
     "explain_plan",
+    "get_cost_model",
     "io_tracks_m2",
     "heuristic_drops",
     "heuristic_plan",
@@ -72,6 +83,7 @@ __all__ = [
     "optimal_plan_m2_estimated",
     "optimal_plan_m3",
     "optimal_plan_m3_estimated",
+    "register_cost_model",
     "simulate_plan_io",
     "supplementary_drops",
     "supplementary_plan",

@@ -1,6 +1,7 @@
 """Datalog substrate: terms, atoms, conjunctive queries, and a parser."""
 
 from .atoms import COMPARISON_PREDICATES, Atom, make_atom
+from .interning import InternTable
 from .parser import DatalogSyntaxError, parse_atom, parse_program, parse_query
 from .query import (
     ConjunctiveQuery,
@@ -28,6 +29,7 @@ __all__ = [
     "DatalogSyntaxError",
     "FreshVariableFactory",
     "IDENTITY",
+    "InternTable",
     "MalformedQueryError",
     "SqlError",
     "SqlSchema",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..core.corecover import CoreCoverResult, core_cover
+from ..planner.context import PlannerContext
 from ..workload.generator import (
     WorkloadConfig,
     WorkloadError,
@@ -36,6 +37,9 @@ class SweepPoint:
     mean_maximal_tuple_classes: float
     mean_gmr_count: float
     mean_gmr_size: float
+    mean_hom_searches: float = 0.0
+    mean_cache_hits: float = 0.0
+    mean_cache_hit_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -67,16 +71,24 @@ def run_sweep(
     algorithm: Callable[..., CoreCoverResult] = core_cover,
     group_views: bool = True,
     group_tuples: bool = True,
+    caching: bool | None = None,
 ) -> list[SweepPoint]:
     """Run CoreCover over the sweep, averaging per view count.
 
     ``algorithm`` may be swapped (e.g. for ``core_cover_star`` or an
     ablated variant); it must accept ``(query, views, group_views=...,
     group_tuples=...)`` and return a :class:`CoreCoverResult`.
+
+    With ``caching=True`` (or ``False``) a shared
+    :class:`PlannerContext` with memoization on (or off) is threaded
+    through all queries of each sweep point, so structurally repeated
+    view definitions are planned once per point; ``None`` keeps the
+    legacy behaviour of a private context per call.
     """
     points = []
     for num_views in config.view_counts:
         template = config.workload_config(num_views)
+        context = None if caching is None else PlannerContext(caching=caching)
         times_ms: list[float] = []
         view_classes: list[int] = []
         total_tuples: list[int] = []
@@ -84,13 +96,18 @@ def run_sweep(
         maximal_classes: list[int] = []
         gmr_counts: list[int] = []
         gmr_sizes: list[int] = []
+        hom_searches: list[int] = []
+        cache_hits: list[int] = []
+        cache_hit_rates: list[float] = []
         for workload in workload_series(template, config.queries_per_point):
             started = time.perf_counter()
+            kwargs = {} if context is None else {"context": context}
             result = algorithm(
                 workload.query,
                 workload.views,
                 group_views=group_views,
                 group_tuples=group_tuples,
+                **kwargs,
             )
             times_ms.append((time.perf_counter() - started) * 1000.0)
             stats = result.stats
@@ -99,6 +116,9 @@ def run_sweep(
             tuple_classes.append(stats.view_tuple_classes)
             maximal_classes.append(stats.maximal_tuple_classes)
             gmr_counts.append(len(result.rewritings))
+            hom_searches.append(stats.hom_searches)
+            cache_hits.append(stats.cache_hits)
+            cache_hit_rates.append(stats.cache_hit_rate)
             if result.has_rewriting:
                 gmr_sizes.append(result.minimum_subgoals() or 0)
         points.append(
@@ -113,6 +133,9 @@ def run_sweep(
                 mean_maximal_tuple_classes=statistics.fmean(maximal_classes),
                 mean_gmr_count=statistics.fmean(gmr_counts),
                 mean_gmr_size=statistics.fmean(gmr_sizes) if gmr_sizes else 0.0,
+                mean_hom_searches=statistics.fmean(hom_searches),
+                mean_cache_hits=statistics.fmean(cache_hits),
+                mean_cache_hit_rate=statistics.fmean(cache_hit_rates),
             )
         )
     return points
@@ -137,7 +160,8 @@ def format_points(points: Sequence[SweepPoint]) -> str:
     """Render sweep points as an aligned text table."""
     header = (
         f"{'views':>6} {'time(ms)':>9} {'max(ms)':>9} {'viewcls':>8} "
-        f"{'tuples':>7} {'tuplecls':>9} {'maxcls':>7} {'GMRs':>6} {'|GMR|':>6}"
+        f"{'tuples':>7} {'tuplecls':>9} {'maxcls':>7} {'GMRs':>6} {'|GMR|':>6} "
+        f"{'homs':>7} {'hit%':>5}"
     )
     lines = [header, "-" * len(header)]
     for p in points:
@@ -146,6 +170,7 @@ def format_points(points: Sequence[SweepPoint]) -> str:
             f"{p.mean_view_classes:>8.1f} {p.mean_total_view_tuples:>7.1f} "
             f"{p.mean_view_tuple_classes:>9.1f} "
             f"{p.mean_maximal_tuple_classes:>7.1f} {p.mean_gmr_count:>6.1f} "
-            f"{p.mean_gmr_size:>6.2f}"
+            f"{p.mean_gmr_size:>6.2f} {p.mean_hom_searches:>7.1f} "
+            f"{p.mean_cache_hit_rate:>5.0%}"
         )
     return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""The built-in rewriter backends.
+
+Importing this module (which :mod:`repro.planner.registry` does on its
+own import) registers every rewriting algorithm of the package:
+
+========== ==============================================================
+name        algorithm
+========== ==============================================================
+corecover        CoreCover (Figure 4) — all GMRs, M1-optimal search space
+corecover-star   CoreCover* (Section 5.1) — all minimal view-tuple rewritings
+naive            brute-force Theorem 3.1 combination search
+bucket           Bucket algorithm (Levy et al.)
+minicon          MiniCon (Pottinger & Levy)
+inverse-rules    inverse rules (Duschka & Genesereth) — maximally
+                 contained program, no equivalent rewritings
+========== ==============================================================
+
+Each ``run`` callable takes ``(query, catalog, context=..., **options)``
+and returns ``(rewritings, details)``.  Imports of the algorithm modules
+happen lazily inside the run functions: those modules' legacy shims
+import the registry in turn, and deferring breaks the cycle.
+"""
+
+from __future__ import annotations
+
+from ..datalog.query import ConjunctiveQuery
+from ..views.view import ViewCatalog
+from .context import PlannerContext
+from .registry import RewriterBackend, register_backend
+
+__all__ = ["register_builtin_backends"]
+
+
+def _run_corecover(
+    query: ConjunctiveQuery,
+    catalog: ViewCatalog,
+    *,
+    context: PlannerContext,
+    **options,
+):
+    from ..core.corecover import core_cover_impl
+
+    result = core_cover_impl(query, catalog, context=context, **options)
+    return result.rewritings, result
+
+
+def _run_corecover_star(
+    query: ConjunctiveQuery,
+    catalog: ViewCatalog,
+    *,
+    context: PlannerContext,
+    **options,
+):
+    from ..core.corecover import core_cover_impl
+
+    result = core_cover_impl(
+        query, catalog, all_minimal=True, context=context, **options
+    )
+    return result.rewritings, result
+
+
+def _run_naive(
+    query: ConjunctiveQuery,
+    catalog: ViewCatalog,
+    *,
+    context: PlannerContext,
+    **options,
+):
+    from ..core.naive import run_naive_gmr_search
+
+    found = run_naive_gmr_search(query, catalog, context=context, **options)
+    return tuple(found), found
+
+
+def _run_bucket(
+    query: ConjunctiveQuery,
+    catalog: ViewCatalog,
+    *,
+    context: PlannerContext,
+    **options,
+):
+    from ..baselines.bucket import run_bucket_algorithm
+
+    result = run_bucket_algorithm(query, catalog, context=context, **options)
+    return result.equivalent_rewritings, result
+
+
+def _run_minicon(
+    query: ConjunctiveQuery,
+    catalog: ViewCatalog,
+    *,
+    context: PlannerContext,
+    **options,
+):
+    from ..baselines.minicon import run_minicon
+
+    result = run_minicon(query, catalog, context=context, **options)
+    return result.equivalent_rewritings, result
+
+
+def _run_inverse_rules(
+    query: ConjunctiveQuery,
+    catalog: ViewCatalog,
+    *,
+    context: PlannerContext,
+    **options,
+):
+    from ..baselines.inverse_rules import invert_views
+
+    rules = tuple(invert_views(catalog))
+    return (), rules
+
+
+def register_builtin_backends() -> None:
+    """Register (idempotently) every built-in backend."""
+    builtins = [
+        RewriterBackend(
+            name="corecover",
+            description=(
+                "CoreCover (Figure 4): all globally-minimal rewritings, "
+                "optimal under cost model M1"
+            ),
+            run=_run_corecover,
+        ),
+        RewriterBackend(
+            name="corecover-star",
+            description=(
+                "CoreCover* (Section 5.1): all minimal rewritings using "
+                "view tuples — the M2/M3 search space"
+            ),
+            run=_run_corecover_star,
+        ),
+        RewriterBackend(
+            name="naive",
+            description=(
+                "brute-force Theorem 3.1 search over view-tuple "
+                "combinations (correctness baseline)"
+            ),
+            run=_run_naive,
+        ),
+        RewriterBackend(
+            name="bucket",
+            description="Bucket algorithm (Levy et al. 1996)",
+            run=_run_bucket,
+        ),
+        RewriterBackend(
+            name="minicon",
+            description="MiniCon (Pottinger & Levy, VLDB 2000)",
+            run=_run_minicon,
+        ),
+        RewriterBackend(
+            name="inverse-rules",
+            description=(
+                "inverse rules (Duschka & Genesereth): maximally-contained "
+                "datalog program; details hold the inverted rules"
+            ),
+            run=_run_inverse_rules,
+            produces_rewritings=False,
+        ),
+    ]
+    for backend in builtins:
+        register_backend(backend, replace=True)
+
+
+register_builtin_backends()

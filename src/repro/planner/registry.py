@@ -1,0 +1,186 @@
+"""The rewriter-backend registry and the unified ``plan()`` entry point.
+
+Every rewriting algorithm in the package — CoreCover and CoreCover*
+(Sections 4/5), the naive Theorem 3.1 search, and the Bucket, MiniCon and
+inverse-rules baselines — is registered as a :class:`RewriterBackend` and
+runs through one call path::
+
+    from repro.planner import plan
+
+    result = plan(query, views, backend="corecover")
+    result.rewritings          # the equivalent rewritings found
+    result.details             # backend-specific result object
+    result.stats               # PlannerStats: cache hits, hom searches, stages
+
+    chosen = plan(query, views, backend="corecover-star",
+                  cost_model="m2", database=view_db).chosen
+
+Cost models are resolved by name from :mod:`repro.cost.registry`.  The
+legacy entry points (``core_cover``, ``bucket_algorithm``, ``minicon``,
+``naive_gmr_search``) are thin shims over this function, so both spellings
+stay in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..datalog.query import ConjunctiveQuery
+from ..views.view import View, ViewCatalog
+from .context import PlannerContext, PlannerStats
+
+__all__ = [
+    "PlanResult",
+    "RewriterBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "plan",
+    "register_backend",
+]
+
+
+class UnknownBackendError(LookupError):
+    """Raised when a backend name does not resolve."""
+
+
+@dataclass(frozen=True)
+class RewriterBackend:
+    """A named rewriting algorithm.
+
+    ``run`` receives ``(query, catalog, context=..., **options)`` and
+    returns ``(rewritings, details)``: the tuple of equivalent rewritings
+    and the algorithm's native result object (e.g. ``CoreCoverResult``,
+    ``MiniConResult``).
+    """
+
+    name: str
+    description: str
+    run: Callable[..., tuple[tuple[ConjunctiveQuery, ...], object]]
+    #: False for backends (inverse rules) that emit a maximally-contained
+    #: program instead of equivalent rewritings.
+    produces_rewritings: bool = True
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Everything one ``plan()`` call produced."""
+
+    backend: str
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    rewritings: tuple[ConjunctiveQuery, ...]
+    #: The backend's native result (CoreCoverResult, BucketResult, ...).
+    details: object
+    context: PlannerContext
+    #: Instrumentation for this call only (deltas when the context is shared).
+    stats: PlannerStats
+    cost_model: str | None = None
+    #: The cost model's winning plan, when a cost model was requested.
+    chosen: object | None = None
+
+    @property
+    def has_rewriting(self) -> bool:
+        """Whether any equivalent rewriting was found."""
+        return bool(self.rewritings)
+
+
+_BACKENDS: dict[str, RewriterBackend] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_backend(
+    backend: RewriterBackend, *, replace: bool = False
+) -> RewriterBackend:
+    """Register *backend* under its (normalized) name."""
+    key = _normalize(backend.name)
+    if not replace and key in _BACKENDS:
+        raise ValueError(f"backend {key!r} is already registered")
+    _BACKENDS[key] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> RewriterBackend:
+    """Resolve a backend by name.
+
+    Raises :class:`UnknownBackendError` listing the registered backends
+    when the lookup fails.
+    """
+    key = _normalize(name)
+    backend = _BACKENDS.get(key)
+    if backend is None:
+        registered = ", ".join(available_backends()) or "(none)"
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered backends: {registered}"
+        )
+    return backend
+
+
+def plan(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View],
+    *,
+    backend: str = "corecover",
+    cost_model: str | None = None,
+    context: PlannerContext | None = None,
+    database=None,
+    statistics=None,
+    cost_options: dict | None = None,
+    **options,
+) -> PlanResult:
+    """Rewrite *query* using *views* with one backend, optionally costed.
+
+    ``options`` are forwarded to the backend (e.g. ``max_rewritings`` for
+    ``corecover-star``, ``require_equivalent`` for ``minicon``).
+    ``cost_options`` are forwarded to the cost model's selector (e.g.
+    ``annotator`` for ``m3``).  Passing a shared ``context`` reuses its
+    caches; ``result.stats`` always reports this call's deltas.
+    """
+    catalog = views if isinstance(views, ViewCatalog) else ViewCatalog(views)
+    ctx = context if context is not None else PlannerContext()
+    before = ctx.snapshot()
+    resolved = get_backend(backend)
+    with ctx.stage(f"rewrite:{resolved.name}"):
+        rewritings, details = resolved.run(query, catalog, context=ctx, **options)
+
+    chosen = None
+    model_name: str | None = None
+    if cost_model is not None:
+        from ..cost.registry import get_cost_model
+
+        model = get_cost_model(cost_model)
+        model_name = model.name
+        with ctx.stage(f"cost:{model.name}"):
+            chosen = model.select(
+                rewritings,
+                query=query,
+                views=catalog,
+                database=database,
+                statistics=statistics,
+                **(cost_options or {}),
+            )
+
+    return PlanResult(
+        backend=resolved.name,
+        query=query,
+        views=catalog,
+        rewritings=tuple(rewritings),
+        details=details,
+        context=ctx,
+        stats=ctx.snapshot().since(before),
+        cost_model=model_name,
+        chosen=chosen,
+    )
+
+
+# Register the built-in backends on first import of the registry.
+from . import backends as _backends  # noqa: E402,F401  (registration side effect)

@@ -1,0 +1,113 @@
+"""Property: memoization never changes any backend's answer.
+
+For random star/chain workloads, running every registered backend under a
+caching :class:`PlannerContext` and under a cache-disabled one must
+produce identical rewriting sets and identical non-timing statistics —
+the cache may only change *how fast* an answer arrives, never the answer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.planner import PlannerContext, available_backends, get_backend, plan
+from repro.workload import WorkloadConfig, generate_workload
+
+#: Backends cheap enough to run on every random example.  ``naive`` is
+#: exponential in the number of view tuples, so it gets smaller inputs.
+FAST_BACKENDS = ("corecover", "corecover-star", "bucket", "minicon",
+                 "inverse-rules")
+
+
+def _workload(shape, seed, num_views, subgoals=4):
+    num_relations = 7 if shape == "star" else 10
+    return generate_workload(
+        WorkloadConfig(
+            shape=shape,
+            num_relations=num_relations,
+            query_subgoals=subgoals,
+            num_views=num_views,
+            seed=seed,
+        )
+    )
+
+
+workload_params = st.tuples(
+    st.sampled_from(["star", "chain"]),
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=5, max_value=20),
+)
+
+
+class TestCachedEqualsUncached:
+    @settings(max_examples=8, deadline=None)
+    @given(workload_params)
+    def test_all_backends_agree(self, params):
+        shape, seed, num_views = params
+        workload = _workload(shape, seed, num_views)
+        for name in FAST_BACKENDS:
+            cached = plan(
+                workload.query,
+                workload.views,
+                backend=name,
+                context=PlannerContext(caching=True),
+            )
+            uncached = plan(
+                workload.query,
+                workload.views,
+                backend=name,
+                context=PlannerContext(caching=False),
+            )
+            assert cached.rewritings == uncached.rewritings, name
+            assert uncached.stats.cache_hits == 0, name
+            assert uncached.stats.caching_enabled is False, name
+            assert cached.stats.caching_enabled is True, name
+            if get_backend(name).produces_rewritings:
+                assert cached.has_rewriting == uncached.has_rewriting, name
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        st.sampled_from(["star", "chain"]),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    def test_naive_backend_agrees_on_small_workloads(self, shape, seed):
+        workload = _workload(shape, seed, num_views=6, subgoals=3)
+        cached = plan(
+            workload.query,
+            workload.views,
+            backend="naive",
+            context=PlannerContext(caching=True),
+        )
+        uncached = plan(
+            workload.query,
+            workload.views,
+            backend="naive",
+            context=PlannerContext(caching=False),
+        )
+        assert cached.rewritings == uncached.rewritings
+
+    @settings(max_examples=8, deadline=None)
+    @given(workload_params)
+    def test_shared_cached_context_stays_consistent(self, params):
+        """Re-running on a warm shared cache still matches a cold run."""
+        shape, seed, num_views = params
+        workload = _workload(shape, seed, num_views)
+        shared = PlannerContext(caching=True)
+        first = plan(
+            workload.query, workload.views, backend="corecover",
+            context=shared,
+        )
+        second = plan(
+            workload.query, workload.views, backend="corecover",
+            context=shared,
+        )
+        cold = plan(
+            workload.query, workload.views, backend="corecover",
+            context=PlannerContext(caching=False),
+        )
+        assert first.rewritings == cold.rewritings
+        assert second.rewritings == cold.rewritings
+        assert second.stats.hom_searches == 0
+
+
+def test_every_registered_backend_is_exercised():
+    """Guard: the property above must cover the whole registry."""
+    assert set(FAST_BACKENDS) | {"naive"} == set(available_backends())
