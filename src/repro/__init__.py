@@ -75,10 +75,27 @@ from .cost import (
     supplementary_plan,
 )
 from .baselines import bucket_algorithm, certain_answers, minicon
+from .errors import (
+    ArityMismatchError,
+    BudgetExceededError,
+    DuplicateViewError,
+    MalformedQueryError,
+    ParseError,
+    ReproError,
+    UnknownViewError,
+    UnsafeQueryError,
+    UnsupportedQueryError,
+    structured_error,
+)
 from .planner import (
+    AnytimeRewriting,
+    BudgetMeter,
+    PlanOutcome,
     PlanResult,
+    PlanStatus,
     PlannerContext,
     PlannerStats,
+    ResourceBudget,
     RewriterBackend,
     UnknownBackendError,
     available_backends,
@@ -92,21 +109,35 @@ from .workload import WorkloadConfig, generate_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnytimeRewriting",
+    "ArityMismatchError",
     "Atom",
+    "BudgetExceededError",
+    "BudgetMeter",
     "ConjunctiveQuery",
     "Constant",
+    "DuplicateViewError",
+    "MalformedQueryError",
     "MediatedAnswer",
     "Mediator",
     "CoreCoverResult",
     "Database",
+    "ParseError",
     "PhysicalPlan",
+    "PlanOutcome",
     "PlanResult",
+    "PlanStatus",
     "PlannerContext",
     "PlannerStats",
     "Relation",
+    "ReproError",
+    "ResourceBudget",
     "RewriterBackend",
     "StatisticsCatalog",
     "UnknownBackendError",
+    "UnknownViewError",
+    "UnsafeQueryError",
+    "UnsupportedQueryError",
     "Substitution",
     "TupleCore",
     "UnionQuery",
@@ -150,6 +181,7 @@ __all__ = [
     "parse_query",
     "plan",
     "register_backend",
+    "structured_error",
     "supplementary_plan",
     "tuple_core",
     "view_tuples",

@@ -170,6 +170,8 @@ def run_bucket_algorithm(
     tried = 0
     for combo in product(*(bucket.literals for bucket in buckets)):
         tried += 1
+        if context is not None:
+            context.checkpoint()  # cooperative cancellation per combination
         if max_combinations is not None and tried > max_combinations:
             break
         body: list[Atom] = []
@@ -189,6 +191,12 @@ def run_bucket_algorithm(
         contained.append(candidate)
         if equivalent_to(expansion, query):
             equivalent.append(candidate)
+            if context is not None:
+                context.record_rewriting(candidate, certified=True)
+        elif context is not None:
+            # Contained but not proven equivalent — usable only as a
+            # maximally-contained partial answer, so left uncertified.
+            context.record_rewriting(candidate, certified=False)
     return BucketResult(
         tuple(buckets), tried, tuple(contained), tuple(equivalent)
     )

@@ -22,7 +22,10 @@ on the real base database, which the tests verify end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
 
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
@@ -71,10 +74,16 @@ class InverseRule:
         return f"{self.head} :- {self.view.name}({args})"
 
 
-def invert_views(views: ViewCatalog | Iterable[View]) -> list[InverseRule]:
+def invert_views(
+    views: ViewCatalog | Iterable[View],
+    *,
+    context: "PlannerContext | None" = None,
+) -> list[InverseRule]:
     """All inverse rules of a set of views."""
     rules = []
     for view in views:
+        if context is not None:
+            context.checkpoint()  # cooperative cancellation per view
         for atom in view.definition.body:
             if atom.is_comparison:
                 continue  # comparisons constrain, they do not produce facts

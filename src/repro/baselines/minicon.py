@@ -26,7 +26,7 @@ Two consequences reproduced here and exercised by the Example 4.2 tests:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
 from ..containment.containment import is_contained_in, is_equivalent_to
 from ..datalog.atoms import Atom
@@ -55,11 +55,18 @@ class MCD:
         return f"MCD({self.literal} covers {{{indices}}})"
 
 
-def form_mcds(query: ConjunctiveQuery, views: ViewCatalog) -> list[MCD]:
+def form_mcds(
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+    *,
+    context: "PlannerContext | None" = None,
+) -> list[MCD]:
     """All MCDs of *query* over *views* (first phase of MiniCon)."""
     mcds: list[MCD] = []
     seen: set[tuple[str, frozenset[int], Atom]] = set()
     for view in views:
+        if context is not None:
+            context.checkpoint()  # cooperative cancellation per view
         for mcd in _view_mcds(query, view):
             key = (view.name, mcd.covered, mcd.literal)
             if key not in seen:
@@ -264,13 +271,22 @@ def run_minicon(
     equivalent_to = (
         context.is_equivalent_to if context is not None else is_equivalent_to
     )
-    mcds = form_mcds(query, views)
+    mcds = form_mcds(query, views, context=context)
     universe = frozenset(range(len(query.body)))
-    combinations = _partitions(universe, mcds, max_rewritings)
+    checkpoint = (
+        context.meter.checkpoint
+        if context is not None and context.meter is not None
+        else None
+    )
+    combinations = _partitions(
+        universe, mcds, max_rewritings, checkpoint=checkpoint
+    )
     contained: list[ConjunctiveQuery] = []
     equivalent: list[ConjunctiveQuery] = []
     seen: set[str] = set()
     for combo in combinations:
+        if context is not None:
+            context.checkpoint()  # cooperative cancellation per combination
         body: list[Atom] = []
         for mcd in combo:
             if mcd.literal not in body:
@@ -288,6 +304,12 @@ def run_minicon(
         contained.append(rewriting)
         if equivalent_to(expansion, query):
             equivalent.append(rewriting)
+            if context is not None:
+                context.record_rewriting(rewriting, certified=True)
+        elif context is not None:
+            # MiniCon only guarantees containment (open world); without
+            # the equivalence proof the partial stays uncertified.
+            context.record_rewriting(rewriting, certified=False)
     if require_equivalent:
         contained = [r for r in contained if r in equivalent]
     return MiniConResult(tuple(mcds), tuple(contained), tuple(equivalent))
@@ -297,6 +319,8 @@ def _partitions(
     universe: frozenset[int],
     mcds: Sequence[MCD],
     max_results: int | None,
+    *,
+    checkpoint: "Callable[[], None] | None" = None,
 ) -> list[tuple[MCD, ...]]:
     """All ways to partition *universe* into pairwise-disjoint MCDs."""
     results: list[tuple[MCD, ...]] = []
@@ -304,6 +328,8 @@ def _partitions(
     def branch(uncovered: frozenset[int], chosen: tuple[MCD, ...]) -> None:
         if max_results is not None and len(results) >= max_results:
             return
+        if checkpoint is not None:
+            checkpoint()
         if not uncovered:
             results.append(chosen)
             return

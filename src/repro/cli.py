@@ -45,7 +45,14 @@ from .cost import UnknownCostModelError, explain_plan, improve_with_filters
 from .datalog import ConjunctiveQuery, parse_program, parse_query
 from .datalog.sql import SqlSchema, parse_sql
 from .engine import Database, evaluate, materialize_views
-from .planner import UnknownBackendError, get_backend, plan
+from .errors import ReproError, structured_error
+from .planner import (
+    PlanStatus,
+    ResourceBudget,
+    UnknownBackendError,
+    get_backend,
+    plan,
+)
 from .views import ViewCatalog
 
 #: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
@@ -88,6 +95,43 @@ def _load_database(path: str) -> Database:
     return database
 
 
+def _build_budget(args: argparse.Namespace) -> ResourceBudget | None:
+    """A ResourceBudget from the CLI flags, or ``None`` when none are set."""
+    if (
+        args.timeout is None
+        and args.max_hom_searches is None
+        and args.max_rewritings is None
+    ):
+        return None
+    return ResourceBudget(
+        deadline_seconds=args.timeout,
+        max_hom_searches=args.max_hom_searches,
+        max_rewritings=args.max_rewritings,
+        strict=args.strict_budget,
+    )
+
+
+def _add_budget_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline; on expiry the best-so-far rewritings "
+             "found are printed (anytime mode)",
+    )
+    command.add_argument(
+        "--max-hom-searches", type=int, default=None, metavar="N",
+        help="cap on homomorphism searches before giving up",
+    )
+    command.add_argument(
+        "--max-rewritings", type=int, default=None, metavar="N",
+        help="stop after N rewritings have been recorded",
+    )
+    command.add_argument(
+        "--strict-budget", action="store_true",
+        help="raise on budget exhaustion instead of degrading to "
+             "best-so-far results (exit 69)",
+    )
+
+
 def _print_planner_stats(stats) -> None:
     """Render a PlannerStats snapshot (``--verbose`` output)."""
     print(
@@ -104,11 +148,7 @@ def _print_planner_stats(stats) -> None:
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     query = _load_query(args.query, args.sql_schema)
     views = _load_views(args.views)
-
-    try:
-        backend = get_backend(args.backend)
-    except UnknownBackendError as error:
-        raise SystemExit(str(error))
+    backend = get_backend(args.backend)
 
     options: dict = {}
     if backend.name == "corecover-star":
@@ -117,9 +157,32 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         options["require_equivalent"] = True
         options["max_rewritings"] = args.limit
 
-    planned = plan(query, views, backend=backend.name, **options)
+    planned = plan(
+        query, views, backend=backend.name, budget=_build_budget(args),
+        **options,
+    )
 
     print(f"query: {query}")
+    outcome = planned.outcome
+    if outcome is not None and outcome.status is not PlanStatus.COMPLETE:
+        if outcome.status is PlanStatus.BUDGET_EXHAUSTED:
+            print(
+                f"budget exhausted ({outcome.exhausted_resource}) after "
+                f"{outcome.elapsed_seconds:.3f}s; best-so-far results:"
+            )
+        else:
+            print(
+                f"planning failed "
+                f"({type(outcome.error).__name__}: {outcome.error}) after "
+                f"{outcome.elapsed_seconds:.3f}s; best-so-far results:",
+            )
+            print(structured_error(outcome.error), file=sys.stderr)
+        for anytime in outcome.rewritings:
+            tag = "certified" if anytime.certified else "uncertified"
+            print(f"    [{tag}] {anytime.query}")
+        if args.verbose:
+            _print_planner_stats(planned.stats)
+        return 0 if outcome.certified_rewritings else 1
     if not backend.produces_rewritings:
         rules = planned.details
         print(f"{len(rules)} inverse rule(s) (maximally-contained program):")
@@ -171,18 +234,31 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     cost_options = {}
     if args.cost_model == "m3":
         cost_options["annotator"] = args.annotator
-    try:
-        planned = plan(
-            query,
-            views,
-            backend="corecover-star",
-            cost_model=args.cost_model,
-            database=view_db,
-            cost_options=cost_options,
-            max_rewritings=args.limit,
+    planned = plan(
+        query,
+        views,
+        backend="corecover-star",
+        cost_model=args.cost_model,
+        database=view_db,
+        cost_options=cost_options,
+        max_rewritings=args.limit,
+        budget=_build_budget(args),
+    )
+    outcome = planned.outcome
+    if outcome is not None and outcome.status is not PlanStatus.COMPLETE:
+        reason = (
+            f"budget exhausted ({outcome.exhausted_resource})"
+            if outcome.status is PlanStatus.BUDGET_EXHAUSTED
+            else f"planning failed ({type(outcome.error).__name__})"
         )
-    except (UnknownBackendError, UnknownCostModelError) as error:
-        raise SystemExit(str(error))
+        print(
+            f"{reason} after {outcome.elapsed_seconds:.3f}s; "
+            f"{len(outcome.certified_rewritings)} certified rewriting(s) "
+            "found but no cost-based choice was made"
+        )
+        for rewriting in outcome.certified_rewritings:
+            print("    [certified]", rewriting)
+        return 1
     if not planned.rewritings:
         print("no equivalent rewriting exists for this query and view set")
         return 1
@@ -298,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--certify", action="store_true",
         help="re-verify the result from first principles (exit 3 on failure)",
     )
+    _add_budget_flags(rewrite)
     rewrite.set_defaults(func=_cmd_rewrite)
 
     optimize = sub.add_parser(
@@ -329,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="treat the query as SQL with this schema file")
     optimize.add_argument("--explain", action="store_true",
                           help="print an EXPLAIN-style step table")
+    _add_budget_flags(optimize)
     optimize.set_defaults(func=_cmd_optimize)
 
     certain = sub.add_parser(
@@ -365,7 +443,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     ):
         argv = ["rewrite", *argv]
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        # The taxonomy maps to distinct nonzero exit codes; stderr gets a
+        # one-line machine-readable rendering.
+        print(structured_error(error), file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

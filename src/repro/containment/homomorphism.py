@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterable, Iterator, Optional, Protocol, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Protocol, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.substitution import Substitution
 from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..testing.faults import fire
 
 
 class SearchObserver(Protocol):
@@ -51,6 +52,31 @@ def observe_searches(observer: SearchObserver) -> Iterator[SearchObserver]:
         yield observer
     finally:
         _OBSERVER.reset(token)
+
+
+#: Cooperative-cancellation hook called on every backtracking node.  A
+#: context variable, like the observer, so budgets stay attributed
+#: correctly under threads and asyncio.  ``None`` (the default) keeps
+#: the unbudgeted search at a single ``is not None`` test per node.
+_CHECKPOINT: ContextVar[Optional[Callable[[], None]]] = ContextVar(
+    "repro_homomorphism_checkpoint", default=None
+)
+
+
+@contextmanager
+def cancellation_scope(checkpoint: Callable[[], None]) -> Iterator[None]:
+    """Run *checkpoint* on every backtracking node within the block.
+
+    The planner installs a :meth:`BudgetMeter.checkpoint
+    <repro.planner.limits.BudgetMeter.checkpoint>` here so a wall-clock
+    deadline can interrupt even a single adversarial search; the raise
+    unwinds the backtracking cleanly (no partial state is cached).
+    """
+    token = _CHECKPOINT.set(checkpoint)
+    try:
+        yield
+    finally:
+        _CHECKPOINT.reset(token)
 
 
 def unify_atom(
@@ -135,6 +161,9 @@ def find_homomorphisms(
     """
     # Count the search eagerly (this is a plain function returning a
     # generator, so observers see the search even if it is never consumed).
+    # The fault point fires first so an injected stall is visible to the
+    # budget charge the observer performs.
+    fire("hom_search")
     observer = _OBSERVER.get()
     if observer is not None:
         observer.record_search()
@@ -150,8 +179,11 @@ def _search(
     index = _target_index(target)
     ordered = _ordered_sources(source, index)
     all_terms = _source_terms(source) if injective else set()
+    checkpoint = _CHECKPOINT.get()
 
     def backtrack(position: int, substitution: Substitution) -> Iterator[Substitution]:
+        if checkpoint is not None:
+            checkpoint()
         if position == len(ordered):
             if not injective or _is_injective(substitution, all_terms):
                 yield substitution

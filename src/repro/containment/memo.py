@@ -23,14 +23,18 @@ queries get distinct keys (a miss, never a wrong hit).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from ..datalog.interning import InternTable
 from ..datalog.query import ConjunctiveQuery
+from ..testing.faults import fire
 from .canonical import CanonicalDatabase, canonical_database
 from .containment import containment_mapping, is_contained_in
-from .homomorphism import observe_searches
+from .homomorphism import cancellation_scope, observe_searches
 from .minimize import minimize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.limits import BudgetMeter
 
 __all__ = ["CacheCounter", "ContainmentCache"]
 
@@ -71,6 +75,10 @@ class ContainmentCache:
         self.caching = caching
         #: Number of homomorphism searches actually performed.
         self.hom_searches = 0
+        #: Active resource-budget meter, set by the PlannerContext.  Each
+        #: recorded search is charged against it, and its ``checkpoint``
+        #: is installed as the backtracking cancellation hook.
+        self.meter: "BudgetMeter | None" = None
         self.counters: dict[str, CacheCounter] = {
             "minimize": CacheCounter(),
             "canonical": CacheCounter(),
@@ -84,8 +92,15 @@ class ContainmentCache:
 
     # -- search accounting ---------------------------------------------------
     def record_search(self) -> None:
-        """Observer callback: one homomorphism search was started."""
+        """Observer callback: one homomorphism search was started.
+
+        With a budget meter attached the search is also charged against
+        ``max_hom_searches`` (and the deadline re-checked), which is the
+        cooperative-cancellation point for search-heavy stages.
+        """
         self.hom_searches += 1
+        if self.meter is not None:
+            self.meter.charge_hom_search()
 
     def observing(self):
         """Context manager attributing homomorphism searches to this cache."""
@@ -99,13 +114,20 @@ class ContainmentCache:
         key,
         compute: Callable[[], T],
     ) -> T:
+        fire("cache_lookup")
         counter = self.counters[counter_name]
         if self.caching and key in cache:
             counter.hits += 1
             return cache[key]
         counter.misses += 1
         with self.observing():
-            value = compute()
+            if self.meter is not None:
+                # Budget exhaustion raises out of compute() before the
+                # store below, so the cache never holds a partial result.
+                with cancellation_scope(self.meter.checkpoint):
+                    value = compute()
+            else:
+                value = compute()
         if self.caching:
             cache[key] = value
         return value

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..datalog.query import ConjunctiveQuery
+from ..errors import UnsupportedQueryError
 from ..planner.context import PlannerContext
 from ..views.view import View, ViewCatalog
 from .equivalence import (
@@ -233,16 +234,44 @@ def core_cover_impl(
     # Step (4): cover the query subgoals.
     t0 = time.perf_counter()
     with ctx.stage("cover"):
+        ctx.checkpoint()
         universe = frozenset(range(len(minimized.body)))
         cover_inputs = [core.covered for core in nonempty]
+        checkpoint = ctx.meter.checkpoint if ctx.meter is not None else None
         if all_minimal:
-            covers = irredundant_covers(universe, cover_inputs, max_rewritings)
+            # Irredundant covers are additive, so each one can be recorded
+            # as a certified best-so-far rewriting the moment it is found
+            # (view-tuple rewritings are equivalent by Theorem 5.1).
+            def found(cover: tuple[int, ...]) -> None:
+                ctx.record_rewriting(
+                    _build_rewriting(minimized, [nonempty[i] for i in cover]),
+                    certified=True,
+                )
+
+            covers = irredundant_covers(
+                universe,
+                cover_inputs,
+                max_rewritings,
+                checkpoint=checkpoint,
+                on_cover=found,
+            )
+            rewritings = tuple(
+                _build_rewriting(minimized, [nonempty[i] for i in cover])
+                for cover in covers
+            )
         else:
-            covers = minimum_covers(universe, cover_inputs)
-        rewritings = tuple(
-            _build_rewriting(minimized, [nonempty[i] for i in cover])
-            for cover in covers
-        )
+            # Minimum covers may be *retracted* mid-search (a smaller cover
+            # clears the result set), so they are only recorded once the
+            # enumeration has completed.
+            covers = minimum_covers(
+                universe, cover_inputs, checkpoint=checkpoint
+            )
+            rewritings = tuple(
+                _build_rewriting(minimized, [nonempty[i] for i in cover])
+                for cover in covers
+            )
+            for rewriting in rewritings:
+                ctx.record_rewriting(rewriting, certified=True)
     cover_seconds = time.perf_counter() - t0
 
     delta = ctx.snapshot().since(before)
@@ -292,7 +321,7 @@ def _reject_comparisons(
             if atom.is_comparison
         )
     if offenders:
-        raise ValueError(
+        raise UnsupportedQueryError(
             "CoreCover supports pure conjunctive queries/views; found "
             f"comparison atoms: {', '.join(offenders)}. See "
             "repro.extensions for the Section 8 built-in-predicate support."

@@ -11,7 +11,7 @@ concrete query.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..containment.containment import containment_mapping
 from ..containment.minimize import minimize
@@ -21,12 +21,17 @@ from ..views.view import View, ViewCatalog
 from .lattice import LmrLattice, build_lmr_lattice
 from .view_tuples import view_tuples
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
+
 
 def enumerate_view_tuple_lmrs(
     query: ConjunctiveQuery,
     views: ViewCatalog,
     max_size: int | None = None,
     limit: int | None = 100,
+    *,
+    context: "PlannerContext | None" = None,
 ) -> Iterator[ConjunctiveQuery]:
     """Yield the LMRs of *query* whose subgoals are view tuples.
 
@@ -37,14 +42,17 @@ def enumerate_view_tuple_lmrs(
     cheaply.  ``max_size`` defaults to the number of query subgoals (the
     [16] bound); ``limit`` caps the yield for adversarial view sets.
     """
-    minimized = minimize(query)
-    tuples = view_tuples(minimized, views)
+    minimize_fn = context.minimize if context is not None else minimize
+    minimized = minimize_fn(query)
+    tuples = view_tuples(minimized, views, context=context)
     bound = max_size or len(minimized.body)
     found: list[frozenset[int]] = []
     yielded = 0
 
     for size in range(1, min(bound, len(tuples)) + 1):
         for indices in combinations(range(len(tuples)), size):
+            if context is not None:
+                context.checkpoint()  # cooperative cancellation per combo
             index_set = frozenset(indices)
             if any(previous <= index_set for previous in found):
                 continue

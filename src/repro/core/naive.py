@@ -60,6 +60,8 @@ def run_naive_gmr_search(
     for size in range(1, limit + 1):
         found: list[ConjunctiveQuery] = []
         for combo in combinations(tuples, size):
+            if context is not None:
+                context.checkpoint()  # cooperative cancellation per combo
             candidate = ConjunctiveQuery(
                 minimized.head, tuple(vt.atom for vt in combo)
             )
@@ -67,6 +69,10 @@ def run_naive_gmr_search(
                 continue
             if _is_rewriting(candidate, minimized, catalog, context):
                 found.append(candidate)
+                if context is not None:
+                    # View-tuple candidates passing the mapping test are
+                    # equivalent rewritings (Lemma 3.2) — certified.
+                    context.record_rewriting(candidate, certified=True)
         if found:
             return found
     return []

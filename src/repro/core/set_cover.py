@@ -16,16 +16,23 @@ cover (e.g. universe ``{1,2,3}``, sets ``A={1}``, ``B={1,2}``,
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
+
+from ..testing.faults import fire
 
 
 def minimum_covers(
-    universe: frozenset[int], sets: Sequence[frozenset[int]]
+    universe: frozenset[int],
+    sets: Sequence[frozenset[int]],
+    *,
+    checkpoint: Callable[[], None] | None = None,
 ) -> list[tuple[int, ...]]:
     """All covers of *universe* with the minimum number of sets.
 
     Returns sorted index tuples into *sets*; empty list when no cover
     exists.  The empty universe is covered by the empty cover.
+    ``checkpoint`` is called on every branch node (cooperative
+    cancellation under a resource budget).
     """
     if not universe:
         return [()]
@@ -38,6 +45,9 @@ def minimum_covers(
 
     def branch(uncovered: frozenset[int], chosen: tuple[int, ...]) -> None:
         nonlocal best_size
+        fire("enumeration")
+        if checkpoint is not None:
+            checkpoint()
         if not uncovered:
             cover = tuple(sorted(chosen))
             if len(cover) < best_size:
@@ -62,6 +72,9 @@ def irredundant_covers(
     universe: frozenset[int],
     sets: Sequence[frozenset[int]],
     max_covers: int | None = None,
+    *,
+    checkpoint: Callable[[], None] | None = None,
+    on_cover: Callable[[tuple[int, ...]], None] | None = None,
 ) -> list[tuple[int, ...]]:
     """All irredundant covers of *universe* (no member can be dropped).
 
@@ -69,6 +82,11 @@ def irredundant_covers(
     element not covered by the others.  ``max_covers`` caps the search
     for pathological inputs (e.g. many identical views — Section 5.2
     motivates representatives precisely to avoid the ``2^n - 1`` blowup).
+    ``checkpoint`` is called on every branch node; ``on_cover`` fires once
+    for each *new* irredundant cover as it is discovered, which is what
+    lets the anytime planner keep best-so-far results when the search is
+    cancelled mid-enumeration (irredundant covers are additive — a found
+    cover is never retracted later).
     """
     if not universe:
         return [()]
@@ -91,10 +109,15 @@ def irredundant_covers(
     def branch(uncovered: frozenset[int], chosen: tuple[int, ...]) -> None:
         if max_covers is not None and len(results) >= max_covers:
             return
+        fire("enumeration")
+        if checkpoint is not None:
+            checkpoint()
         if not uncovered:
             cover = tuple(sorted(chosen))
-            if is_irredundant(cover):
+            if is_irredundant(cover) and cover not in results:
                 results.add(cover)
+                if on_cover is not None:
+                    on_cover(cover)
             return
         if len(chosen) >= len(universe):
             return  # an irredundant cover has at most |universe| sets

@@ -29,7 +29,7 @@ tests assert uniqueness on random inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
@@ -72,11 +72,21 @@ class TupleCore:
 
 
 class _CoreSearch:
-    """Backtracking search for the maximum consistent covered set."""
+    """Backtracking search for the maximum consistent covered set.
 
-    def __init__(self, query: ConjunctiveQuery, view_tuple: ViewTuple) -> None:
+    ``checkpoint`` (when given) is called on every backtracking node —
+    the cooperative-cancellation hook for resource budgets.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        view_tuple: ViewTuple,
+        checkpoint: Callable[[], None] | None = None,
+    ) -> None:
         self.query = query
         self.view_tuple = view_tuple
+        self.checkpoint = checkpoint
         factory = FreshVariableFactory(
             v.name for v in query.variables() | _atom_variables(view_tuple.atom)
         )
@@ -171,9 +181,13 @@ class _CoreSearch:
                 self.atoms_of_var[variable] <= covered for variable in binding
             )
 
+        checkpoint = self.checkpoint
+
         def backtrack(
             index: int, covered: set[int], binding: dict[Variable, Variable]
         ) -> None:
+            if checkpoint is not None:
+                checkpoint()
             if index == n:
                 if len(covered) > len(best["covered"]) and closure_ok(
                     covered, binding
@@ -260,13 +274,19 @@ def enumerate_consistent_cores(
     ]
 
 
-def tuple_core(query: ConjunctiveQuery, view_tuple: ViewTuple) -> TupleCore:
+def tuple_core(
+    query: ConjunctiveQuery,
+    view_tuple: ViewTuple,
+    *,
+    checkpoint: Callable[[], None] | None = None,
+) -> TupleCore:
     """Compute the unique tuple-core of *view_tuple* for the minimal *query*.
 
     *query* must already be minimal (CoreCover minimizes first); the
-    function does not re-minimize.
+    function does not re-minimize.  ``checkpoint`` is called on every
+    search node so a resource budget can cancel the search cooperatively.
     """
-    return _CoreSearch(query, view_tuple).run()
+    return _CoreSearch(query, view_tuple, checkpoint).run()
 
 
 def tuple_cores(

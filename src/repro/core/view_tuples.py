@@ -25,6 +25,7 @@ from ..datalog.substitution import Substitution
 from ..datalog.terms import Constant, FreshVariableFactory, Term, Variable
 from ..engine.database import Database
 from ..engine.evaluate import evaluate
+from ..testing.faults import fire
 from ..views.view import View, ViewCatalog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -155,13 +156,17 @@ def view_tuples(
 
     tuples: list[ViewTuple] = []
     for view in views:
+        if context is not None:
+            context.checkpoint()  # cooperative cancellation per view
         if use_cache:
             all_args = context.view_tuple_args(
                 query, view, lambda v=view: args_for(v)
             )
         else:
             all_args = args_for(view)
-        tuples.extend(
-            ViewTuple(view, Atom(view.name, args)) for args in all_args
-        )
+        for args in all_args:
+            fire("enumeration")
+            if context is not None:
+                context.charge_view_tuple()
+            tuples.append(ViewTuple(view, Atom(view.name, args)))
     return tuples

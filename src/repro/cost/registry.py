@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..datalog.query import ConjunctiveQuery
+from ..errors import ReproError
 from .estimator import StatisticsCatalog
 from .optimizer import (
     OptimizedPlan,
@@ -44,7 +45,7 @@ __all__ = [
 ]
 
 
-class UnknownCostModelError(LookupError):
+class UnknownCostModelError(ReproError, LookupError):
     """Raised when a cost-model name does not resolve."""
 
 

@@ -13,6 +13,15 @@ an upper-case letter are variables and identifiers beginning with a
 lower-case letter or a digit are constants.  Quoted strings and bare
 integers are constants.  ``_`` denotes a fresh anonymous variable.
 
+Errors carry source positions (offset, and line/column inside
+:func:`parse_program`) and are drawn from the shared taxonomy in
+:mod:`repro.errors`: plain syntax problems raise :class:`ParseError`
+(still importable here under its historical name
+``DatalogSyntaxError``), a predicate used with two different arities
+raises :class:`~repro.errors.ArityMismatchError`, and — when safety is
+requested — an unsafe head raises
+:class:`~repro.errors.UnsafeQueryError`.
+
 Example::
 
     >>> parse_query("q1(S, C) :- car(M, anderson), loc(anderson, C), part(S, M, C)")
@@ -25,13 +34,15 @@ import itertools
 import re
 from typing import Iterator
 
+from ..errors import ArityMismatchError, ParseError, UnsafeQueryError
 from .atoms import COMPARISON_PREDICATES, Atom
 from .query import ConjunctiveQuery
 from .terms import Constant, Term, Variable
 
-
-class DatalogSyntaxError(ValueError):
-    """Raised when the input text is not valid datalog."""
+#: Historical name: the parser predates the shared error taxonomy.  An
+#: alias (not a subclass) so ``except DatalogSyntaxError`` keeps catching
+#: every parse-level failure, including the refined arity/safety errors.
+DatalogSyntaxError = ParseError
 
 
 _TOKEN_RE = re.compile(
@@ -50,40 +61,54 @@ _TOKEN_RE = re.compile(
 )
 
 
-def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+def _position(text: str, offset: int) -> str:
+    """Render *offset* as ``offset N (line L, column C)``."""
+    line = text.count("\n", 0, offset) + 1
+    column = offset - (text.rfind("\n", 0, offset) + 1) + 1
+    return f"offset {offset} (line {line}, column {column})"
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str, int]]:
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            raise DatalogSyntaxError(
-                f"unexpected character {text[position]!r} at offset {position}"
+            raise ParseError(
+                f"unexpected character {text[position]!r} at "
+                f"{_position(text, position)}"
             )
+        start = position
         position = match.end()
         kind = match.lastgroup
         if kind != "ws":
-            yield kind, match.group()
-    yield "eof", ""
+            yield kind, match.group(), start
+    yield "eof", "", len(text)
 
 
 class _Parser:
     def __init__(self, text: str) -> None:
+        self._text = text
         self._tokens = list(_tokenize(text))
         self._index = 0
         self._anon = itertools.count()
 
     # -- token helpers ---------------------------------------------------
-    def _peek(self) -> tuple[str, str]:
+    def _peek(self) -> tuple[str, str, int]:
         return self._tokens[self._index]
 
-    def _advance(self) -> tuple[str, str]:
+    def _advance(self) -> tuple[str, str, int]:
         token = self._tokens[self._index]
         self._index += 1
         return token
 
     def _expect(self, kind: str) -> str:
-        actual_kind, value = self._advance()
+        actual_kind, value, offset = self._advance()
         if actual_kind != kind:
-            raise DatalogSyntaxError(f"expected {kind}, got {value!r}")
+            shown = value if actual_kind != "eof" else "end of input"
+            raise ParseError(
+                f"expected {kind}, got {shown!r} at "
+                f"{_position(self._text, offset)}"
+            )
         return value
 
     # -- grammar -----------------------------------------------------------
@@ -99,14 +124,14 @@ class _Parser:
 
     def parse_literal(self) -> Atom:
         # Either ``ident(...)`` or ``term CMP term``.
-        kind, _value = self._peek()
+        kind, _value, _offset = self._peek()
         if kind == "ident" and self._tokens[self._index + 1][0] == "lparen":
             return self.parse_atom()
         left = self.parse_term()
         operator = self._expect("cmp")
         right = self.parse_term()
         if operator not in COMPARISON_PREDICATES:
-            raise DatalogSyntaxError(f"unknown comparison {operator!r}")
+            raise ParseError(f"unknown comparison {operator!r}")
         return Atom(operator, (left, right))
 
     def parse_atom(self) -> Atom:
@@ -122,7 +147,7 @@ class _Parser:
         return Atom(predicate, tuple(args))
 
     def parse_term(self) -> Term:
-        kind, value = self._advance()
+        kind, value, offset = self._advance()
         if kind == "string":
             return Constant(value[1:-1])
         if kind == "number":
@@ -133,12 +158,69 @@ class _Parser:
             if value[0].isupper():
                 return Variable(value)
             return Constant(value)
-        raise DatalogSyntaxError(f"expected a term, got {value!r}")
+        shown = value if kind != "eof" else "end of input"
+        raise ParseError(
+            f"expected a term, got {shown!r} at "
+            f"{_position(self._text, offset)}"
+        )
 
 
-def parse_query(text: str) -> ConjunctiveQuery:
-    """Parse a conjunctive-query rule such as ``q(X) :- e(X, X)``."""
-    return _Parser(text).parse_rule()
+def check_arities(
+    rule: ConjunctiveQuery,
+    known: dict[str, tuple[int, object]] | None = None,
+    *,
+    origin: object = None,
+) -> dict[str, tuple[int, object]]:
+    """Reject a predicate used with two different arities.
+
+    Comparison atoms are excluded: their "predicates" are operators with
+    a fixed arity of two.  Pass the returned mapping back in to extend
+    the check across rules; *origin* labels where each arity was first
+    seen (e.g. a line number) for the error message.
+    """
+    arities = known if known is not None else {}
+    for atom in (rule.head, *rule.body):
+        if atom.is_comparison:
+            continue
+        first = arities.setdefault(atom.predicate, (atom.arity, origin))
+        if first[0] != atom.arity:
+            where = f" (first used at {first[1]})" if first[1] is not None else ""
+            raise ArityMismatchError(
+                f"predicate {atom.predicate!r} used with arity "
+                f"{atom.arity}, but arity {first[0]} elsewhere{where}: {rule}"
+            )
+    return arities
+
+
+def parse_query(
+    text: str,
+    *,
+    require_safe: bool = False,
+    consistent_arities: bool = False,
+) -> ConjunctiveQuery:
+    """Parse a conjunctive-query rule such as ``q(X) :- e(X, X)``.
+
+    With ``require_safe=True`` an unsafe head (a distinguished variable
+    missing from the body) raises
+    :class:`~repro.errors.UnsafeQueryError`; with
+    ``consistent_arities=True`` a predicate used with two different
+    arities raises :class:`~repro.errors.ArityMismatchError`.  Both
+    default off: several analyses (e.g. rewriting certification)
+    deliberately construct unsafe or overloaded queries to reason about
+    them.  :func:`parse_program` enforces both by default for whole
+    programs, where they are genuine consistency properties.
+    """
+    rule = _Parser(text).parse_rule()
+    if consistent_arities:
+        check_arities(rule)
+    if require_safe and not rule.is_safe():
+        missing = rule.distinguished_variables() - rule.body_variables()
+        names = ", ".join(sorted(v.name for v in missing))
+        raise UnsafeQueryError(
+            f"unsafe query: head variables {{{names}}} do not occur in "
+            f"the body of {rule}"
+        )
+    return rule
 
 
 def parse_atom(text: str) -> Atom:
@@ -149,12 +231,36 @@ def parse_atom(text: str) -> Atom:
     return atom
 
 
-def parse_program(text: str) -> list[ConjunctiveQuery]:
-    """Parse one rule per non-empty, non-comment (``#``/``%``) line."""
+def parse_program(
+    text: str,
+    *,
+    require_safe: bool = False,
+    consistent_arities: bool = True,
+) -> list[ConjunctiveQuery]:
+    """Parse one rule per non-empty, non-comment (``#``/``%``) line.
+
+    Errors are re-raised with the 1-based source line number prefixed,
+    keeping their precise type.  Arity consistency is enforced across
+    the whole program by default — a predicate must be used with one
+    arity everywhere (:class:`~repro.errors.ArityMismatchError`).
+    """
     rules = []
-    for line in text.splitlines():
+    arities: dict[str, tuple[int, object]] | None = {} if consistent_arities else None
+    for number, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith(("#", "%")):
             continue
-        rules.append(parse_query(stripped))
+        try:
+            rule = parse_query(stripped, require_safe=require_safe)
+            if arities is not None:
+                check_arities(rule, arities, origin=f"line {number}")
+        except ParseError as error:
+            message = str(error)
+            prefixed = (
+                message
+                if message.startswith(f"line {number}:")
+                else f"line {number}: {message}"
+            )
+            raise type(error)(prefixed) from None
+        rules.append(rule)
     return rules

@@ -14,13 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
+from ..errors import MalformedQueryError, UnsafeQueryError
 from .atoms import Atom
 from .substitution import Substitution
 from .terms import Constant, FreshVariableFactory, Term, Variable, is_variable
 
-
-class MalformedQueryError(ValueError):
-    """Raised when a query violates a structural requirement (e.g. safety)."""
+__all__ = [
+    "ConjunctiveQuery",
+    "MalformedQueryError",
+    "fresh_factory_for",
+    "make_query",
+]
 
 
 @dataclass(frozen=True)
@@ -111,11 +115,15 @@ class ConjunctiveQuery:
         return self.distinguished_variables() <= self.body_variables()
 
     def check_safe(self) -> "ConjunctiveQuery":
-        """Raise :class:`MalformedQueryError` if the query is unsafe."""
+        """Raise :class:`~repro.errors.UnsafeQueryError` if unsafe.
+
+        ``UnsafeQueryError`` subclasses the historical
+        :class:`MalformedQueryError`, so old handlers keep working.
+        """
         if not self.is_safe():
             missing = self.distinguished_variables() - self.body_variables()
             names = ", ".join(sorted(v.name for v in missing))
-            raise MalformedQueryError(
+            raise UnsafeQueryError(
                 f"unsafe query: head variables {{{names}}} do not occur in the body"
             )
         return self

@@ -1,0 +1,132 @@
+"""The structured exception taxonomy shared by every layer.
+
+Everything the package raises *by design* derives from :class:`ReproError`,
+so callers embedding the planner (the CLI, the mediator, a serving tier)
+can distinguish
+
+* **input errors** — the query or view text is malformed
+  (:class:`ParseError` and its refinements
+  :class:`UnsafeQueryError`, :class:`ArityMismatchError`,
+  :class:`DuplicateViewError`), a referenced view does not exist
+  (:class:`UnknownViewError`), or the query falls outside the supported
+  fragment (:class:`UnsupportedQueryError`); from
+* **resource errors** — a :class:`repro.planner.limits.ResourceBudget`
+  was exhausted (:class:`BudgetExceededError`), which in non-strict mode
+  the planner converts into an anytime
+  :class:`~repro.planner.limits.PlanOutcome` instead of raising.
+
+Backwards compatibility: the refined classes keep subclassing the
+built-in exceptions historically raised at the same sites
+(``ValueError`` for parse/validation problems, ``KeyError`` for missing
+views, ``LookupError`` for registry misses), so pre-existing ``except``
+clauses keep working.
+
+Each class carries a distinct ``exit_code`` (sysexits-style, ≥ 64) which
+the CLI maps to its process exit status alongside a one-line structured
+error on stderr; see :func:`structured_error`.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "ArityMismatchError",
+    "BudgetExceededError",
+    "DuplicateViewError",
+    "MalformedQueryError",
+    "ParseError",
+    "ReproError",
+    "UnknownViewError",
+    "UnsafeQueryError",
+    "UnsupportedQueryError",
+    "structured_error",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error the package raises by design."""
+
+    #: CLI process exit status for this error family.
+    exit_code = 70  # EX_SOFTWARE: unclassified internal error
+
+
+class ParseError(ReproError, ValueError):
+    """The input text is not valid datalog (syntax or structure).
+
+    Messages include the source position (offset, line, column) where
+    the tokenizer/parser can pinpoint one.
+    """
+
+    exit_code = 65  # EX_DATAERR
+
+
+#: Historical name for structural query problems; kept as a
+#: :class:`ParseError` refinement so old ``except MalformedQueryError``
+#: clauses keep catching exactly what they used to.
+class MalformedQueryError(ParseError):
+    """A query violates a structural requirement (e.g. safety)."""
+
+
+class UnsafeQueryError(MalformedQueryError):
+    """A head variable does not occur in the body (Section 2.1 safety)."""
+
+    exit_code = 66
+
+
+class ArityMismatchError(ParseError):
+    """One predicate is used with inconsistent arities."""
+
+    exit_code = 67
+
+
+class DuplicateViewError(ParseError):
+    """Two views in one catalog share a name."""
+
+    exit_code = 71
+
+
+class UnknownViewError(ReproError, KeyError):
+    """A referenced view is not registered in the catalog."""
+
+    exit_code = 68
+
+    def __str__(self) -> str:  # KeyError would render repr(args[0])
+        return self.args[0] if self.args else ""
+
+
+class UnsupportedQueryError(ReproError, ValueError):
+    """The query/views fall outside the algorithm's supported fragment."""
+
+    exit_code = 72
+
+
+class BudgetExceededError(ReproError):
+    """A resource budget was exhausted (strict mode, or mid-pipeline).
+
+    ``resource`` names the exhausted dimension (``"deadline"``,
+    ``"hom_searches"``, ``"view_tuples"``, ``"rewritings"``, or
+    ``"fault-injection"`` when raised by the chaos harness).  In
+    non-strict mode :func:`repro.planner.plan` catches this and returns a
+    ``BUDGET_EXHAUSTED`` :class:`~repro.planner.limits.PlanOutcome`
+    carrying the best-so-far rewritings instead.
+    """
+
+    exit_code = 69
+
+    def __init__(self, message: str, *, resource: str | None = None) -> None:
+        super().__init__(message)
+        self.resource = resource
+
+
+def structured_error(error: BaseException) -> str:
+    """A one-line JSON rendering of *error* for machine-readable stderr."""
+    exit_code = getattr(error, "exit_code", 70)
+    return json.dumps(
+        {
+            "error": type(error).__name__,
+            "exit_code": exit_code,
+            "message": str(error),
+        },
+        default=str,
+    )

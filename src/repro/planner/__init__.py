@@ -24,6 +24,13 @@ never triggers the backend modules mid-initialization.
 """
 
 from .context import PlannerContext, PlannerStats
+from .limits import (
+    AnytimeRewriting,
+    BudgetMeter,
+    PlanOutcome,
+    PlanStatus,
+    ResourceBudget,
+)
 
 _LAZY = {
     "PlanResult",
@@ -35,7 +42,18 @@ _LAZY = {
     "register_backend",
 }
 
-__all__ = sorted({"PlannerContext", "PlannerStats"} | _LAZY)
+__all__ = sorted(
+    {
+        "AnytimeRewriting",
+        "BudgetMeter",
+        "PlanOutcome",
+        "PlanStatus",
+        "PlannerContext",
+        "PlannerStats",
+        "ResourceBudget",
+    }
+    | _LAZY
+)
 
 
 def __getattr__(name):

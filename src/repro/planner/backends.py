@@ -107,7 +107,7 @@ def _run_inverse_rules(
 ):
     from ..baselines.inverse_rules import invert_views
 
-    rules = tuple(invert_views(catalog))
+    rules = tuple(invert_views(catalog, context=context))
     return (), rules
 
 

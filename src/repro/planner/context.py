@@ -35,6 +35,7 @@ from ..datalog.interning import InternTable
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.substitution import Substitution
 from ..datalog.terms import Term
+from .limits import AnytimeRewriting, BudgetMeter, ResourceBudget
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..containment.canonical import CanonicalDatabase
@@ -105,7 +106,11 @@ class PlannerContext:
     """Interning + memoization + instrumentation for one planning session."""
 
     def __init__(
-        self, *, caching: bool = True, interner: InternTable | None = None
+        self,
+        *,
+        caching: bool = True,
+        interner: InternTable | None = None,
+        budget: ResourceBudget | None = None,
     ) -> None:
         self.interner = interner if interner is not None else InternTable()
         self.caching = caching
@@ -121,6 +126,78 @@ class PlannerContext:
         self._view_rows: dict[tuple, tuple[tuple[Term, ...], ...]] = {}
         self._view_def_keys: dict[int, tuple] = {}
         self._keepalive: list[object] = []
+        #: Live budget meter; ``None`` means unbudgeted.  A budget given
+        #: here anchors its deadline at construction; ``plan(budget=...)``
+        #: instead installs a per-call meter via :meth:`budgeted`.
+        self.meter: BudgetMeter | None = (
+            budget.start() if budget is not None else None
+        )
+        self.containment.meter = self.meter
+        #: Anytime-rewriting collector; active only inside a ``plan()``
+        #: call (see :meth:`collecting`).
+        self._partials: list[AnytimeRewriting] | None = None
+
+    # -- resource budgets -------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Cooperative cancellation point: raise if the budget ran out."""
+        meter = self.meter
+        if meter is not None:
+            meter.checkpoint()
+
+    def charge_view_tuple(self) -> None:
+        """Charge one enumerated view tuple against the budget."""
+        meter = self.meter
+        if meter is not None:
+            meter.charge_view_tuple()
+
+    @contextmanager
+    def budgeted(self, budget: ResourceBudget | None) -> Iterator[BudgetMeter | None]:
+        """Install a fresh meter for *budget* for the duration of the block.
+
+        With ``budget=None`` the context's own meter (if any) stays in
+        charge.  The deadline is anchored when the block is entered, so a
+        shared context can serve many deadline-bounded calls.
+        """
+        if budget is None:
+            yield self.meter
+            return
+        meter = budget.start()
+        previous = self.meter
+        self.meter = meter
+        self.containment.meter = meter
+        try:
+            yield meter
+        finally:
+            self.meter = previous
+            self.containment.meter = previous
+
+    @contextmanager
+    def collecting(self) -> Iterator[list[AnytimeRewriting]]:
+        """Collect anytime rewritings recorded during the block."""
+        previous = self._partials
+        collected: list[AnytimeRewriting] = []
+        self._partials = collected
+        try:
+            yield collected
+        finally:
+            self._partials = previous
+
+    def record_rewriting(
+        self, rewriting: ConjunctiveQuery, *, certified: bool
+    ) -> None:
+        """Record a best-so-far rewriting the moment a backend finds it.
+
+        ``certified`` must be ``True`` only once the rewriting's
+        equivalence proof has fully completed — the anytime invariant the
+        chaos tests assert.  Recording charges ``max_rewritings``; the
+        raise happens *before* the over-budget rewriting is appended, so
+        the collected list never exceeds the cap.
+        """
+        meter = self.meter
+        if meter is not None:
+            meter.charge_rewriting()
+        if self._partials is not None:
+            self._partials.append(AnytimeRewriting(rewriting, certified))
 
     # -- delegated containment operations -------------------------------------
     def minimize(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
@@ -190,11 +267,12 @@ class PlannerContext:
         """
         from ..core.tuple_core import TupleCore, tuple_core as compute
 
+        checkpoint = self.meter.checkpoint if self.meter is not None else None
         counter = self.counters["tuple_core"]
         if not self.caching:
             counter.misses += 1
             self.core_searches += 1
-            return compute(query, view_tuple)
+            return compute(query, view_tuple, checkpoint=checkpoint)
         key = (
             self.interner.query_key(query),
             self.view_definition_key(view_tuple.view),
@@ -209,7 +287,7 @@ class PlannerContext:
             return TupleCore(view_tuple, covered, mapping)
         counter.misses += 1
         self.core_searches += 1
-        core = compute(query, view_tuple)
+        core = compute(query, view_tuple, checkpoint=checkpoint)
         self._tuple_cores[key] = (core.covered, core.mapping)
         return core
 

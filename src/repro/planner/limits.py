@@ -1,0 +1,296 @@
+"""Resource budgets, cooperative cancellation, and anytime plan outcomes.
+
+Every hot path of the pipeline — Chandra-Merlin containment,
+minimization, tuple-core computation, the CoreCover set-cover search, and
+the baseline backends — sits on top of NP-hard homomorphism search, so an
+adversarial query/view set can make any backend run arbitrarily long.  A
+:class:`ResourceBudget` bounds a planning call along four dimensions:
+
+* ``deadline_seconds`` — wall-clock deadline for the whole call;
+* ``max_hom_searches`` — homomorphism-search budget;
+* ``max_view_tuples`` — cap on the enumeration of ``T(Q, V)``;
+* ``max_rewritings`` — cap on rewritings recorded by the backend.
+
+Budgets are enforced *cooperatively*: the long-running loops (the
+homomorphism backtracking, view-tuple enumeration, the set-cover and
+baseline combination searches) call :meth:`BudgetMeter.checkpoint` at
+bounded intervals, and exhaustion raises
+:class:`~repro.errors.BudgetExceededError` at the next checkpoint —
+unwinding the search without leaving shared caches in a broken state.
+Exhaustion is *sticky*: once a meter has tripped, every later checkpoint
+raises again, so a search cannot accidentally resume.
+
+A count limit bounds only the *counted* resource: loops that sit between
+charges (set-cover branching, MiniCon partitioning) call ``checkpoint``
+but charge nothing, so a count-only budget cannot interrupt them.  For a
+hard wall-clock guarantee, always combine count limits with
+``deadline_seconds`` — the deadline is the dimension every checkpoint
+enforces.
+
+:func:`repro.planner.plan` converts the exception into an **anytime**
+:class:`PlanOutcome` (unless strict mode asks for the raise): status
+``BUDGET_EXHAUSTED``, plus the best-so-far rewritings the backend had
+recorded, each flagged with whether its equivalence was *certified*
+before the budget ran out.  The two invariants the chaos tests assert:
+
+1. a rewriting is marked ``certified=True`` only after its equivalence
+   proof actually completed, and
+2. a budgeted ``plan()`` call returns within ``deadline + ε`` (the
+   checkpoints bound the time between deadline checks).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalog.query import ConjunctiveQuery
+
+__all__ = [
+    "AnytimeRewriting",
+    "BudgetMeter",
+    "PlanOutcome",
+    "PlanStatus",
+    "ResourceBudget",
+]
+
+
+def _is_limit(value: float | int | None) -> bool:
+    return value is not None and value != math.inf
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Immutable resource limits for one planning call.
+
+    ``None`` (or ``math.inf`` for the deadline) means unlimited along
+    that dimension; ``ResourceBudget()`` is the fully unlimited budget,
+    under which every algorithm reproduces its unbudgeted results
+    exactly (a property test asserts this).  With ``strict=True``,
+    exhaustion raises :class:`~repro.errors.BudgetExceededError` out of
+    :func:`repro.planner.plan` instead of degrading to an anytime
+    :class:`PlanOutcome`.
+    """
+
+    deadline_seconds: float | None = None
+    max_hom_searches: int | None = None
+    max_view_tuples: int | None = None
+    max_rewritings: int | None = None
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "deadline_seconds",
+            "max_hom_searches",
+            "max_view_tuples",
+            "max_rewritings",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be nonnegative, got {value!r}")
+
+    @property
+    def is_unlimited(self) -> bool:
+        """Whether no dimension is actually bounded."""
+        return not (
+            _is_limit(self.deadline_seconds)
+            or _is_limit(self.max_hom_searches)
+            or _is_limit(self.max_view_tuples)
+            or _is_limit(self.max_rewritings)
+        )
+
+    def start(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> "BudgetMeter":
+        """A live meter for this budget, with the deadline anchored now."""
+        return BudgetMeter(self, clock=clock)
+
+
+class BudgetMeter:
+    """Live consumption state of one :class:`ResourceBudget`.
+
+    The ``clock`` is injectable so the unit tests can drive deadlines
+    deterministically; production code uses ``time.monotonic``.
+    """
+
+    __slots__ = (
+        "budget",
+        "exhausted_resource",
+        "hom_searches",
+        "rewritings",
+        "started_at",
+        "view_tuples",
+        "_clock",
+        "_deadline_at",
+    )
+
+    def __init__(
+        self,
+        budget: ResourceBudget,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget = budget
+        self._clock = clock
+        self.started_at = clock()
+        deadline = budget.deadline_seconds
+        self._deadline_at = (
+            self.started_at + deadline if _is_limit(deadline) else None
+        )
+        self.hom_searches = 0
+        self.view_tuples = 0
+        self.rewritings = 0
+        #: Name of the first-exhausted resource; ``None`` while healthy.
+        self.exhausted_resource: str | None = None
+
+    # -- introspection ------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the meter was started."""
+        return self._clock() - self.started_at
+
+    def remaining_seconds(self) -> float:
+        """Seconds until the deadline (``inf`` without one)."""
+        if self._deadline_at is None:
+            return math.inf
+        return self._deadline_at - self._clock()
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether some resource has run out."""
+        return self.exhausted_resource is not None
+
+    # -- cooperative cancellation -------------------------------------------
+    def checkpoint(self) -> None:
+        """Raise :class:`BudgetExceededError` if the budget has run out.
+
+        Called from the long-running loops; cheap when no deadline is
+        set.  Exhaustion is sticky: once tripped, every checkpoint
+        raises.
+        """
+        if self.exhausted_resource is not None:
+            self._exhaust(self.exhausted_resource)
+        if self._deadline_at is not None and self._clock() > self._deadline_at:
+            self._exhaust("deadline")
+
+    def charge_hom_search(self) -> None:
+        """Account one homomorphism search, then checkpoint."""
+        self.hom_searches += 1
+        limit = self.budget.max_hom_searches
+        if limit is not None and self.hom_searches > limit:
+            self._exhaust("hom_searches")
+        self.checkpoint()
+
+    def charge_view_tuple(self) -> None:
+        """Account one enumerated view tuple, then checkpoint."""
+        self.view_tuples += 1
+        limit = self.budget.max_view_tuples
+        if limit is not None and self.view_tuples > limit:
+            self._exhaust("view_tuples")
+        self.checkpoint()
+
+    def charge_rewriting(self) -> None:
+        """Account one recorded rewriting, then checkpoint."""
+        self.rewritings += 1
+        limit = self.budget.max_rewritings
+        if limit is not None and self.rewritings > limit:
+            self._exhaust("rewritings")
+        self.checkpoint()
+
+    def _exhaust(self, resource: str) -> None:
+        self.exhausted_resource = resource
+        raise BudgetExceededError(
+            f"resource budget exhausted: {resource} "
+            f"(after {self.elapsed():.3f}s, {self.hom_searches} hom "
+            f"searches, {self.view_tuples} view tuples, "
+            f"{self.rewritings} rewritings)",
+            resource=resource,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.exhausted_resource or "ok"
+        return (
+            f"BudgetMeter({state}, elapsed={self.elapsed():.3f}s, "
+            f"hom={self.hom_searches}, tuples={self.view_tuples}, "
+            f"rewritings={self.rewritings})"
+        )
+
+
+class PlanStatus(Enum):
+    """How a :func:`repro.planner.plan` call ended."""
+
+    #: The backend ran to completion; results are exact.
+    COMPLETE = "complete"
+    #: A resource budget ran out; results are the best found so far.
+    BUDGET_EXHAUSTED = "budget_exhausted"
+    #: The backend raised unexpectedly under a budget (e.g. an injected
+    #: fault); results are the best found before the failure.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class AnytimeRewriting:
+    """One rewriting plus whether its equivalence proof completed.
+
+    ``certified=True`` means the closed-world equivalence of the
+    rewriting's expansion with the query was fully verified before the
+    budget ran out (for CoreCover covers, Theorem 4.1/5.1 supplies the
+    proof once the cover enumeration's inputs are complete).
+    ``certified=False`` marks a candidate that is only known to be
+    *contained* in the query (Bucket/MiniCon candidates whose
+    equivalence check had not yet succeeded).
+    """
+
+    query: "ConjunctiveQuery"
+    certified: bool
+
+    def __str__(self) -> str:
+        tag = "certified" if self.certified else "uncertified"
+        return f"[{tag}] {self.query}"
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """The anytime result envelope of one ``plan()`` call."""
+
+    status: PlanStatus
+    #: Every rewriting the backend recorded, best-so-far on exhaustion.
+    rewritings: tuple[AnytimeRewriting, ...]
+    #: Which resource ran out (``BUDGET_EXHAUSTED`` only).
+    exhausted_resource: str | None = None
+    #: The unexpected exception (``FAILED`` only).
+    error: BaseException | None = None
+    #: Wall-clock duration of the call.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the backend ran to completion."""
+        return self.status is PlanStatus.COMPLETE
+
+    @property
+    def certified_rewritings(self) -> tuple["ConjunctiveQuery", ...]:
+        """The rewritings whose equivalence proof completed."""
+        return tuple(r.query for r in self.rewritings if r.certified)
+
+    @property
+    def uncertified_rewritings(self) -> tuple["ConjunctiveQuery", ...]:
+        """Contained-only candidates awaiting an equivalence proof."""
+        return tuple(r.query for r in self.rewritings if not r.certified)
+
+    def __str__(self) -> str:
+        parts = [self.status.value]
+        if self.exhausted_resource:
+            parts.append(f"resource={self.exhausted_resource}")
+        if self.error is not None:
+            parts.append(f"error={type(self.error).__name__}")
+        certified = sum(1 for r in self.rewritings if r.certified)
+        parts.append(
+            f"{certified}/{len(self.rewritings)} certified rewritings"
+        )
+        parts.append(f"{self.elapsed_seconds:.3f}s")
+        return f"PlanOutcome({', '.join(parts)})"

@@ -23,12 +23,15 @@ stay in lockstep.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..datalog.query import ConjunctiveQuery
+from ..errors import BudgetExceededError, ReproError
 from ..views.view import View, ViewCatalog
 from .context import PlannerContext, PlannerStats
+from .limits import AnytimeRewriting, PlanOutcome, PlanStatus, ResourceBudget
 
 __all__ = [
     "PlanResult",
@@ -41,7 +44,7 @@ __all__ = [
 ]
 
 
-class UnknownBackendError(LookupError):
+class UnknownBackendError(ReproError, LookupError):
     """Raised when a backend name does not resolve."""
 
 
@@ -79,6 +82,8 @@ class PlanResult:
     cost_model: str | None = None
     #: The cost model's winning plan, when a cost model was requested.
     chosen: object | None = None
+    #: Anytime envelope: status, best-so-far rewritings, certification.
+    outcome: PlanOutcome | None = None
 
     @property
     def has_rewriting(self) -> bool:
@@ -135,6 +140,8 @@ def plan(
     database=None,
     statistics=None,
     cost_options: dict | None = None,
+    budget: ResourceBudget | None = None,
+    strict_budget: bool = False,
     **options,
 ) -> PlanResult:
     """Rewrite *query* using *views* with one backend, optionally costed.
@@ -144,17 +151,78 @@ def plan(
     ``cost_options`` are forwarded to the cost model's selector (e.g.
     ``annotator`` for ``m3``).  Passing a shared ``context`` reuses its
     caches; ``result.stats`` always reports this call's deltas.
+
+    With a ``budget`` (or a budgeted context), the call is **anytime**:
+    budget exhaustion does not raise — ``result.outcome`` carries status
+    ``BUDGET_EXHAUSTED`` plus the best-so-far rewritings, each flagged
+    with whether its equivalence proof completed (*certified*).  Pass
+    ``strict_budget=True`` (or ``budget.strict``) to get the
+    :class:`~repro.errors.BudgetExceededError` raise instead.  Input
+    errors (:class:`~repro.errors.ReproError` subclasses such as parse or
+    arity failures) always propagate; they are not degradation.
     """
     catalog = views if isinstance(views, ViewCatalog) else ViewCatalog(views)
     ctx = context if context is not None else PlannerContext()
     before = ctx.snapshot()
     resolved = get_backend(backend)
-    with ctx.stage(f"rewrite:{resolved.name}"):
-        rewritings, details = resolved.run(query, catalog, context=ctx, **options)
+
+    active_budget = budget
+    if active_budget is None and ctx.meter is not None:
+        active_budget = ctx.meter.budget
+    strict = strict_budget or (
+        active_budget is not None and active_budget.strict
+    )
+
+    started = time.perf_counter()
+    status = PlanStatus.COMPLETE
+    exhausted_resource: str | None = None
+    error: BaseException | None = None
+    rewritings: tuple[ConjunctiveQuery, ...] = ()
+    details: object = None
+    with ctx.collecting() as partials:
+        with ctx.budgeted(budget) as meter:
+            try:
+                with ctx.stage(f"rewrite:{resolved.name}"):
+                    rewritings, details = resolved.run(
+                        query, catalog, context=ctx, **options
+                    )
+            except BudgetExceededError as exc:
+                if strict:
+                    raise
+                status = PlanStatus.BUDGET_EXHAUSTED
+                exhausted_resource = exc.resource or (
+                    meter.exhausted_resource if meter is not None else None
+                )
+            except ReproError:
+                raise  # input errors are never degradation
+            except Exception as exc:
+                if active_budget is None or strict:
+                    raise
+                # Degraded mode: an unexpected failure (e.g. an injected
+                # fault) under a budget still yields the best-so-far.
+                status = PlanStatus.FAILED
+                error = exc
+    elapsed = time.perf_counter() - started
+
+    if status is PlanStatus.COMPLETE:
+        anytime = tuple(
+            AnytimeRewriting(rewriting, certified=True)
+            for rewriting in rewritings
+        )
+    else:
+        anytime = tuple(partials)
+        rewritings = tuple(r.query for r in anytime if r.certified)
+    outcome = PlanOutcome(
+        status=status,
+        rewritings=anytime,
+        exhausted_resource=exhausted_resource,
+        error=error,
+        elapsed_seconds=elapsed,
+    )
 
     chosen = None
     model_name: str | None = None
-    if cost_model is not None:
+    if cost_model is not None and status is PlanStatus.COMPLETE:
         from ..cost.registry import get_cost_model
 
         model = get_cost_model(cost_model)
@@ -179,6 +247,7 @@ def plan(
         stats=ctx.snapshot().since(before),
         cost_model=model_name,
         chosen=chosen,
+        outcome=outcome,
     )
 
 

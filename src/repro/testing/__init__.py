@@ -1,0 +1,28 @@
+"""Testing utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the chaos test suite (and available to downstream users who want
+to exercise their own error handling against planner failures).
+"""
+
+from .faults import (
+    CancelFault,
+    Fault,
+    FaultPlan,
+    RaiseFault,
+    StallFault,
+    fire,
+    inject,
+    injection_points,
+)
+
+__all__ = [
+    "CancelFault",
+    "Fault",
+    "FaultPlan",
+    "RaiseFault",
+    "StallFault",
+    "fire",
+    "inject",
+    "injection_points",
+]

@@ -1,0 +1,198 @@
+"""Deterministic fault injection for chaos-testing the planner.
+
+The pipeline's long-running stages call :func:`fire` at **named injection
+points**; outside a :func:`inject` block this is a near-free no-op (one
+module-global ``None`` check), so production runs pay nothing.  Inside a
+block, the active :class:`FaultPlan` counts every firing and triggers the
+registered faults deterministically by call count — no randomness, so a
+failing chaos test replays exactly.
+
+Injection points
+================
+
+=================  ==========================================================
+point              fired from
+=================  ==========================================================
+``hom_search``     :func:`repro.containment.homomorphism.find_homomorphisms`,
+                   once per backtracking search started
+``cache_lookup``   :meth:`repro.containment.memo.ContainmentCache._memoized`,
+                   once per memoized containment/minimization operation
+``enumeration``    :func:`repro.core.view_tuples.view_tuples` (per view
+                   tuple) and the :mod:`repro.core.set_cover` branch
+                   search (per node)
+=================  ==========================================================
+
+Fault types
+===========
+
+* :class:`StallFault` — sleeps, simulating a homomorphism search that
+  stalls; used to check the deadline still bounds the planner's return.
+* :class:`RaiseFault` — raises an arbitrary exception, simulating a
+  cache-layer failure; ``plan()`` under a budget must degrade this to a
+  ``FAILED`` outcome rather than crash the worker.
+* :class:`CancelFault` — raises
+  :class:`~repro.errors.BudgetExceededError` mid-enumeration, simulating
+  cancellation at an arbitrary point; ``plan()`` must return the
+  certified best-so-far rewritings.
+
+Example::
+
+    with inject(StallFault("hom_search", seconds=0.1)) as plan_:
+        result = plan(query, views, budget=ResourceBudget(deadline_seconds=0.05))
+    assert plan_.observed["hom_search"] >= 1
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..errors import BudgetExceededError
+
+__all__ = [
+    "CancelFault",
+    "Fault",
+    "FaultPlan",
+    "RaiseFault",
+    "StallFault",
+    "fire",
+    "inject",
+    "injection_points",
+]
+
+#: The canonical injection-point names, in firing-frequency order.
+INJECTION_POINTS = ("hom_search", "cache_lookup", "enumeration")
+
+
+def injection_points() -> tuple[str, ...]:
+    """The named injection points the production code fires."""
+    return INJECTION_POINTS
+
+
+@dataclass
+class Fault:
+    """Base class: a deterministic trigger at one injection point.
+
+    The fault triggers on the ``after``-th firing of its point (1-based)
+    and on every subsequent firing until it has triggered ``times``
+    times (``None`` = forever).
+    """
+
+    point: str
+    after: int = 1
+    times: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r}; "
+                f"known points: {', '.join(INJECTION_POINTS)}"
+            )
+        if self.after < 1:
+            raise ValueError("after must be >= 1 (1-based call count)")
+
+    def trigger(self) -> None:  # pragma: no cover - overridden
+        """The fault's effect; subclasses override."""
+
+    def should_trigger(self, call_count: int, fired_count: int) -> bool:
+        """Whether to trigger on the *call_count*-th firing of the point."""
+        if call_count < self.after:
+            return False
+        return self.times is None or fired_count < self.times
+
+
+@dataclass
+class StallFault(Fault):
+    """Simulate a stalled search: sleep for ``seconds`` when triggered."""
+
+    seconds: float = 0.1
+    sleep: Callable[[float], None] = time.sleep
+
+    def trigger(self) -> None:
+        self.sleep(self.seconds)
+
+
+@dataclass
+class RaiseFault(Fault):
+    """Raise ``make_exception()`` when triggered (a cache-layer crash)."""
+
+    make_exception: Callable[[], BaseException] = RuntimeError
+
+    def trigger(self) -> None:
+        raise self.make_exception()
+
+
+@dataclass
+class CancelFault(Fault):
+    """Raise :class:`BudgetExceededError` — a mid-enumeration cancel."""
+
+    def trigger(self) -> None:
+        raise BudgetExceededError(
+            f"fault injection cancelled at point {self.point!r}",
+            resource="fault-injection",
+        )
+
+
+class FaultPlan:
+    """The active set of faults, plus per-point firing observability.
+
+    ``observed`` counts every :func:`fire` call per point (whether or not
+    a fault triggered), so chaos tests can assert that all injection
+    points were actually exercised.  ``triggered`` lists the faults that
+    fired, in order.
+    """
+
+    def __init__(self, faults: tuple[Fault, ...]) -> None:
+        self.faults = faults
+        self.observed: dict[str, int] = {point: 0 for point in INJECTION_POINTS}
+        self.triggered: list[Fault] = []
+        self._fired_counts: dict[int, int] = {id(f): 0 for f in faults}
+
+    def fire(self, point: str) -> None:
+        """One firing of *point*: count it, trigger any due faults."""
+        count = self.observed.get(point, 0) + 1
+        self.observed[point] = count
+        for fault in self.faults:
+            if fault.point != point:
+                continue
+            fired = self._fired_counts[id(fault)]
+            if fault.should_trigger(count, fired):
+                self._fired_counts[id(fault)] = fired + 1
+                self.triggered.append(fault)
+                fault.trigger()
+
+    def exercised_points(self) -> tuple[str, ...]:
+        """The points that fired at least once, in canonical order."""
+        return tuple(p for p in INJECTION_POINTS if self.observed.get(p))
+
+
+#: The active plan; module-global (not a contextvar) so the hot-path
+#: check in :func:`fire` is a single load+is-None test.
+_ACTIVE: FaultPlan | None = None
+
+
+def fire(point: str) -> None:
+    """Production-side hook: a near-free no-op unless faults are active."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(point)
+
+
+@contextmanager
+def inject(*faults: Fault) -> Iterator[FaultPlan]:
+    """Activate *faults* for the block; yields the :class:`FaultPlan`.
+
+    With no faults the block only *observes* firings, which is how the
+    chaos suite asserts every injection point is exercised.  Nesting is
+    rejected — deterministic counts require one active plan.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("fault injection is already active; no nesting")
+    plan = FaultPlan(tuple(faults))
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None

@@ -14,6 +14,7 @@ from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery, fresh_factory_for
 from ..datalog.substitution import Substitution
 from ..datalog.terms import FreshVariableFactory, Variable
+from ..errors import ArityMismatchError
 from .view import View, ViewCatalog
 
 
@@ -24,9 +25,11 @@ def expand_atom(
 
     Existential variables of the view become fresh variables drawn from
     *factory*, so repeated uses of the same view stay standardized apart.
+    Raises :class:`~repro.errors.ArityMismatchError` (a ``ValueError``)
+    when the subgoal's arity does not match the view's schema.
     """
     if atom.arity != view.arity:
-        raise ValueError(
+        raise ArityMismatchError(
             f"subgoal {atom} does not match view {view.name}/{view.arity}"
         )
     mapping: dict[Variable, object] = {

@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, Mapping
 from ..datalog.query import ConjunctiveQuery, MalformedQueryError
 from ..datalog.parser import parse_query
 from ..datalog.terms import Variable, is_variable
+from ..errors import DuplicateViewError, UnknownViewError
 
 
 @dataclass(frozen=True)
@@ -71,16 +72,30 @@ class ViewCatalog:
             self.add(view)
 
     def add(self, view: View | ConjunctiveQuery | str) -> View:
-        """Register a view given as a :class:`View`, a CQ, or datalog text."""
+        """Register a view given as a :class:`View`, a CQ, or datalog text.
+
+        Raises :class:`~repro.errors.DuplicateViewError` (a
+        ``ValueError``) when the name is already taken.
+        """
         view = as_view(view)
         if view.name in self._views:
-            raise ValueError(f"duplicate view name {view.name!r}")
+            raise DuplicateViewError(f"duplicate view name {view.name!r}")
         self._views[view.name] = view
         return view
 
     def get(self, name: str) -> View:
-        """The view registered under *name* (raises ``KeyError`` if absent)."""
-        return self._views[name]
+        """The view registered under *name*.
+
+        Raises :class:`~repro.errors.UnknownViewError` (a ``KeyError``)
+        listing the registered names when absent.
+        """
+        try:
+            return self._views[name]
+        except KeyError:
+            registered = ", ".join(self._views) or "(none)"
+            raise UnknownViewError(
+                f"unknown view {name!r}; registered views: {registered}"
+            ) from None
 
     def __contains__(self, name: object) -> bool:
         return name in self._views

@@ -1,0 +1,129 @@
+"""Hardening tests: malformed input maps to the precise taxonomy error.
+
+Every failure mode carries a source position (offset + line/column, or a
+``line N:`` prefix in :func:`parse_program`) and an ``exit_code`` drawn
+from the shared taxonomy in :mod:`repro.errors`, so the CLI can turn any
+of these into a distinct nonzero exit.
+"""
+
+import pytest
+
+from repro.datalog import DatalogSyntaxError, parse_program, parse_query
+from repro.errors import (
+    ArityMismatchError,
+    DuplicateViewError,
+    ParseError,
+    ReproError,
+    UnknownViewError,
+    UnsafeQueryError,
+)
+from repro.views import ViewCatalog
+
+
+class TestSyntaxPositions:
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(ParseError, match=r"offset 8 \(line 1, column 9\)"):
+            parse_query("q(X) :- @e(X)")
+
+    def test_missing_paren_reports_position(self):
+        with pytest.raises(ParseError, match=r"line 1, column"):
+            parse_query("q(X :- e(X)")
+
+    def test_truncated_input_names_end_of_input(self):
+        with pytest.raises(ParseError, match="end of input"):
+            parse_query("q(X) :- e(X,")
+
+    def test_multiline_program_reports_line_and_column(self):
+        text = "q(X) :- e(X)\np(Y) :- f(Y,"
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program(text)
+
+    def test_alias_still_catches_everything(self):
+        """``DatalogSyntaxError`` predates the taxonomy; it must keep
+        catching every parse-level failure, refined subtypes included."""
+        assert DatalogSyntaxError is ParseError
+        with pytest.raises(DatalogSyntaxError):
+            parse_query("q(X) :- e(X", require_safe=True)
+        with pytest.raises(DatalogSyntaxError):
+            parse_query("q(X) :- e(Y)", require_safe=True)
+
+
+class TestArityConsistency:
+    def test_inconsistent_arity_within_rule(self):
+        with pytest.raises(ArityMismatchError, match="arity"):
+            parse_query(
+                "q(X) :- e(X), e(X, X)", consistent_arities=True
+            )
+
+    def test_inconsistent_arity_across_program_names_both_lines(self):
+        text = "q(X) :- e(X, X)\np(Y) :- e(Y)"
+        with pytest.raises(ArityMismatchError, match="line 1") as info:
+            parse_program(text)
+        assert "line 2" in str(info.value)
+
+    def test_permissive_by_default_for_single_queries(self):
+        # Overloaded predicates are legal in a lone query: several
+        # analyses construct them deliberately.
+        parse_query("q(X) :- e(X), e(X, X)")
+
+    def test_program_opt_out(self):
+        rules = parse_program(
+            "q(X) :- e(X, X)\np(Y) :- e(Y)", consistent_arities=False
+        )
+        assert len(rules) == 2
+
+
+class TestSafety:
+    def test_unsafe_head_rejected_when_requested(self):
+        with pytest.raises(UnsafeQueryError, match="head variables"):
+            parse_query("q(X, Y) :- e(X)", require_safe=True)
+
+    def test_unsafe_head_error_names_the_variables(self):
+        with pytest.raises(UnsafeQueryError, match="Y"):
+            parse_query("q(X, Y) :- e(X)", require_safe=True)
+
+    def test_safe_query_passes(self):
+        parse_query("q(X) :- e(X, Y)", require_safe=True)
+
+    def test_program_safety_opt_in(self):
+        with pytest.raises(UnsafeQueryError, match="line 2"):
+            parse_program(
+                "q(X) :- e(X)\np(X, Y) :- e(X)", require_safe=True
+            )
+
+
+class TestCatalogErrors:
+    def test_duplicate_view_name(self):
+        with pytest.raises(DuplicateViewError, match="v1"):
+            ViewCatalog(["v1(X) :- e(X)", "v1(Y) :- f(Y)"])
+
+    def test_unknown_view_lists_registered_names(self):
+        catalog = ViewCatalog(["v1(X) :- e(X)", "v2(Y) :- f(Y)"])
+        with pytest.raises(UnknownViewError, match="v1, v2"):
+            catalog.get("v9")
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize(
+        "error_type, code",
+        [
+            (ParseError, 65),
+            (UnsafeQueryError, 66),
+            (ArityMismatchError, 67),
+            (UnknownViewError, 68),
+            (DuplicateViewError, 71),
+            (ReproError, 70),
+        ],
+    )
+    def test_distinct_nonzero_exit_codes(self, error_type, code):
+        assert error_type("boom").exit_code == code
+
+    def test_all_taxonomy_errors_are_repro_errors(self):
+        for error_type in (
+            ParseError,
+            UnsafeQueryError,
+            ArityMismatchError,
+            UnknownViewError,
+            DuplicateViewError,
+        ):
+            assert issubclass(error_type, ReproError)

@@ -1,0 +1,139 @@
+"""Unit tests for ResourceBudget / BudgetMeter (deterministic fake clock)."""
+
+import math
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.planner.limits import (
+    AnytimeRewriting,
+    PlanOutcome,
+    PlanStatus,
+    ResourceBudget,
+)
+from repro.datalog import parse_query
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestResourceBudget:
+    def test_default_is_unlimited(self):
+        assert ResourceBudget().is_unlimited
+
+    def test_inf_deadline_is_unlimited(self):
+        assert ResourceBudget(deadline_seconds=math.inf).is_unlimited
+
+    def test_any_limit_is_not_unlimited(self):
+        assert not ResourceBudget(deadline_seconds=1.0).is_unlimited
+        assert not ResourceBudget(max_hom_searches=5).is_unlimited
+        assert not ResourceBudget(max_view_tuples=5).is_unlimited
+        assert not ResourceBudget(max_rewritings=5).is_unlimited
+
+    @pytest.mark.parametrize(
+        "field",
+        ["deadline_seconds", "max_hom_searches",
+         "max_view_tuples", "max_rewritings"],
+    )
+    def test_negative_limits_rejected(self, field):
+        with pytest.raises(ValueError):
+            ResourceBudget(**{field: -1})
+
+    def test_zero_limits_allowed(self):
+        meter = ResourceBudget(max_hom_searches=0).start()
+        with pytest.raises(BudgetExceededError):
+            meter.charge_hom_search()
+
+
+class TestBudgetMeter:
+    def test_deadline_trips_after_clock_advances(self):
+        clock = FakeClock()
+        meter = ResourceBudget(deadline_seconds=5.0).start(clock=clock)
+        meter.checkpoint()  # healthy
+        clock.advance(4.9)
+        meter.checkpoint()  # still inside the deadline
+        clock.advance(0.2)
+        with pytest.raises(BudgetExceededError) as info:
+            meter.checkpoint()
+        assert info.value.resource == "deadline"
+
+    def test_exhaustion_is_sticky(self):
+        clock = FakeClock()
+        meter = ResourceBudget(deadline_seconds=1.0).start(clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceededError):
+            meter.checkpoint()
+        # Even if the clock ran backwards, the meter stays tripped.
+        clock.now = 0.0
+        with pytest.raises(BudgetExceededError):
+            meter.checkpoint()
+        assert meter.exhausted
+
+    def test_hom_search_limit(self):
+        meter = ResourceBudget(max_hom_searches=3).start()
+        for _ in range(3):
+            meter.charge_hom_search()
+        with pytest.raises(BudgetExceededError) as info:
+            meter.charge_hom_search()
+        assert info.value.resource == "hom_searches"
+
+    def test_view_tuple_limit(self):
+        meter = ResourceBudget(max_view_tuples=2).start()
+        meter.charge_view_tuple()
+        meter.charge_view_tuple()
+        with pytest.raises(BudgetExceededError) as info:
+            meter.charge_view_tuple()
+        assert info.value.resource == "view_tuples"
+
+    def test_rewriting_limit(self):
+        meter = ResourceBudget(max_rewritings=1).start()
+        meter.charge_rewriting()
+        with pytest.raises(BudgetExceededError) as info:
+            meter.charge_rewriting()
+        assert info.value.resource == "rewritings"
+
+    def test_unlimited_meter_never_trips(self):
+        meter = ResourceBudget().start()
+        for _ in range(1000):
+            meter.checkpoint()
+            meter.charge_hom_search()
+            meter.charge_view_tuple()
+            meter.charge_rewriting()
+        assert not meter.exhausted
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock(100.0)
+        meter = ResourceBudget(deadline_seconds=10.0).start(clock=clock)
+        clock.advance(3.0)
+        assert meter.elapsed() == pytest.approx(3.0)
+        assert meter.remaining_seconds() == pytest.approx(7.0)
+        unlimited = ResourceBudget().start(clock=clock)
+        assert unlimited.remaining_seconds() == math.inf
+
+
+class TestPlanOutcome:
+    def test_certified_partition(self):
+        good = parse_query("q(X) :- v1(X)")
+        maybe = parse_query("q(X) :- v2(X)")
+        outcome = PlanOutcome(
+            status=PlanStatus.BUDGET_EXHAUSTED,
+            rewritings=(
+                AnytimeRewriting(good, certified=True),
+                AnytimeRewriting(maybe, certified=False),
+            ),
+            exhausted_resource="deadline",
+        )
+        assert not outcome.ok
+        assert outcome.certified_rewritings == (good,)
+        assert outcome.uncertified_rewritings == (maybe,)
+        assert "deadline" in str(outcome)

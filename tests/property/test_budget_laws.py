@@ -1,0 +1,84 @@
+"""Property tests for the resource-budget layer's anytime laws.
+
+Two laws pin down the semantics of budgeted planning:
+
+1. **Subset law** — every *certified* rewriting a backend reports under
+   a budget must also appear in the backend's unbudgeted result set (up
+   to query equality).  Budgets may drop answers; they must never
+   invent or mis-certify them.
+2. **Identity law** — a budget with an infinite deadline (and no count
+   limits) reproduces the unbudgeted results exactly: the anytime layer
+   is observationally free when no dimension is bounded.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ResourceBudget, plan
+from repro.planner import PlanStatus
+from repro.workload import WorkloadConfig, generate_workload
+
+#: Backends whose budgeted certified output must stay inside their
+#: unbudgeted output.  (inverse-rules emits a datalog program rather
+#: than conjunctive rewritings, so the subset law is vacuous there.)
+BACKENDS = ("corecover", "corecover-star", "naive", "bucket", "minicon")
+
+
+def _workload(seed):
+    return generate_workload(
+        WorkloadConfig(
+            shape="star",
+            num_relations=6,
+            query_subgoals=3,
+            num_views=8,
+            seed=seed,
+        )
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2_000)
+
+
+class TestSubsetLaw:
+    @settings(max_examples=6, deadline=None)
+    @given(seeds, st.sampled_from(BACKENDS))
+    def test_certified_budgeted_results_subset_of_unbudgeted(
+        self, seed, backend
+    ):
+        workload = _workload(seed)
+        baseline = plan(workload.query, workload.views, backend=backend)
+        unbudgeted = set(baseline.rewritings)
+        for budget in (
+            ResourceBudget(max_hom_searches=5, deadline_seconds=2.0),
+            ResourceBudget(max_hom_searches=40, deadline_seconds=2.0),
+            ResourceBudget(max_rewritings=1, deadline_seconds=2.0),
+        ):
+            budgeted = plan(
+                workload.query, workload.views, backend=backend, budget=budget
+            )
+            for rewriting in budgeted.outcome.certified_rewritings:
+                assert rewriting in unbudgeted, (
+                    f"{backend} certified {rewriting} under {budget} but "
+                    f"does not produce it unbudgeted"
+                )
+
+
+class TestIdentityLaw:
+    @settings(max_examples=6, deadline=None)
+    @given(seeds, st.sampled_from(BACKENDS + ("inverse-rules",)))
+    def test_infinite_deadline_reproduces_unbudgeted_results(
+        self, seed, backend
+    ):
+        workload = _workload(seed)
+        baseline = plan(workload.query, workload.views, backend=backend)
+        budgeted = plan(
+            workload.query,
+            workload.views,
+            backend=backend,
+            budget=ResourceBudget(deadline_seconds=math.inf),
+        )
+        assert budgeted.outcome.status is PlanStatus.COMPLETE
+        # Compare the answers, not `details` — backend stats carry
+        # wall-clock timings that differ between any two runs.
+        assert budgeted.rewritings == baseline.rewritings
