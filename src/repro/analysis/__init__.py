@@ -1,0 +1,61 @@
+"""``repro.analysis`` — the rule-based static-analysis (lint) engine.
+
+Statically analyzes a parsed query + view catalog + planner configuration
+and emits structured :class:`Diagnostic` records (stable ``R0xx``/``R1xx``
+codes, severities, source spans, optional machine-applicable fixes)
+*before* any planning budget is spent::
+
+    from repro.analysis import analyze, PlannerConfig
+
+    report = analyze(query, views, config=PlannerConfig(backend="corecover"))
+    report.ok            # no error-severity findings
+    report.errors        # the hard rejections
+    report.render_text() # the `repro lint` text rendering
+
+Three entry points expose it:
+
+* :func:`analyze` — the library API above;
+* ``repro lint`` — the CLI subcommand (text or SARIF-shaped JSON output,
+  ``--select/--ignore/--fail-on``, exit code 73 on failure);
+* ``plan(..., preflight=True)`` — the planner registry's opt-in preflight
+  that attaches diagnostics to the :class:`~repro.planner.limits.PlanOutcome`
+  and short-circuits on errors.
+
+New rules plug in through :func:`register_rule`, following the same
+registry pattern as rewriter backends and cost models; see
+``docs/analysis.md`` for the rule catalog and the plugin how-to.
+"""
+
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+from .engine import analyze
+from .inputs import AnalysisInput, PlannerConfig
+from .registry import (
+    AnalysisRule,
+    UnknownRuleError,
+    available_rules,
+    get_rule,
+    register_rule,
+    unregister_rule,
+)
+from .sarif import render_json, to_sarif
+
+# Importing the built-in rule modules registers them.
+from . import structural as _structural  # noqa: F401  (registration side effect)
+from . import semantic as _semantic  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "AnalysisInput",
+    "AnalysisReport",
+    "AnalysisRule",
+    "Diagnostic",
+    "PlannerConfig",
+    "Severity",
+    "UnknownRuleError",
+    "analyze",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "to_sarif",
+    "unregister_rule",
+]

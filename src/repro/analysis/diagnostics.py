@@ -1,0 +1,157 @@
+"""Diagnostic records and analysis reports.
+
+A :class:`Diagnostic` is one finding of the lint engine: a stable rule
+code (``R001``...), a :class:`Severity`, a human message, an optional
+:class:`~repro.errors.SourceSpan` locating the finding in the parsed
+source, the *subject* it is about (``"query"``, ``"view:v1"`` or
+``"config"``), and — when the fix is machine-applicable — a replacement
+rule text in ``fix``.
+
+An :class:`AnalysisReport` is the ordered collection of diagnostics one
+:func:`repro.analysis.analyze` call produced, with severity filters and
+both renderings (human text and the SARIF-shaped JSON described in
+``docs/analysis.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, Mapping
+
+from ..errors import SourceSpan
+
+__all__ = ["AnalysisReport", "Diagnostic", "Severity"]
+
+
+class Severity(IntEnum):
+    """Diagnostic severity, ordered so comparisons mean what they say."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Resolve ``"info" | "warning" | "error"`` (case-insensitive)."""
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            choices = ", ".join(level.name.lower() for level in cls)
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of: {choices}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static-analysis engine."""
+
+    #: Stable rule code, e.g. ``"R003"``.  Codes never change meaning.
+    code: str
+    severity: Severity
+    message: str
+    #: Where in the parsed source the finding points, when known.
+    span: SourceSpan | None = None
+    #: What the finding is about: ``"query"``, ``"view:<name>"``, ``"config"``.
+    subject: str = "query"
+    #: The emitting rule's short name (``"unsafe-head"``).
+    rule: str = ""
+    #: Machine-applicable replacement rule text, when the fix is mechanical.
+    fix: str | None = None
+
+    def to_json(self) -> dict:
+        """A JSON-ready rendering (one SARIF-shaped ``result`` object)."""
+        payload: dict = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "subject": self.subject,
+        }
+        if self.span is not None:
+            payload["span"] = self.span.to_json()
+        if self.fix is not None:
+            payload["fix"] = self.fix
+        return payload
+
+    def __str__(self) -> str:
+        location = f" at {self.span}" if self.span is not None else ""
+        return (
+            f"{self.code} [{self.severity}] {self.subject}{location}: "
+            f"{self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one :func:`repro.analysis.analyze` call found."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    #: Rule codes that actually ran (after ``select``/``ignore`` filtering).
+    checked: tuple[str, ...] = ()
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def at_least(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """Diagnostics at or above *severity*."""
+        return tuple(d for d in self.diagnostics if d.severity >= severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """The error-severity diagnostics."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """The warning-severity diagnostics."""
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        """The info-severity diagnostics."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no error-severity diagnostic was emitted."""
+        return not self.errors
+
+    @property
+    def max_severity(self) -> Severity | None:
+        """The highest severity present, or ``None`` for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def counts(self) -> Mapping[str, int]:
+        """``{"error": n, "warning": n, "info": n}`` tallies."""
+        tally = {str(level): 0 for level in Severity}
+        for diagnostic in self.diagnostics:
+            tally[str(diagnostic.severity)] += 1
+        return tally
+
+    def render_text(self) -> str:
+        """The human-readable multi-line rendering (``repro lint`` default)."""
+        if not self.diagnostics:
+            return f"clean: no diagnostics ({len(self.checked)} rules checked)"
+        lines = []
+        for diagnostic in self.diagnostics:
+            lines.append(str(diagnostic))
+            if diagnostic.fix is not None:
+                lines.append(f"    fix available: {diagnostic.fix}")
+        tally = self.counts()
+        lines.append(
+            f"{tally['error']} error(s), {tally['warning']} warning(s), "
+            f"{tally['info']} info(s) from {len(self.checked)} rule(s) checked"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The ``analyze()`` driver: run every selected rule, collect diagnostics.
+
+The engine resolves the rule set from the registry, applies ruff-style
+``select``/``ignore`` code prefixes, hands each rule one
+:class:`~repro.analysis.inputs.AnalysisInput`, and folds the findings
+into an :class:`~repro.analysis.diagnostics.AnalysisReport`.  Rules are
+isolated: a rule that raises :class:`~repro.errors.UnsupportedQueryError`
+is skipped (the input falls outside its fragment), and any other
+unexpected rule crash is downgraded to an ``R900`` warning so one broken
+plugin cannot take down preflight.  Budget exhaustion
+(:class:`~repro.errors.BudgetExceededError`) always propagates — analysis
+under a budgeted context must honor the caller's deadline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from ..datalog.parser import SourceMap
+from ..datalog.query import ConjunctiveQuery
+from ..errors import BudgetExceededError, UnsupportedQueryError
+from ..views.view import View, ViewCatalog
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+from .inputs import AnalysisInput, PlannerConfig
+from .registry import AnalysisRule, available_rules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
+
+__all__ = ["analyze"]
+
+#: Code of the synthetic diagnostic emitted when a rule itself crashes.
+INTERNAL_RULE_FAILURE = "R900"
+
+
+def _selected(
+    rules: Iterable[AnalysisRule],
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+) -> list[AnalysisRule]:
+    """Apply ruff-style code-prefix filters to the rule set."""
+    chosen = list(rules)
+    if select:
+        prefixes = tuple(code.strip().upper() for code in select)
+        chosen = [r for r in chosen if r.code.upper().startswith(prefixes)]
+    if ignore:
+        prefixes = tuple(code.strip().upper() for code in ignore)
+        chosen = [r for r in chosen if not r.code.upper().startswith(prefixes)]
+    return chosen
+
+
+def analyze(
+    query: ConjunctiveQuery,
+    views: ViewCatalog | Sequence[View] = (),
+    *,
+    config: PlannerConfig | None = None,
+    context: "PlannerContext | None" = None,
+    schema: Mapping[str, int] | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    query_spans: SourceMap | None = None,
+    view_spans: SourceMap | None = None,
+) -> AnalysisReport:
+    """Statically analyze *query* + *views* (+ planner *config*).
+
+    Runs every registered :class:`~repro.analysis.registry.AnalysisRule`
+    whose code survives the ``select``/``ignore`` prefix filters, in code
+    order, and returns the collected
+    :class:`~repro.analysis.diagnostics.AnalysisReport`.
+
+    Passing the ``context`` a subsequent :func:`repro.planner.plan` call
+    will use shares the memoized containment work between analysis and
+    planning (the semantic rules and CoreCover ask many of the same
+    homomorphism questions); omitting it gives the analysis a private
+    context.  ``schema`` declares base-relation arities for R002;
+    ``query_spans``/``view_spans`` (from the parser's ``*_spans`` entry
+    points) let diagnostics carry exact source spans.
+    """
+    from ..planner.context import PlannerContext
+
+    catalog = views if isinstance(views, ViewCatalog) else ViewCatalog(views)
+    ctx = context if context is not None else PlannerContext()
+    inputs = AnalysisInput(
+        query=query,
+        views=catalog,
+        context=ctx,
+        config=config,
+        schema=schema,
+        query_spans=query_spans,
+        view_spans=view_spans,
+    )
+    rules = _selected(available_rules(), select, ignore)
+    diagnostics: list[Diagnostic] = []
+    checked: list[str] = []
+    with ctx.stage("analyze"):
+        for rule in rules:
+            checked.append(rule.code)
+            try:
+                diagnostics.extend(rule.check(inputs))
+            except BudgetExceededError:
+                raise
+            except UnsupportedQueryError:
+                continue  # input outside the rule's fragment: not a finding
+            except Exception as error:
+                diagnostics.append(
+                    Diagnostic(
+                        code=INTERNAL_RULE_FAILURE,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"rule {rule.code} ({rule.name}) crashed: "
+                            f"{type(error).__name__}: {error}"
+                        ),
+                        subject="engine",
+                        rule="internal-rule-failure",
+                    )
+                )
+    return AnalysisReport(
+        diagnostics=tuple(diagnostics), checked=tuple(checked)
+    )

@@ -1,0 +1,66 @@
+"""The value object every analysis rule receives.
+
+Rules never parse or plan on their own: the engine hands them one
+:class:`AnalysisInput` bundling the parsed query, the view catalog, the
+(optional) planner configuration under scrutiny, the shared
+:class:`~repro.planner.context.PlannerContext` whose memoized containment
+machinery the semantic rules reuse, an optional declared schema, and the
+parser's :class:`~repro.datalog.parser.SourceMap` records for spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..datalog.parser import SourceMap
+from ..datalog.query import ConjunctiveQuery
+from ..errors import SourceSpan
+from ..views.view import ViewCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.context import PlannerContext
+
+__all__ = ["AnalysisInput", "PlannerConfig"]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """The planner settings a ``plan()`` call (or CLI invocation) will use.
+
+    The config rules (R104) cross-check these against the backend and
+    cost-model registries before any planning budget is spent.
+    ``has_database``/``has_statistics`` record whether the caller will
+    supply a materialized view database or a statistics catalog — the
+    data-dependent cost models (M2/M3) need one of the two.
+    """
+
+    backend: str | None = None
+    cost_model: str | None = None
+    has_database: bool = False
+    has_statistics: bool = False
+
+
+@dataclass(frozen=True)
+class AnalysisInput:
+    """Everything a rule may inspect for one ``analyze()`` call."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    context: "PlannerContext"
+    config: PlannerConfig | None = None
+    #: Declared base-relation schema: predicate name -> arity.
+    schema: Mapping[str, int] | None = None
+    #: Span records for the query's source text, when it was parsed.
+    query_spans: SourceMap | None = None
+    #: Span records for the view catalog's source text, when parsed.
+    view_spans: SourceMap | None = None
+
+    def span_of(self, obj: object) -> SourceSpan | None:
+        """The recorded source span of a parsed atom or rule, if any."""
+        for source_map in (self.query_spans, self.view_spans):
+            if source_map is not None:
+                span = source_map.span_for(obj)
+                if span is not None:
+                    return span
+        return None

@@ -1,0 +1,137 @@
+"""The analysis-rule plugin registry.
+
+Rules follow the same pattern as rewriter backends
+(:mod:`repro.planner.registry`) and cost models
+(:mod:`repro.cost.registry`): a frozen descriptor registered under a
+stable key, resolvable by name, listable, and extendable by third-party
+code::
+
+    from repro.analysis import AnalysisRule, register_rule
+
+    def check_shouty_predicates(inputs):
+        for atom in inputs.query.body:
+            if atom.predicate.isupper():
+                yield rule.diagnostic(
+                    f"predicate {atom.predicate!r} is all upper-case",
+                    span=inputs.span_of(atom),
+                )
+
+    rule = register_rule(AnalysisRule(
+        code="X100",
+        name="shouty-predicates",
+        description="Flag all-upper-case predicate names.",
+        severity=Severity.INFO,
+        family="structural",
+        check=check_shouty_predicates,
+    ))
+
+Codes must be unique; ``R0xx`` (structural), ``R1xx`` (semantic) and
+``R9xx`` (engine-internal) are reserved for the built-in families, so
+plugins should pick another prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..errors import ReproError, SourceSpan
+from .diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .inputs import AnalysisInput
+
+__all__ = [
+    "AnalysisRule",
+    "UnknownRuleError",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "unregister_rule",
+]
+
+
+class UnknownRuleError(ReproError, LookupError):
+    """Raised when a rule code does not resolve."""
+
+
+@dataclass(frozen=True)
+class AnalysisRule:
+    """A named, coded diagnostic rule.
+
+    ``check`` receives one :class:`~repro.analysis.inputs.AnalysisInput`
+    and yields (or returns an iterable of) :class:`Diagnostic` records.
+    ``severity`` is the rule's default; :meth:`diagnostic` stamps it onto
+    findings unless overridden per finding.
+    """
+
+    code: str
+    name: str
+    description: str
+    severity: Severity
+    #: ``"structural"`` (syntax-level), ``"semantic"`` (uses the planner's
+    #: containment machinery), or ``"config"`` (planner configuration).
+    family: str
+    check: Callable[["AnalysisInput"], Iterable[Diagnostic]]
+
+    def diagnostic(
+        self,
+        message: str,
+        *,
+        span: SourceSpan | None = None,
+        subject: str = "query",
+        severity: Severity | None = None,
+        fix: str | None = None,
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` pre-filled with this rule's code and name."""
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            span=span,
+            subject=subject,
+            rule=self.name,
+            fix=fix,
+        )
+
+
+_RULES: dict[str, AnalysisRule] = {}
+
+
+def _normalize(code: str) -> str:
+    return code.strip().upper()
+
+
+def register_rule(rule: AnalysisRule, *, replace: bool = False) -> AnalysisRule:
+    """Register *rule* under its (normalized) code."""
+    key = _normalize(rule.code)
+    if not replace and key in _RULES:
+        raise ValueError(f"analysis rule {key!r} is already registered")
+    _RULES[key] = rule
+    return rule
+
+
+def unregister_rule(code: str) -> None:
+    """Remove a rule (primarily for tests unwinding plugin registrations)."""
+    _RULES.pop(_normalize(code), None)
+
+
+def available_rules() -> tuple[AnalysisRule, ...]:
+    """Every registered rule, sorted by code."""
+    return tuple(rule for _, rule in sorted(_RULES.items()))
+
+
+def get_rule(code: str) -> AnalysisRule:
+    """Resolve a rule by code.
+
+    Raises :class:`UnknownRuleError` listing the registered codes when
+    the lookup fails.
+    """
+    key = _normalize(code)
+    rule = _RULES.get(key)
+    if rule is None:
+        registered = ", ".join(sorted(_RULES)) or "(none)"
+        raise UnknownRuleError(
+            f"unknown analysis rule {code!r}; registered rules: {registered}"
+        )
+    return rule

@@ -1,0 +1,88 @@
+"""SARIF-shaped JSON rendering of an analysis report.
+
+The output follows the SARIF 2.1.0 skeleton (``runs[].tool`` +
+``runs[].results``) closely enough for log viewers that understand the
+shape, while keeping the repro-specific span/fix fields in each result's
+``properties`` bag.  The exact schema is documented with an example in
+``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import AnalysisReport, Severity
+from .registry import available_rules
+
+__all__ = ["to_sarif", "render_json"]
+
+#: SARIF ``level`` values for our severities.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def to_sarif(report: AnalysisReport) -> dict:
+    """*report* as a SARIF 2.1.0-shaped dictionary."""
+    known = {rule.code: rule for rule in available_rules()}
+    rule_descriptors = [
+        {
+            "id": code,
+            "name": known[code].name,
+            "shortDescription": {"text": known[code].description},
+        }
+        for code in report.checked
+        if code in known
+    ]
+    results = []
+    for diagnostic in report.diagnostics:
+        result: dict = {
+            "ruleId": diagnostic.code,
+            "level": _SARIF_LEVELS[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+            "properties": {"subject": diagnostic.subject},
+        }
+        if diagnostic.span is not None:
+            span = diagnostic.span
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "region": {
+                            "startLine": span.line,
+                            "startColumn": span.column,
+                            "charOffset": span.start,
+                            "charLength": span.length,
+                        }
+                    }
+                }
+            ]
+        if diagnostic.fix is not None:
+            result["properties"]["fix"] = diagnostic.fix
+        results.append(result)
+    return {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/analysis.md",
+                        "rules": rule_descriptors,
+                    }
+                },
+                "results": results,
+                "properties": {"counts": dict(report.counts())},
+            }
+        ],
+    }
+
+
+def render_json(report: AnalysisReport, *, indent: int | None = 2) -> str:
+    """The SARIF-shaped report serialized to a JSON string."""
+    return json.dumps(to_sarif(report), indent=indent, sort_keys=False)

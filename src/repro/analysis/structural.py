@@ -1,0 +1,344 @@
+"""Structural (syntax-level) analysis rules: R001-R006.
+
+These rules need only the parsed query and view catalog — no containment
+machinery — so they are cheap enough to run on every input.  Each rule is
+registered in :mod:`repro.analysis.registry` at import time; the catalog
+with one worked example per code lives in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+from typing import Iterator
+
+from ..datalog.atoms import Atom
+from ..datalog.query import ConjunctiveQuery
+from ..datalog.terms import Constant, Variable, is_variable
+from .diagnostics import Diagnostic, Severity
+from .inputs import AnalysisInput
+from .registry import AnalysisRule, register_rule
+
+__all__ = [
+    "RULE_ARITY_MISMATCH",
+    "RULE_CARTESIAN_PRODUCT",
+    "RULE_CONTRADICTORY_CONSTANTS",
+    "RULE_DUPLICATE_SUBGOALS",
+    "RULE_IRRELEVANT_VIEW",
+    "RULE_UNSAFE_HEAD",
+]
+
+
+# -- R001: unsafe head ------------------------------------------------------
+
+
+def _check_unsafe_head(inputs: AnalysisInput) -> Iterator[Diagnostic]:
+    query = inputs.query
+    missing = query.distinguished_variables() - query.body_variables()
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        yield RULE_UNSAFE_HEAD.diagnostic(
+            f"head variable(s) {{{names}}} do not occur in the body; the "
+            "query is unsafe (Section 2.1) and no rewriting can bind them",
+            span=inputs.span_of(query.head) or inputs.span_of(query),
+        )
+
+
+RULE_UNSAFE_HEAD = register_rule(
+    AnalysisRule(
+        code="R001",
+        name="unsafe-head",
+        description="A distinguished (head) variable is missing from the body.",
+        severity=Severity.ERROR,
+        family="structural",
+        check=_check_unsafe_head,
+    )
+)
+
+
+# -- R002: arity mismatches -------------------------------------------------
+
+
+def _relational_atoms(rule: ConjunctiveQuery) -> Iterator[Atom]:
+    for atom in rule.body:
+        if not atom.is_comparison:
+            yield atom
+
+
+def _check_arity_mismatch(inputs: AnalysisInput) -> Iterator[Diagnostic]:
+    # Pass 1: every base-relation use against the declared schema.
+    schema = inputs.schema or {}
+    rules: list[tuple[str, ConjunctiveQuery]] = [("query", inputs.query)]
+    rules.extend(
+        (f"view:{view.name}", view.definition) for view in inputs.views
+    )
+    seen: dict[str, tuple[int, str]] = {}
+    for subject, rule in rules:
+        for atom in _relational_atoms(rule):
+            declared = schema.get(atom.predicate)
+            if declared is not None and declared != atom.arity:
+                yield RULE_ARITY_MISMATCH.diagnostic(
+                    f"predicate {atom.predicate!r} used with arity "
+                    f"{atom.arity}, but the declared schema gives it "
+                    f"arity {declared}",
+                    span=inputs.span_of(atom),
+                    subject=subject,
+                )
+                continue
+            # Pass 2 (interleaved): cross-consistency between the query
+            # and every view body, schema or not.
+            first = seen.setdefault(atom.predicate, (atom.arity, subject))
+            if first[0] != atom.arity and declared is None:
+                yield RULE_ARITY_MISMATCH.diagnostic(
+                    f"predicate {atom.predicate!r} used with arity "
+                    f"{atom.arity}, but arity {first[0]} in {first[1]}",
+                    span=inputs.span_of(atom),
+                    subject=subject,
+                )
+
+
+RULE_ARITY_MISMATCH = register_rule(
+    AnalysisRule(
+        code="R002",
+        name="arity-mismatch",
+        description=(
+            "A base predicate is used with an arity different from the "
+            "declared schema or from its other uses."
+        ),
+        severity=Severity.ERROR,
+        family="structural",
+        check=_check_arity_mismatch,
+    )
+)
+
+
+# -- R003: cartesian-product (disconnected) body ----------------------------
+
+
+def _join_components(atoms: tuple[Atom, ...]) -> list[list[int]]:
+    """Connected components of the variable-sharing graph over *atoms*."""
+    parent = list(range(len(atoms)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    last_seen: dict[Variable, int] = {}
+    for index, atom in enumerate(atoms):
+        for variable in atom.variable_set():
+            if variable in last_seen:
+                union(index, last_seen[variable])
+            last_seen[variable] = index
+    components: dict[int, list[int]] = {}
+    for index in range(len(atoms)):
+        components.setdefault(find(index), []).append(index)
+    return list(components.values())
+
+
+def _check_cartesian_product(inputs: AnalysisInput) -> Iterator[Diagnostic]:
+    query = inputs.query
+    atoms = tuple(_relational_atoms(query))
+    if len(atoms) < 2:
+        return
+    components = _join_components(atoms)
+    if len(components) < 2:
+        return
+    rendered = " x ".join(
+        "{" + ", ".join(str(atoms[i]) for i in group) + "}"
+        for group in components
+    )
+    yield RULE_CARTESIAN_PRODUCT.diagnostic(
+        f"query body is disconnected ({len(components)} components: "
+        f"{rendered}); evaluation is a cartesian product, which the "
+        "Section 6 cost models price quadratically",
+        span=inputs.span_of(query) or inputs.span_of(atoms[0]),
+    )
+
+
+RULE_CARTESIAN_PRODUCT = register_rule(
+    AnalysisRule(
+        code="R003",
+        name="cartesian-product",
+        description=(
+            "The query body's variable-sharing graph is disconnected, so "
+            "evaluating it takes a cross product."
+        ),
+        severity=Severity.WARNING,
+        family="structural",
+        check=_check_cartesian_product,
+    )
+)
+
+
+# -- R004: contradictory constants ------------------------------------------
+
+_COMPARISON_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def _check_contradictory_constants(
+    inputs: AnalysisInput,
+) -> Iterator[Diagnostic]:
+    query = inputs.query
+    # (a) comparison atoms over two constants that are identically false.
+    for atom in query.body:
+        if not (atom.is_comparison and atom.arity == 2):
+            continue
+        left, right = atom.args
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            try:
+                holds = _COMPARISON_OPS[atom.predicate](left.value, right.value)
+            except TypeError:
+                continue  # incomparable constant types; not provably false
+            if not holds:
+                yield RULE_CONTRADICTORY_CONSTANTS.diagnostic(
+                    f"comparison {atom} is between constants and always "
+                    "false: the query returns no answers on any database",
+                    span=inputs.span_of(atom),
+                )
+    # (b) equality atoms forcing one variable (transitively) to equal two
+    # distinct constants.  Pass 1 unions variable classes over ``X = Y``
+    # atoms; pass 2 binds classes to constants, flagging conflicts — the
+    # two-pass order catches chains like ``X = a, Y = b, X = Y``.
+    equalities = [
+        atom
+        for atom in query.body
+        if atom.is_comparison and atom.predicate == "=" and atom.arity == 2
+    ]
+    parent: dict[Variable, Variable] = {}
+
+    def find(v: Variable) -> Variable:
+        parent.setdefault(v, v)
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for atom in equalities:
+        left, right = atom.args
+        if is_variable(left) and is_variable(right):
+            parent[find(left)] = find(right)
+    bound: dict[Variable, tuple[Constant, Atom]] = {}
+    for atom in equalities:
+        left, right = atom.args
+        if isinstance(left, Constant) and is_variable(right):
+            left, right = right, left
+        if not (is_variable(left) and isinstance(right, Constant)):
+            continue
+        root = find(left)
+        existing = bound.get(root)
+        if existing is None:
+            bound[root] = (right, atom)
+        elif existing[0] != right:
+            yield RULE_CONTRADICTORY_CONSTANTS.diagnostic(
+                f"variable {left} is equated with both {existing[0]} and "
+                f"{right}; the join position is contradictory and the "
+                "query is unsatisfiable",
+                span=inputs.span_of(atom) or inputs.span_of(existing[1]),
+            )
+
+
+RULE_CONTRADICTORY_CONSTANTS = register_rule(
+    AnalysisRule(
+        code="R004",
+        name="contradictory-constants",
+        description=(
+            "A joined position is forced to equal two distinct constants "
+            "(or a constant comparison is identically false)."
+        ),
+        severity=Severity.ERROR,
+        family="structural",
+        check=_check_contradictory_constants,
+    )
+)
+
+
+# -- R005: duplicate subgoals (self-join copies) -----------------------------
+
+
+def _check_duplicate_subgoals(inputs: AnalysisInput) -> Iterator[Diagnostic]:
+    query = inputs.query
+    counts = Counter(query.body)
+    duplicates = [atom for atom, count in counts.items() if count > 1]
+    if not duplicates:
+        return
+    deduped = query.dedup_body()
+    rendered = ", ".join(str(atom) for atom in duplicates)
+    yield RULE_DUPLICATE_SUBGOALS.diagnostic(
+        f"duplicate subgoal(s) {rendered} repeat verbatim; they add no "
+        "constraint but inflate T(Q, V) and the set-cover search",
+        span=inputs.span_of(query),
+        fix=str(deduped),
+    )
+
+
+RULE_DUPLICATE_SUBGOALS = register_rule(
+    AnalysisRule(
+        code="R005",
+        name="duplicate-subgoals",
+        description="A body atom is repeated verbatim (trivial self-join).",
+        severity=Severity.WARNING,
+        family="structural",
+        check=_check_duplicate_subgoals,
+    )
+)
+
+
+# -- R006: view exports nothing relevant to the query ------------------------
+
+
+def _check_irrelevant_view(inputs: AnalysisInput) -> Iterator[Diagnostic]:
+    query_predicates = inputs.query.predicates()
+    for view in inputs.views:
+        definition = view.definition
+        relevant = [
+            atom
+            for atom in _relational_atoms(definition)
+            if atom.predicate in query_predicates
+        ]
+        span = inputs.span_of(definition)
+        if not relevant:
+            yield RULE_IRRELEVANT_VIEW.diagnostic(
+                f"view {view.name!r} shares no base predicate with the "
+                "query; it can cover no subgoal and only widens the search",
+                span=span,
+                subject=f"view:{view.name}",
+            )
+            continue
+        exported: set[Variable] = set()
+        for atom in relevant:
+            exported.update(atom.variable_set())
+        if not exported.intersection(view.head_variables):
+            yield RULE_IRRELEVANT_VIEW.diagnostic(
+                f"view {view.name!r} exports none of the variables of its "
+                "query-relevant subgoals; every use joins through fresh "
+                "existentials only",
+                span=span,
+                subject=f"view:{view.name}",
+            )
+
+
+RULE_IRRELEVANT_VIEW = register_rule(
+    AnalysisRule(
+        code="R006",
+        name="irrelevant-view",
+        description=(
+            "A view's head exports no variable relevant to the query (or "
+            "the view shares no predicate with it)."
+        ),
+        severity=Severity.WARNING,
+        family="structural",
+        check=_check_irrelevant_view,
+    )
+)

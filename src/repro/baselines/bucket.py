@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING, Iterator, Optional
 from ..containment.containment import is_contained_in, is_equivalent_to
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery, fresh_factory_for
-from ..datalog.substitution import Substitution
 from ..datalog.terms import Constant, Term, Variable, is_variable
 from ..views.expansion import expand
 from ..views.view import View, ViewCatalog

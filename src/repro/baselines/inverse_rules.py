@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
-from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..datalog.terms import Constant, Variable
 from ..engine.database import Database
 from ..engine.evaluate import evaluate
 from ..views.view import View, ViewCatalog

@@ -26,7 +26,7 @@ Two consequences reproduced here and exercised by the Example 4.2 tests:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from ..containment.containment import is_contained_in, is_equivalent_to
 from ..datalog.atoms import Atom

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro rewrite  "q(X) :- e(X, X)" --views views.dl [--certify]
     python -m repro optimize "q(X) :- e(X, X)" --views views.dl --data db.json
     python -m repro certain  "q(X) :- e(X, X)" --views views.dl --view-data v.json
+    python -m repro lint     "q(X) :- e(X, X)" --views views.dl [--format json]
     python -m repro figures fig6a [--full] [--csv DIR]
 
 * ``rewrite`` runs a rewriting backend (CoreCover by default) and prints
@@ -19,6 +20,13 @@ Subcommands::
   table).  Cost models come from the :mod:`repro.cost.registry`.
 * ``certain`` computes certain answers from a *view* instance with the
   inverse-rules algorithm (no equivalent rewriting required).
+* ``lint`` runs the :mod:`repro.analysis` static-analysis rules over the
+  query, view catalog, and planner configuration without planning
+  anything.  ``--format json`` emits the SARIF-shaped report; diagnostics
+  at or above ``--fail-on`` exit with code 73
+  (:class:`repro.errors.AnalysisError`).  ``rewrite`` and ``optimize``
+  accept ``--preflight`` to run the same rules before planning and stop
+  on error-severity findings.
 * ``figures`` regenerates the Section 7 experiment series (delegates to
   :mod:`repro.experiments.figures`).
 
@@ -41,22 +49,21 @@ from typing import Sequence
 
 from .baselines import certain_answers
 from .core import CoreCoverResult, certify
-from .cost import UnknownCostModelError, explain_plan, improve_with_filters
+from .cost import explain_plan, improve_with_filters
 from .datalog import ConjunctiveQuery, parse_program, parse_query
 from .datalog.sql import SqlSchema, parse_sql
 from .engine import Database, evaluate, materialize_views
-from .errors import ReproError, structured_error
+from .errors import AnalysisError, ReproError, structured_error
 from .planner import (
     PlanStatus,
     ResourceBudget,
-    UnknownBackendError,
     get_backend,
     plan,
 )
 from .views import ViewCatalog
 
 #: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
-_SUBCOMMANDS = ("rewrite", "optimize", "certain", "figures")
+_SUBCOMMANDS = ("rewrite", "optimize", "certain", "lint", "figures")
 
 
 def _load_text(value: str) -> str:
@@ -132,6 +139,35 @@ def _add_budget_flags(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _split_codes(values) -> list[str] | None:
+    """Flatten repeatable, comma-separated ``--select``/``--ignore`` values."""
+    if not values:
+        return None
+    codes = [code.strip() for chunk in values for code in chunk.split(",")]
+    return [code for code in codes if code]
+
+
+def _handle_preflight(planned, *, verbose: bool) -> int | None:
+    """Print preflight diagnostics; the exit code when planning was rejected."""
+    from .planner import PlanStatus
+
+    outcome = planned.outcome
+    if outcome is None or not outcome.diagnostics:
+        return None
+    if outcome.status is PlanStatus.REJECTED:
+        print("preflight rejected the input:")
+        for diagnostic in outcome.diagnostics:
+            print("   ", diagnostic)
+        if verbose:
+            _print_planner_stats(planned.stats)
+        return AnalysisError.exit_code
+    # Clean-enough preflight: surface the advisories without polluting the
+    # machine-readable result stream.
+    for diagnostic in outcome.diagnostics:
+        print(f"preflight: {diagnostic}", file=sys.stderr)
+    return None
+
+
 def _print_planner_stats(stats) -> None:
     """Render a PlannerStats snapshot (``--verbose`` output)."""
     print(
@@ -159,9 +195,12 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
 
     planned = plan(
         query, views, backend=backend.name, budget=_build_budget(args),
-        **options,
+        preflight=args.preflight, **options,
     )
 
+    rejected = _handle_preflight(planned, verbose=args.verbose)
+    if rejected is not None:
+        return rejected
     print(f"query: {query}")
     outcome = planned.outcome
     if outcome is not None and outcome.status is not PlanStatus.COMPLETE:
@@ -243,7 +282,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         cost_options=cost_options,
         max_rewritings=args.limit,
         budget=_build_budget(args),
+        preflight=args.preflight,
     )
+    rejected = _handle_preflight(planned, verbose=args.verbose)
+    if rejected is not None:
+        return rejected
     outcome = planned.outcome
     if outcome is not None and outcome.status is not PlanStatus.COMPLETE:
         reason = (
@@ -312,6 +355,55 @@ def _cmd_certain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis of a query + view catalog + planner configuration."""
+    from .analysis import PlannerConfig, Severity, analyze, render_json
+    from .datalog.parser import parse_program_spans, parse_query_spans
+
+    if args.sql_schema is not None:
+        # SQL input has no datalog source spans; lint the translated query.
+        query = _load_query(args.query, args.sql_schema)
+        query_spans = None
+    else:
+        query, query_spans = parse_query_spans(_load_text(args.query).strip())
+    views: ViewCatalog = ViewCatalog()
+    view_spans = None
+    if args.views is not None:
+        rules, view_spans = parse_program_spans(Path(args.views).read_text())
+        views = ViewCatalog(rules)
+    schema = (
+        json.loads(Path(args.schema).read_text())
+        if args.schema is not None
+        else None
+    )
+    config = None
+    if args.backend is not None or args.cost_model is not None:
+        config = PlannerConfig(
+            backend=args.backend,
+            cost_model=args.cost_model,
+            has_database=args.with_data,
+            has_statistics=args.with_data,
+        )
+    report = analyze(
+        query,
+        views,
+        config=config,
+        schema=schema,
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore),
+        query_spans=query_spans,
+        view_spans=view_spans,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(report.render_text())
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.from_name(args.fail_on)
+    return AnalysisError.exit_code if report.at_least(threshold) else 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments import figures
 
@@ -374,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--certify", action="store_true",
         help="re-verify the result from first principles (exit 3 on failure)",
     )
+    rewrite.add_argument(
+        "--preflight", action="store_true",
+        help="run the repro.analysis lint rules before planning; "
+             "error-severity findings abort with exit 73",
+    )
     _add_budget_flags(rewrite)
     rewrite.set_defaults(func=_cmd_rewrite)
 
@@ -406,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="treat the query as SQL with this schema file")
     optimize.add_argument("--explain", action="store_true",
                           help="print an EXPLAIN-style step table")
+    optimize.add_argument(
+        "--preflight", action="store_true",
+        help="run the repro.analysis lint rules before planning; "
+             "error-severity findings abort with exit 73",
+    )
     _add_budget_flags(optimize)
     optimize.set_defaults(func=_cmd_optimize)
 
@@ -419,6 +521,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON file: view relation -> list of rows")
     certain.add_argument("--sql-schema", metavar="JSON", default=None)
     certain.set_defaults(func=_cmd_certain)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of a query, view catalog, and planner config",
+    )
+    lint.add_argument("query", help="datalog rule or @file")
+    lint.add_argument("--views", default=None, help="datalog program file")
+    lint.add_argument(
+        "--schema", metavar="JSON", default=None,
+        help="declared arities: JSON file mapping predicate -> arity "
+             "(enables the R002 arity checks)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format: human-readable text or SARIF-shaped JSON",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="CODES", default=None,
+        help="run only these rule codes/prefixes (comma-separated, "
+             "repeatable), e.g. --select R0 --select R103",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="CODES", default=None,
+        help="skip these rule codes/prefixes (comma-separated, repeatable)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=["error", "warning", "info", "never"],
+        default="error",
+        help="exit 73 when a diagnostic at or above this severity is "
+             "emitted (default: error)",
+    )
+    lint.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="planner backend to validate the configuration against",
+    )
+    lint.add_argument(
+        "--cost-model", default=None, metavar="NAME",
+        help="cost model to validate the configuration against",
+    )
+    lint.add_argument(
+        "--with-data", action="store_true",
+        help="declare that a database/statistics catalog will be supplied "
+             "(silences the R104 missing-data check)",
+    )
+    lint.add_argument("--sql-schema", metavar="JSON", default=None,
+                      help="treat the query as SQL with this schema file")
+    lint.set_defaults(func=_cmd_lint)
 
     figures = sub.add_parser("figures", help="regenerate Section 7 figures")
     figures.add_argument("figure", help="fig6a..fig9b or 'all'")

@@ -14,12 +14,11 @@ the query or views.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.substitution import Substitution
-from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..datalog.terms import Constant, Term, Variable
 
 
 @dataclass(frozen=True, slots=True)

@@ -10,11 +10,9 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.substitution import Substitution
-from ..datalog.terms import Constant
-from .homomorphism import find_homomorphism, find_homomorphisms, unify_atom
+from .homomorphism import find_homomorphisms, unify_atom
 
 
 class IncompatibleQueriesError(ValueError):

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Callable, Iterable, Iterator, Optional, Protocol, Sequence
+from typing import Callable, Iterator, Optional, Protocol, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.substitution import Substitution
-from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..datalog.terms import Constant, Term
 from ..testing.faults import fire
 
 

@@ -22,8 +22,8 @@ queries get distinct keys (a miss, never a wrong hit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, TypeVar
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from ..datalog.interning import InternTable
 from ..datalog.query import ConjunctiveQuery

@@ -14,7 +14,6 @@ equivalence.  This folding approach converges to the core in at most
 
 from __future__ import annotations
 
-from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.substitution import Substitution
 from .containment import is_contained_in

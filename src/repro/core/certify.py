@@ -21,7 +21,7 @@ certificate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 
 from ..containment.containment import containment_mapping, is_equivalent_to

@@ -33,7 +33,7 @@ backends call.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..datalog.query import ConjunctiveQuery

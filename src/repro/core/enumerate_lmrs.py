@@ -17,7 +17,7 @@ from ..containment.containment import containment_mapping
 from ..containment.minimize import minimize
 from ..datalog.query import ConjunctiveQuery
 from ..views.expansion import expand
-from ..views.view import View, ViewCatalog
+from ..views.view import ViewCatalog
 from .lattice import LmrLattice, build_lmr_lattice
 from .view_tuples import view_tuples
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from enum import Flag, auto
 from typing import Iterable, Sequence
 
-from ..containment.containment import is_contained_in, is_properly_contained_in
+from ..containment.containment import is_properly_contained_in
 from ..datalog.query import ConjunctiveQuery
 from ..views.rewriting import (
     is_equivalent_rewriting,

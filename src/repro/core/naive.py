@@ -24,7 +24,7 @@ from ..containment.minimize import minimize
 from ..datalog.query import ConjunctiveQuery
 from ..views.expansion import expand
 from ..views.view import View, ViewCatalog
-from .view_tuples import ViewTuple, view_tuples
+from .view_tuples import view_tuples
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..planner.context import PlannerContext

@@ -16,7 +16,7 @@ cover (e.g. universe ``{1,2,3}``, sets ``A={1}``, ``B={1,2}``,
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from ..testing.faults import fire
 

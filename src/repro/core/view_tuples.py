@@ -11,8 +11,8 @@ test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from ..containment.canonical import (
     CanonicalDatabase,

@@ -13,11 +13,11 @@ intermediate sizes with the classic System-R assumptions [22]:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from ..datalog.atoms import Atom
-from ..datalog.terms import Constant, Variable, is_variable
+from ..datalog.terms import Constant, Variable
 from ..engine.database import Database
 
 

@@ -20,7 +20,7 @@ from ..containment.containment import containment_mappings
 from ..datalog.query import ConjunctiveQuery
 from ..datalog.substitution import Substitution
 from ..engine.database import Database
-from .optimizer import OptimizedPlan, optimal_plan_m2
+from .optimizer import optimal_plan_m2
 
 
 def covering_containment_mapping(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import permutations
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 from ..datalog.query import ConjunctiveQuery
 from ..engine.database import Database
@@ -211,11 +211,11 @@ def optimal_plan_m3(
             f"({_MAX_PERMUTATION_SUBGOALS})"
         )
     if annotator == "supplementary":
-        build: Callable[[Sequence[int]], PhysicalPlan] = (
-            lambda order: supplementary_plan(rewriting, order)
-        )
+        def build(order: Sequence[int]) -> PhysicalPlan:
+            return supplementary_plan(rewriting, order)
     elif annotator == "heuristic":
-        build = lambda order: heuristic_plan(rewriting, query, views, order)
+        def build(order: Sequence[int]) -> PhysicalPlan:
+            return heuristic_plan(rewriting, query, views, order)
     else:
         raise ValueError(
             f"unknown annotator {annotator!r}; expected 'supplementary' "
@@ -260,11 +260,11 @@ def optimal_plan_m3_estimated(
             f"({_MAX_PERMUTATION_SUBGOALS})"
         )
     if annotator == "supplementary":
-        build: Callable[[Sequence[int]], PhysicalPlan] = (
-            lambda order: supplementary_plan(rewriting, order)
-        )
+        def build(order: Sequence[int]) -> PhysicalPlan:
+            return supplementary_plan(rewriting, order)
     elif annotator == "heuristic":
-        build = lambda order: heuristic_plan(rewriting, query, views, order)
+        def build(order: Sequence[int]) -> PhysicalPlan:
+            return heuristic_plan(rewriting, query, views, order)
     else:
         raise ValueError(
             f"unknown annotator {annotator!r}; expected 'supplementary' "

@@ -13,14 +13,23 @@ an upper-case letter are variables and identifiers beginning with a
 lower-case letter or a digit are constants.  Quoted strings and bare
 integers are constants.  ``_`` denotes a fresh anonymous variable.
 
-Errors carry source positions (offset, and line/column inside
-:func:`parse_program`) and are drawn from the shared taxonomy in
+Errors carry source positions both in the message and as a structured
+:class:`~repro.errors.SourceSpan` in ``error.span`` (never ``None`` for
+errors raised here), and are drawn from the shared taxonomy in
 :mod:`repro.errors`: plain syntax problems raise :class:`ParseError`
-(still importable here under its historical name
-``DatalogSyntaxError``), a predicate used with two different arities
-raises :class:`~repro.errors.ArityMismatchError`, and — when safety is
+(still importable here under its historical name ``DatalogSyntaxError``),
+a predicate used with two different arities raises
+:class:`~repro.errors.ArityMismatchError`, and — when safety is
 requested — an unsafe head raises
 :class:`~repro.errors.UnsafeQueryError`.
+
+The ``*_spans`` entry points additionally return a :class:`SourceMap`
+recording the span of every parsed atom and rule, which is what the
+:mod:`repro.analysis` lint engine uses to point diagnostics at source.
+Spans are keyed by object identity (like
+:class:`~repro.datalog.interning.InternTable`'s fast path) with the atoms
+kept alive by the map, so later structural interning of the parsed
+objects never invalidates a recorded span.
 
 Example::
 
@@ -34,7 +43,7 @@ import itertools
 import re
 from typing import Iterator
 
-from ..errors import ArityMismatchError, ParseError, UnsafeQueryError
+from ..errors import ArityMismatchError, ParseError, SourceSpan, UnsafeQueryError
 from .atoms import COMPARISON_PREDICATES, Atom
 from .query import ConjunctiveQuery
 from .terms import Constant, Term, Variable
@@ -61,11 +70,56 @@ _TOKEN_RE = re.compile(
 )
 
 
+class SourceMap:
+    """Spans of the atoms and rules produced by one parse.
+
+    Lookup is by object *identity* — structurally equal atoms from
+    different source positions keep distinct spans, and the map holds a
+    strong reference to every recorded object so an ``id()`` can never be
+    reused while the map is alive.  This is the same discipline as
+    :class:`~repro.datalog.interning.InternTable`, which is why spans
+    survive interning: interning maps objects to keys without ever
+    replacing the parsed objects themselves.
+    """
+
+    __slots__ = ("text", "_spans", "_keepalive")
+
+    def __init__(self, text: str = "") -> None:
+        self.text = text
+        self._spans: dict[int, SourceSpan] = {}
+        self._keepalive: list[object] = []
+
+    def record(self, obj: object, span: SourceSpan) -> None:
+        """Record *span* for *obj* (an atom or a rule)."""
+        self._spans[id(obj)] = span
+        self._keepalive.append(obj)
+
+    def span_for(self, obj: object) -> SourceSpan | None:
+        """The recorded span of *obj*, or ``None`` when unknown."""
+        return self._spans.get(id(obj))
+
+    def merge(self, other: "SourceMap") -> None:
+        """Fold every recording of *other* into this map."""
+        self._spans.update(other._spans)
+        self._keepalive.extend(other._keepalive)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceMap({len(self._spans)} spans)"
+
+
 def _position(text: str, offset: int) -> str:
     """Render *offset* as ``offset N (line L, column C)``."""
-    line = text.count("\n", 0, offset) + 1
-    column = offset - (text.rfind("\n", 0, offset) + 1) + 1
-    return f"offset {offset} (line {line}, column {column})"
+    return str(_span_at(text, offset, offset))
+
+
+def _span_at(text: str, start: int, end: int) -> SourceSpan:
+    """A :class:`SourceSpan` for ``[start, end)`` within *text*."""
+    line = text.count("\n", 0, start) + 1
+    column = start - (text.rfind("\n", 0, start) + 1) + 1
+    return SourceSpan(start, end, line, column)
 
 
 def _tokenize(text: str) -> Iterator[tuple[str, str, int]]:
@@ -75,7 +129,8 @@ def _tokenize(text: str) -> Iterator[tuple[str, str, int]]:
         if match is None:
             raise ParseError(
                 f"unexpected character {text[position]!r} at "
-                f"{_position(text, position)}"
+                f"{_position(text, position)}",
+                span=_span_at(text, position, position + 1),
             )
         start = position
         position = match.end()
@@ -86,11 +141,71 @@ def _tokenize(text: str) -> Iterator[tuple[str, str, int]]:
 
 
 class _Parser:
-    def __init__(self, text: str) -> None:
+    """Recursive-descent parser over one rule's text.
+
+    ``base_offset``/``base_line`` shift every produced span, so
+    :func:`parse_program` can parse line-by-line while reporting
+    whole-program positions.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        *,
+        base_offset: int = 0,
+        base_line: int = 1,
+        base_column: int = 1,
+        source_map: SourceMap | None = None,
+    ) -> None:
         self._text = text
-        self._tokens = list(_tokenize(text))
+        self._base_offset = base_offset
+        self._base_line = base_line
+        self._base_column = base_column
+        self.source_map = source_map if source_map is not None else SourceMap(text)
+        self._tokens = list(self._shifted_tokens(text))
         self._index = 0
         self._anon = itertools.count()
+
+    def _shifted_tokens(self, text: str) -> Iterator[tuple[str, str, int]]:
+        try:
+            yield from _tokenize(text)
+        except ParseError as error:
+            raise self._shift_error(error) from None
+
+    def _shift_error(self, error: ParseError) -> ParseError:
+        if (
+            self._base_offset == 0
+            and self._base_line == 1
+            and self._base_column == 1
+        ):
+            return error
+        span = error.span
+        shifted = self._shift_span(span) if span is not None else None
+        return type(error)(str(error), span=shifted)
+
+    # -- span helpers ----------------------------------------------------
+    def _shift_span(self, local: SourceSpan) -> SourceSpan:
+        """Translate a text-local span into whole-source coordinates.
+
+        The column shift applies only to the parser text's first line:
+        later local lines start at the source's own column 1.
+        """
+        span = local.shifted(
+            offset=self._base_offset, lines=self._base_line - 1
+        )
+        if local.line == 1 and self._base_column != 1:
+            span = SourceSpan(
+                span.start, span.end, span.line,
+                span.column + self._base_column - 1,
+            )
+        return span
+
+    def _span(self, start: int, end: int) -> SourceSpan:
+        return self._shift_span(_span_at(self._text, start, end))
+
+    def _fail(self, message: str, start: int, end: int | None = None) -> ParseError:
+        span = self._span(start, start + 1 if end is None else end)
+        return ParseError(f"{message} at {_position(self._text, start)}", span=span)
 
     # -- token helpers ---------------------------------------------------
     def _peek(self) -> tuple[str, str, int]:
@@ -105,36 +220,60 @@ class _Parser:
         actual_kind, value, offset = self._advance()
         if actual_kind != kind:
             shown = value if actual_kind != "eof" else "end of input"
-            raise ParseError(
-                f"expected {kind}, got {shown!r} at "
-                f"{_position(self._text, offset)}"
+            raise self._fail(
+                f"expected {kind}, got {shown!r}", offset, offset + max(len(value), 1)
             )
         return value
 
+    def _offset(self) -> int:
+        """Source offset of the next token (local to this rule's text)."""
+        return self._peek()[2]
+
+    def _end_offset(self) -> int:
+        """End offset of the most recently consumed token."""
+        if self._index == 0:
+            return 0
+        kind, value, offset = self._tokens[self._index - 1]
+        return offset + len(value)
+
     # -- grammar -----------------------------------------------------------
     def parse_rule(self) -> ConjunctiveQuery:
+        start = self._offset()
         head = self.parse_atom()
         self._expect("arrow")
         body = [self.parse_literal()]
         while self._peek()[0] == "comma":
             self._advance()
             body.append(self.parse_literal())
+        end = self._end_offset()
         self._expect("eof")
-        return ConjunctiveQuery(head, tuple(body))
+        rule = ConjunctiveQuery(head, tuple(body))
+        self.source_map.record(rule, self._span(start, end))
+        return rule
 
     def parse_literal(self) -> Atom:
         # Either ``ident(...)`` or ``term CMP term``.
         kind, _value, _offset = self._peek()
         if kind == "ident" and self._tokens[self._index + 1][0] == "lparen":
             return self.parse_atom()
+        start = self._offset()
         left = self.parse_term()
+        operator_offset = self._offset()
         operator = self._expect("cmp")
         right = self.parse_term()
+        end = self._end_offset()
         if operator not in COMPARISON_PREDICATES:
-            raise ParseError(f"unknown comparison {operator!r}")
-        return Atom(operator, (left, right))
+            raise self._fail(
+                f"unknown comparison {operator!r}",
+                operator_offset,
+                operator_offset + len(operator),
+            )
+        atom = Atom(operator, (left, right))
+        self.source_map.record(atom, self._span(start, end))
+        return atom
 
     def parse_atom(self) -> Atom:
+        start = self._offset()
         predicate = self._expect("ident")
         self._expect("lparen")
         args: list[Term] = []
@@ -144,7 +283,9 @@ class _Parser:
                 self._advance()
                 args.append(self.parse_term())
         self._expect("rparen")
-        return Atom(predicate, tuple(args))
+        atom = Atom(predicate, tuple(args))
+        self.source_map.record(atom, self._span(start, self._end_offset()))
+        return atom
 
     def parse_term(self) -> Term:
         kind, value, offset = self._advance()
@@ -159,9 +300,8 @@ class _Parser:
                 return Variable(value)
             return Constant(value)
         shown = value if kind != "eof" else "end of input"
-        raise ParseError(
-            f"expected a term, got {shown!r} at "
-            f"{_position(self._text, offset)}"
+        raise self._fail(
+            f"expected a term, got {shown!r}", offset, offset + max(len(value), 1)
         )
 
 
@@ -170,13 +310,16 @@ def check_arities(
     known: dict[str, tuple[int, object]] | None = None,
     *,
     origin: object = None,
+    source_map: SourceMap | None = None,
 ) -> dict[str, tuple[int, object]]:
     """Reject a predicate used with two different arities.
 
     Comparison atoms are excluded: their "predicates" are operators with
     a fixed arity of two.  Pass the returned mapping back in to extend
     the check across rules; *origin* labels where each arity was first
-    seen (e.g. a line number) for the error message.
+    seen (e.g. a line number) for the error message.  With a
+    *source_map*, the raised error's ``span`` points at the offending
+    atom (falling back to the rule's span).
     """
     arities = known if known is not None else {}
     for atom in (rule.head, *rule.body):
@@ -185,11 +328,60 @@ def check_arities(
         first = arities.setdefault(atom.predicate, (atom.arity, origin))
         if first[0] != atom.arity:
             where = f" (first used at {first[1]})" if first[1] is not None else ""
+            span = None
+            if source_map is not None:
+                span = source_map.span_for(atom) or source_map.span_for(rule)
             raise ArityMismatchError(
                 f"predicate {atom.predicate!r} used with arity "
-                f"{atom.arity}, but arity {first[0]} elsewhere{where}: {rule}"
+                f"{atom.arity}, but arity {first[0]} elsewhere{where}: {rule}",
+                span=span,
             )
     return arities
+
+
+def _check_safe(rule: ConjunctiveQuery, source_map: SourceMap) -> None:
+    """Raise a span-carrying :class:`UnsafeQueryError` when *rule* is unsafe."""
+    if rule.is_safe():
+        return
+    missing = rule.distinguished_variables() - rule.body_variables()
+    names = ", ".join(sorted(v.name for v in missing))
+    span = source_map.span_for(rule.head) or source_map.span_for(rule)
+    raise UnsafeQueryError(
+        f"unsafe query: head variables {{{names}}} do not occur in "
+        f"the body of {rule}",
+        span=span,
+    )
+
+
+def parse_query_spans(
+    text: str,
+    *,
+    require_safe: bool = False,
+    consistent_arities: bool = False,
+    base_offset: int = 0,
+    base_line: int = 1,
+    base_column: int = 1,
+) -> tuple[ConjunctiveQuery, SourceMap]:
+    """:func:`parse_query`, additionally returning the rule's :class:`SourceMap`.
+
+    Every error raised carries a non-``None`` ``span``; ``base_offset``,
+    ``base_line`` and ``base_column`` shift all spans (used by
+    :func:`parse_program_spans` to report whole-program positions for
+    line-local parses).
+    """
+    parser = _Parser(
+        text,
+        base_offset=base_offset,
+        base_line=base_line,
+        base_column=base_column,
+    )
+    rule = parser.parse_rule()
+    source_map = parser.source_map
+    if consistent_arities:
+        check_arities(rule, source_map=source_map)
+    if require_safe:
+        _check_safe(rule, source_map)
+    return rule, source_map
 
 
 def parse_query(
@@ -210,16 +402,9 @@ def parse_query(
     them.  :func:`parse_program` enforces both by default for whole
     programs, where they are genuine consistency properties.
     """
-    rule = _Parser(text).parse_rule()
-    if consistent_arities:
-        check_arities(rule)
-    if require_safe and not rule.is_safe():
-        missing = rule.distinguished_variables() - rule.body_variables()
-        names = ", ".join(sorted(v.name for v in missing))
-        raise UnsafeQueryError(
-            f"unsafe query: head variables {{{names}}} do not occur in "
-            f"the body of {rule}"
-        )
+    rule, _ = parse_query_spans(
+        text, require_safe=require_safe, consistent_arities=consistent_arities
+    )
     return rule
 
 
@@ -231,6 +416,56 @@ def parse_atom(text: str) -> Atom:
     return atom
 
 
+def parse_program_spans(
+    text: str,
+    *,
+    require_safe: bool = False,
+    consistent_arities: bool = True,
+) -> tuple[list[ConjunctiveQuery], SourceMap]:
+    """:func:`parse_program`, additionally returning one merged :class:`SourceMap`.
+
+    Spans are global to *text* (offsets count from the program start and
+    lines are 1-based program lines), so a diagnostic about rule 7 points
+    into the original file.
+    """
+    rules: list[ConjunctiveQuery] = []
+    combined = SourceMap(text)
+    arities: dict[str, tuple[int, object]] | None = (
+        {} if consistent_arities else None
+    )
+    offset = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        line_start = offset
+        offset += len(line) + 1  # the splitlines-removed newline
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "%")):
+            continue
+        indent = line.find(stripped[0])
+        try:
+            rule, source_map = parse_query_spans(
+                stripped,
+                require_safe=require_safe,
+                base_offset=line_start + indent,
+                base_line=number,
+                base_column=indent + 1,
+            )
+            if arities is not None:
+                check_arities(
+                    rule, arities, origin=f"line {number}", source_map=source_map
+                )
+        except ParseError as error:
+            message = str(error)
+            prefixed = (
+                message
+                if message.startswith(f"line {number}:")
+                else f"line {number}: {message}"
+            )
+            raise type(error)(prefixed, span=error.span) from None
+        rules.append(rule)
+        combined.merge(source_map)
+    return rules, combined
+
+
 def parse_program(
     text: str,
     *,
@@ -240,27 +475,12 @@ def parse_program(
     """Parse one rule per non-empty, non-comment (``#``/``%``) line.
 
     Errors are re-raised with the 1-based source line number prefixed,
-    keeping their precise type.  Arity consistency is enforced across
-    the whole program by default — a predicate must be used with one
-    arity everywhere (:class:`~repro.errors.ArityMismatchError`).
+    keeping their precise type and structured ``span``.  Arity
+    consistency is enforced across the whole program by default — a
+    predicate must be used with one arity everywhere
+    (:class:`~repro.errors.ArityMismatchError`).
     """
-    rules = []
-    arities: dict[str, tuple[int, object]] | None = {} if consistent_arities else None
-    for number, line in enumerate(text.splitlines(), start=1):
-        stripped = line.strip()
-        if not stripped or stripped.startswith(("#", "%")):
-            continue
-        try:
-            rule = parse_query(stripped, require_safe=require_safe)
-            if arities is not None:
-                check_arities(rule, arities, origin=f"line {number}")
-        except ParseError as error:
-            message = str(error)
-            prefixed = (
-                message
-                if message.startswith(f"line {number}:")
-                else f"line {number}: {message}"
-            )
-            raise type(error)(prefixed) from None
-        rules.append(rule)
+    rules, _ = parse_program_spans(
+        text, require_safe=require_safe, consistent_arities=consistent_arities
+    )
     return rules

@@ -11,8 +11,8 @@ immutable; all transformation helpers return new queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from ..errors import MalformedQueryError, UnsafeQueryError
 from .atoms import Atom

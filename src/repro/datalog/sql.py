@@ -27,7 +27,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from .atoms import COMPARISON_PREDICATES, Atom
+from .atoms import Atom
 from .query import ConjunctiveQuery
 from .terms import Constant, Term, Variable, is_variable
 

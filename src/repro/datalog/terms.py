@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, TypeGuard, Union
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,12 +49,12 @@ class Constant:
 Term = Union[Variable, Constant]
 
 
-def is_variable(term: Term) -> bool:
+def is_variable(term: Term) -> TypeGuard[Variable]:
     """Return ``True`` if *term* is a :class:`Variable`."""
     return isinstance(term, Variable)
 
 
-def is_constant(term: Term) -> bool:
+def is_constant(term: Term) -> TypeGuard[Constant]:
     """Return ``True`` if *term* is a :class:`Constant`."""
     return isinstance(term, Constant)
 

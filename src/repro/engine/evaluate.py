@@ -18,7 +18,7 @@ This evaluator is used for:
 from __future__ import annotations
 
 import operator
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery

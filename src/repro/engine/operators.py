@@ -22,7 +22,7 @@ page behaviour is modeled separately in :mod:`repro.cost.iomodel`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Protocol, Sequence
+from typing import Iterator, Protocol, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.terms import Constant, Variable, is_variable

@@ -29,14 +29,17 @@ error on stderr; see :func:`structured_error`.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 
 __all__ = [
+    "AnalysisError",
     "ArityMismatchError",
     "BudgetExceededError",
     "DuplicateViewError",
     "MalformedQueryError",
     "ParseError",
     "ReproError",
+    "SourceSpan",
     "UnknownViewError",
     "UnsafeQueryError",
     "UnsupportedQueryError",
@@ -44,11 +47,63 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open ``[start, end)`` character range in some source text.
+
+    ``line``/``column`` are 1-based and locate ``start``.  Spans are
+    attached to parse-level errors (``error.span``) and to the atoms and
+    rules recorded in a :class:`repro.datalog.parser.SourceMap`, which is
+    what lets the :mod:`repro.analysis` lint engine point a diagnostic at
+    the exact source range that caused it.
+    """
+
+    start: int
+    end: int
+    line: int = 1
+    column: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        """Number of characters covered."""
+        return self.end - self.start
+
+    def shifted(self, *, offset: int = 0, lines: int = 0) -> "SourceSpan":
+        """This span translated by *offset* characters and *lines* lines."""
+        return SourceSpan(
+            self.start + offset, self.end + offset, self.line + lines, self.column
+        )
+
+    def to_json(self) -> dict:
+        """A JSON-ready rendering (used by ``structured_error`` and SARIF)."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def __str__(self) -> str:
+        return f"offset {self.start} (line {self.line}, column {self.column})"
+
+
 class ReproError(Exception):
-    """Base class of every error the package raises by design."""
+    """Base class of every error the package raises by design.
+
+    Errors raised while processing *source text* (parsing, linting) carry
+    an optional :class:`SourceSpan` in ``span`` locating the problem.
+    """
 
     #: CLI process exit status for this error family.
     exit_code = 70  # EX_SOFTWARE: unclassified internal error
+
+    def __init__(self, *args: object, span: SourceSpan | None = None) -> None:
+        super().__init__(*args)
+        self.span = span
 
 
 class ParseError(ReproError, ValueError):
@@ -101,6 +156,28 @@ class UnsupportedQueryError(ReproError, ValueError):
     exit_code = 72
 
 
+class AnalysisError(ReproError):
+    """Static analysis found (or was asked to fail on) lint diagnostics.
+
+    Raised by ``repro lint`` when diagnostics at or above the configured
+    ``--fail-on`` severity are present, and by ``plan(preflight=True)``
+    callers that ask for strict preflight.  ``diagnostics`` carries the
+    offending :class:`repro.analysis.Diagnostic` records.
+    """
+
+    exit_code = 73
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        diagnostics: tuple = (),
+        span: SourceSpan | None = None,
+    ) -> None:
+        super().__init__(message, span=span)
+        self.diagnostics = tuple(diagnostics)
+
+
 class BudgetExceededError(ReproError):
     """A resource budget was exhausted (strict mode, or mid-pipeline).
 
@@ -122,11 +199,12 @@ class BudgetExceededError(ReproError):
 def structured_error(error: BaseException) -> str:
     """A one-line JSON rendering of *error* for machine-readable stderr."""
     exit_code = getattr(error, "exit_code", 70)
-    return json.dumps(
-        {
-            "error": type(error).__name__,
-            "exit_code": exit_code,
-            "message": str(error),
-        },
-        default=str,
-    )
+    payload = {
+        "error": type(error).__name__,
+        "exit_code": exit_code,
+        "message": str(error),
+    }
+    span = getattr(error, "span", None)
+    if isinstance(span, SourceSpan):
+        payload["span"] = span.to_json()
+    return json.dumps(payload, default=str)

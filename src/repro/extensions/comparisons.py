@@ -21,12 +21,10 @@ mutually comparable Python values (e.g. all numbers).
 
 from __future__ import annotations
 
-from itertools import permutations
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
-from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery
-from ..datalog.terms import Constant, Term, Variable, is_variable
+from ..datalog.terms import Constant, Term
 from ..datalog.ucq import UnionQuery, as_union
 from ..engine.database import Database
 from ..engine.evaluate import evaluate

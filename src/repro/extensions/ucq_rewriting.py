@@ -13,7 +13,7 @@ Two pieces of the paper's closing discussion become executable here:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..baselines.minicon import minicon
 from ..containment.containment import is_contained_in

@@ -230,6 +230,9 @@ class PlanStatus(Enum):
     #: The backend raised unexpectedly under a budget (e.g. an injected
     #: fault); results are the best found before the failure.
     FAILED = "failed"
+    #: Preflight static analysis (``plan(..., preflight=True)``) found
+    #: error-severity diagnostics; the backend never ran.
+    REJECTED = "rejected"
 
 
 @dataclass(frozen=True)
@@ -266,6 +269,9 @@ class PlanOutcome:
     error: BaseException | None = None
     #: Wall-clock duration of the call.
     elapsed_seconds: float = 0.0
+    #: Preflight lint findings (``plan(..., preflight=True)`` only); all
+    #: findings on success, the full report's findings on ``REJECTED``.
+    diagnostics: tuple = ()
 
     @property
     def ok(self) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from ..datalog.query import ConjunctiveQuery
 from ..errors import BudgetExceededError, ReproError
@@ -84,11 +84,19 @@ class PlanResult:
     chosen: object | None = None
     #: Anytime envelope: status, best-so-far rewritings, certification.
     outcome: PlanOutcome | None = None
+    #: The preflight :class:`~repro.analysis.AnalysisReport`
+    #: (``preflight=True`` only).
+    analysis: object | None = None
 
     @property
     def has_rewriting(self) -> bool:
         """Whether any equivalent rewriting was found."""
         return bool(self.rewritings)
+
+    @property
+    def diagnostics(self) -> tuple:
+        """The preflight diagnostics (empty without ``preflight=True``)."""
+        return self.outcome.diagnostics if self.outcome is not None else ()
 
 
 _BACKENDS: dict[str, RewriterBackend] = {}
@@ -142,6 +150,7 @@ def plan(
     cost_options: dict | None = None,
     budget: ResourceBudget | None = None,
     strict_budget: bool = False,
+    preflight: bool = False,
     **options,
 ) -> PlanResult:
     """Rewrite *query* using *views* with one backend, optionally costed.
@@ -151,6 +160,14 @@ def plan(
     ``cost_options`` are forwarded to the cost model's selector (e.g.
     ``annotator`` for ``m3``).  Passing a shared ``context`` reuses its
     caches; ``result.stats`` always reports this call's deltas.
+
+    With ``preflight=True`` the :mod:`repro.analysis` lint engine runs
+    first on the same context (sharing its memoized containment work with
+    the backend).  Error-severity diagnostics short-circuit the call: the
+    returned outcome has status ``REJECTED``, carries the diagnostics,
+    and the backend never runs.  On a clean preflight the diagnostics
+    (warnings/infos) ride along on ``result.outcome.diagnostics`` and the
+    full report on ``result.analysis``.
 
     With a ``budget`` (or a budgeted context), the call is **anytime**:
     budget exhaustion does not raise — ``result.outcome`` carries status
@@ -165,6 +182,43 @@ def plan(
     ctx = context if context is not None else PlannerContext()
     before = ctx.snapshot()
     resolved = get_backend(backend)
+
+    report = None
+    if preflight:
+        # Imported lazily: repro.analysis itself imports this registry.
+        from ..analysis import PlannerConfig, analyze
+
+        preflight_started = time.perf_counter()
+        with ctx.stage("preflight"):
+            report = analyze(
+                query,
+                catalog,
+                config=PlannerConfig(
+                    backend=resolved.name,
+                    cost_model=cost_model,
+                    has_database=database is not None,
+                    has_statistics=statistics is not None,
+                ),
+                context=ctx,
+            )
+        if not report.ok:
+            outcome = PlanOutcome(
+                status=PlanStatus.REJECTED,
+                rewritings=(),
+                elapsed_seconds=time.perf_counter() - preflight_started,
+                diagnostics=report.diagnostics,
+            )
+            return PlanResult(
+                backend=resolved.name,
+                query=query,
+                views=catalog,
+                rewritings=(),
+                details=None,
+                context=ctx,
+                stats=ctx.snapshot().since(before),
+                outcome=outcome,
+                analysis=report,
+            )
 
     active_budget = budget
     if active_budget is None and ctx.meter is not None:
@@ -218,6 +272,7 @@ def plan(
         exhausted_resource=exhausted_resource,
         error=error,
         elapsed_seconds=elapsed,
+        diagnostics=report.diagnostics if report is not None else (),
     )
 
     chosen = None
@@ -248,6 +303,7 @@ def plan(
         cost_model=model_name,
         chosen=chosen,
         outcome=outcome,
+        analysis=report,
     )
 
 

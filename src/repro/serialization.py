@@ -15,10 +15,8 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Mapping
 
 from .datalog.parser import parse_program, parse_query
-from .datalog.query import ConjunctiveQuery
 from .engine.database import Database
 from .views.view import ViewCatalog
 from .workload.generator import Workload, WorkloadConfig

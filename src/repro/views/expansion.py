@@ -8,7 +8,7 @@ variables, independently for each view occurrence.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.query import ConjunctiveQuery, fresh_factory_for

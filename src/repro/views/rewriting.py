@@ -21,7 +21,7 @@ equivalence to ``Q``.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from ..containment.containment import is_contained_in, is_equivalent_to
 from ..containment.minimize import is_minimal

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from dataclasses import dataclass
+from typing import Iterator
 
 from ..core.corecover import core_cover
 from ..datalog.query import ConjunctiveQuery
-from ..views.view import View, ViewCatalog
+from ..views.view import ViewCatalog
 from . import shapes
 
 

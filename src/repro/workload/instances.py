@@ -14,7 +14,7 @@ visible in costs.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 from ..datalog.query import ConjunctiveQuery
 from ..engine.database import Database

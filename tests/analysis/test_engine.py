@@ -1,0 +1,192 @@
+"""Engine behavior: select/ignore, plugins, rule isolation, SARIF shape."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisRule,
+    Severity,
+    UnknownRuleError,
+    analyze,
+    available_rules,
+    get_rule,
+    register_rule,
+    render_json,
+    to_sarif,
+    unregister_rule,
+)
+from repro.analysis.engine import INTERNAL_RULE_FAILURE
+from repro.datalog import parse_query
+from repro.errors import BudgetExceededError, UnsupportedQueryError
+
+SAFE = "q(X, Y) :- e(X, Z), e(Z, Y)"
+
+
+class TestSelectIgnore:
+    def test_select_prefix(self):
+        report = analyze(parse_query(SAFE), select=["R0"])
+        assert report.checked
+        assert all(code.startswith("R0") for code in report.checked)
+
+    def test_select_exact_code(self):
+        report = analyze(parse_query(SAFE), select=["R003"])
+        assert report.checked == ("R003",)
+
+    def test_ignore(self):
+        report = analyze(parse_query(SAFE), ignore=["R1"])
+        assert report.checked
+        assert not any(code.startswith("R1") for code in report.checked)
+
+    def test_select_then_ignore(self):
+        report = analyze(parse_query(SAFE), select=["R0"], ignore=["R003"])
+        assert "R003" not in report.checked
+        assert "R001" in report.checked
+
+    def test_codes_are_case_insensitive(self):
+        report = analyze(parse_query(SAFE), select=["r003"])
+        assert report.checked == ("R003",)
+
+
+class TestPluginRegistry:
+    def test_register_run_unregister(self):
+        def check(inputs):
+            yield rule.diagnostic("two subgoals" if len(inputs.query.body) == 2
+                                  else "not two")
+
+        rule = AnalysisRule(
+            code="X100",
+            name="test-plugin",
+            description="test rule",
+            severity=Severity.INFO,
+            family="structural",
+            check=check,
+        )
+        register_rule(rule)
+        try:
+            assert get_rule("X100") is rule
+            report = analyze(parse_query(SAFE), select=["X100"])
+            (finding,) = report.diagnostics
+            assert finding.code == "X100"
+            assert finding.rule == "test-plugin"
+            assert finding.message == "two subgoals"
+        finally:
+            unregister_rule("X100")
+        assert all(r.code != "X100" for r in available_rules())
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_rule("R001")
+        with pytest.raises(ValueError):
+            register_rule(existing)
+        register_rule(existing, replace=True)  # idempotent with replace
+
+    def test_unknown_rule_lookup(self):
+        with pytest.raises(UnknownRuleError):
+            get_rule("Z999")
+
+
+class TestRuleIsolation:
+    def _plugin(self, code, check):
+        return AnalysisRule(
+            code=code,
+            name="crashy",
+            description="crashes",
+            severity=Severity.INFO,
+            family="structural",
+            check=check,
+        )
+
+    def test_crashing_rule_becomes_r900(self):
+        def check(inputs):
+            raise RuntimeError("boom")
+
+        register_rule(self._plugin("X901", check))
+        try:
+            report = analyze(parse_query(SAFE), select=["X901", "R003"])
+            (finding,) = report.diagnostics
+            assert finding.code == INTERNAL_RULE_FAILURE
+            assert finding.severity is Severity.WARNING
+            assert "boom" in finding.message
+            # The other selected rule still ran.
+            assert "R003" in report.checked
+        finally:
+            unregister_rule("X901")
+
+    def test_unsupported_query_error_skips_rule(self):
+        def check(inputs):
+            raise UnsupportedQueryError("outside fragment")
+
+        register_rule(self._plugin("X902", check))
+        try:
+            report = analyze(parse_query(SAFE), select=["X902"])
+            assert report.diagnostics == ()
+            assert report.checked == ("X902",)
+        finally:
+            unregister_rule("X902")
+
+    def test_budget_exhaustion_propagates(self):
+        def check(inputs):
+            raise BudgetExceededError("out of time", resource="deadline")
+
+        register_rule(self._plugin("X903", check))
+        try:
+            with pytest.raises(BudgetExceededError):
+                analyze(parse_query(SAFE), select=["X903"])
+        finally:
+            unregister_rule("X903")
+
+
+class TestReport:
+    def test_severity_helpers(self):
+        report = analyze(parse_query("q(X, Y) :- e(X, Z), f(A, A)"))
+        assert report.errors and not report.ok  # R001 unsafe head
+        assert report.warnings  # R003 cartesian product
+        assert report.max_severity is Severity.ERROR
+        assert set(report.at_least(Severity.WARNING)) == set(
+            report.errors + report.warnings
+        )
+
+    def test_counts_and_render_text(self):
+        report = analyze(parse_query("q(X, Y) :- e(X, Z)"))
+        counts = report.counts()
+        assert counts["error"] == len(report.errors)
+        text = report.render_text()
+        assert "R001" in text
+        assert f"{counts['error']} error(s)" in text
+
+    def test_clean_render(self):
+        report = analyze(parse_query(SAFE), select=["R001"])
+        assert report.ok
+        assert report.render_text().startswith("clean:")
+
+
+class TestSarif:
+    def test_shape(self):
+        report = analyze(parse_query("q(X, Y) :- e(X, Z)"))
+        sarif = to_sarif(report)
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(report.checked) <= rule_ids | {INTERNAL_RULE_FAILURE}
+        assert len(run["results"]) == len(report.diagnostics)
+        (result,) = [r for r in run["results"] if r["ruleId"] == "R001"]
+        assert result["level"] == "error"
+
+    def test_result_region_from_span(self):
+        from repro.datalog.parser import parse_query_spans
+
+        query, spans = parse_query_spans("q(X, Y) :- e(X, Z)")
+        report = analyze(query, query_spans=spans)
+        sarif = to_sarif(report)
+        (result,) = [
+            r for r in sarif["runs"][0]["results"] if r["ruleId"] == "R001"
+        ]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        assert region["charOffset"] == 0
+
+    def test_render_json_round_trips(self):
+        report = analyze(parse_query(SAFE))
+        payload = json.loads(render_json(report))
+        assert payload["runs"][0]["properties"]["counts"]["error"] == 0

@@ -1,0 +1,93 @@
+"""``plan(..., preflight=True)``: rejection, advisories, shared caches."""
+
+from repro.analysis import AnalysisReport, Severity
+from repro.datalog import parse_program, parse_query
+from repro.planner import PlannerContext, PlanStatus, plan
+from repro.views import ViewCatalog
+
+VIEWS = "v1(A, B) :- e(A, C), e(C, B)\nv2(A, B) :- e(A, B)\n"
+
+
+def catalog():
+    return ViewCatalog(parse_program(VIEWS))
+
+
+class TestRejection:
+    def test_unsafe_query_is_rejected_before_the_backend_runs(self):
+        result = plan(
+            parse_query("q(X, Y) :- e(X, Z)"), catalog(), preflight=True
+        )
+        assert result.outcome.status is PlanStatus.REJECTED
+        assert result.rewritings == ()
+        assert result.details is None  # the backend never ran
+        assert any(d.code == "R001" for d in result.diagnostics)
+        assert isinstance(result.analysis, AnalysisReport)
+        assert not result.analysis.ok
+
+    def test_config_conflict_is_rejected(self):
+        # M2 without a database is an R104 error.
+        result = plan(
+            parse_query("q(X, Y) :- e(X, Z), e(Z, Y)"),
+            catalog(),
+            cost_model="m2",
+            preflight=True,
+        )
+        assert result.outcome.status is PlanStatus.REJECTED
+        assert any(d.code == "R104" for d in result.diagnostics)
+
+    def test_without_preflight_no_rejection_no_report(self):
+        result = plan(parse_query("q(X, Y) :- e(X, Z), e(Z, Y)"), catalog())
+        assert result.outcome.status is PlanStatus.COMPLETE
+        assert result.analysis is None
+        assert result.diagnostics == ()
+
+
+class TestCleanPreflight:
+    def test_warnings_ride_along_without_blocking(self):
+        views = ViewCatalog(parse_program(
+            VIEWS + "v3(X, Y) :- e(X, M), e(M, Y)\n"  # duplicate of v1
+        ))
+        result = plan(
+            parse_query("q(X, Y) :- e(X, Z), e(Z, Y)"), views, preflight=True
+        )
+        assert result.outcome.status is PlanStatus.COMPLETE
+        assert result.rewritings  # planning proceeded
+        assert any(d.code == "R101" for d in result.diagnostics)
+        assert all(
+            d.severity is not Severity.ERROR for d in result.diagnostics
+        )
+        assert result.analysis is not None and result.analysis.ok
+
+    def test_preflight_matches_plain_plan_results(self):
+        query = parse_query("q(X, Y) :- e(X, Z), e(Z, Y)")
+        plain = plan(query, catalog())
+        checked = plan(query, catalog(), preflight=True)
+        assert set(map(str, plain.rewritings)) == set(
+            map(str, checked.rewritings)
+        )
+
+    def test_preflight_stage_is_recorded(self):
+        context = PlannerContext()
+        plan(
+            parse_query("q(X, Y) :- e(X, Z), e(Z, Y)"),
+            catalog(),
+            context=context,
+            preflight=True,
+        )
+        assert "preflight" in context.stage_seconds
+        assert "analyze" in context.stage_seconds
+
+
+class TestSharedCaches:
+    def test_preflight_warms_the_planner_caches(self):
+        # The semantic rules minimize the query and build its canonical
+        # database on the shared context; the backend then hits those
+        # entries instead of recomputing.
+        query = parse_query("q(X, Y) :- e(X, Z), e(Z, Y)")
+        shared = PlannerContext()
+        result = plan(query, catalog(), context=shared, preflight=True)
+        assert result.outcome.status is PlanStatus.COMPLETE
+        assert result.stats.cache_hits > 0
+
+        cold = plan(parse_query("q(X, Y) :- e(X, Z), e(Z, Y)"), catalog())
+        assert result.stats.cache_hits > cold.stats.cache_hits

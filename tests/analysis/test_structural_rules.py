@@ -1,0 +1,174 @@
+"""Positive and negative tests for the structural rules R001-R006."""
+
+import pytest
+
+from repro.analysis import Severity, analyze
+from repro.datalog.parser import parse_program_spans, parse_query_spans
+from repro.views import ViewCatalog
+
+
+def codes(report):
+    return {diagnostic.code for diagnostic in report}
+
+
+def diags(report, code):
+    return [d for d in report if d.code == code]
+
+
+def run(query_text, view_lines=(), **kwargs):
+    query, query_spans = parse_query_spans(query_text)
+    views = ViewCatalog()
+    view_spans = None
+    if view_lines:
+        rules, view_spans = parse_program_spans("\n".join(view_lines))
+        views = ViewCatalog(rules)
+    return analyze(
+        query,
+        views,
+        query_spans=query_spans,
+        view_spans=view_spans,
+        **kwargs,
+    )
+
+
+class TestUnsafeHeadR001:
+    def test_positive(self):
+        report = run("q(X, Y) :- e(X, Z)")
+        (finding,) = diags(report, "R001")
+        assert finding.severity is Severity.ERROR
+        assert "Y" in finding.message
+        assert finding.span is not None
+
+    def test_negative(self):
+        report = run("q(X, Y) :- e(X, Z), e(Z, Y)")
+        assert "R001" not in codes(report)
+
+    def test_constant_head_argument_is_safe(self):
+        report = run("q(X, a) :- e(X, Y)")
+        assert "R001" not in codes(report)
+
+
+class TestArityMismatchR002:
+    def test_positive_against_declared_schema(self):
+        report = run("q(X) :- e(X, Y)", schema={"e": 3})
+        findings = diags(report, "R002")
+        assert findings and all(f.severity is Severity.ERROR for f in findings)
+        assert "arity 3" in findings[0].message
+
+    def test_positive_cross_consistency_with_view(self):
+        report = run("q(X) :- e(X, Y)", ["v(A) :- e(A, B, B)"])
+        findings = diags(report, "R002")
+        assert findings
+        assert findings[0].subject == "view:v"
+
+    def test_negative(self):
+        report = run(
+            "q(X) :- e(X, Y)", ["v(A) :- e(A, B)"], schema={"e": 2}
+        )
+        assert "R002" not in codes(report)
+
+    def test_schema_match_suppresses_cross_check(self):
+        # With a declared arity, each use is judged against the schema only.
+        report = run("q(X) :- e(X, Y)", schema={"e": 2})
+        assert "R002" not in codes(report)
+
+
+class TestCartesianProductR003:
+    def test_positive(self):
+        report = run("q(X, Y) :- e(X, X), f(Y, Y)")
+        (finding,) = diags(report, "R003")
+        assert finding.severity is Severity.WARNING
+        assert "2 components" in finding.message
+
+    def test_negative_connected(self):
+        report = run("q(X, Y) :- e(X, Z), f(Z, Y)")
+        assert "R003" not in codes(report)
+
+    def test_negative_single_atom(self):
+        report = run("q(X) :- e(X, X)")
+        assert "R003" not in codes(report)
+
+    def test_comparisons_do_not_connect(self):
+        # A comparison atom is not a join; the base atoms stay disconnected.
+        report = run("q(X, Y) :- e(X, X), f(Y, Y), X = Y")
+        assert "R003" in codes(report)
+
+
+class TestContradictoryConstantsR004:
+    def test_positive_direct(self):
+        report = run("q(X) :- e(X, Y), X = a, X = b")
+        findings = diags(report, "R004")
+        assert findings and findings[0].severity is Severity.ERROR
+
+    def test_positive_transitive_chain(self):
+        report = run("q(X) :- e(X, Y), X = a, Y = b, X = Y")
+        assert "R004" in codes(report)
+
+    def test_positive_false_constant_comparison(self):
+        report = run("q(X) :- e(X, Y), 2 > 3")
+        (finding,) = diags(report, "R004")
+        assert "always" in finding.message
+
+    def test_negative_consistent(self):
+        report = run("q(X) :- e(X, Y), X = a, Y = b")
+        assert "R004" not in codes(report)
+
+    def test_negative_repeated_same_constant(self):
+        report = run("q(X) :- e(X, Y), X = a, X = a")
+        assert "R004" not in codes(report)
+
+
+class TestDuplicateSubgoalsR005:
+    def test_positive_with_fix(self):
+        report = run("q(X) :- e(X, Y), e(X, Y)")
+        (finding,) = diags(report, "R005")
+        assert finding.severity is Severity.WARNING
+        assert finding.fix is not None
+        assert finding.fix.count("e(X, Y)") == 1
+
+    def test_negative_distinct_atoms(self):
+        report = run("q(X) :- e(X, Y), e(Y, X)")
+        assert "R005" not in codes(report)
+
+
+class TestIrrelevantViewR006:
+    def test_positive_no_shared_predicate(self):
+        report = run("q(X) :- e(X, Y)", ["v(A) :- f(A, B)"])
+        (finding,) = diags(report, "R006")
+        assert finding.subject == "view:v"
+        assert "no base predicate" in finding.message
+
+    def test_positive_exports_nothing_relevant(self):
+        # v's head exports only the f-side variable; its e-subgoal joins
+        # through existentials alone.
+        report = run("q(X) :- e(X, Y)", ["v(C) :- e(A, B), f(B, C)"])
+        assert "R006" in codes(report)
+
+    def test_negative_useful_view(self):
+        report = run("q(X) :- e(X, Y)", ["v(A, B) :- e(A, B)"])
+        assert "R006" not in codes(report)
+
+
+class TestSpans:
+    def test_view_findings_point_into_the_program_text(self):
+        lines = ["v1(A, B) :- e(A, B)", "v2(A) :- f(A, A)"]
+        report = run("q(X) :- e(X, Y)", lines)
+        (finding,) = diags(report, "R006")
+        text = "\n".join(lines)
+        assert finding.span is not None
+        assert finding.span.line == 2
+        assert text[finding.span.start:finding.span.end] == lines[1]
+
+    def test_schema_finding_points_at_the_offending_atom(self):
+        text = "q(X) :- e(X, Y), f(X)"
+        report = run(text, schema={"f": 2})
+        (finding,) = diags(report, "R002")
+        assert text[finding.span.start:finding.span.end] == "f(X)"
+
+
+@pytest.mark.parametrize(
+    "code", ["R001", "R002", "R003", "R004", "R005", "R006"]
+)
+def test_every_structural_code_is_checked_by_default(code):
+    report = run("q(X) :- e(X, X)")
+    assert code in report.checked

@@ -1,0 +1,133 @@
+"""Cache behaviour when analysis and planning share one PlannerContext.
+
+The semantic lint rules (R101-R103) and the planner bottom out in the
+same memoized containment operations, so running ``analyze`` and
+``plan`` on one :class:`PlannerContext` must (a) never change results,
+(b) let the later phase reuse the earlier phase's cache entries, and
+(c) keep per-phase accounting separable via ``PlannerStats.since``.
+"""
+
+from repro.analysis import analyze
+from repro.datalog import parse_program, parse_query
+from repro.planner import PlannerContext, plan
+from repro.views import ViewCatalog
+
+QUERY = "q(X, Y) :- e(X, Z), e(Z, Y)"
+VIEWS = "v1(A, B) :- e(A, C), e(C, B)\nv2(A, B) :- e(A, B)\n"
+
+
+def catalog():
+    return ViewCatalog(parse_program(VIEWS))
+
+
+class TestSharedResultsUnchanged:
+    def test_plan_results_identical_after_analyze_on_same_context(self):
+        fresh = plan(parse_query(QUERY), catalog())
+        shared = PlannerContext()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        warmed = plan(parse_query(QUERY), catalog(), context=shared)
+        assert set(map(str, warmed.rewritings)) == set(
+            map(str, fresh.rewritings)
+        )
+        assert warmed.outcome.status is fresh.outcome.status
+
+    def test_analyze_results_identical_after_plan_on_same_context(self):
+        shared = PlannerContext()
+        plan(parse_query(QUERY), catalog(), context=shared)
+        warmed = analyze(parse_query(QUERY), catalog(), context=shared)
+        cold = analyze(parse_query(QUERY), catalog())
+        assert [d.code for d in warmed] == [d.code for d in cold]
+
+    def test_cached_and_uncached_reports_agree(self):
+        # caching=False recomputes everything; structural keys are sound,
+        # so the memoized run must report the same findings.
+        views = ViewCatalog(parse_program(
+            VIEWS + "v3(A, B) :- e(A, M), e(M, B)\n"  # duplicate of v1
+        ))
+        cached = analyze(
+            parse_query(QUERY), views, context=PlannerContext()
+        )
+        uncached = analyze(
+            parse_query(QUERY), views,
+            context=PlannerContext(caching=False),
+        )
+        assert [d.code for d in cached] == [d.code for d in uncached]
+        assert [d.subject for d in cached] == [d.subject for d in uncached]
+
+
+class TestCacheReuse:
+    def test_plan_after_analyze_hits_warm_entries(self):
+        shared = PlannerContext()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        before = shared.snapshot()
+        plan(parse_query(QUERY), catalog(), context=shared)
+        delta = shared.snapshot().since(before)
+        cold_context = PlannerContext()
+        plan(parse_query(QUERY), catalog(), context=cold_context)
+        cold = cold_context.snapshot()
+        # Planning on the warm context does strictly fewer fresh
+        # homomorphism searches than on a cold one, and sees hits the
+        # cold run could not.
+        assert delta.hom_searches < cold.hom_searches
+        assert delta.cache_hits > cold.cache_hits
+
+    def test_repeated_analyze_is_served_from_cache(self):
+        shared = PlannerContext()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        before = shared.snapshot()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        delta = shared.snapshot().since(before)
+        assert delta.hom_searches == 0
+        assert delta.cache_misses == 0
+        assert delta.cache_hits > 0
+
+    def test_uncached_context_never_hits(self):
+        context = PlannerContext(caching=False)
+        analyze(parse_query(QUERY), catalog(), context=context)
+        plan(parse_query(QUERY), catalog(), context=context)
+        assert context.cache_hits == 0
+        assert context.cache_misses > 0
+
+
+class TestSinceAccounting:
+    def test_phase_deltas_partition_the_totals(self):
+        shared = PlannerContext()
+        start = shared.snapshot()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        after_analyze = shared.snapshot()
+        plan(parse_query(QUERY), catalog(), context=shared)
+        after_plan = shared.snapshot()
+
+        analyze_delta = after_analyze.since(start)
+        plan_delta = after_plan.since(after_analyze)
+        total = after_plan.since(start)
+        assert (
+            analyze_delta.hom_searches + plan_delta.hom_searches
+            == total.hom_searches
+        )
+        assert (
+            analyze_delta.cache_lookups + plan_delta.cache_lookups
+            == total.cache_lookups
+        )
+        # Each phase did real work under its own window.
+        assert analyze_delta.cache_lookups > 0
+        assert plan_delta.cache_lookups > 0
+
+    def test_per_cache_counters_never_double_count(self):
+        shared = PlannerContext()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        before = shared.snapshot()
+        plan(parse_query(QUERY), catalog(), context=shared)
+        delta = shared.snapshot().since(before)
+        by_name = {name: (hits, misses) for name, hits, misses in delta.caches}
+        assert sum(h for h, _ in by_name.values()) == delta.cache_hits
+        assert sum(m for _, m in by_name.values()) == delta.cache_misses
+        assert all(h >= 0 and m >= 0 for h, m in by_name.values())
+
+    def test_stage_times_accumulate_without_resetting(self):
+        shared = PlannerContext()
+        analyze(parse_query(QUERY), catalog(), context=shared)
+        analyze_seconds = shared.stage_seconds["analyze"]
+        plan(parse_query(QUERY), catalog(), context=shared, preflight=True)
+        assert shared.stage_seconds["analyze"] >= analyze_seconds
+        assert "preflight" in shared.stage_seconds

@@ -1,0 +1,177 @@
+"""Source-span regression tests: every parse error carries a span, and
+recorded spans survive atom/query interning.
+"""
+
+import pytest
+
+from repro.datalog.interning import InternTable
+from repro.datalog.parser import (
+    check_arities,
+    parse_program_spans,
+    parse_query,
+    parse_query_spans,
+)
+from repro.errors import (
+    ArityMismatchError,
+    ParseError,
+    SourceSpan,
+    UnsafeQueryError,
+)
+
+
+class TestSpanFidelity:
+    def test_atom_spans_reconstruct_their_source_text(self):
+        text = "q(X, Y) :- edge(X, Z), edge(Z, Y)"
+        query, spans = parse_query_spans(text)
+        for atom in (query.head, *query.body):
+            span = spans.span_for(atom)
+            assert span is not None
+            assert text[span.start:span.end] == str(atom).replace(", ", ", ")
+
+    def test_rule_span_covers_the_whole_rule(self):
+        text = "  q(X) :- e(X, X)  "
+        query, spans = parse_query_spans(text)
+        span = spans.span_for(query)
+        assert text[span.start:span.end] == "q(X) :- e(X, X)"
+
+    def test_comparison_atom_spans(self):
+        text = "q(X) :- e(X, Y), X < Y"
+        query, spans = parse_query_spans(text)
+        comparison = next(a for a in query.body if a.is_comparison)
+        span = spans.span_for(comparison)
+        assert text[span.start:span.end] == "X < Y"
+
+    def test_program_spans_use_global_offsets_and_lines(self):
+        text = "v1(A, B) :- e(A, B)\n# comment\nv2(A) :- e(A, A)\n"
+        rules, spans = parse_program_spans(text)
+        assert len(rules) == 2
+        first, second = (spans.span_for(rule) for rule in rules)
+        assert (first.line, second.line) == (1, 3)
+        assert text[second.start:second.end] == "v2(A) :- e(A, A)"
+        head_span = spans.span_for(rules[1].head)
+        assert text[head_span.start:head_span.end] == "v2(A)"
+        assert head_span.column == 1
+
+    def test_indented_program_line_column(self):
+        text = "v1(A) :- e(A, A)\n    v2(B) :- e(B, B)"
+        rules, spans = parse_program_spans(text)
+        span = spans.span_for(rules[1])
+        assert span.line == 2
+        assert span.column == 5
+        assert text[span.start:span.end] == "v2(B) :- e(B, B)"
+
+
+class TestErrorsCarrySpans:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "q(X :- e(X)",          # unbalanced head
+            "q(X) : e(X)",          # bad separator
+            "q(X) :- e(X,)",        # dangling comma
+            "q(X) :- ",             # empty body
+            "(X) :- e(X)",          # missing predicate
+            "q(X) :- e(X) junk",    # trailing garbage
+        ],
+    )
+    def test_parse_error_span(self, text):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query(text)
+        span = excinfo.value.span
+        assert isinstance(span, SourceSpan)
+        assert 0 <= span.start <= len(text)
+
+    def test_unsafe_query_error_span_points_at_the_head(self):
+        text = "q(X, Y) :- e(X, X)"
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            parse_query(text, require_safe=True)
+        span = excinfo.value.span
+        assert span is not None
+        assert text[span.start:span.end] == "q(X, Y)"
+
+    def test_arity_error_span_points_at_the_offending_atom(self):
+        text = "q(X) :- e(X, X), e(X, X, X)"
+        with pytest.raises(ArityMismatchError) as excinfo:
+            parse_query(text, consistent_arities=True)
+        span = excinfo.value.span
+        assert span is not None
+        assert text[span.start:span.end] == "e(X, X, X)"
+
+    def test_program_error_spans_are_global(self):
+        text = "v1(A) :- e(A, A)\nv2(B) :- e(B,)\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_program_spans(text)
+        span = excinfo.value.span
+        assert span is not None
+        assert span.line == 2
+        assert span.start > text.index("\n")
+
+    def test_check_arities_standalone_attaches_span(self):
+        text = "p(Y) :- e(Y, Y, Y)"
+        query, qspans = parse_query_spans("q(X) :- e(X, X)")
+        other, ospans = parse_query_spans(text)
+        qspans.merge(ospans)
+        known = check_arities(query, origin="q", source_map=qspans)
+        with pytest.raises(ArityMismatchError) as excinfo:
+            check_arities(other, known, origin="p", source_map=qspans)
+        span = excinfo.value.span
+        assert span is not None
+        assert text[span.start:span.end] == "e(Y, Y, Y)"
+
+
+class TestSpansSurviveInterning:
+    def test_atom_spans_survive_intern_table(self):
+        text = "q(X, Y) :- e(X, Z), e(Z, Y)"
+        query, spans = parse_query_spans(text)
+        table = InternTable()
+        table.query_key(query)
+        for atom in query.body:
+            key = table.atom_key(atom)
+            assert isinstance(key, int)
+            assert spans.span_for(atom) is not None
+
+    def test_structurally_equal_atoms_keep_distinct_spans(self):
+        # Interning maps both copies to one key, but each parsed object
+        # keeps its own source location.
+        text = "q(X) :- e(X, X), e(X, X)"
+        query, spans = parse_query_spans(text)
+        first, second = query.body
+        table = InternTable()
+        assert table.atom_key(first) == table.atom_key(second)
+        s1, s2 = spans.span_for(first), spans.span_for(second)
+        assert (s1.start, s1.end) != (s2.start, s2.end)
+        assert text[s1.start:s1.end] == text[s2.start:s2.end] == "e(X, X)"
+
+    def test_spans_survive_planning_on_the_parsed_objects(self):
+        # End to end: plan() interns the query's atoms into the context's
+        # table; the span map still resolves afterwards.
+        from repro.planner import plan
+        from repro.views import ViewCatalog
+
+        qtext = "q(X, Y) :- e(X, Z), e(Z, Y)"
+        vtext = "v(A, B) :- e(A, B)"
+        query, qspans = parse_query_spans(qtext)
+        views, vspans = parse_program_spans(vtext)
+        result = plan(query, ViewCatalog(views))
+        assert result.rewritings
+        for atom in (query.head, *query.body):
+            assert qspans.span_for(atom) is not None
+        assert vspans.span_for(views[0]) is not None
+
+
+class TestSourceSpanValue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceSpan(-1, 2)
+        with pytest.raises(ValueError):
+            SourceSpan(5, 2)
+
+    def test_shifted_and_length(self):
+        span = SourceSpan(3, 7, line=1, column=4)
+        moved = span.shifted(offset=10, lines=2)
+        assert (moved.start, moved.end, moved.line) == (13, 17, 3)
+        assert moved.length == span.length == 4
+
+    def test_json_and_str(self):
+        span = SourceSpan(2, 5, line=1, column=3)
+        assert span.to_json() == {"start": 2, "end": 5, "line": 1, "column": 3}
+        assert "offset 2" in str(span)
