@@ -81,7 +81,12 @@ def _benchmark_rows(session):
     """One JSON-ready row per benchmark that ran this session."""
     bench_session = getattr(session.config, "_benchmarksession", None)
     benches = list(bench_session.benchmarks) if bench_session else []
-    benches.extend(b for b in _INSTRUMENTED if b not in benches)
+    # With benchmarking enabled the session list already holds one entry
+    # per test; the instrumented fixtures only fill the gap that
+    # --benchmark-disable leaves.  Dedup by name, not identity — the
+    # fixture and its session record are distinct objects.
+    names = {bench.name for bench in benches}
+    benches.extend(b for b in _INSTRUMENTED if b.name not in names)
     rows = []
     for bench in benches:
         row = {
@@ -92,12 +97,15 @@ def _benchmark_rows(session):
         }
         stats = getattr(bench, "stats", None)
         if stats is not None:  # absent under --benchmark-disable
+            # Session records nest the numbers one level deeper
+            # (metadata.stats.stats) than the fixture objects do.
+            timings = getattr(stats, "stats", stats)
             row["timing_seconds"] = {
-                "min": stats.stats.min,
-                "mean": stats.stats.mean,
-                "max": stats.stats.max,
-                "stddev": stats.stats.stddev,
-                "rounds": stats.stats.rounds,
+                "min": timings.min,
+                "mean": timings.mean,
+                "max": timings.max,
+                "stddev": timings.stddev,
+                "rounds": getattr(timings, "rounds", None),
             }
         rows.append(row)
     return rows

@@ -78,10 +78,14 @@ from .baselines import bucket_algorithm, certain_answers, minicon
 from .errors import (
     ArityMismatchError,
     BudgetExceededError,
+    CacheCorruptionError,
+    CircuitOpenError,
     DuplicateViewError,
     MalformedQueryError,
     ParseError,
     ReproError,
+    RetryExhaustedError,
+    ServiceError,
     UnknownViewError,
     UnsafeQueryError,
     UnsupportedQueryError,
@@ -104,6 +108,13 @@ from .planner import (
     register_backend,
 )
 from .mediator import MediatedAnswer, Mediator
+from .service import (
+    ExecutionOutcome,
+    PlanCache,
+    PlanRequest,
+    ResilientExecutor,
+    ServicePolicy,
+)
 from .workload import WorkloadConfig, generate_workload
 
 __version__ = "1.0.0"
@@ -114,9 +125,12 @@ __all__ = [
     "Atom",
     "BudgetExceededError",
     "BudgetMeter",
+    "CacheCorruptionError",
+    "CircuitOpenError",
     "ConjunctiveQuery",
     "Constant",
     "DuplicateViewError",
+    "ExecutionOutcome",
     "MalformedQueryError",
     "MediatedAnswer",
     "Mediator",
@@ -124,15 +138,21 @@ __all__ = [
     "Database",
     "ParseError",
     "PhysicalPlan",
+    "PlanCache",
     "PlanOutcome",
+    "PlanRequest",
     "PlanResult",
     "PlanStatus",
     "PlannerContext",
     "PlannerStats",
     "Relation",
     "ReproError",
+    "ResilientExecutor",
     "ResourceBudget",
+    "RetryExhaustedError",
     "RewriterBackend",
+    "ServiceError",
+    "ServicePolicy",
     "StatisticsCatalog",
     "UnknownBackendError",
     "UnknownViewError",

@@ -6,6 +6,8 @@ Subcommands::
     python -m repro optimize "q(X) :- e(X, X)" --views views.dl --data db.json
     python -m repro certain  "q(X) :- e(X, X)" --views views.dl --view-data v.json
     python -m repro lint     "q(X) :- e(X, X)" --views views.dl [--format json]
+    python -m repro batch    requests.ndjson --views views.dl [--cache DIR]
+    python -m repro faults   list [--format json]
     python -m repro figures fig6a [--full] [--csv DIR]
 
 * ``rewrite`` runs a rewriting backend (CoreCover by default) and prints
@@ -27,6 +29,14 @@ Subcommands::
   (:class:`repro.errors.AnalysisError`).  ``rewrite`` and ``optimize``
   accept ``--preflight`` to run the same rules before planning and stop
   on error-severity findings.
+* ``batch`` runs the :mod:`repro.service` resilient executor over
+  NDJSON requests (one JSON object per line; ``-`` reads stdin) and
+  emits one JSON outcome per line: status, attempts, backend used,
+  breaker states, degraded flag.  Failures never abort the batch; the
+  process exit code summarizes them afterwards.
+* ``faults`` introspects the deterministic fault-injection harness;
+  ``faults list`` enumerates every registered injection point, so chaos
+  tests and docs cannot silently drift from the registry.
 * ``figures`` regenerates the Section 7 experiment series (delegates to
   :mod:`repro.experiments.figures`).
 
@@ -63,7 +73,9 @@ from .planner import (
 from .views import ViewCatalog
 
 #: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
-_SUBCOMMANDS = ("rewrite", "optimize", "certain", "lint", "figures")
+_SUBCOMMANDS = (
+    "rewrite", "optimize", "certain", "lint", "batch", "faults", "figures",
+)
 
 
 def _load_text(value: str) -> str:
@@ -160,6 +172,13 @@ def _handle_preflight(planned, *, verbose: bool) -> int | None:
             print("   ", diagnostic)
         if verbose:
             _print_planner_stats(planned.stats)
+        errors = [d for d in outcome.diagnostics if d.severity.name == "ERROR"]
+        rejection = AnalysisError(
+            f"preflight rejected the input with {len(errors)} "
+            "error-severity diagnostic(s)",
+            diagnostics=tuple(outcome.diagnostics),
+        )
+        print(structured_error(rejection), file=sys.stderr)
         return AnalysisError.exit_code
     # Clean-enough preflight: surface the advisories without polluting the
     # machine-readable result stream.
@@ -401,7 +420,117 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.fail_on == "never":
         return 0
     threshold = Severity.from_name(args.fail_on)
-    return AnalysisError.exit_code if report.at_least(threshold) else 0
+    offending = report.at_least(threshold)
+    if offending:
+        # Raising (rather than returning the code) routes through
+        # main()'s taxonomy handler, so ``repro lint`` failures carry
+        # the same structured one-line JSON on stderr as every other
+        # taxonomy error.
+        raise AnalysisError(
+            f"{len(offending)} diagnostic(s) at or above "
+            f"{args.fail_on} severity",
+            diagnostics=tuple(offending),
+        )
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Supervised NDJSON batch execution over the failover chain."""
+    from .service import (
+        BreakerPolicy,
+        PlanCache,
+        ResilientExecutor,
+        RetryPolicy,
+        ServicePolicy,
+        parse_requests,
+        run_batch,
+    )
+
+    views = _load_views(args.views)
+    chain = tuple(
+        name.strip() for name in args.chain.split(",") if name.strip()
+    )
+    policy = ServicePolicy(
+        chain=chain,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_delay=args.retry_base_delay,
+        ),
+        breaker=BreakerPolicy(
+            window=args.breaker_window,
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+    )
+    cache = None
+    if args.cache is not None:
+        cache = PlanCache(
+            args.cache,
+            ttl_seconds=args.cache_ttl,
+            strict=args.strict_cache,
+        )
+    executor = ResilientExecutor(policy, cache=cache)
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        lines = Path(args.requests).read_text().splitlines()
+    requests = parse_requests(lines, views, default_budget=_build_budget(args))
+
+    counts = {"ok": 0, "degraded": 0, "failed": 0}
+    last_error: BaseException | None = None
+    for outcome in run_batch(executor, requests):
+        counts[outcome.status] += 1
+        if outcome.error is not None:
+            last_error = outcome.error
+        if args.format == "json":
+            print(json.dumps(outcome.to_json()))
+        else:
+            print(
+                f"{outcome.request_id}: {outcome.status} "
+                f"backend={outcome.backend_used or '-'} "
+                f"attempts={outcome.attempts} cache={outcome.cache} "
+                f"degraded={str(outcome.degraded).lower()} "
+                f"rewritings={len(outcome.rewritings)}"
+            )
+            for rewriting in outcome.rewritings:
+                print("   ", rewriting)
+    print(
+        f"batch: {counts['ok']} ok, {counts['degraded']} degraded, "
+        f"{counts['failed']} failed",
+        file=sys.stderr,
+    )
+    if last_error is not None:
+        # Outcome lines were all emitted; the exit status reflects the
+        # batch's *final* failure mode through the taxonomy handler —
+        # e.g. 75 (circuit open) when the chain ended up breaker-open,
+        # which tells the operator "back off and retry later".
+        raise last_error
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Introspection of the fault-injection registry."""
+    from .testing.faults import describe_injection_points
+
+    pairs = describe_injection_points()
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "injection_points": [
+                        {"point": point, "description": description}
+                        for point, description in pairs
+                    ]
+                },
+                indent=2,
+            )
+        )
+    else:
+        width = max(len(point) for point, _ in pairs)
+        for point, description in pairs:
+            print(f"{point:<{width}}  {description}")
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -568,6 +697,73 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--sql-schema", metavar="JSON", default=None,
                       help="treat the query as SQL with this schema file")
     lint.set_defaults(func=_cmd_lint)
+
+    batch = sub.add_parser(
+        "batch",
+        help="resilient NDJSON batch execution (retry, breakers, failover)",
+    )
+    batch.add_argument(
+        "requests",
+        help="NDJSON request file (one JSON object per line), or - for stdin",
+    )
+    batch.add_argument("--views", required=True, help="datalog program file")
+    batch.add_argument(
+        "--chain", default="corecover,bucket,naive", metavar="NAMES",
+        help="comma-separated backend failover chain "
+             "(default: corecover,bucket,naive)",
+    )
+    batch.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="planning attempts per backend before failing over",
+    )
+    batch.add_argument(
+        "--retry-base-delay", type=float, default=0.05, metavar="SECONDS",
+        help="first backoff ceiling; doubles per attempt with full jitter",
+    )
+    batch.add_argument(
+        "--breaker-window", type=int, default=10, metavar="N",
+        help="sliding outcome window per backend circuit breaker",
+    )
+    batch.add_argument(
+        "--breaker-threshold", type=float, default=0.5, metavar="RATE",
+        help="failure rate at which a breaker opens",
+    )
+    batch.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="seconds an open breaker waits before a half-open trial",
+    )
+    batch.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="crash-safe on-disk plan cache directory (checksummed, "
+             "content-addressed entries)",
+    )
+    batch.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="entries older than this are stale: skipped on the normal "
+             "path, served with degraded=true when all backends are down",
+    )
+    batch.add_argument(
+        "--strict-cache", action="store_true",
+        help="raise on cache corruption (exit 76) instead of treating "
+             "corrupt entries as misses",
+    )
+    batch.add_argument(
+        "--format", choices=["json", "text"], default="json",
+        help="outcome rendering: NDJSON (default) or human-readable text",
+    )
+    _add_budget_flags(batch)
+    batch.set_defaults(func=_cmd_batch)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection harness introspection"
+    )
+    faults.add_argument("action", choices=["list"],
+                        help="'list' enumerates registered injection points")
+    faults.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format",
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     figures = sub.add_parser("figures", help="regenerate Section 7 figures")
     figures.add_argument("figure", help="fig6a..fig9b or 'all'")

@@ -13,7 +13,13 @@ can distinguish
 * **resource errors** — a :class:`repro.planner.limits.ResourceBudget`
   was exhausted (:class:`BudgetExceededError`), which in non-strict mode
   the planner converts into an anytime
-  :class:`~repro.planner.limits.PlanOutcome` instead of raising.
+  :class:`~repro.planner.limits.PlanOutcome` instead of raising; from
+* **service errors** — the :mod:`repro.service` resilient executor ran
+  out of options: every backend in the failover chain failed
+  (:class:`RetryExhaustedError`), every breaker was open
+  (:class:`CircuitOpenError`), or the on-disk plan cache is unusable
+  (:class:`CacheCorruptionError`); all derive from
+  :class:`ServiceError`.
 
 Backwards compatibility: the refined classes keep subclassing the
 built-in exceptions historically raised at the same sites
@@ -35,10 +41,14 @@ __all__ = [
     "AnalysisError",
     "ArityMismatchError",
     "BudgetExceededError",
+    "CacheCorruptionError",
+    "CircuitOpenError",
     "DuplicateViewError",
     "MalformedQueryError",
     "ParseError",
     "ReproError",
+    "RetryExhaustedError",
+    "ServiceError",
     "SourceSpan",
     "UnknownViewError",
     "UnsafeQueryError",
@@ -194,6 +204,79 @@ class BudgetExceededError(ReproError):
     def __init__(self, message: str, *, resource: str | None = None) -> None:
         super().__init__(message)
         self.resource = resource
+
+
+class ServiceError(ReproError):
+    """Base class of the resilient-executor error family.
+
+    Raised by :mod:`repro.service` when supervised execution — retries,
+    circuit breakers, failover, the plan cache — cannot produce a
+    certified answer.  The refinements carry the exit codes the
+    ``repro batch`` subcommand maps to its process status.
+    """
+
+    exit_code = 70
+
+
+class RetryExhaustedError(ServiceError):
+    """Every backend in the failover chain was tried and failed.
+
+    ``attempts`` counts planning attempts across the whole chain;
+    ``failures`` maps backend name to the final exception it produced
+    (or the reason it was skipped).
+    """
+
+    exit_code = 74
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        failures: dict[str, BaseException] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.failures = dict(failures or {})
+
+
+class CircuitOpenError(ServiceError):
+    """A backend was skipped because its circuit breaker is open.
+
+    Raised to the caller only when *every* backend in the chain was
+    circuit-open (otherwise failover absorbs it); ``retry_after``
+    estimates seconds until the earliest breaker half-opens.
+    """
+
+    exit_code = 75
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.retry_after = retry_after
+
+
+class CacheCorruptionError(ServiceError):
+    """A plan-cache entry or the cache store itself is unusable.
+
+    In the default (lenient) mode the cache converts entry-level
+    corruption — torn writes, bit flips, truncation, checksum
+    mismatches — into a *miss* and only counts it; this error reaches
+    the caller when the cache root itself is unusable (e.g. the path is
+    a file) or when strict mode asks corruption to be fatal.
+    """
+
+    exit_code = 76
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
 
 
 def structured_error(error: BaseException) -> str:

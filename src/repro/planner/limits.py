@@ -105,6 +105,24 @@ class ResourceBudget:
             or _is_limit(self.max_rewritings)
         )
 
+    def with_deadline(self, seconds: float | None) -> "ResourceBudget":
+        """This budget with ``deadline_seconds`` replaced by *seconds*.
+
+        The resilient executor uses this to hand each retry attempt the
+        *remaining* share of the request deadline while keeping the
+        count limits intact.  Negative remainders clamp to zero (an
+        already-expired deadline, not an error).
+        """
+        if seconds is not None and seconds < 0:
+            seconds = 0.0
+        return ResourceBudget(
+            deadline_seconds=seconds,
+            max_hom_searches=self.max_hom_searches,
+            max_view_tuples=self.max_view_tuples,
+            max_rewritings=self.max_rewritings,
+            strict=self.strict,
+        )
+
     def start(
         self, clock: Callable[[], float] = time.monotonic
     ) -> "BudgetMeter":

@@ -1,0 +1,65 @@
+"""The resilient plan-execution service layer.
+
+This package turns the planner registry's ``plan()`` into something a
+serving tier can sit on: supervised execution with retry/backoff,
+per-backend circuit breakers, a certified failover chain, and a
+crash-safe on-disk plan cache with an explicit stale-serving degraded
+mode.  See :mod:`repro.service.executor` for the full contract and
+``docs/robustness.md`` for the operational story.
+
+Quickstart::
+
+    from repro.service import PlanRequest, ResilientExecutor
+
+    executor = ResilientExecutor()          # corecover -> bucket -> naive
+    outcome = executor.execute(PlanRequest(query, views))
+    outcome.status        # "ok" | "degraded" | "failed"
+    outcome.backend_used  # which backend's (certified) answer was served
+    outcome.attempts      # planning attempts across the failover chain
+"""
+
+from .batch import parse_request_line, parse_requests, run_batch
+from .breaker import BreakerState, CircuitBreaker
+from .cache import CachedPlan, PlanCache, request_key
+from .executor import (
+    BackendFailure,
+    ExecutionOutcome,
+    PlanRequest,
+    ResilientExecutor,
+)
+from .failover import (
+    ChainConfigError,
+    certify_rewritings,
+    is_quarantined,
+    quarantine,
+    quarantined_backends,
+    reset_quarantine,
+    resolve_chain,
+)
+from .policy import DEFAULT_CHAIN, BreakerPolicy, RetryPolicy, ServicePolicy
+
+__all__ = [
+    "BackendFailure",
+    "BreakerPolicy",
+    "BreakerState",
+    "CachedPlan",
+    "ChainConfigError",
+    "CircuitBreaker",
+    "DEFAULT_CHAIN",
+    "ExecutionOutcome",
+    "PlanCache",
+    "PlanRequest",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "ServicePolicy",
+    "certify_rewritings",
+    "is_quarantined",
+    "parse_request_line",
+    "parse_requests",
+    "quarantine",
+    "quarantined_backends",
+    "request_key",
+    "reset_quarantine",
+    "resolve_chain",
+    "run_batch",
+]

@@ -1,0 +1,132 @@
+"""NDJSON request intake and outcome rendering for ``repro batch``.
+
+A batch is newline-delimited JSON: one request object per line, one
+outcome object per line out (same order).  A request looks like::
+
+    {"id": "r1", "query": "q(X) :- car(X, Y), loc(Y, Z)"}
+    {"id": "r2", "query": "...", "views": ["v1", "v4"], "timeout": 0.5}
+
+Fields:
+
+* ``query`` (required) — the datalog rule text.  Parsed strictly: an
+  unsafe head raises :class:`~repro.errors.UnsafeQueryError` and
+  inconsistent predicate arities raise
+  :class:`~repro.errors.ArityMismatchError` — a serving tier rejects
+  malformed requests at intake rather than deep inside a backend.
+* ``id`` (optional) — echoed into the outcome for correlation; defaults
+  to the 1-based line number.
+* ``views`` (optional) — restrict the catalog to these view names for
+  this request; an unknown name raises
+  :class:`~repro.errors.UnknownViewError`.
+* ``timeout`` (optional) — per-request deadline in seconds, overriding
+  the CLI-level budget's deadline.
+* ``options`` (optional) — forwarded to the backend (e.g.
+  ``max_rewritings``).
+
+Intake errors are **fail-fast**: NDJSON comes from a machine producer,
+so a malformed line is a producer bug the whole batch should surface
+(with the taxonomy exit code), not something to paper over per-line.
+Operational failures, by contrast, never abort the batch — they are
+emitted as ``"status": "failed"`` outcome lines and summarized in the
+process exit code afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from ..datalog.parser import parse_query
+from ..errors import ParseError
+from ..planner.limits import ResourceBudget
+from ..views.view import ViewCatalog
+from .executor import ExecutionOutcome, PlanRequest, ResilientExecutor
+
+__all__ = ["parse_request_line", "parse_requests", "run_batch"]
+
+
+def parse_request_line(
+    line: str,
+    catalog: ViewCatalog,
+    *,
+    number: int,
+    default_budget: ResourceBudget | None = None,
+) -> PlanRequest:
+    """One NDJSON line -> a validated :class:`PlanRequest`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParseError(
+            f"request line {number}: invalid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict) or "query" not in payload:
+        raise ParseError(
+            f"request line {number}: expected an object with a "
+            '"query" field'
+        )
+    try:
+        query = parse_query(
+            str(payload["query"]),
+            require_safe=True,
+            consistent_arities=True,
+        )
+    except ParseError as error:
+        raise type(error)(
+            f"request line {number}: {error}", span=error.span
+        ) from None
+
+    views = catalog
+    if "views" in payload:
+        names = payload["views"]
+        if not isinstance(names, list):
+            raise ParseError(
+                f'request line {number}: "views" must be a list of names'
+            )
+        views = ViewCatalog(catalog.get(str(name)) for name in names)
+
+    budget = default_budget
+    if "timeout" in payload:
+        timeout = float(payload["timeout"])
+        budget = (
+            budget.with_deadline(timeout)
+            if budget is not None
+            else ResourceBudget(deadline_seconds=timeout)
+        )
+
+    options = payload.get("options", {})
+    if not isinstance(options, dict):
+        raise ParseError(
+            f'request line {number}: "options" must be an object'
+        )
+    return PlanRequest(
+        query=query,
+        views=views,
+        id=str(payload.get("id", number)),
+        options=options,
+        budget=budget,
+    )
+
+
+def parse_requests(
+    lines: Iterable[str],
+    catalog: ViewCatalog,
+    *,
+    default_budget: ResourceBudget | None = None,
+) -> Iterator[PlanRequest]:
+    """Parse every non-empty NDJSON line into a request (fail-fast)."""
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        yield parse_request_line(
+            stripped, catalog, number=number, default_budget=default_budget
+        )
+
+
+def run_batch(
+    executor: ResilientExecutor,
+    requests: Iterable[PlanRequest],
+) -> Iterator[ExecutionOutcome]:
+    """Execute requests in order, yielding outcomes as they complete."""
+    for request in requests:
+        yield executor.execute(request)

@@ -1,0 +1,143 @@
+"""Per-backend circuit breakers.
+
+A :class:`CircuitBreaker` tracks the recent success/failure history of
+one backend in a sliding window and walks the classic three-state
+machine:
+
+* **CLOSED** — calls flow through; every outcome is recorded.  When the
+  window holds at least ``min_calls`` outcomes and the failure rate
+  reaches ``failure_threshold``, the breaker trips to OPEN.
+* **OPEN** — calls are refused (:meth:`CircuitBreaker.allow` returns
+  ``False``) until ``cooldown_seconds`` have elapsed since the trip,
+  after which the next ``allow()`` admits exactly one **trial** call and
+  moves to HALF_OPEN.
+* **HALF_OPEN** — the trial call's outcome decides: success closes the
+  breaker (window reset), failure re-opens it and re-anchors the
+  cooldown.
+
+The clock is injectable so tests drive the cooldown deterministically;
+production uses ``time.monotonic``.  Breakers are deliberately
+single-threaded — the executor owns one per backend and the batch CLI
+is a sequential request loop.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque
+
+from .policy import BreakerPolicy
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker for one backend."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        #: Recent outcomes, ``True`` = failure, newest last.
+        self._window: Deque[bool] = deque(maxlen=self.policy.window)
+        self._opened_at: float | None = None
+        #: Whether the HALF_OPEN trial call is currently outstanding.
+        self._trial_inflight = False
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        """The current state (OPEN reports itself even mid-cooldown)."""
+        return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        """Failures over the current window (0.0 when empty)."""
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    def retry_after(self) -> float:
+        """Seconds until an OPEN breaker admits a trial (0 otherwise)."""
+        if self._state is not BreakerState.OPEN or self._opened_at is None:
+            return 0.0
+        remaining = (
+            self._opened_at + self.policy.cooldown_seconds - self._clock()
+        )
+        return max(0.0, remaining)
+
+    # -- the state machine --------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed now.
+
+        An OPEN breaker past its cooldown transitions to HALF_OPEN and
+        admits exactly one trial call; further calls are refused until
+        the trial's outcome is recorded.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if self.retry_after() > 0:
+                return False
+            self._state = BreakerState.HALF_OPEN
+            self._trial_inflight = True
+            return True
+        # HALF_OPEN: only the single outstanding trial is admitted.
+        if not self._trial_inflight:
+            self._trial_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A call succeeded; a HALF_OPEN trial success closes the breaker."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._reset()
+            return
+        self._window.append(False)
+
+    def record_failure(self) -> None:
+        """A call failed; may trip CLOSED->OPEN or HALF_OPEN->OPEN."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._window.append(True)
+        # The volume floor can never exceed the window size, or a small
+        # window could make the breaker impossible to trip.
+        floor = min(self.policy.min_calls, self.policy.window)
+        if (
+            len(self._window) >= floor
+            and self.failure_rate >= self.policy.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._trial_inflight = False
+
+    def _reset(self) -> None:
+        self._state = BreakerState.CLOSED
+        self._window.clear()
+        self._opened_at = None
+        self._trial_inflight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker({self._state.value}, "
+            f"rate={self.failure_rate:.2f}, n={len(self._window)})"
+        )

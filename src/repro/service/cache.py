@@ -1,0 +1,215 @@
+"""Crash-safe on-disk plan cache with integrity checking.
+
+Entries are **content-addressed**: the key is a SHA-256 over a canonical
+rendering of the request — the query text, the sorted view-definition
+texts, and the planner configuration (chain, cost model, backend
+options) — so two textually different but identical requests share one
+entry and any input change misses cleanly.
+
+Each entry is one JSON file ``<key>.json`` shaped as::
+
+    {"checksum": "<sha256 of canonical payload JSON>", "payload": {...}}
+
+Integrity model:
+
+* **Torn-write detection** — writes go to a temp file in the same
+  directory, are flushed and fsynced, then atomically ``os.replace``d
+  into place.  A crash mid-write leaves either the old entry or a temp
+  file the reader never looks at — never a half-written entry under the
+  real name.
+* **Corruption detection** — readers re-hash the payload and compare
+  with the stored checksum; a bit flip, truncation, or hand-edited
+  entry fails the comparison.  Corruption (and any other read failure)
+  is converted into a **miss** and counted in ``corruptions`` — never a
+  wrong plan, never a crash.  With ``strict=True`` corruption raises
+  :class:`~repro.errors.CacheCorruptionError` instead.
+* **Staleness** — entries older than ``ttl_seconds`` are not served on
+  the normal path but remain on disk; the executor re-reads them with
+  ``allow_stale=True`` as a last resort when every backend is
+  unavailable (the explicit degraded mode).
+
+The chaos harness hooks in at the ``cache_read`` / ``cache_write``
+injection points, fired before each disk access.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from ..errors import BudgetExceededError, CacheCorruptionError
+from ..testing.faults import fire
+
+__all__ = ["CachedPlan", "PlanCache", "request_key"]
+
+_KEY_VERSION = 1  # bump to invalidate every existing entry
+
+
+def _canonical(payload: Mapping) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def request_key(
+    query_text: str,
+    view_texts: Sequence[str],
+    config: Mapping | None = None,
+) -> str:
+    """The content-addressed cache key for one planning request."""
+    material = _canonical(
+        {
+            "version": _KEY_VERSION,
+            "query": query_text.strip(),
+            "views": sorted(text.strip() for text in view_texts),
+            "config": dict(config or {}),
+        }
+    )
+    return hashlib.sha256(material).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One cached planning result (texts only — parse to reuse)."""
+
+    backend: str
+    rewritings: tuple[str, ...]
+    plan_status: str
+    created_at: float
+
+    def to_payload(self) -> dict:
+        return {
+            "backend": self.backend,
+            "rewritings": list(self.rewritings),
+            "plan_status": self.plan_status,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CachedPlan":
+        return cls(
+            backend=payload["backend"],
+            rewritings=tuple(payload["rewritings"]),
+            plan_status=payload["plan_status"],
+            created_at=float(payload["created_at"]),
+        )
+
+
+class PlanCache:
+    """A directory of checksummed, atomically-written plan entries."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        ttl_seconds: float | None = None,
+        strict: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise CacheCorruptionError(
+                f"plan cache root {self.root} exists and is not a directory",
+                path=str(self.root),
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.ttl_seconds = ttl_seconds
+        self.strict = strict
+        self._clock = clock
+        self.hits = 0
+        self.misses = 0
+        #: Misses caused by detected corruption (checksum/shape/IO).
+        self.corruptions = 0
+        #: Hits served past their TTL (degraded mode only).
+        self.stale_hits = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def is_stale(self, plan: CachedPlan) -> bool:
+        """Whether *plan* is past the cache TTL (fresh when no TTL)."""
+        if self.ttl_seconds is None:
+            return False
+        return self._clock() - plan.created_at > self.ttl_seconds
+
+    def read(self, key: str, *, allow_stale: bool = False) -> CachedPlan | None:
+        """The entry under *key*, or ``None`` on miss/corruption/staleness.
+
+        ``allow_stale=True`` serves entries past their TTL (counted in
+        ``stale_hits``) — the executor's all-backends-down path.
+        """
+        path = self._path(key)
+        try:
+            fire("cache_read")
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except BudgetExceededError:
+            raise  # cooperative cancellation is not a cache failure
+        except Exception as exc:
+            return self._corrupt(path, f"unreadable entry: {exc}")
+        try:
+            document = json.loads(raw)
+            checksum = document["checksum"]
+            payload = document["payload"]
+            if hashlib.sha256(_canonical(payload)).hexdigest() != checksum:
+                return self._corrupt(path, "checksum mismatch")
+            plan = CachedPlan.from_payload(payload)
+        except CacheCorruptionError:
+            raise
+        except Exception as exc:
+            return self._corrupt(path, f"malformed entry: {exc}")
+        if self.is_stale(plan) and not allow_stale:
+            self.misses += 1
+            return None
+        if self.is_stale(plan):
+            self.stale_hits += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def write(self, key: str, plan: CachedPlan) -> None:
+        """Atomically persist *plan* under *key* (temp file + replace).
+
+        Write failures follow the same lenient/strict split as reads: a
+        cache that cannot persist must not take down serving.
+        """
+        path = self._path(key)
+        payload = plan.to_payload()
+        document = {
+            "checksum": hashlib.sha256(_canonical(payload)).hexdigest(),
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            fire("cache_write")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            self.writes += 1
+        except BudgetExceededError:
+            tmp.unlink(missing_ok=True)
+            raise
+        except Exception as exc:
+            tmp.unlink(missing_ok=True)
+            if self.strict:
+                raise CacheCorruptionError(
+                    f"plan cache write failed: {exc}", path=str(path)
+                ) from exc
+
+    def _corrupt(self, path: Path, reason: str) -> None:
+        self.corruptions += 1
+        self.misses += 1
+        if self.strict:
+            raise CacheCorruptionError(
+                f"corrupt plan-cache entry {path.name}: {reason}",
+                path=str(path),
+            )
+        return None

@@ -1,0 +1,113 @@
+"""Failover-chain support: certification gates and backend quarantine.
+
+The executor walks a configurable backend chain (default
+``corecover -> bucket -> naive``).  Results from the *primary* backend
+are trusted the way direct ``plan()`` callers trust them; results from a
+**fallback** are held to a higher bar, because a chain only exists when
+something is already going wrong:
+
+* every rewriting a fallback returns must pass the package's own
+  closed-world equivalence check
+  (:func:`repro.views.rewriting.is_equivalent_rewriting` — the same
+  Definition 2.3 test :mod:`repro.core.certify` runs) before it is
+  served;
+* a backend that emits an **uncertifiable** rewriting is *quarantined
+  for the process lifetime*: it produced a wrong answer, which is
+  categorically worse than producing none, so no later request may
+  fail over into it.
+
+The quarantine registry is module-global (one process, one serving
+tier); tests reset it via :func:`reset_quarantine`.
+"""
+
+from __future__ import annotations
+
+from ..datalog.query import ConjunctiveQuery
+from ..errors import ReproError
+from ..planner.registry import get_backend
+from ..views.rewriting import is_equivalent_rewriting
+from ..views.view import ViewCatalog
+
+__all__ = [
+    "ChainConfigError",
+    "certify_rewritings",
+    "is_quarantined",
+    "quarantine",
+    "quarantined_backends",
+    "reset_quarantine",
+    "resolve_chain",
+]
+
+
+class ChainConfigError(ReproError, ValueError):
+    """The failover chain configuration is invalid (exit code 70)."""
+
+#: Backends barred for the process lifetime after emitting an
+#: uncertifiable rewriting.  Maps backend name -> reason string.
+_QUARANTINED: dict[str, str] = {}
+
+
+def resolve_chain(names: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    """Validate and normalize a failover chain against the registry.
+
+    Raises :class:`~repro.planner.registry.UnknownBackendError` for
+    unregistered names, and :class:`~repro.errors.ReproError` (also a
+    ``ValueError``) for duplicates or backends (like ``inverse-rules``)
+    that cannot produce equivalent rewritings and therefore cannot
+    serve a rewriting request.
+    """
+    resolved: list[str] = []
+    for name in names:
+        backend = get_backend(name)
+        if not backend.produces_rewritings:
+            raise ChainConfigError(
+                f"backend {backend.name!r} emits a maximally-contained "
+                "program, not equivalent rewritings; it cannot serve in "
+                "a failover chain"
+            )
+        if backend.name in resolved:
+            raise ChainConfigError(
+                f"duplicate backend {backend.name!r} in chain"
+            )
+        resolved.append(backend.name)
+    if not resolved:
+        raise ChainConfigError(
+            "the failover chain must name at least one backend"
+        )
+    return tuple(resolved)
+
+
+def certify_rewritings(
+    rewritings: tuple[ConjunctiveQuery, ...],
+    query: ConjunctiveQuery,
+    views: ViewCatalog,
+) -> tuple[bool, str | None]:
+    """Whether every rewriting is a genuine equivalent rewriting.
+
+    Returns ``(ok, offender)`` where ``offender`` renders the first
+    rewriting that failed the Definition 2.3 expansion-equivalence test.
+    """
+    for rewriting in rewritings:
+        if not is_equivalent_rewriting(rewriting, query, views):
+            return False, str(rewriting)
+    return True, None
+
+
+def quarantine(backend: str, reason: str) -> None:
+    """Bar *backend* from all failover chains for the process lifetime."""
+    _QUARANTINED.setdefault(backend, reason)
+
+
+def is_quarantined(backend: str) -> bool:
+    """Whether *backend* has been quarantined."""
+    return backend in _QUARANTINED
+
+
+def quarantined_backends() -> dict[str, str]:
+    """A copy of the quarantine registry (name -> reason)."""
+    return dict(_QUARANTINED)
+
+
+def reset_quarantine() -> None:
+    """Clear the registry (test isolation only)."""
+    _QUARANTINED.clear()

@@ -1,0 +1,95 @@
+"""Tunable policies of the resilient executor.
+
+Three immutable dataclasses configure the supervision layer:
+
+* :class:`RetryPolicy` — how many attempts a single backend gets and how
+  the exponential-backoff-with-full-jitter delays between them are
+  computed (AWS architecture blog's "full jitter" variant: each delay is
+  uniform in ``[0, min(max_delay, base * 2**attempt))``, which avoids
+  retry synchronization across concurrent clients);
+* :class:`BreakerPolicy` — the circuit breaker's failure-rate window and
+  cooldown (see :mod:`repro.service.breaker`);
+* :class:`ServicePolicy` — the bundle the executor consumes: retry +
+  breaker policies plus the backend failover chain.
+
+All time/randomness inputs are injectable at the executor level
+(``clock``, ``sleep``, ``rng``), so chaos tests replay deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BreakerPolicy", "DEFAULT_CHAIN", "RetryPolicy", "ServicePolicy"]
+
+#: The default failover chain: the paper's algorithm first, then the
+#: baselines in decreasing sophistication.  Every fallback's output is
+#: re-certified before being served (see :mod:`repro.service.failover`).
+DEFAULT_CHAIN = ("corecover", "bucket", "naive")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-backend retry behaviour for transient failures."""
+
+    #: Planning attempts per backend before failing over (>= 1).
+    max_attempts: int = 3
+    #: First backoff ceiling in seconds; doubles every attempt.
+    base_delay: float = 0.05
+    #: Hard ceiling on any single backoff delay.
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be nonnegative")
+
+    def delay(self, attempt: int, rng: Callable[[], float]) -> float:
+        """The full-jitter backoff before retry *attempt* (1-based).
+
+        ``rng`` returns a float in ``[0, 1)``; the delay is uniform in
+        ``[0, min(max_delay, base_delay * 2**(attempt - 1)))``.
+        """
+        ceiling = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return rng() * ceiling
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker thresholds (see :class:`~repro.service.breaker.CircuitBreaker`)."""
+
+    #: Sliding window of recent call outcomes the failure rate is
+    #: computed over.
+    window: int = 10
+    #: Open the circuit when ``failures / len(window) >= threshold``.
+    failure_threshold: float = 0.5
+    #: Minimum outcomes in the window before the rate is considered
+    #: (a volume floor so one early failure cannot open a cold breaker).
+    min_calls: int = 2
+    #: Seconds an OPEN breaker waits before allowing a HALF_OPEN trial.
+    cooldown_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.min_calls < 1:
+            raise ValueError("min_calls must be >= 1")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be nonnegative")
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Everything the executor needs to supervise one request stream."""
+
+    chain: tuple[str, ...] = DEFAULT_CHAIN
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ValueError("the failover chain must name at least one backend")

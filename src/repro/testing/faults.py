@@ -20,7 +20,18 @@ point              fired from
 ``enumeration``    :func:`repro.core.view_tuples.view_tuples` (per view
                    tuple) and the :mod:`repro.core.set_cover` branch
                    search (per node)
+``service_retry``  :meth:`repro.service.ResilientExecutor.execute`, once
+                   per planning attempt (before the backend runs)
+``cache_read``     :meth:`repro.service.PlanCache.read`, once per plan
+                   cache lookup (before touching disk)
+``cache_write``    :meth:`repro.service.PlanCache.write`, once per plan
+                   cache store (before the temp-file write)
 =================  ==========================================================
+
+The registry is data: :func:`describe_injection_points` returns
+``(name, description)`` pairs, which is what ``repro faults list``
+prints — so chaos tests and docs cannot silently drift from the set of
+points the production code actually fires.
 
 Fault types
 ===========
@@ -57,18 +68,44 @@ __all__ = [
     "FaultPlan",
     "RaiseFault",
     "StallFault",
+    "describe_injection_points",
     "fire",
     "inject",
     "injection_points",
 ]
 
+#: Injection point -> one-line description of where it fires, in
+#: firing-frequency order.  This dict is the single source of truth;
+#: ``repro faults list`` renders it verbatim.
+_POINT_DESCRIPTIONS: dict[str, str] = {
+    "hom_search": (
+        "containment homomorphism backtracking, once per search started"
+    ),
+    "cache_lookup": (
+        "memoized containment/minimization operations in ContainmentCache"
+    ),
+    "enumeration": (
+        "view-tuple enumeration (per tuple) and set-cover branching (per node)"
+    ),
+    "service_retry": (
+        "resilient executor, once per planning attempt before the backend runs"
+    ),
+    "cache_read": "plan-cache lookup, before touching disk",
+    "cache_write": "plan-cache store, before the temp-file write",
+}
+
 #: The canonical injection-point names, in firing-frequency order.
-INJECTION_POINTS = ("hom_search", "cache_lookup", "enumeration")
+INJECTION_POINTS = tuple(_POINT_DESCRIPTIONS)
 
 
 def injection_points() -> tuple[str, ...]:
     """The named injection points the production code fires."""
     return INJECTION_POINTS
+
+
+def describe_injection_points() -> tuple[tuple[str, str], ...]:
+    """``(point, description)`` pairs for every registered point."""
+    return tuple(_POINT_DESCRIPTIONS.items())
 
 
 @dataclass

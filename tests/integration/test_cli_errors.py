@@ -1,0 +1,199 @@
+"""Audit: every taxonomy error reaches the CLI surface correctly.
+
+For each documented exit code (65-76) a real command line triggers the
+error, and the contract is checked end to end: the process exit code
+matches the class's ``exit_code``, and the **last stderr line** is the
+structured one-line JSON rendering (``error``/``exit_code``/``message``)
+— under ``--format text`` and ``--format json`` alike for subcommands
+that render their happy-path output in multiple formats.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testing.faults import RaiseFault, inject
+
+QUERY = "q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)"
+VIEWS_TEXT = """
+v1(A, B) :- a(A, B), a(B, B)
+v2(C, D) :- a(C, E), b(C, D)
+v3(A) :- a(A, A)
+"""
+
+
+@pytest.fixture()
+def views_file(tmp_path):
+    path = tmp_path / "views.dl"
+    path.write_text(VIEWS_TEXT)
+    return str(path)
+
+
+def _request_file(tmp_path, *payloads):
+    path = tmp_path / "requests.ndjson"
+    path.write_text("\n".join(json.dumps(p) for p in payloads) + "\n")
+    return str(path)
+
+
+def _case_parse(tmp_path, views_file):
+    return ["rewrite", "q(X :- a(X)", "--views", views_file], None
+
+
+def _case_unsafe(tmp_path, views_file):
+    requests = _request_file(tmp_path, {"query": "q(X) :- a(Y)"})
+    return ["batch", requests, "--views", views_file], None
+
+
+def _case_arity(tmp_path, views_file):
+    requests = _request_file(tmp_path, {"query": "q(X) :- a(X), a(X, X)"})
+    return ["batch", requests, "--views", views_file], None
+
+
+def _case_unknown_view(tmp_path, views_file):
+    requests = _request_file(tmp_path, {"query": QUERY, "views": ["nope"]})
+    return ["batch", requests, "--views", views_file], None
+
+
+def _case_budget(tmp_path, views_file):
+    return [
+        "rewrite", QUERY, "--views", views_file,
+        "--timeout", "0", "--strict-budget",
+    ], None
+
+
+def _case_chain_config(tmp_path, views_file):
+    requests = _request_file(tmp_path, {"query": QUERY})
+    return [
+        "batch", requests, "--views", views_file,
+        "--chain", "corecover,inverse-rules",
+    ], None
+
+
+def _case_duplicate_view(tmp_path, views_file):
+    dup = tmp_path / "dup.dl"
+    dup.write_text("v1(A, B) :- a(A, B)\nv1(C, D) :- b(C, D)\n")
+    return ["rewrite", QUERY, "--views", str(dup)], None
+
+
+def _case_unsupported(tmp_path, views_file):
+    return [
+        "rewrite", "q(X) :- a(X, Y), X < Y", "--views", views_file,
+    ], None
+
+
+def _case_analysis(tmp_path, views_file):
+    return ["lint", "q(X) :- a(Y)", "--views", views_file], None
+
+
+def _case_retry_exhausted(tmp_path, views_file):
+    requests = _request_file(tmp_path, {"query": QUERY})
+    argv = [
+        "batch", requests, "--views", views_file,
+        "--chain", "corecover", "--max-attempts", "1",
+    ]
+    return argv, inject(RaiseFault("hom_search", times=None))
+
+
+def _case_circuit_open(tmp_path, views_file):
+    requests = _request_file(
+        tmp_path, {"id": "b1", "query": QUERY}, {"id": "b2", "query": QUERY}
+    )
+    argv = [
+        "batch", requests, "--views", views_file,
+        "--chain", "corecover", "--max-attempts", "1",
+        "--breaker-window", "1", "--breaker-threshold", "1.0",
+        "--breaker-cooldown", "9999",
+    ]
+    return argv, inject(RaiseFault("hom_search", times=None))
+
+
+def _case_cache_corruption(tmp_path, views_file):
+    requests = _request_file(tmp_path, {"query": QUERY})
+    rogue = tmp_path / "not-a-directory"
+    rogue.write_text("collision")
+    return [
+        "batch", requests, "--views", views_file, "--cache", str(rogue),
+    ], None
+
+
+CASES = [
+    pytest.param(_case_parse, 65, "ParseError", id="65-parse"),
+    pytest.param(_case_unsafe, 66, "UnsafeQueryError", id="66-unsafe"),
+    pytest.param(_case_arity, 67, "ArityMismatchError", id="67-arity"),
+    pytest.param(
+        _case_unknown_view, 68, "UnknownViewError", id="68-unknown-view"
+    ),
+    pytest.param(_case_budget, 69, "BudgetExceededError", id="69-budget"),
+    pytest.param(
+        _case_chain_config, 70, "ChainConfigError", id="70-chain-config"
+    ),
+    pytest.param(
+        _case_duplicate_view, 71, "DuplicateViewError", id="71-duplicate"
+    ),
+    pytest.param(
+        _case_unsupported, 72, "UnsupportedQueryError", id="72-unsupported"
+    ),
+    pytest.param(_case_analysis, 73, "AnalysisError", id="73-analysis"),
+    pytest.param(
+        _case_retry_exhausted, 74, "RetryExhaustedError", id="74-retry"
+    ),
+    pytest.param(
+        _case_circuit_open, 75, "CircuitOpenError", id="75-circuit-open"
+    ),
+    pytest.param(
+        _case_cache_corruption, 76, "CacheCorruptionError", id="76-cache"
+    ),
+]
+
+#: Subcommands whose happy-path output has a --format flag; the error
+#: contract must hold regardless of the chosen rendering.
+_FORMATTED = {"batch", "lint"}
+
+
+def _run(argv, fault_context, capsys):
+    if fault_context is not None:
+        with fault_context:
+            code = main(argv)
+    else:
+        code = main(argv)
+    return code, capsys.readouterr()
+
+
+def _assert_structured_stderr(captured, exit_code, error_name):
+    lines = [line for line in captured.err.splitlines() if line.strip()]
+    assert lines, "expected a structured error line on stderr"
+    payload = json.loads(lines[-1])
+    assert payload["error"] == error_name
+    assert payload["exit_code"] == exit_code
+    assert payload["message"]
+
+
+@pytest.mark.parametrize("case, exit_code, error_name", CASES)
+def test_exit_code_and_structured_stderr(
+    case, exit_code, error_name, tmp_path, views_file, capsys
+):
+    argv, fault_context = case(tmp_path, views_file)
+    code, captured = _run(argv, fault_context, capsys)
+    assert code == exit_code
+    _assert_structured_stderr(captured, exit_code, error_name)
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+@pytest.mark.parametrize("case, exit_code, error_name", CASES)
+def test_contract_holds_under_both_formats(
+    case, exit_code, error_name, fmt, tmp_path, views_file, capsys
+):
+    argv, fault_context = case(tmp_path, views_file)
+    if argv[0] not in _FORMATTED:
+        pytest.skip(f"{argv[0]} has a single output format")
+    argv = [*argv, "--format", fmt]
+    code, captured = _run(argv, fault_context, capsys)
+    assert code == exit_code
+    _assert_structured_stderr(captured, exit_code, error_name)
+
+
+def test_every_taxonomy_exit_code_is_audited():
+    """The audit table covers the documented code range with no gaps."""
+    audited = sorted(code for _, code, _ in (p.values for p in CASES))
+    assert audited == list(range(65, 77))

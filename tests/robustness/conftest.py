@@ -1,0 +1,31 @@
+"""Shared fixtures for the robustness suite."""
+
+import pytest
+
+from repro.service import reset_quarantine
+
+
+@pytest.fixture(autouse=True)
+def _isolate_quarantine():
+    """The quarantine registry is process-global; keep tests independent."""
+    reset_quarantine()
+    yield
+    reset_quarantine()
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic timing."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def fake_clock():
+    return FakeClock()

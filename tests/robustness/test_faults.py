@@ -44,13 +44,19 @@ def workload():
     return query, views
 
 
+#: The injection points a bare (unsupervised) plan() call fires; the
+#: service-level points are exercised in tests/robustness/test_service_*.
+PLANNER_POINTS = ("hom_search", "cache_lookup", "enumeration")
+
+
 class TestObservability:
-    def test_all_injection_points_are_exercised(self, workload):
+    def test_all_planner_injection_points_are_exercised(self, workload):
         """An empty plan only observes — and must see every point fire."""
         query, views = workload
         with inject() as active:
             plan(query, views, backend="corecover")
-        assert active.exercised_points() == INJECTION_POINTS
+        assert active.exercised_points() == PLANNER_POINTS
+        assert set(PLANNER_POINTS) <= set(INJECTION_POINTS)
 
     def test_firing_counts_replay_deterministically(self, workload):
         query, views = workload

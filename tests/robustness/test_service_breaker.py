@@ -1,0 +1,106 @@
+"""Circuit-breaker state machine, driven by an injected clock."""
+
+import pytest
+
+from repro.service import BreakerPolicy, BreakerState, CircuitBreaker
+
+POLICY = BreakerPolicy(
+    window=4, failure_threshold=0.5, min_calls=2, cooldown_seconds=10.0
+)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, fake_clock):
+        breaker = CircuitBreaker(POLICY, clock=fake_clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        assert breaker.failure_rate == 0.0
+
+    def test_single_failure_below_volume_floor_stays_closed(self, fake_clock):
+        breaker = CircuitBreaker(POLICY, clock=fake_clock)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_successes_dilute_the_failure_rate(self, fake_clock):
+        breaker = CircuitBreaker(POLICY, clock=fake_clock)
+        for _ in range(3):
+            breaker.record_success()
+        breaker.record_failure()  # rate 1/4 < 0.5
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_threshold_rate(self, fake_clock):
+        breaker = CircuitBreaker(POLICY, clock=fake_clock)
+        breaker.record_failure()
+        breaker.record_failure()  # rate 2/2 >= 0.5, volume floor met
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_window_slides_old_outcomes_out(self, fake_clock):
+        breaker = CircuitBreaker(POLICY, clock=fake_clock)
+        breaker.record_failure()
+        for _ in range(4):  # pushes the failure out of the 4-wide window
+            breaker.record_success()
+        assert breaker.failure_rate == 0.0
+
+    def test_min_calls_floor_is_capped_by_window(self, fake_clock):
+        """A 1-wide window must still be able to trip the breaker."""
+        tiny = BreakerPolicy(
+            window=1, failure_threshold=1.0, min_calls=2,
+            cooldown_seconds=10.0,
+        )
+        breaker = CircuitBreaker(tiny, clock=fake_clock)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+
+class TestOpenAndHalfOpen:
+    @pytest.fixture()
+    def open_breaker(self, fake_clock):
+        breaker = CircuitBreaker(POLICY, clock=fake_clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def test_open_refuses_until_cooldown(self, open_breaker, fake_clock):
+        assert not open_breaker.allow()
+        assert open_breaker.retry_after() == pytest.approx(10.0)
+        fake_clock.advance(9.9)
+        assert not open_breaker.allow()
+
+    def test_cooldown_admits_exactly_one_trial(self, open_breaker, fake_clock):
+        fake_clock.advance(10.0)
+        assert open_breaker.allow()  # the HALF_OPEN trial
+        assert open_breaker.state is BreakerState.HALF_OPEN
+        assert not open_breaker.allow()  # no second concurrent trial
+
+    def test_trial_success_closes_and_resets(self, open_breaker, fake_clock):
+        fake_clock.advance(10.0)
+        assert open_breaker.allow()
+        open_breaker.record_success()
+        assert open_breaker.state is BreakerState.CLOSED
+        assert open_breaker.failure_rate == 0.0  # window reset
+
+    def test_trial_failure_reopens_and_reanchors(self, open_breaker, fake_clock):
+        fake_clock.advance(10.0)
+        assert open_breaker.allow()
+        open_breaker.record_failure()
+        assert open_breaker.state is BreakerState.OPEN
+        # The cooldown restarts from the re-trip, not the original trip.
+        assert open_breaker.retry_after() == pytest.approx(10.0)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_calls": 0},
+            {"cooldown_seconds": -1.0},
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)

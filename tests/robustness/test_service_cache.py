@@ -1,0 +1,167 @@
+"""Plan-cache integrity: checksums, torn writes, TTL, strict mode.
+
+The contract under test: a corrupted entry (bit flip, truncation,
+hand-edit, unreadable file) is a *miss*, never a wrong plan and never a
+crash — except under ``strict=True``, where it is a loud
+:class:`CacheCorruptionError`.
+"""
+
+import json
+
+import pytest
+
+from repro import CacheCorruptionError
+from repro.service import CachedPlan, PlanCache, request_key
+from repro.testing.faults import RaiseFault, inject
+
+PLAN = CachedPlan(
+    backend="corecover",
+    rewritings=("q(X, Y) :- v1(X, Z), v2(Z, Y)",),
+    plan_status="complete",
+    created_at=100.0,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return PlanCache(tmp_path / "plans")
+
+
+KEY = request_key("q(X) :- a(X)", ["v1(A) :- a(A)"], {"chain": ["corecover"]})
+
+
+class TestRequestKey:
+    def test_view_order_is_canonicalized(self):
+        views = ["v1(A) :- a(A)", "v2(B) :- b(B)"]
+        assert request_key("q(X) :- a(X)", views) == request_key(
+            "q(X) :- a(X)", list(reversed(views))
+        )
+
+    def test_any_input_change_misses(self):
+        base = request_key("q(X) :- a(X)", ["v1(A) :- a(A)"], {"o": 1})
+        assert base != request_key("q(X) :- b(X)", ["v1(A) :- a(A)"], {"o": 1})
+        assert base != request_key("q(X) :- a(X)", ["v1(A) :- b(A)"], {"o": 1})
+        assert base != request_key("q(X) :- a(X)", ["v1(A) :- a(A)"], {"o": 2})
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, cache):
+        cache.write(KEY, PLAN)
+        assert cache.read(KEY) == PLAN
+        assert (cache.hits, cache.misses, cache.writes) == (1, 0, 1)
+
+    def test_absent_key_is_a_plain_miss(self, cache):
+        assert cache.read(KEY) is None
+        assert cache.misses == 1
+        assert cache.corruptions == 0
+
+    def test_no_temp_files_survive_a_write(self, cache):
+        cache.write(KEY, PLAN)
+        leftovers = [p for p in cache.root.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def _entry_path(self, cache):
+        return cache.root / f"{KEY}.json"
+
+    def test_bit_flip_is_detected_as_a_miss(self, cache):
+        cache.write(KEY, PLAN)
+        path = self._entry_path(cache)
+        raw = bytearray(path.read_bytes())
+        # Flip one bit inside the payload (past the checksum field).
+        flip_at = raw.rindex(b"corecover")
+        raw[flip_at] ^= 0x01
+        path.write_bytes(bytes(raw))
+        assert cache.read(KEY) is None
+        assert cache.corruptions == 1
+
+    def test_truncation_is_detected_as_a_miss(self, cache):
+        cache.write(KEY, PLAN)
+        path = self._entry_path(cache)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert cache.read(KEY) is None
+        assert cache.corruptions == 1
+
+    def test_valid_json_wrong_checksum_is_a_miss(self, cache):
+        """A hand-edited payload with a stale checksum must not serve."""
+        cache.write(KEY, PLAN)
+        path = self._entry_path(cache)
+        document = json.loads(path.read_text())
+        document["payload"]["rewritings"] = ["q(X) :- evil(X)"]
+        path.write_text(json.dumps(document))
+        assert cache.read(KEY) is None
+        assert cache.corruptions == 1
+
+    def test_missing_payload_fields_are_a_miss(self, cache):
+        path = self._entry_path(cache)
+        path.write_text(json.dumps({"checksum": "0" * 64, "payload": {}}))
+        assert cache.read(KEY) is None
+        assert cache.corruptions == 1
+
+    def test_strict_mode_raises_instead(self, tmp_path):
+        cache = PlanCache(tmp_path / "plans", strict=True)
+        cache.write(KEY, PLAN)
+        path = cache.root / f"{KEY}.json"
+        path.write_text("{not json")
+        with pytest.raises(CacheCorruptionError) as excinfo:
+            cache.read(KEY)
+        assert excinfo.value.exit_code == 76
+
+    def test_root_collision_with_a_file_raises(self, tmp_path):
+        rogue = tmp_path / "plans"
+        rogue.write_text("i am not a directory")
+        with pytest.raises(CacheCorruptionError):
+            PlanCache(rogue)
+
+
+class TestStaleness:
+    def test_fresh_within_ttl(self, tmp_path):
+        cache = PlanCache(
+            tmp_path / "plans", ttl_seconds=60.0, clock=lambda: 130.0
+        )
+        cache.write(KEY, PLAN)  # created_at=100.0 -> age 30s
+        assert cache.read(KEY) == PLAN
+
+    def test_past_ttl_is_a_miss_on_the_normal_path(self, tmp_path):
+        cache = PlanCache(
+            tmp_path / "plans", ttl_seconds=60.0, clock=lambda: 200.0
+        )
+        cache.write(KEY, PLAN)  # age 100s > 60s
+        assert cache.read(KEY) is None
+        assert cache.misses == 1
+        assert cache.corruptions == 0
+
+    def test_allow_stale_serves_and_counts(self, tmp_path):
+        cache = PlanCache(
+            tmp_path / "plans", ttl_seconds=60.0, clock=lambda: 200.0
+        )
+        cache.write(KEY, PLAN)
+        assert cache.read(KEY, allow_stale=True) == PLAN
+        assert cache.stale_hits == 1
+
+    def test_no_ttl_means_never_stale(self, cache):
+        cache.write(KEY, PLAN)
+        assert not cache.is_stale(PLAN)
+
+
+class TestFaultedIO:
+    def test_read_crash_degrades_to_a_miss(self, cache):
+        cache.write(KEY, PLAN)
+        with inject(RaiseFault("cache_read")):
+            assert cache.read(KEY) is None
+        assert cache.corruptions == 1
+        assert cache.read(KEY) == PLAN  # the entry itself is intact
+
+    def test_write_crash_is_swallowed_and_leaves_no_debris(self, cache):
+        with inject(RaiseFault("cache_write")):
+            cache.write(KEY, PLAN)
+        assert cache.writes == 0
+        assert list(cache.root.iterdir()) == []
+
+    def test_write_crash_raises_in_strict_mode(self, tmp_path):
+        cache = PlanCache(tmp_path / "plans", strict=True)
+        with inject(RaiseFault("cache_write")):
+            with pytest.raises(CacheCorruptionError):
+                cache.write(KEY, PLAN)

@@ -1,0 +1,261 @@
+"""ResilientExecutor retry/backoff semantics, fully deterministic.
+
+Every test injects the clock, sleeper, and jitter source, so the retry
+schedule is asserted exactly — no real sleeping, no timing flakes.
+"""
+
+import pytest
+
+from repro import (
+    CircuitOpenError,
+    ParseError,
+    ResourceBudget,
+    RetryExhaustedError,
+    ViewCatalog,
+    parse_query,
+)
+from repro.errors import UnsupportedQueryError
+from repro.service import (
+    BreakerPolicy,
+    PlanRequest,
+    ResilientExecutor,
+    RetryPolicy,
+    ServicePolicy,
+)
+from repro.testing.faults import RaiseFault, inject
+
+
+@pytest.fixture()
+def workload():
+    query = parse_query("q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)")
+    views = ViewCatalog(
+        [
+            "v1(A, B) :- a(A, B), a(B, B)",
+            "v2(C, D) :- a(C, E), b(C, D)",
+            "v3(A) :- a(A, A)",
+        ]
+    )
+    return query, views
+
+
+def make_executor(fake_clock, *, chain=("corecover",), rng=1.0, **retry_kw):
+    """A corecover-only executor with recorded (never real) sleeps."""
+    sleeps: list[float] = []
+    policy = ServicePolicy(
+        chain=chain,
+        retry=RetryPolicy(
+            max_attempts=retry_kw.pop("max_attempts", 3),
+            base_delay=retry_kw.pop("base_delay", 0.05),
+            max_delay=retry_kw.pop("max_delay", 2.0),
+        ),
+    )
+    executor = ResilientExecutor(
+        policy,
+        clock=fake_clock,
+        sleep=sleeps.append,
+        rng=lambda: rng,
+    )
+    return executor, sleeps
+
+
+class TestHappyPath:
+    def test_first_attempt_serves(self, workload, fake_clock):
+        executor, sleeps = make_executor(fake_clock)
+        outcome = executor.execute(PlanRequest(*workload, id="r1"))
+        assert outcome.ok
+        assert outcome.status == "ok"
+        assert outcome.request_id == "r1"
+        assert outcome.attempts == 1
+        assert outcome.backend_used == "corecover"
+        assert outcome.cache == "off"
+        assert outcome.plan_status == "complete"
+        assert not outcome.degraded
+        assert outcome.failures == ()
+        assert sleeps == []
+        assert outcome.breakers == {"corecover": "closed"}
+        texts = {str(r) for r in outcome.rewritings}
+        assert "q(X, Y) :- v1(X, Z), v2(Z, Y)" in texts
+
+    def test_raise_for_status_is_a_no_op_on_ok(self, workload, fake_clock):
+        executor, _ = make_executor(fake_clock)
+        executor.execute(PlanRequest(*workload)).raise_for_status()
+
+
+class TestRetry:
+    def test_transient_failures_retry_then_succeed(self, workload, fake_clock):
+        executor, sleeps = make_executor(fake_clock)
+        with inject(RaiseFault("service_retry", times=2)):
+            outcome = executor.execute(PlanRequest(*workload))
+        assert outcome.ok
+        assert outcome.attempts == 3
+        # Full jitter with rng=1.0 yields the full exponential delay.
+        assert sleeps == pytest.approx([0.05, 0.1])
+
+    def test_jitter_scales_the_delay(self, workload, fake_clock):
+        executor, sleeps = make_executor(fake_clock, rng=0.5)
+        with inject(RaiseFault("service_retry", times=2)):
+            executor.execute(PlanRequest(*workload))
+        assert sleeps == pytest.approx([0.025, 0.05])
+
+    def test_exhaustion_fails_without_a_trailing_sleep(
+        self, workload, fake_clock
+    ):
+        executor, sleeps = make_executor(fake_clock)
+        with inject(RaiseFault("service_retry", times=None)):
+            outcome = executor.execute(PlanRequest(*workload, id="r2"))
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3
+        assert isinstance(outcome.error, RetryExhaustedError)
+        assert outcome.error.exit_code == 74
+        # No backoff after the final attempt — it would be wasted time.
+        assert len(sleeps) == 2
+        [failure] = outcome.failures
+        assert failure.backend == "corecover"
+        assert failure.error == "RetryExhaustedError"
+        assert failure.attempts == 3
+        with pytest.raises(RetryExhaustedError):
+            outcome.raise_for_status()
+
+    def test_schedule_replays_identically(self, workload, fake_clock):
+        runs = []
+        for _ in range(2):
+            executor, sleeps = make_executor(fake_clock)
+            with inject(RaiseFault("service_retry", times=2)):
+                executor.execute(PlanRequest(*workload))
+            runs.append(tuple(sleeps))
+        assert runs[0] == runs[1]
+
+
+class TestErrorClassification:
+    def test_input_errors_propagate_unretried(self, workload, fake_clock):
+        """A bad request is the caller's bug — never retried or absorbed."""
+        executor, sleeps = make_executor(fake_clock)
+        fault = RaiseFault(
+            "service_retry",
+            make_exception=lambda: ParseError("malformed request"),
+        )
+        with inject(fault):
+            with pytest.raises(ParseError):
+                executor.execute(PlanRequest(*workload))
+        assert sleeps == []
+
+    def test_unsupported_query_is_permanent_per_backend(self, fake_clock):
+        query = parse_query("q(X) :- a(X, Y), X < Y")
+        views = ViewCatalog(["v1(A, B) :- a(A, B)"])
+        executor, sleeps = make_executor(fake_clock)
+        outcome = executor.execute(PlanRequest(query, views))
+        assert outcome.status == "failed"
+        [failure] = outcome.failures
+        assert failure.error == "UnsupportedQueryError"
+        assert failure.attempts == 1  # permanent: no retries burned
+        assert sleeps == []
+
+    def test_spent_deadline_aborts_before_any_attempt(
+        self, workload, fake_clock
+    ):
+        executor, _ = make_executor(fake_clock)
+        request = PlanRequest(
+            *workload, budget=ResourceBudget(deadline_seconds=0.0)
+        )
+        outcome = executor.execute(request)
+        assert outcome.status == "failed"
+        assert outcome.attempts == 0
+        [failure] = outcome.failures
+        assert failure.error == "DeadlineExhausted"
+
+    def test_backoff_never_sleeps_past_the_deadline(
+        self, workload, fake_clock
+    ):
+        executor, sleeps = make_executor(
+            fake_clock, base_delay=10.0, max_delay=10.0, max_attempts=2
+        )
+        request = PlanRequest(
+            *workload, budget=ResourceBudget(deadline_seconds=1.0)
+        )
+        with inject(RaiseFault("service_retry", times=None)):
+            outcome = executor.execute(request)
+        assert outcome.status == "failed"
+        assert all(delay <= 1.0 for delay in sleeps)
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_short_circuits_to_circuit_open(
+        self, workload, fake_clock
+    ):
+        policy = ServicePolicy(
+            chain=("corecover",),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            breaker=BreakerPolicy(
+                window=2,
+                failure_threshold=1.0,
+                min_calls=2,
+                cooldown_seconds=9999.0,
+            ),
+        )
+        executor = ResilientExecutor(
+            policy, clock=fake_clock, sleep=lambda _d: None, rng=lambda: 1.0
+        )
+        with inject(RaiseFault("service_retry", times=None)):
+            first = executor.execute(PlanRequest(*workload, id="a"))
+            second = executor.execute(PlanRequest(*workload, id="b"))
+        assert first.status == "failed"
+        assert isinstance(first.error, RetryExhaustedError)
+        assert executor.breaker_states() == {"corecover": "open"}
+        # The second request never runs the backend at all.
+        assert second.status == "failed"
+        assert second.attempts == 0
+        assert isinstance(second.error, CircuitOpenError)
+        assert second.error.exit_code == 75
+        [failure] = second.failures
+        assert failure.skipped
+        assert failure.error == "CircuitOpenError"
+
+    def test_half_open_trial_recovers_the_backend(self, workload, fake_clock):
+        policy = ServicePolicy(
+            chain=("corecover",),
+            retry=RetryPolicy(max_attempts=1, base_delay=0.01),
+            breaker=BreakerPolicy(
+                window=2,
+                failure_threshold=1.0,
+                min_calls=2,
+                cooldown_seconds=5.0,
+            ),
+        )
+        executor = ResilientExecutor(
+            policy, clock=fake_clock, sleep=lambda _d: None, rng=lambda: 1.0
+        )
+        with inject(RaiseFault("service_retry", times=None)):
+            executor.execute(PlanRequest(*workload))
+            executor.execute(PlanRequest(*workload))
+        assert executor.breaker_states() == {"corecover": "open"}
+        fake_clock.advance(5.0)  # cooldown elapses; fault is gone
+        outcome = executor.execute(PlanRequest(*workload))
+        assert outcome.ok
+        assert executor.breaker_states() == {"corecover": "closed"}
+
+
+class TestOutcomeSerialization:
+    def test_failed_outcome_json_carries_the_structured_error(
+        self, workload, fake_clock
+    ):
+        executor, _ = make_executor(fake_clock)
+        with inject(RaiseFault("service_retry", times=None)):
+            outcome = executor.execute(PlanRequest(*workload, id="j1"))
+        payload = outcome.to_json()
+        assert payload["id"] == "j1"
+        assert payload["status"] == "failed"
+        assert payload["backend_used"] is None
+        assert payload["error"]["error"] == "RetryExhaustedError"
+        assert payload["error"]["exit_code"] == 74
+        assert payload["breakers"]["corecover"] in {"closed", "open"}
+        assert payload["failures"][0]["backend"] == "corecover"
+
+    def test_ok_outcome_json_shape(self, workload, fake_clock):
+        executor, _ = make_executor(fake_clock)
+        payload = executor.execute(PlanRequest(*workload, id="j2")).to_json()
+        assert payload["status"] == "ok"
+        assert payload["attempts"] == 1
+        assert payload["cache"] == "off"
+        assert payload["rewritings"] == ["q(X, Y) :- v1(X, Z), v2(Z, Y)"]
+        assert "error" not in payload
+        assert "failures" not in payload
