@@ -86,7 +86,13 @@ def parse_request_line(
 
     budget = default_budget
     if "timeout" in payload:
-        timeout = float(payload["timeout"])
+        try:
+            timeout = float(payload["timeout"])
+        except (TypeError, ValueError):
+            raise ParseError(
+                f'request line {number}: "timeout" must be a number, '
+                f"got {payload['timeout']!r}"
+            ) from None
         budget = (
             budget.with_deadline(timeout)
             if budget is not None

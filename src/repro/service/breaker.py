@@ -13,7 +13,10 @@ machine:
   moves to HALF_OPEN.
 * **HALF_OPEN** — the trial call's outcome decides: success closes the
   breaker (window reset), failure re-opens it and re-anchors the
-  cooldown.
+  cooldown.  A trial that ends without an outcome (the request budget
+  or deadline died first) must be **cancelled**
+  (:meth:`CircuitBreaker.cancel_trial`) — back to OPEN with a fresh
+  cooldown — so the single trial slot can never leak.
 
 The clock is injectable so tests drive the cooldown deterministically;
 production uses ``time.monotonic``.  Breakers are deliberately
@@ -109,6 +112,19 @@ class CircuitBreaker:
             self._reset()
             return
         self._window.append(False)
+
+    def cancel_trial(self) -> None:
+        """Abandon an unresolved HALF_OPEN trial (no-op otherwise).
+
+        The executor calls this when an admitted call exits without a
+        recordable outcome — the request deadline expired or its budget
+        ran out before the backend proved anything.  The trial slot must
+        not stay reserved forever (that would refuse every future call
+        with a zero-second cooldown), so the breaker re-opens with a
+        fresh cooldown and the next window gets a clean trial.
+        """
+        if self._state is BreakerState.HALF_OPEN and self._trial_inflight:
+            self._trip()
 
     def record_failure(self) -> None:
         """A call failed; may trip CLOSED->OPEN or HALF_OPEN->OPEN."""

@@ -130,6 +130,16 @@ class PlanCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def now(self) -> float:
+        """The cache's clock reading.
+
+        Writers must stamp ``created_at`` from this clock — ``is_stale``
+        computes ``clock() - created_at``, so a timestamp taken from a
+        different timebase (e.g. raw ``time.time()`` against an injected
+        test clock) would make TTL expiry fire never or always.
+        """
+        return self._clock()
+
     def is_stale(self, plan: CachedPlan) -> bool:
         """Whether *plan* is past the cache TTL (fresh when no TTL)."""
         if self.ttl_seconds is None:

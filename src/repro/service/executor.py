@@ -139,8 +139,10 @@ class ExecutionOutcome:
     #: ``"hit"``, ``"stale"``, ``"miss"``, or ``"off"`` (no cache).
     cache: str
     rewritings: tuple[ConjunctiveQuery, ...]
-    #: The served plan's status (``"complete"``, ``"budget_exhausted"``
-    #: for anytime best-so-far, ``"cached"``); ``None`` on failure.
+    #: The served plan's status: ``"complete"``, or
+    #: ``"budget_exhausted"`` for an anytime best-so-far answer.  Cache
+    #: hits carry the cached entry's own status (always ``"complete"``
+    #: — partial results are never cached); ``None`` on failure.
     plan_status: str | None
     #: Breaker state per backend at outcome time.
     breakers: Mapping[str, str]
@@ -299,7 +301,16 @@ class ResilientExecutor:
                         )
                         continue
                 breaker.record_success()
-                if self.cache is not None and key is not None:
+                plan_status = attempted.plan_status or "complete"
+                # Only complete answers are cached: a budget-exhausted
+                # partial reflects *this* request's budget, and serving
+                # it to a later, generously-budgeted request would
+                # silently hide rewritings that request could have had.
+                if (
+                    self.cache is not None
+                    and key is not None
+                    and plan_status == "complete"
+                ):
                     self.cache.write(
                         key,
                         CachedPlan(
@@ -307,8 +318,8 @@ class ResilientExecutor:
                             rewritings=tuple(
                                 str(r) for r in attempted.rewritings
                             ),
-                            plan_status=attempted.plan_status or "complete",
-                            created_at=time.time(),
+                            plan_status=plan_status,
+                            created_at=self.cache.now(),
                         ),
                     )
                 return ExecutionOutcome(
@@ -319,7 +330,7 @@ class ResilientExecutor:
                     degraded=False,
                     cache=cache_disposition,
                     rewritings=attempted.rewritings,
-                    plan_status=attempted.plan_status or "complete",
+                    plan_status=plan_status,
                     breakers=self.breaker_states(),
                     failures=tuple(failures),
                     elapsed_seconds=self._clock() - started,
@@ -399,7 +410,7 @@ class ResilientExecutor:
             degraded=stale,
             cache="stale" if stale else "hit",
             rewritings=rewritings,
-            plan_status="cached",
+            plan_status=cached.plan_status,
             breakers=self.breaker_states(),
             failures=failures,
             elapsed_seconds=self._clock() - started,
@@ -419,6 +430,7 @@ class ResilientExecutor:
         last_error: BaseException | None = None
         for attempt in range(1, retry.max_attempts + 1):
             if deadline_at is not None and self._clock() >= deadline_at:
+                breaker.cancel_trial()  # proved nothing about health
                 result.failure = BackendFailure(
                     backend=backend,
                     error="DeadlineExhausted",
@@ -446,16 +458,22 @@ class ResilientExecutor:
             except UnsupportedQueryError as exc:
                 # Permanent for this backend, but another backend (or
                 # an extension-aware one) may still handle the query.
+                # A property of the *request*, not of backend health —
+                # recording a failure here would let a stream of
+                # out-of-scope queries open the breaker of a perfectly
+                # healthy backend, so the breaker stays untouched (an
+                # unresolved trial is cancelled, not failed).
                 result.failure = BackendFailure(
                     backend=backend,
                     error=type(exc).__name__,
                     message=str(exc),
                     attempts=result.attempts,
                 )
-                breaker.record_failure()
+                breaker.cancel_trial()
                 return result
             except BudgetExceededError as exc:
                 # The request-level budget is gone; stop everything.
+                breaker.cancel_trial()  # proved nothing about health
                 result.failure = BackendFailure(
                     backend=backend,
                     error=type(exc).__name__,
@@ -465,7 +483,10 @@ class ResilientExecutor:
                 result.abort = True
                 return result
             except ReproError:
-                raise  # input errors are the caller's bug on any backend
+                # Input errors are the caller's bug on any backend; the
+                # admitted trial (if any) must still not leak.
+                breaker.cancel_trial()
+                raise
             except Exception as exc:  # transient: retry with backoff
                 last_error = exc
                 breaker.record_failure()
@@ -487,6 +508,7 @@ class ResilientExecutor:
                     result.rewritings = certified
                     result.plan_status = "budget_exhausted"
                     return result
+                breaker.cancel_trial()  # proved nothing about health
                 result.failure = BackendFailure(
                     backend=backend,
                     error="BudgetExhausted",

@@ -80,6 +80,24 @@ class TestRequestParsing:
         assert request.budget.deadline_seconds == 0.25
         assert request.budget.max_hom_searches == 100  # preserved
 
+    def test_non_numeric_timeout_is_a_typed_intake_error(self, catalog):
+        """A bad timeout must surface as ParseError (exit 65), not as a
+        bare TypeError/ValueError escaping the taxonomy."""
+        with pytest.raises(ParseError) as excinfo:
+            parse_request_line(
+                json.dumps({"query": QUERY, "timeout": "fast"}),
+                catalog,
+                number=4,
+            )
+        assert "request line 4" in str(excinfo.value)
+        assert '"timeout" must be a number' in str(excinfo.value)
+        with pytest.raises(ParseError):
+            parse_request_line(
+                json.dumps({"query": QUERY, "timeout": [1]}),
+                catalog,
+                number=5,
+            )
+
     def test_unknown_view_name_fails_fast(self, catalog):
         with pytest.raises(UnknownViewError):
             parse_request_line(
@@ -169,7 +187,9 @@ class TestBatchCommand:
         second, _ = outcome_lines(capsys)
         assert second[0]["cache"] == "hit"
         assert second[0]["attempts"] == 0
-        assert second[0]["plan_status"] == "cached"
+        # Hits carry the cached entry's own plan status — only complete
+        # results are ever cached.
+        assert second[0]["plan_status"] == "complete"
 
     def test_all_backends_faulted_exits_74(self, tmp_path, views_file, capsys):
         requests = write_requests(

@@ -89,6 +89,39 @@ class TestOpenAndHalfOpen:
         # The cooldown restarts from the re-trip, not the original trip.
         assert open_breaker.retry_after() == pytest.approx(10.0)
 
+    def test_cancelled_trial_reopens_instead_of_leaking_the_slot(
+        self, open_breaker, fake_clock
+    ):
+        """An admitted trial that ends without an outcome (deadline or
+        budget died first) must not reserve the slot forever — that
+        would refuse every future call with a zero-second cooldown."""
+        fake_clock.advance(10.0)
+        assert open_breaker.allow()
+        assert open_breaker.state is BreakerState.HALF_OPEN
+        fake_clock.advance(1.0)
+        open_breaker.cancel_trial()
+        # Back to OPEN with a fresh, observable cooldown...
+        assert open_breaker.state is BreakerState.OPEN
+        assert open_breaker.retry_after() == pytest.approx(10.0)
+        # ...after which a clean trial can still recover the backend.
+        fake_clock.advance(10.0)
+        assert open_breaker.allow()
+        open_breaker.record_success()
+        assert open_breaker.state is BreakerState.CLOSED
+
+    def test_cancel_trial_is_a_no_op_outside_an_inflight_trial(
+        self, open_breaker, fake_clock
+    ):
+        closed = CircuitBreaker(POLICY, clock=fake_clock)
+        closed.cancel_trial()
+        assert closed.state is BreakerState.CLOSED
+        assert closed.allow()
+        # OPEN mid-cooldown is untouched too.
+        fake_clock.advance(4.0)
+        open_breaker.cancel_trial()
+        assert open_breaker.state is BreakerState.OPEN
+        assert open_breaker.retry_after() == pytest.approx(6.0)
+
 
 class TestPolicyValidation:
     @pytest.mark.parametrize(

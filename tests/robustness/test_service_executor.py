@@ -14,9 +14,15 @@ from repro import (
     ViewCatalog,
     parse_query,
 )
-from repro.errors import UnsupportedQueryError
+from repro.errors import BudgetExceededError, UnsupportedQueryError
+from repro.planner.registry import (
+    _BACKENDS,
+    RewriterBackend,
+    register_backend,
+)
 from repro.service import (
     BreakerPolicy,
+    PlanCache,
     PlanRequest,
     ResilientExecutor,
     RetryPolicy,
@@ -233,6 +239,67 @@ class TestBreakerIntegration:
         assert outcome.ok
         assert executor.breaker_states() == {"corecover": "closed"}
 
+    def test_unresolved_trial_cannot_permanently_disable_the_backend(
+        self, workload, fake_clock
+    ):
+        """Regression: a HALF_OPEN trial admitted by ``allow()`` that
+        exits without a recordable outcome (here: the request deadline
+        was already spent) used to leave the trial slot reserved
+        forever, refusing every later request with a zero-second
+        'cooldown'.  It must instead re-open with a fresh cooldown and
+        stay recoverable."""
+        policy = ServicePolicy(
+            chain=("corecover",),
+            retry=RetryPolicy(max_attempts=1, base_delay=0.01),
+            breaker=BreakerPolicy(
+                window=2,
+                failure_threshold=1.0,
+                min_calls=2,
+                cooldown_seconds=5.0,
+            ),
+        )
+        executor = ResilientExecutor(
+            policy, clock=fake_clock, sleep=lambda _d: None, rng=lambda: 1.0
+        )
+        with inject(RaiseFault("service_retry", times=None)):
+            executor.execute(PlanRequest(*workload))
+            executor.execute(PlanRequest(*workload))
+        assert executor.breaker_states() == {"corecover": "open"}
+        fake_clock.advance(5.0)
+        # The cooldown has elapsed, so this request is admitted as the
+        # HALF_OPEN trial — but its own deadline is already spent, so
+        # the backend never runs and no outcome can be recorded.
+        dead = executor.execute(
+            PlanRequest(*workload, budget=ResourceBudget(deadline_seconds=0.0))
+        )
+        assert dead.status == "failed"
+        [failure] = dead.failures
+        assert failure.error == "DeadlineExhausted"
+        # The trial was cancelled, not leaked: OPEN with a real cooldown.
+        assert executor.breaker_states() == {"corecover": "open"}
+        assert executor.breaker("corecover").retry_after() == pytest.approx(5.0)
+        # And the backend is still recoverable once the fault is gone.
+        fake_clock.advance(5.0)
+        outcome = executor.execute(PlanRequest(*workload))
+        assert outcome.ok
+        assert executor.breaker_states() == {"corecover": "closed"}
+
+    def test_unsupported_queries_leave_the_breaker_untouched(
+        self, workload, fake_clock
+    ):
+        """An out-of-scope query is a property of the request, not of
+        backend health: no stream of them may open the breaker."""
+        unsupported = parse_query("q(X) :- a(X, Y), X < Y")
+        views = ViewCatalog(["v1(A, B) :- a(A, B)"])
+        executor, _ = make_executor(fake_clock)
+        for _ in range(10):
+            outcome = executor.execute(PlanRequest(unsupported, views))
+            assert outcome.status == "failed"
+        assert executor.breaker_states() == {"corecover": "closed"}
+        assert executor.breaker("corecover").failure_rate == 0.0
+        # Supported queries still flow through the healthy backend.
+        assert executor.execute(PlanRequest(*workload)).ok
+
 
 class TestOutcomeSerialization:
     def test_failed_outcome_json_carries_the_structured_error(
@@ -259,3 +326,97 @@ class TestOutcomeSerialization:
         assert payload["rewritings"] == ["q(X, Y) :- v1(X, Z), v2(Z, Y)"]
         assert "error" not in payload
         assert "failures" not in payload
+
+
+def _exhausting_run(query, catalog, *, context, **options):
+    """A backend that records one certified best-so-far rewriting and
+    then dies on budget exhaustion — a deterministic anytime partial."""
+    context.record_rewriting(
+        parse_query("q(X, Y) :- v1(X, Z), v2(Z, Y)"), certified=True
+    )
+    raise BudgetExceededError("forced exhaustion", resource="hom_searches")
+
+
+@pytest.fixture()
+def exhausting_backend():
+    backend = RewriterBackend(
+        name="exhausting",
+        description="test backend that always exhausts mid-search",
+        run=_exhausting_run,
+    )
+    register_backend(backend, replace=True)
+    yield backend
+    _BACKENDS.pop("exhausting", None)
+
+
+class TestCachePolicy:
+    def make_cached_executor(self, fake_clock, cache, *, chain):
+        policy = ServicePolicy(
+            chain=chain,
+            retry=RetryPolicy(max_attempts=1, base_delay=0.01),
+        )
+        return ResilientExecutor(
+            policy,
+            cache=cache,
+            clock=fake_clock,
+            sleep=lambda _d: None,
+            rng=lambda: 1.0,
+        )
+
+    def test_budget_exhausted_partials_are_served_but_never_cached(
+        self, workload, fake_clock, tmp_path, exhausting_backend
+    ):
+        """A best-so-far partial reflects *this* request's budget;
+        caching it would silently starve a later, generously-budgeted
+        request of the rewritings it could have had."""
+        cache = PlanCache(tmp_path / "plans")
+        executor = self.make_cached_executor(
+            fake_clock, cache, chain=("exhausting",)
+        )
+        first = executor.execute(PlanRequest(*workload, id="p1"))
+        assert first.ok
+        assert first.plan_status == "budget_exhausted"
+        assert first.cache == "miss"
+        assert [str(r) for r in first.rewritings] == [
+            "q(X, Y) :- v1(X, Z), v2(Z, Y)"
+        ]
+        assert cache.writes == 0
+        # The next identical request plans live again — no false "hit"
+        # masquerading as a complete answer.
+        second = executor.execute(PlanRequest(*workload, id="p2"))
+        assert second.cache == "miss"
+        assert second.plan_status == "budget_exhausted"
+        assert second.attempts == 1
+
+    def test_cache_hits_carry_the_entry_plan_status(
+        self, workload, fake_clock, tmp_path
+    ):
+        cache = PlanCache(tmp_path / "plans")
+        executor = self.make_cached_executor(
+            fake_clock, cache, chain=("corecover",)
+        )
+        primed = executor.execute(PlanRequest(*workload, id="w1"))
+        assert primed.cache == "miss" and primed.plan_status == "complete"
+        hit = executor.execute(PlanRequest(*workload, id="w2"))
+        assert hit.cache == "hit"
+        assert hit.attempts == 0
+        assert hit.plan_status == "complete"
+
+    def test_created_at_uses_the_cache_clock(
+        self, workload, fake_clock, tmp_path
+    ):
+        """Regression: entries used to be stamped with raw
+        ``time.time()``, so a cache running on an injected clock
+        computed ``clock() - created_at`` across mismatched timebases
+        and TTL expiry never fired."""
+        cache = PlanCache(tmp_path / "plans", ttl_seconds=10.0, clock=fake_clock)
+        executor = self.make_cached_executor(
+            fake_clock, cache, chain=("corecover",)
+        )
+        request = PlanRequest(*workload, id="t1")
+        executor.execute(request)
+        key = request.cache_key(executor.chain)
+        assert cache.read(key) is not None  # fresh within the TTL
+        fake_clock.advance(11.0)
+        assert cache.read(key) is None  # past the TTL: stale
+        assert cache.read(key, allow_stale=True) is not None

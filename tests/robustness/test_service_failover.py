@@ -201,7 +201,7 @@ class TestDegradedServing:
         assert outcome.degraded
         assert outcome.cache == "stale"
         assert outcome.backend_used == "corecover"  # the entry remembers
-        assert outcome.plan_status == "cached"
+        assert outcome.plan_status == "complete"  # the entry's own status
         assert [str(r) for r in outcome.rewritings] == [
             "q(X, Y) :- v1(X, Z), v2(Z, Y)"
         ]
