@@ -7,6 +7,7 @@ Subcommands::
     python -m repro certain  "q(X) :- e(X, X)" --views views.dl --view-data v.json
     python -m repro lint     "q(X) :- e(X, X)" --views views.dl [--format json]
     python -m repro batch    requests.ndjson --views views.dl [--cache DIR]
+                             [--workers N] [--profile]
     python -m repro faults   list [--format json]
     python -m repro figures fig6a [--full] [--csv DIR]
 
@@ -33,7 +34,10 @@ Subcommands::
   NDJSON requests (one JSON object per line; ``-`` reads stdin) and
   emits one JSON outcome per line: status, attempts, backend used,
   breaker states, degraded flag.  Failures never abort the batch; the
-  process exit code summarizes them afterwards.
+  process exit code summarizes them afterwards.  ``--workers N`` fans
+  the batch across the :mod:`repro.parallel` process pool (outcomes
+  stay in input order); ``--profile`` attaches a phase-level profile to
+  every outcome line.  ``plan`` is an alias of ``rewrite``.
 * ``faults`` introspects the deterministic fault-injection harness;
   ``faults list`` enumerates every registered injection point, so chaos
   tests and docs cannot silently drift from the registry.
@@ -54,6 +58,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -74,7 +79,8 @@ from .views import ViewCatalog
 
 #: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
 _SUBCOMMANDS = (
-    "rewrite", "optimize", "certain", "lint", "batch", "faults", "figures",
+    "rewrite", "plan", "optimize", "certain", "lint", "batch", "faults",
+    "figures",
 )
 
 
@@ -201,7 +207,9 @@ def _print_planner_stats(stats) -> None:
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
+    parse_started = time.perf_counter()
     query = _load_query(args.query, args.sql_schema)
+    parse_seconds = time.perf_counter() - parse_started
     views = _load_views(args.views)
     backend = get_backend(args.backend)
 
@@ -220,6 +228,14 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     rejected = _handle_preflight(planned, verbose=args.verbose)
     if rejected is not None:
         return rejected
+    if args.profile:
+        from .profiling import profile_from_stages
+
+        print(
+            profile_from_stages(
+                planned.stats.stages, parse_seconds=parse_seconds
+            ).render_text()
+        )
     print(f"query: {query}")
     outcome = planned.outcome
     if outcome is not None and outcome.status is not PlanStatus.COMPLETE:
@@ -462,24 +478,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cooldown_seconds=args.breaker_cooldown,
         ),
     )
-    cache = None
-    if args.cache is not None:
-        cache = PlanCache(
-            args.cache,
-            ttl_seconds=args.cache_ttl,
-            strict=args.strict_cache,
-        )
-    executor = ResilientExecutor(policy, cache=cache)
-
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
     else:
         lines = Path(args.requests).read_text().splitlines()
     requests = parse_requests(lines, views, default_budget=_build_budget(args))
 
+    engine = None
+    if args.workers != 1:
+        # 0 = auto (one worker per CPU).  The engine materializes and
+        # validates every request before the first outcome; the serial
+        # path below streams outcomes until an intake error aborts it.
+        from .parallel import ParallelPlanningEngine, ParallelPolicy
+
+        engine = ParallelPlanningEngine(
+            policy,
+            parallel=ParallelPolicy(
+                workers=None if args.workers == 0 else args.workers,
+                task_grace_seconds=args.task_grace,
+            ),
+            cache_dir=args.cache,
+            cache_ttl=args.cache_ttl,
+            strict_cache=args.strict_cache,
+            profile=args.profile,
+        )
+        outcomes = engine.run(requests)
+    else:
+        cache = None
+        if args.cache is not None:
+            cache = PlanCache(
+                args.cache,
+                ttl_seconds=args.cache_ttl,
+                strict=args.strict_cache,
+            )
+        executor = ResilientExecutor(
+            policy, cache=cache, profile=args.profile
+        )
+        outcomes = run_batch(executor, requests)
+
     counts = {"ok": 0, "degraded": 0, "failed": 0}
     last_error: BaseException | None = None
-    for outcome in run_batch(executor, requests):
+    for outcome in outcomes:
         counts[outcome.status] += 1
         if outcome.error is not None:
             last_error = outcome.error
@@ -495,6 +534,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
             for rewriting in outcome.rewritings:
                 print("   ", rewriting)
+    if engine is not None and engine.fell_back_to_serial:
+        print(
+            f"batch: ran in-process ({engine.fallback_reason})",
+            file=sys.stderr,
+        )
     print(
         f"batch: {counts['ok']} ok, {counts['degraded']} degraded, "
         f"{counts['failed']} failed",
@@ -543,6 +587,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         forwarded.extend(["--queries", str(args.queries)])
     if args.csv:
         forwarded.extend(["--csv", args.csv])
+    if args.workers != 1:
+        forwarded.extend(["--workers", str(args.workers)])
     return figures.main(forwarded)
 
 
@@ -571,37 +617,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_rewrite_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument("query", help="datalog rule or @file")
+        command.add_argument(
+            "--views", required=True, help="datalog program file"
+        )
+        command.add_argument(
+            "--backend", default="corecover", metavar="NAME",
+            help="rewriter backend (see repro.planner.available_backends())",
+        )
+        command.add_argument(
+            "--algorithm", dest="backend", metavar="NAME",
+            action=_DeprecatedAlias, preferred="--backend",
+            help="(deprecated) alias for --backend",
+        )
+        command.add_argument("--limit", type=int, default=64,
+                             help="cap on enumerated rewritings")
+        command.add_argument(
+            "--verbose", action="store_true",
+            help="print tuple-cores, cache and timing statistics",
+        )
+        command.add_argument(
+            "--sql-schema", metavar="JSON", default=None,
+            help="treat the query as SQL, with this table->columns "
+                 "schema file",
+        )
+        command.add_argument(
+            "--certify", action="store_true",
+            help="re-verify the result from first principles "
+                 "(exit 3 on failure)",
+        )
+        command.add_argument(
+            "--preflight", action="store_true",
+            help="run the repro.analysis lint rules before planning; "
+                 "error-severity findings abort with exit 73",
+        )
+        command.add_argument(
+            "--profile", action="store_true",
+            help="print the phase-level profile (parse through "
+                 "cost ranking) before the results",
+        )
+        _add_budget_flags(command)
+        command.set_defaults(func=_cmd_rewrite)
+
     rewrite = sub.add_parser("rewrite", help="generate equivalent rewritings")
-    rewrite.add_argument("query", help="datalog rule or @file")
-    rewrite.add_argument("--views", required=True, help="datalog program file")
-    rewrite.add_argument(
-        "--backend", default="corecover", metavar="NAME",
-        help="rewriter backend (see repro.planner.available_backends())",
+    _add_rewrite_arguments(rewrite)
+
+    plan_cmd = sub.add_parser(
+        "plan", help="alias of 'rewrite' (generate equivalent rewritings)"
     )
-    rewrite.add_argument(
-        "--algorithm", dest="backend", metavar="NAME",
-        action=_DeprecatedAlias, preferred="--backend",
-        help="(deprecated) alias for --backend",
-    )
-    rewrite.add_argument("--limit", type=int, default=64,
-                         help="cap on enumerated rewritings")
-    rewrite.add_argument("--verbose", action="store_true",
-                         help="print tuple-cores, cache and timing statistics")
-    rewrite.add_argument(
-        "--sql-schema", metavar="JSON", default=None,
-        help="treat the query as SQL, with this table->columns schema file",
-    )
-    rewrite.add_argument(
-        "--certify", action="store_true",
-        help="re-verify the result from first principles (exit 3 on failure)",
-    )
-    rewrite.add_argument(
-        "--preflight", action="store_true",
-        help="run the repro.analysis lint rules before planning; "
-             "error-severity findings abort with exit 73",
-    )
-    _add_budget_flags(rewrite)
-    rewrite.set_defaults(func=_cmd_rewrite)
+    _add_rewrite_arguments(plan_cmd)
 
     optimize = sub.add_parser(
         "optimize", help="pick a cost-optimal rewriting and plan"
@@ -751,6 +816,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["json", "text"], default="json",
         help="outcome rendering: NDJSON (default) or human-readable text",
     )
+    batch.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the parallel planning engine "
+             "(default 1 = in-process; 0 = one per CPU)",
+    )
+    batch.add_argument(
+        "--task-grace", type=float, default=5.0, metavar="SECONDS",
+        help="extra seconds past a request's deadline before its worker "
+             "is declared dead (exit 77 outcome for that request)",
+    )
+    batch.add_argument(
+        "--profile", action="store_true",
+        help="attach a phase-level profile object to every outcome line",
+    )
     _add_budget_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
@@ -770,6 +849,10 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--full", action="store_true")
     figures.add_argument("--queries", type=int, default=None)
     figures.add_argument("--csv", metavar="DIR", default=None)
+    figures.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (0 = one per CPU)",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     return parser

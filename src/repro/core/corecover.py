@@ -39,6 +39,7 @@ from typing import Sequence
 from ..datalog.query import ConjunctiveQuery
 from ..errors import UnsupportedQueryError
 from ..planner.context import PlannerContext
+from ..profiling.phases import profile_from_stages
 from ..views.view import View, ViewCatalog
 from .equivalence import (
     core_representatives,
@@ -84,6 +85,9 @@ class CoreCoverStats:
     #: Cache hits/misses summed over all planner caches, for this run.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: ``(canonical phase, seconds)`` in taxonomy order (see
+    #: :mod:`repro.profiling.phases`); empty for stats built elsewhere.
+    phase_seconds: tuple[tuple[str, float], ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -201,10 +205,14 @@ def core_cover_impl(
             view_classes = len(view_list)
     grouping_seconds = time.perf_counter() - t0
 
-    # Step (2): view tuples over the canonical database.
+    # Step (2): view tuples over the canonical database.  The canonical-DB
+    # construction is timed as its own stage so phase profiles can show
+    # freezing separately from the (usually dominant) tuple enumeration;
+    # ``view_tuple_seconds`` keeps covering both, as it always has.
     t0 = time.perf_counter()
-    with ctx.stage("view_tuples"):
+    with ctx.stage("canonical_db"):
         canonical = ctx.canonical_database(minimized)
+    with ctx.stage("view_tuples"):
         tuples = view_tuples(minimized, representatives, canonical, context=ctx)
     view_tuple_seconds = time.perf_counter() - t0
 
@@ -293,6 +301,7 @@ def core_cover_impl(
         core_searches=delta.core_searches,
         cache_hits=delta.cache_hits,
         cache_misses=delta.cache_misses,
+        phase_seconds=profile_from_stages(delta.stages).phases,
     )
     return CoreCoverResult(
         query=query,

@@ -74,6 +74,38 @@ class Atom:
     def __repr__(self) -> str:
         return f"Atom({self.predicate!r}, {self.args!r})"
 
+    def __reduce__(self):
+        # Re-intern on unpickle: the args tuple is reconstructed first
+        # (each term through its own re-interning reduce), so atoms that
+        # cross a process boundary collapse to one canonical object and
+        # InternTable's id()-keyed fast path stays hot.
+        return (interned_atom, (self.predicate, self.args))
+
+
+#: Soft cap mirroring the term pools (see :mod:`repro.datalog.terms`).
+_POOL_CAP = 1_000_000
+
+_ATOM_POOL: dict[tuple[str, tuple[Term, ...]], Atom] = {}
+
+
+def interned_atom(predicate: str, args: tuple[Term, ...]) -> Atom:
+    """The process-canonical :class:`Atom` for ``predicate(args)``."""
+    try:
+        key = (predicate, args)
+        atom = _ATOM_POOL.get(key)
+    except TypeError:  # unhashable constant among the args
+        return Atom(predicate, args)
+    if atom is None:
+        atom = Atom(predicate, args)
+        if len(_ATOM_POOL) < _POOL_CAP:
+            _ATOM_POOL[key] = atom
+    return atom
+
+
+def clear_interned_atoms() -> None:
+    """Drop the atom intern pool (tests and pool-lifetime management)."""
+    _ATOM_POOL.clear()
+
 
 def make_atom(predicate: str, args: Sequence[Term]) -> Atom:
     """Convenience constructor accepting any sequence of terms."""

@@ -56,6 +56,11 @@ class Substitution(Mapping[Variable, Term]):
         entries = ", ".join(f"{k} -> {v}" for k, v in sorted(self._mapping.items(), key=lambda kv: kv[0].name))
         return f"Substitution({{{entries}}})"
 
+    def __reduce__(self):
+        # Slots classes need an explicit reduce; rebuilding from the item
+        # pairs re-interns every key and value term on unpickle.
+        return (Substitution, (tuple(self._mapping.items()),))
+
     # -- application -------------------------------------------------------
     def apply_term(self, term: Term) -> Term:
         """Apply the substitution to a single term."""

@@ -31,6 +31,11 @@ class Variable:
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
 
+    def __reduce__(self):
+        # Re-intern on unpickle so identity-based fast paths (InternTable,
+        # shared-substitution checks) hold in the receiving process too.
+        return (interned_variable, (self.name,))
+
 
 @dataclass(frozen=True, slots=True)
 class Constant:
@@ -44,9 +49,59 @@ class Constant:
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"
 
+    def __reduce__(self):
+        return (interned_constant, (self.value,))
+
 
 #: A term is either a variable or a constant.
 Term = Union[Variable, Constant]
+
+#: Soft cap on each intern pool — beyond it terms are returned uninterned
+#: rather than growing the pool without bound in a long-lived worker.
+_POOL_CAP = 1_000_000
+
+#: Module-level intern pools backing ``__reduce__``.  Strong references by
+#: design (mirroring InternTable's keepalive): frozen slots dataclasses
+#: cannot be weakly referenced on Python 3.10.
+_VARIABLE_POOL: dict[str, Variable] = {}
+_CONSTANT_POOL: dict[object, Constant] = {}
+
+
+def interned_variable(name: str) -> Variable:
+    """The process-canonical :class:`Variable` named *name*.
+
+    Unpickling routes through here, so two copies of one variable that
+    cross a process boundary (or a pickle round trip) collapse back to a
+    single object and identity-keyed caches stay hot.
+    """
+    variable = _VARIABLE_POOL.get(name)
+    if variable is None:
+        variable = Variable(name)
+        if len(_VARIABLE_POOL) < _POOL_CAP:
+            _VARIABLE_POOL[name] = variable
+    return variable
+
+
+def interned_constant(value: object) -> Constant:
+    """The process-canonical :class:`Constant` wrapping *value*.
+
+    Unhashable values (legal but unusual) fall back to a fresh object.
+    """
+    try:
+        constant = _CONSTANT_POOL.get(value)
+    except TypeError:
+        return Constant(value)
+    if constant is None:
+        constant = Constant(value)
+        if len(_CONSTANT_POOL) < _POOL_CAP:
+            _CONSTANT_POOL[value] = constant
+    return constant
+
+
+def clear_interned_terms() -> None:
+    """Drop the term intern pools (tests and pool-lifetime management)."""
+    _VARIABLE_POOL.clear()
+    _CONSTANT_POOL.clear()
 
 
 def is_variable(term: Term) -> TypeGuard[Variable]:

@@ -17,7 +17,8 @@ can distinguish
 * **service errors** — the :mod:`repro.service` resilient executor ran
   out of options: every backend in the failover chain failed
   (:class:`RetryExhaustedError`), every breaker was open
-  (:class:`CircuitOpenError`), or the on-disk plan cache is unusable
+  (:class:`CircuitOpenError`), a parallel worker died mid-request
+  (:class:`WorkerCrashError`), or the on-disk plan cache is unusable
   (:class:`CacheCorruptionError`); all derive from
   :class:`ServiceError`.
 
@@ -53,6 +54,7 @@ __all__ = [
     "UnknownViewError",
     "UnsafeQueryError",
     "UnsupportedQueryError",
+    "WorkerCrashError",
     "structured_error",
 ]
 
@@ -260,6 +262,23 @@ class CircuitOpenError(ServiceError):
         super().__init__(message)
         self.backend = backend
         self.retry_after = retry_after
+
+
+class WorkerCrashError(ServiceError):
+    """A parallel worker died or stalled while holding one request.
+
+    Raised into the ``failed`` outcome line of exactly the request the
+    dead worker was serving — sibling requests in the same batch are
+    unaffected, because the process pool replaces the worker and lost
+    tasks are detected per-line by the parent's task timeout.
+    ``request_id`` echoes the lost request when known.
+    """
+
+    exit_code = 77
+
+    def __init__(self, message: str, *, request_id: str | None = None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
 
 
 class CacheCorruptionError(ServiceError):

@@ -11,6 +11,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from typing import Callable, Sequence
 
 from ..core.corecover import CoreCoverResult, core_cover
@@ -66,12 +67,76 @@ class SweepConfig:
         )
 
 
+@dataclass
+class _PointSamples:
+    """Per-query measurements accumulated for one sweep point."""
+
+    times_ms: list[float] = dataclasses_field(default_factory=list)
+    view_classes: list[int] = dataclasses_field(default_factory=list)
+    total_tuples: list[int] = dataclasses_field(default_factory=list)
+    tuple_classes: list[int] = dataclasses_field(default_factory=list)
+    maximal_classes: list[int] = dataclasses_field(default_factory=list)
+    gmr_counts: list[int] = dataclasses_field(default_factory=list)
+    gmr_sizes: list[int] = dataclasses_field(default_factory=list)
+    hom_searches: list[int] = dataclasses_field(default_factory=list)
+    cache_hits: list[int] = dataclasses_field(default_factory=list)
+    cache_hit_rates: list[float] = dataclasses_field(default_factory=list)
+
+    def add(
+        self,
+        *,
+        time_ms: float,
+        stats,
+        gmr_count: int,
+        gmr_size: int | None,
+    ) -> None:
+        self.times_ms.append(time_ms)
+        self.view_classes.append(stats.view_classes)
+        self.total_tuples.append(stats.total_view_tuples)
+        self.tuple_classes.append(stats.view_tuple_classes)
+        self.maximal_classes.append(stats.maximal_tuple_classes)
+        self.gmr_counts.append(gmr_count)
+        self.hom_searches.append(stats.hom_searches)
+        self.cache_hits.append(stats.cache_hits)
+        self.cache_hit_rates.append(stats.cache_hit_rate)
+        if gmr_size is not None:
+            self.gmr_sizes.append(gmr_size)
+
+    def to_point(self, num_views: int, queries: int) -> SweepPoint:
+        return SweepPoint(
+            num_views=num_views,
+            queries=queries,
+            mean_time_ms=statistics.fmean(self.times_ms),
+            max_time_ms=max(self.times_ms),
+            mean_view_classes=statistics.fmean(self.view_classes),
+            mean_total_view_tuples=statistics.fmean(self.total_tuples),
+            mean_view_tuple_classes=statistics.fmean(self.tuple_classes),
+            mean_maximal_tuple_classes=statistics.fmean(self.maximal_classes),
+            mean_gmr_count=statistics.fmean(self.gmr_counts),
+            mean_gmr_size=(
+                statistics.fmean(self.gmr_sizes) if self.gmr_sizes else 0.0
+            ),
+            mean_hom_searches=statistics.fmean(self.hom_searches),
+            mean_cache_hits=statistics.fmean(self.cache_hits),
+            mean_cache_hit_rate=statistics.fmean(self.cache_hit_rates),
+        )
+
+
+#: Algorithm identity -> planner-registry backend name for the
+#: parallel (``plan_map``) sweep path.
+_ALGORITHM_BACKENDS: dict[str, str] = {
+    "core_cover": "corecover",
+    "core_cover_star": "corecover-star",
+}
+
+
 def run_sweep(
     config: SweepConfig,
     algorithm: Callable[..., CoreCoverResult] = core_cover,
     group_views: bool = True,
     group_tuples: bool = True,
     caching: bool | None = None,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """Run CoreCover over the sweep, averaging per view count.
 
@@ -84,21 +149,28 @@ def run_sweep(
     through all queries of each sweep point, so structurally repeated
     view definitions are planned once per point; ``None`` keeps the
     legacy behaviour of a private context per call.
+
+    ``workers > 1`` (or ``0`` = one per CPU) fans each point's queries
+    across the :mod:`repro.parallel` process pool.  Only the named
+    registry algorithms (``core_cover``, ``core_cover_star``) can cross
+    the process boundary; timings are then the worker-side ``plan()``
+    wall times.  Shared-context caching becomes per-worker, so cache-hit
+    statistics are slightly lower than the serial single-context run.
     """
+    if workers != 1:
+        return _run_sweep_parallel(
+            config,
+            algorithm,
+            group_views=group_views,
+            group_tuples=group_tuples,
+            caching=caching,
+            workers=workers,
+        )
     points = []
     for num_views in config.view_counts:
         template = config.workload_config(num_views)
         context = None if caching is None else PlannerContext(caching=caching)
-        times_ms: list[float] = []
-        view_classes: list[int] = []
-        total_tuples: list[int] = []
-        tuple_classes: list[int] = []
-        maximal_classes: list[int] = []
-        gmr_counts: list[int] = []
-        gmr_sizes: list[int] = []
-        hom_searches: list[int] = []
-        cache_hits: list[int] = []
-        cache_hit_rates: list[float] = []
+        samples = _PointSamples()
         for workload in workload_series(template, config.queries_per_point):
             started = time.perf_counter()
             kwargs = {} if context is None else {"context": context}
@@ -109,35 +181,72 @@ def run_sweep(
                 group_tuples=group_tuples,
                 **kwargs,
             )
-            times_ms.append((time.perf_counter() - started) * 1000.0)
-            stats = result.stats
-            view_classes.append(stats.view_classes)
-            total_tuples.append(stats.total_view_tuples)
-            tuple_classes.append(stats.view_tuple_classes)
-            maximal_classes.append(stats.maximal_tuple_classes)
-            gmr_counts.append(len(result.rewritings))
-            hom_searches.append(stats.hom_searches)
-            cache_hits.append(stats.cache_hits)
-            cache_hit_rates.append(stats.cache_hit_rate)
-            if result.has_rewriting:
-                gmr_sizes.append(result.minimum_subgoals() or 0)
-        points.append(
-            SweepPoint(
-                num_views=num_views,
-                queries=config.queries_per_point,
-                mean_time_ms=statistics.fmean(times_ms),
-                max_time_ms=max(times_ms),
-                mean_view_classes=statistics.fmean(view_classes),
-                mean_total_view_tuples=statistics.fmean(total_tuples),
-                mean_view_tuple_classes=statistics.fmean(tuple_classes),
-                mean_maximal_tuple_classes=statistics.fmean(maximal_classes),
-                mean_gmr_count=statistics.fmean(gmr_counts),
-                mean_gmr_size=statistics.fmean(gmr_sizes) if gmr_sizes else 0.0,
-                mean_hom_searches=statistics.fmean(hom_searches),
-                mean_cache_hits=statistics.fmean(cache_hits),
-                mean_cache_hit_rate=statistics.fmean(cache_hit_rates),
+            samples.add(
+                time_ms=(time.perf_counter() - started) * 1000.0,
+                stats=result.stats,
+                gmr_count=len(result.rewritings),
+                gmr_size=(
+                    (result.minimum_subgoals() or 0)
+                    if result.has_rewriting
+                    else None
+                ),
             )
+        points.append(samples.to_point(num_views, config.queries_per_point))
+    return points
+
+
+def _run_sweep_parallel(
+    config: SweepConfig,
+    algorithm: Callable[..., CoreCoverResult],
+    *,
+    group_views: bool,
+    group_tuples: bool,
+    caching: bool | None,
+    workers: int,
+) -> list[SweepPoint]:
+    from ..parallel import PlanTask, plan_map
+
+    backend = _ALGORITHM_BACKENDS.get(getattr(algorithm, "__name__", ""))
+    if backend is None:
+        raise ValueError(
+            "workers > 1 requires a registry algorithm "
+            f"({', '.join(sorted(_ALGORITHM_BACKENDS))}); got "
+            f"{getattr(algorithm, '__name__', algorithm)!r}"
         )
+    points = []
+    for num_views in config.view_counts:
+        template = config.workload_config(num_views)
+        tasks = [
+            PlanTask(
+                query=workload.query,
+                views=workload.views,
+                backend=backend,
+                options={
+                    "group_views": group_views,
+                    "group_tuples": group_tuples,
+                },
+                caching=caching,
+            )
+            for workload in workload_series(
+                template, config.queries_per_point
+            )
+        ]
+        samples = _PointSamples()
+        for result in plan_map(tasks, workers=workers):
+            stats = result.stats
+            if stats is None:  # pragma: no cover - corecover always reports
+                continue
+            samples.add(
+                time_ms=result.elapsed_seconds * 1000.0,
+                stats=stats,
+                gmr_count=len(result.rewritings),
+                gmr_size=(
+                    result.minimum_subgoals
+                    if result.has_rewriting
+                    else None
+                ),
+            )
+        points.append(samples.to_point(num_views, config.queries_per_point))
     return points
 
 

@@ -1,0 +1,48 @@
+"""Process-pool parallel planning: batch fan-out and warm context pools.
+
+Public surface:
+
+* :class:`ParallelPlanningEngine` — ``repro batch --workers N``: fans
+  service-layer requests across a process pool, outcomes in input
+  order, with per-worker warm planner-context pools, breaker-delta
+  merging, and per-task crash isolation.
+* :func:`plan_map` — the experiment harness's lighter fan-out of bare
+  ``plan()`` calls.
+* :class:`PlannerContextPool` / :func:`context_fingerprint` — the warm
+  context pool and its content-hash key.
+"""
+
+from .engine import (
+    BreakerScoreboard,
+    ParallelPlanningEngine,
+    ParallelPolicy,
+    plan_map,
+)
+from .pool import PlannerContextPool, context_fingerprint
+from .worker import (
+    PlanTask,
+    PlanTaskResult,
+    WorkerConfig,
+    WorkerResult,
+    WorkerState,
+    WorkerTask,
+    crash_outcome,
+    run_plan_task,
+)
+
+__all__ = [
+    "BreakerScoreboard",
+    "ParallelPlanningEngine",
+    "ParallelPolicy",
+    "PlanTask",
+    "PlanTaskResult",
+    "PlannerContextPool",
+    "WorkerConfig",
+    "WorkerResult",
+    "WorkerState",
+    "WorkerTask",
+    "context_fingerprint",
+    "crash_outcome",
+    "plan_map",
+    "run_plan_task",
+]

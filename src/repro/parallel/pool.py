@@ -1,0 +1,96 @@
+"""Warm :class:`PlannerContext` pools keyed by content fingerprint.
+
+A planner context is expensive to warm up: its containment cache and
+interner only pay off once the same view definitions have been planned
+against a few times.  A parallel worker therefore keeps a small LRU pool
+of contexts keyed by :func:`context_fingerprint` — a content hash of the
+view catalog plus the planner configuration — so that consecutive
+requests against the same catalog reuse the warm memoization state,
+while requests against a different catalog get (and keep) their own.
+
+The pool is deliberately tiny (default 4 entries): a worker in a batch
+run sees at most a handful of distinct catalogs, and each warm context
+holds the memoized containment work for its whole catalog.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Callable, Iterable, Mapping
+
+from ..planner.context import PlannerContext
+from ..views.view import View
+
+__all__ = ["PlannerContextPool", "context_fingerprint"]
+
+
+def context_fingerprint(
+    views: Iterable[View],
+    config: Mapping | None = None,
+) -> str:
+    """Content hash of a view catalog plus planner configuration.
+
+    Two requests share a warm context exactly when their rendered view
+    definitions and configuration (chain, backend, caching flags, ...)
+    are identical; the hash is over a canonical JSON rendering, so key
+    order in *config* does not matter.
+    """
+    payload = {
+        "views": [f"{view.name} := {view.definition}" for view in views],
+        "config": dict(config or {}),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+class PlannerContextPool:
+    """An LRU pool of warm planner contexts, keyed by fingerprint."""
+
+    def __init__(
+        self,
+        max_entries: int = 4,
+        *,
+        factory: Callable[[], PlannerContext] = PlannerContext,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._factory = factory
+        self._entries: "OrderedDict[str, PlannerContext]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def acquire(
+        self,
+        fingerprint: str,
+        factory: Callable[[], PlannerContext] | None = None,
+    ) -> tuple[PlannerContext, bool]:
+        """The warm context for *fingerprint*, plus whether it was a hit.
+
+        A miss builds a fresh context (via the per-call *factory* when
+        given, else the pool's) and may evict the least-recently-used
+        entry to stay within ``max_entries``.
+        """
+        context = self._entries.get(fingerprint)
+        if context is not None:
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return context, True
+        self.misses += 1
+        context = (factory or self._factory)()
+        self._entries[fingerprint] = context
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return context, False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._entries

@@ -1,0 +1,312 @@
+"""Worker-side state for the parallel planning engine.
+
+Each pool worker holds one :class:`WorkerState`: a resilient executor
+(whose circuit breakers span every request the worker serves, matching
+the serial executor's semantics) plus a warm
+:class:`~repro.parallel.pool.PlannerContextPool` so repeated requests
+against the same catalog reuse memoized containment work.
+
+Everything crossing the process boundary is a small picklable
+dataclass:
+
+* :class:`WorkerTask` in — the request, its input-order index, and any
+  chaos faults to activate for just this task (deterministic kill
+  tests attach the fault to the poisoned task, so replacement workers
+  are unaffected).
+* :class:`WorkerResult` out — the outcome, breaker-counter deltas for
+  the parent's scoreboard, context-pool hit/miss, and the planner-stats
+  delta.  Input errors (:class:`~repro.errors.ReproError`) ride back as
+  ``error`` so the parent re-raises them with the same taxonomy
+  exit-code semantics as the serial path; any other worker-side
+  exception degrades to a ``failed`` outcome for that request alone.
+
+The module also hosts the lighter *plan-map* path
+(:class:`PlanTask`/:func:`run_plan_task`) the experiment harness fans
+out over: one bare ``plan()`` call per task, same warm context pool,
+no service layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.corecover import CoreCoverStats
+from ..datalog.query import ConjunctiveQuery
+from ..errors import ReproError, WorkerCrashError
+from ..planner.context import PlannerContext, PlannerStats
+from ..service.cache import PlanCache
+from ..service.executor import (
+    BackendFailure,
+    ExecutionOutcome,
+    PlanRequest,
+    ResilientExecutor,
+)
+from ..service.policy import ServicePolicy
+from ..testing.faults import Fault, fire, inject
+from ..views.view import ViewCatalog
+from .pool import PlannerContextPool, context_fingerprint
+
+__all__ = [
+    "PlanTask",
+    "PlanTaskResult",
+    "WorkerConfig",
+    "WorkerResult",
+    "WorkerState",
+    "WorkerTask",
+    "crash_outcome",
+    "run_plan_task",
+]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to build its executor (picklable)."""
+
+    policy: ServicePolicy = field(default_factory=ServicePolicy)
+    cache_dir: str | None = None
+    cache_ttl: float | None = None
+    strict_cache: bool = False
+    profile: bool = False
+    pool_size: int = 4
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """One request dispatched to a worker, tagged with its input order."""
+
+    index: int
+    request: PlanRequest
+    #: Faults activated around just this task (chaos tests only).
+    chaos: tuple[Fault, ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """What one task sends back across the process boundary."""
+
+    index: int
+    outcome: ExecutionOutcome | None = None
+    #: An input error the parent must re-raise (serial semantics).
+    error: ReproError | None = None
+    #: Per-backend ``(successes, failures)`` delta for this task.
+    breaker_deltas: Mapping[str, tuple[int, int]] = field(
+        default_factory=dict
+    )
+    fingerprint: str = ""
+    pool_hit: bool = False
+    #: Planner-stats delta of this task on its (possibly warm) context.
+    stats: PlannerStats | None = None
+
+
+def crash_outcome(
+    request: PlanRequest, error: WorkerCrashError
+) -> ExecutionOutcome:
+    """A ``failed`` outcome for a request whose worker died on it."""
+    return ExecutionOutcome(
+        status="failed",
+        request_id=request.id,
+        attempts=0,
+        backend_used=None,
+        degraded=False,
+        cache="off",
+        rewritings=(),
+        plan_status=None,
+        breakers={},
+        failures=(
+            BackendFailure(
+                backend="worker",
+                error=type(error).__name__,
+                message=str(error),
+                skipped=True,
+            ),
+        ),
+        error=error,
+    )
+
+
+class WorkerState:
+    """One worker's executor plus its warm planner-context pool."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.pool = PlannerContextPool(config.pool_size)
+        cache: PlanCache | None = None
+        if config.cache_dir is not None:
+            cache = PlanCache(
+                config.cache_dir,
+                ttl_seconds=config.cache_ttl,
+                strict=config.strict_cache,
+            )
+        self._active_context: PlannerContext | None = None
+        self.executor = ResilientExecutor(
+            config.policy,
+            cache=cache,
+            profile=config.profile,
+            context_factory=self._current_context,
+        )
+
+    def _current_context(self) -> PlannerContext:
+        """The pooled context for the in-flight task (fresh otherwise)."""
+        if self._active_context is not None:
+            return self._active_context
+        return PlannerContext()
+
+    def run(self, task: WorkerTask) -> WorkerResult:
+        """Serve one task, activating its chaos faults if any."""
+        if task.chaos:
+            with inject(*task.chaos):
+                return self._run(task)
+        return self._run(task)
+
+    def _run(self, task: WorkerTask) -> WorkerResult:
+        request = task.request
+        try:
+            fire("worker_dispatch")
+            fingerprint = context_fingerprint(
+                request.views, {"chain": list(self.executor.chain)}
+            )
+            context, pool_hit = self.pool.acquire(fingerprint)
+            self._active_context = context
+            before = context.snapshot()
+            totals_before = self.executor.breaker_totals()
+            outcome = self.executor.execute(request)
+            deltas = {
+                name: (
+                    successes - totals_before[name][0],
+                    failures - totals_before[name][1],
+                )
+                for name, (successes, failures) in (
+                    self.executor.breaker_totals().items()
+                )
+            }
+            return WorkerResult(
+                index=task.index,
+                outcome=outcome,
+                breaker_deltas=deltas,
+                fingerprint=fingerprint,
+                pool_hit=pool_hit,
+                stats=context.snapshot().since(before),
+            )
+        except ReproError as exc:
+            # The request itself is bad — identical on every backend and
+            # every worker.  Ship it back for the parent to re-raise so
+            # the batch aborts with the same taxonomy exit code as the
+            # serial path.
+            return WorkerResult(index=task.index, error=exc)
+        except Exception as exc:
+            return WorkerResult(
+                index=task.index,
+                outcome=crash_outcome(
+                    request,
+                    WorkerCrashError(
+                        f"worker failed while planning request "
+                        f"{request.id!r}: {type(exc).__name__}: {exc}",
+                        request_id=request.id,
+                    ),
+                ),
+            )
+        finally:
+            self._active_context = None
+
+
+#: The per-process state a pool initializer installs (batch path).
+_STATE: WorkerState | None = None
+
+
+def _init_worker(config: WorkerConfig) -> None:
+    global _STATE
+    _STATE = WorkerState(config)
+
+
+def _run_task(task: WorkerTask) -> WorkerResult:
+    assert _STATE is not None  # the pool initializer always ran
+    return _STATE.run(task)
+
+
+# -- the plan-map path (experiment harness) ---------------------------------
+
+
+@dataclass(frozen=True)
+class PlanTask:
+    """One bare ``plan()`` call for :func:`repro.parallel.plan_map`."""
+
+    query: ConjunctiveQuery
+    views: ViewCatalog
+    backend: str = "corecover"
+    options: Mapping = field(default_factory=dict)
+    #: ``None`` = a private context per call (the harness's legacy
+    #: behaviour); ``True``/``False`` = a pooled shared context with
+    #: memoization on/off.
+    caching: bool | None = None
+
+
+@dataclass(frozen=True)
+class PlanTaskResult:
+    """The picklable summary a plan task returns."""
+
+    rewritings: tuple[str, ...]
+    stats: CoreCoverStats | None
+    #: Worker-side wall time of the ``plan()`` call.
+    elapsed_seconds: float
+    minimum_subgoals: int | None
+
+    @property
+    def has_rewriting(self) -> bool:
+        return bool(self.rewritings)
+
+
+#: The per-process warm pool for plan tasks (lazy for the serial path).
+_PLAN_STATE: PlannerContextPool | None = None
+_PLAN_POOL_SIZE = 4
+
+
+def _init_plan_worker(pool_size: int) -> None:
+    global _PLAN_STATE, _PLAN_POOL_SIZE
+    _PLAN_POOL_SIZE = pool_size
+    _PLAN_STATE = PlannerContextPool(pool_size)
+
+
+def _plan_pool() -> PlannerContextPool:
+    global _PLAN_STATE
+    if _PLAN_STATE is None:
+        _PLAN_STATE = PlannerContextPool(_PLAN_POOL_SIZE)
+    return _PLAN_STATE
+
+
+def run_plan_task(task: PlanTask) -> PlanTaskResult:
+    """Execute one plan task against the worker's warm context pool."""
+    from ..planner.registry import plan
+
+    fire("worker_dispatch")
+    context: PlannerContext | None = None
+    if task.caching is not None:
+        caching = bool(task.caching)
+        fingerprint = context_fingerprint(
+            task.views, {"backend": task.backend, "caching": caching}
+        )
+        context, _ = _plan_pool().acquire(
+            fingerprint,
+            factory=lambda: PlannerContext(caching=caching),
+        )
+    started = time.perf_counter()
+    result = plan(
+        task.query,
+        task.views,
+        backend=task.backend,
+        context=context,
+        **dict(task.options),
+    )
+    elapsed = time.perf_counter() - started
+    details = result.details
+    stats = getattr(details, "stats", None)
+    minimum = None
+    if details is not None and hasattr(details, "minimum_subgoals"):
+        minimum = details.minimum_subgoals()
+    return PlanTaskResult(
+        rewritings=tuple(str(r) for r in result.rewritings),
+        stats=stats if isinstance(stats, CoreCoverStats) else None,
+        elapsed_seconds=elapsed,
+        minimum_subgoals=minimum,
+    )

@@ -98,6 +98,18 @@ class PlanResult:
         """The preflight diagnostics (empty without ``preflight=True``)."""
         return self.outcome.diagnostics if self.outcome is not None else ()
 
+    def phase_profile(self, *, parse_seconds: float = 0.0):
+        """This call's stage timings folded into the canonical phases.
+
+        Returns a :class:`~repro.profiling.phases.PhaseProfile`;
+        *parse_seconds* supplies the pre-planning parse phase.
+        """
+        from ..profiling.phases import profile_from_stages
+
+        return profile_from_stages(
+            self.stats.stages, parse_seconds=parse_seconds
+        )
+
 
 _BACKENDS: dict[str, RewriterBackend] = {}
 

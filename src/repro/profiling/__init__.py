@@ -1,0 +1,22 @@
+"""Phase-level profiling for the planning pipeline.
+
+See :mod:`repro.profiling.phases` for the canonical phase taxonomy and
+how raw :class:`~repro.planner.context.PlannerContext` stage timings map
+onto it.
+"""
+
+from .phases import (
+    CANONICAL_PHASES,
+    PhaseProfile,
+    PhaseProfiler,
+    phase_for_stage,
+    profile_from_stages,
+)
+
+__all__ = [
+    "CANONICAL_PHASES",
+    "PhaseProfile",
+    "PhaseProfiler",
+    "phase_for_stage",
+    "profile_from_stages",
+]

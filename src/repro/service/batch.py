@@ -34,6 +34,7 @@ process exit code afterwards.
 from __future__ import annotations
 
 import json
+import time
 from typing import Iterable, Iterator
 
 from ..datalog.parser import parse_query
@@ -53,6 +54,7 @@ def parse_request_line(
     default_budget: ResourceBudget | None = None,
 ) -> PlanRequest:
     """One NDJSON line -> a validated :class:`PlanRequest`."""
+    intake_started = time.perf_counter()
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -110,6 +112,8 @@ def parse_request_line(
         id=str(payload.get("id", number)),
         options=options,
         budget=budget,
+        # Intake time is the request's "parse" phase under --profile.
+        parse_seconds=time.perf_counter() - intake_started,
     )
 
 

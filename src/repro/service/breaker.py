@@ -61,6 +61,11 @@ class CircuitBreaker:
         self._opened_at: float | None = None
         #: Whether the HALF_OPEN trial call is currently outstanding.
         self._trial_inflight = False
+        #: Monotonic lifetime totals — unlike the sliding window these
+        #: never reset, so parallel workers can diff them around a task
+        #: to report per-request deltas (cancelled trials count neither).
+        self.successes = 0
+        self.failures = 0
 
     # -- introspection ------------------------------------------------------
     @property
@@ -108,6 +113,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """A call succeeded; a HALF_OPEN trial success closes the breaker."""
+        self.successes += 1
         if self._state is BreakerState.HALF_OPEN:
             self._reset()
             return
@@ -128,6 +134,7 @@ class CircuitBreaker:
 
     def record_failure(self) -> None:
         """A call failed; may trip CLOSED->OPEN or HALF_OPEN->OPEN."""
+        self.failures += 1
         if self._state is BreakerState.HALF_OPEN:
             self._trip()
             return

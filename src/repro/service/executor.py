@@ -56,9 +56,10 @@ from ..errors import (
     UnsupportedQueryError,
     structured_error,
 )
-from ..planner.context import PlannerContext
+from ..planner.context import PlannerContext, PlannerStats
 from ..planner.limits import PlanStatus, ResourceBudget
 from ..planner.registry import plan
+from ..profiling.phases import profile_from_stages
 from ..testing.faults import fire
 from ..views.view import ViewCatalog
 from .breaker import BreakerState, CircuitBreaker
@@ -91,6 +92,9 @@ class PlanRequest:
     options: Mapping = field(default_factory=dict)
     #: Overall request budget; its deadline bounds retries + failover.
     budget: ResourceBudget | None = None
+    #: Intake parse time (the pre-context ``parse`` phase of a profile);
+    #: excluded from the cache key.
+    parse_seconds: float = 0.0
 
     def cache_key(self, chain: tuple[str, ...]) -> str:
         """Content-addressed key over query + catalog + configuration."""
@@ -150,6 +154,12 @@ class ExecutionOutcome:
     elapsed_seconds: float = 0.0
     #: The terminal error (``failed`` status only).
     error: BaseException | None = None
+    #: Planner-stats delta of the serving attempt (observability only;
+    #: never rendered into the default JSON shape).
+    planner_stats: "PlannerStats | None" = None
+    #: Phase-level profile payload; present only under ``--profile`` and
+    #: then included in :meth:`to_json`.
+    profile: Mapping | None = None
 
     @property
     def ok(self) -> bool:
@@ -179,6 +189,8 @@ class ExecutionOutcome:
             payload["failures"] = [f.to_json() for f in self.failures]
         if self.error is not None:
             payload["error"] = json.loads(structured_error(self.error))
+        if self.profile is not None:
+            payload["profile"] = dict(self.profile)
         return payload
 
 
@@ -192,6 +204,8 @@ class _Attempted:
     attempts: int = 0
     #: The request-level budget is gone; stop walking the chain.
     abort: bool = False
+    #: Planner-stats delta over this backend's whole retry loop.
+    stats: "PlannerStats | None" = None
 
 
 class ResilientExecutor:
@@ -206,10 +220,13 @@ class ResilientExecutor:
         sleep: Callable[[float], None] = time.sleep,
         rng: Callable[[], float] = random.random,
         context_factory: Callable[[], PlannerContext] = PlannerContext,
+        profile: bool = False,
     ) -> None:
         self.policy = policy if policy is not None else ServicePolicy()
         self.chain = resolve_chain(self.policy.chain)
         self.cache = cache
+        #: Attach a phase-level profile payload to every outcome.
+        self.profile = profile
         self._clock = clock
         self._sleep = sleep
         self._rng = rng
@@ -227,6 +244,17 @@ class ResilientExecutor:
         """Breaker state name per backend (outcome observability)."""
         return {
             name: breaker.state.value
+            for name, breaker in self._breakers.items()
+        }
+
+    def breaker_totals(self) -> dict[str, tuple[int, int]]:
+        """Monotonic ``(successes, failures)`` per backend.
+
+        Parallel workers diff these totals around each task to report a
+        per-request delta the parent merges into its scoreboard.
+        """
+        return {
+            name: (breaker.successes, breaker.failures)
             for name, breaker in self._breakers.items()
         }
 
@@ -252,6 +280,7 @@ class ResilientExecutor:
         failures: list[BackendFailure] = []
         total_attempts = 0
         any_backend_ran = False
+        last_stats: PlannerStats | None = None
         for index, backend in enumerate(self.chain):
             if is_quarantined(backend):
                 failures.append(
@@ -278,6 +307,7 @@ class ResilientExecutor:
             any_backend_ran = True
             attempted = self._drive_backend(request, backend, deadline_at)
             total_attempts += attempted.attempts
+            last_stats = attempted.stats or last_stats
             if attempted.rewritings is not None:
                 # A fallback's answer must re-certify before being served.
                 if index > 0:
@@ -334,6 +364,8 @@ class ResilientExecutor:
                     breakers=self.breaker_states(),
                     failures=tuple(failures),
                     elapsed_seconds=self._clock() - started,
+                    planner_stats=attempted.stats,
+                    profile=self._profile_payload(request, attempted.stats),
                 )
             if attempted.failure is not None:
                 failures.append(attempted.failure)
@@ -388,6 +420,8 @@ class ResilientExecutor:
             failures=tuple(failures),
             elapsed_seconds=self._clock() - started,
             error=error,
+            planner_stats=last_stats,
+            profile=self._profile_payload(request, last_stats),
         )
 
     # -- internals ----------------------------------------------------------
@@ -414,7 +448,20 @@ class ResilientExecutor:
             breakers=self.breaker_states(),
             failures=failures,
             elapsed_seconds=self._clock() - started,
+            # A cache hit never planned, so only the parse phase exists.
+            profile=self._profile_payload(request, None),
         )
+
+    def _profile_payload(
+        self, request: PlanRequest, stats: PlannerStats | None
+    ) -> dict | None:
+        """The ``--profile`` JSON payload, or ``None`` when disabled."""
+        if not self.profile:
+            return None
+        stages = stats.stages if stats is not None else ()
+        return profile_from_stages(
+            stages, parse_seconds=request.parse_seconds
+        ).to_json()
 
     def _drive_backend(
         self,
@@ -423,10 +470,28 @@ class ResilientExecutor:
         deadline_at: float | None,
     ) -> _Attempted:
         """One backend's retry loop; never raises except for input errors."""
-        breaker = self._breakers[backend]
         context = self._context_factory()
-        retry = self.policy.retry
+        before = context.snapshot()
         result = _Attempted()
+        try:
+            return self._retry_loop(
+                request, backend, deadline_at, context, result
+            )
+        finally:
+            # The delta even on raise: an input error's outcome still
+            # reports whatever planning work preceded it.
+            result.stats = context.snapshot().since(before)
+
+    def _retry_loop(
+        self,
+        request: PlanRequest,
+        backend: str,
+        deadline_at: float | None,
+        context: PlannerContext,
+        result: _Attempted,
+    ) -> _Attempted:
+        breaker = self._breakers[backend]
+        retry = self.policy.retry
         last_error: BaseException | None = None
         for attempt in range(1, retry.max_attempts + 1):
             if deadline_at is not None and self._clock() >= deadline_at:

@@ -26,6 +26,9 @@ point              fired from
                    cache lookup (before touching disk)
 ``cache_write``    :meth:`repro.service.PlanCache.write`, once per plan
                    cache store (before the temp-file write)
+``worker_dispatch``  :mod:`repro.parallel` worker task entry, once per
+                     dispatched request (the serial fallback fires it
+                     in-process)
 =================  ==========================================================
 
 The registry is data: :func:`describe_injection_points` returns
@@ -45,6 +48,9 @@ Fault types
   :class:`~repro.errors.BudgetExceededError` mid-enumeration, simulating
   cancellation at an arbitrary point; ``plan()`` must return the
   certified best-so-far rewritings.
+* :class:`ExitFault` — SIGKILLs the current process, simulating a
+  crashed parallel worker; the engine must fail only the request the
+  dead worker held.
 
 Example::
 
@@ -55,6 +61,8 @@ Example::
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -64,6 +72,7 @@ from ..errors import BudgetExceededError
 
 __all__ = [
     "CancelFault",
+    "ExitFault",
     "Fault",
     "FaultPlan",
     "RaiseFault",
@@ -92,6 +101,10 @@ _POINT_DESCRIPTIONS: dict[str, str] = {
     ),
     "cache_read": "plan-cache lookup, before touching disk",
     "cache_write": "plan-cache store, before the temp-file write",
+    "worker_dispatch": (
+        "parallel planning engine, once per task dispatch (worker-side; "
+        "the in-process serial path fires it too)"
+    ),
 }
 
 #: The canonical injection-point names, in firing-frequency order.
@@ -170,6 +183,22 @@ class CancelFault(Fault):
             f"fault injection cancelled at point {self.point!r}",
             resource="fault-injection",
         )
+
+
+@dataclass
+class ExitFault(Fault):
+    """Hard-kill the current process — a crashed parallel worker.
+
+    ``os.kill`` with ``SIGKILL`` bypasses every exception handler, so
+    the parent's only signal is the task result that never arrives; the
+    parallel engine's per-task timeout must turn that silence into a
+    :class:`~repro.errors.WorkerCrashError` for that request alone.
+    """
+
+    signum: int = signal.SIGKILL
+
+    def trigger(self) -> None:
+        os.kill(os.getpid(), self.signum)
 
 
 class FaultPlan:

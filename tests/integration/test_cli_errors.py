@@ -1,6 +1,6 @@
 """Audit: every taxonomy error reaches the CLI surface correctly.
 
-For each documented exit code (65-76) a real command line triggers the
+For each documented exit code (65-77) a real command line triggers the
 error, and the contract is checked end to end: the process exit code
 matches the class's ``exit_code``, and the **last stderr line** is the
 structured one-line JSON rendering (``error``/``exit_code``/``message``)
@@ -13,7 +13,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.testing.faults import RaiseFault, inject
+from repro.testing.faults import ExitFault, RaiseFault, inject
 
 QUERY = "q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)"
 VIEWS_TEXT = """
@@ -108,6 +108,20 @@ def _case_circuit_open(tmp_path, views_file):
     return argv, inject(RaiseFault("hom_search", times=None))
 
 
+def _case_worker_crash(tmp_path, views_file):
+    # The active fault plan is fork-inherited by every pool worker, so
+    # the worker SIGKILLs itself on its first task dispatch; the parent
+    # times the silence out (deadline + grace) and the batch's terminal
+    # failure is the WorkerCrashError.
+    requests = _request_file(tmp_path, {"id": "w1", "query": QUERY,
+                                        "timeout": 0.2})
+    argv = [
+        "batch", requests, "--views", views_file,
+        "--chain", "corecover", "--workers", "2", "--task-grace", "0.5",
+    ]
+    return argv, inject(ExitFault("worker_dispatch", times=None))
+
+
 def _case_cache_corruption(tmp_path, views_file):
     requests = _request_file(tmp_path, {"query": QUERY})
     rogue = tmp_path / "not-a-directory"
@@ -143,6 +157,9 @@ CASES = [
     ),
     pytest.param(
         _case_cache_corruption, 76, "CacheCorruptionError", id="76-cache"
+    ),
+    pytest.param(
+        _case_worker_crash, 77, "WorkerCrashError", id="77-worker-crash"
     ),
 ]
 
@@ -196,4 +213,4 @@ def test_contract_holds_under_both_formats(
 def test_every_taxonomy_exit_code_is_audited():
     """The audit table covers the documented code range with no gaps."""
     audited = sorted(code for _, code, _ in (p.values for p in CASES))
-    assert audited == list(range(65, 77))
+    assert audited == list(range(65, 78))

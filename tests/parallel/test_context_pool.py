@@ -1,0 +1,114 @@
+"""Warm context pools: fingerprint keying, LRU behaviour, warm reuse."""
+
+import pytest
+
+from repro import ViewCatalog, parse_query
+from repro.parallel import PlannerContextPool, context_fingerprint
+from repro.parallel.worker import WorkerConfig, WorkerState, WorkerTask
+from repro.service import PlanRequest, ServicePolicy
+
+
+@pytest.fixture()
+def catalog():
+    return ViewCatalog(
+        [
+            "v1(A, B) :- a(A, B), a(B, B)",
+            "v2(C, D) :- a(C, E), b(C, D)",
+            "v3(A) :- a(A, A)",
+        ]
+    )
+
+
+QUERY = "q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)"
+
+
+class TestFingerprint:
+    def test_same_catalog_and_config_same_fingerprint(self, catalog):
+        fp1 = context_fingerprint(catalog, {"chain": ["corecover"]})
+        fp2 = context_fingerprint(
+            ViewCatalog(list(catalog)), {"chain": ["corecover"]}
+        )
+        assert fp1 == fp2
+
+    def test_different_catalog_different_fingerprint(self, catalog):
+        other = ViewCatalog(["v1(A, B) :- a(A, B)"])
+        assert context_fingerprint(catalog) != context_fingerprint(other)
+
+    def test_different_config_different_fingerprint(self, catalog):
+        assert context_fingerprint(
+            catalog, {"chain": ["corecover"]}
+        ) != context_fingerprint(catalog, {"chain": ["bucket"]})
+
+    def test_config_key_order_is_canonical(self, catalog):
+        assert context_fingerprint(
+            catalog, {"a": 1, "b": 2}
+        ) == context_fingerprint(catalog, {"b": 2, "a": 1})
+
+
+class TestPoolLru:
+    def test_hit_returns_same_context(self):
+        pool = PlannerContextPool(2)
+        first, hit1 = pool.acquire("fp-1")
+        again, hit2 = pool.acquire("fp-1")
+        assert not hit1 and hit2
+        assert again is first
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction_drops_least_recent(self):
+        pool = PlannerContextPool(2)
+        a, _ = pool.acquire("a")
+        pool.acquire("b")
+        pool.acquire("a")  # refresh a; b is now least-recent
+        pool.acquire("c")  # evicts b
+        assert "a" in pool and "c" in pool and "b" not in pool
+        assert pool.evictions == 1
+        assert pool.acquire("a")[0] is a
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlannerContextPool(0)
+
+
+class TestWarmReuse:
+    def test_second_request_on_same_catalog_plans_less(self, catalog):
+        """The acceptance check for warm pools: a repeated request
+        against the same catalog hits the pooled context and performs
+        strictly fewer homomorphism searches and cache misses."""
+        state = WorkerState(
+            WorkerConfig(policy=ServicePolicy(chain=("corecover",)))
+        )
+        query = parse_query(QUERY)
+        first = state.run(
+            WorkerTask(0, PlanRequest(query=query, views=catalog, id="r1"))
+        )
+        second = state.run(
+            WorkerTask(1, PlanRequest(query=query, views=catalog, id="r2"))
+        )
+        assert first.outcome is not None and first.outcome.ok
+        assert second.outcome is not None and second.outcome.ok
+        assert not first.pool_hit
+        assert second.pool_hit
+        assert second.fingerprint == first.fingerprint
+        assert first.stats is not None and second.stats is not None
+        assert second.stats.hom_searches < first.stats.hom_searches
+        assert second.stats.cache_misses < first.stats.cache_misses
+
+    def test_different_catalog_gets_its_own_context(self, catalog):
+        state = WorkerState(
+            WorkerConfig(policy=ServicePolicy(chain=("corecover",)))
+        )
+        query = parse_query(QUERY)
+        other = ViewCatalog(
+            [
+                "w1(A, B) :- a(A, B), a(B, B)",
+                "w2(C, D) :- a(C, E), b(C, D)",
+            ]
+        )
+        first = state.run(
+            WorkerTask(0, PlanRequest(query=query, views=catalog, id="r1"))
+        )
+        second = state.run(
+            WorkerTask(1, PlanRequest(query=query, views=other, id="r2"))
+        )
+        assert second.fingerprint != first.fingerprint
+        assert not second.pool_hit

@@ -215,14 +215,22 @@ class TestDegradedServing:
     def test_all_injection_points_fire_in_a_supervised_run(
         self, workload, fake_clock, tmp_path
     ):
-        """A cache-backed supervised run exercises the full registry of
-        injection points — planner-level and service-level alike."""
+        """A cache-backed supervised run plus an engine dispatch
+        exercises the full registry of injection points — planner-,
+        service-, and parallel-level alike."""
+        from repro.parallel import ParallelPlanningEngine, ParallelPolicy
+
         cache = PlanCache(tmp_path / "plans")
         executor = make_executor(
             fake_clock, chain=("corecover",), cache=cache
         )
+        engine = ParallelPlanningEngine(
+            ServicePolicy(chain=("corecover",)),
+            parallel=ParallelPolicy(workers=1),
+        )
         with inject() as active:
             executor.execute(PlanRequest(*workload))
+            list(engine.run([PlanRequest(*workload)]))
         assert active.exercised_points() == INJECTION_POINTS
 
 
