@@ -84,6 +84,8 @@ def attach_corecover_stats(benchmark, result):
     benchmark.extra_info["maximal_tuple_classes"] = stats.maximal_tuple_classes
     benchmark.extra_info["gmr_count"] = len(result.rewritings)
     benchmark.extra_info["gmr_size"] = result.minimum_subgoals()
+    benchmark.extra_info["touched_views"] = stats.touched_views
+    benchmark.extra_info["touched_views_ratio"] = stats.touched_views_ratio
     benchmark.extra_info["caching_enabled"] = stats.caching_enabled
     benchmark.extra_info["hom_searches"] = stats.hom_searches
     benchmark.extra_info["core_searches"] = stats.core_searches

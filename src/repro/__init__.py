@@ -43,6 +43,7 @@ from .containment import (
 )
 from .engine import Database, Relation, evaluate, materialize_views
 from .views import (
+    CatalogDelta,
     View,
     ViewCatalog,
     expand,
@@ -158,6 +159,7 @@ __all__ = [
     "UnknownViewError",
     "UnsafeQueryError",
     "UnsupportedQueryError",
+    "CatalogDelta",
     "Substitution",
     "TupleCore",
     "UnionQuery",

@@ -112,10 +112,19 @@ def _check_empty_view_tuples(inputs: AnalysisInput) -> Iterator[Diagnostic]:
     context = inputs.context
     minimized = context.minimize(query)
     canonical = context.canonical_database(minimized)
+    # Views outside the minimized query's predicate-relevant set are
+    # *provably* empty (no body atom can match a frozen fact), so the
+    # index answers for them without evaluating anything; only the
+    # relevant ones need their view tuples actually computed.
+    relevant = set(inputs.views.relevant_names(minimized))
     for view in inputs.views:
         if _has_comparisons(view.definition):
             continue
-        tuples = view_tuples(minimized, [view], canonical, context=context)
+        tuples = (
+            view_tuples(minimized, [view], canonical, context=context)
+            if view.name in relevant
+            else []
+        )
         if not tuples:
             yield RULE_EMPTY_VIEW_TUPLES.diagnostic(
                 f"view {view.name!r} yields no view tuple over the query's "

@@ -300,15 +300,14 @@ RULE_DUPLICATE_SUBGOALS = register_rule(
 
 def _check_irrelevant_view(inputs: AnalysisInput) -> Iterator[Diagnostic]:
     query_predicates = inputs.query.predicates()
+    # The catalog's predicate index answers "shares a base predicate"
+    # for the whole catalog at once; only views passing that gate need
+    # their relevant atoms materialized for the head-export check.
+    sharing = inputs.views.names_sharing_predicates(query_predicates)
     for view in inputs.views:
         definition = view.definition
-        relevant = [
-            atom
-            for atom in _relational_atoms(definition)
-            if atom.predicate in query_predicates
-        ]
         span = inputs.span_of(definition)
-        if not relevant:
+        if view.name not in sharing:
             yield RULE_IRRELEVANT_VIEW.diagnostic(
                 f"view {view.name!r} shares no base predicate with the "
                 "query; it can cover no subgoal and only widens the search",
@@ -316,6 +315,11 @@ def _check_irrelevant_view(inputs: AnalysisInput) -> Iterator[Diagnostic]:
                 subject=f"view:{view.name}",
             )
             continue
+        relevant = [
+            atom
+            for atom in _relational_atoms(definition)
+            if atom.predicate in query_predicates
+        ]
         exported: set[Variable] = set()
         for atom in relevant:
             exported.update(atom.variable_set())

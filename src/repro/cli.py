@@ -539,6 +539,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"batch: ran in-process ({engine.fallback_reason})",
             file=sys.stderr,
         )
+    if engine is not None and args.profile:
+        # One JSON line so scripts can read the warm-context economics:
+        # exact root matches, small-delta upgrades, and cold starts.
+        print(
+            json.dumps(
+                {
+                    "context_pool": {
+                        "hits": engine.pool_hits,
+                        "delta_hits": engine.pool_delta_hits,
+                        "misses": engine.pool_misses,
+                    }
+                }
+            ),
+            file=sys.stderr,
+        )
     print(
         f"batch: {counts['ok']} ok, {counts['degraded']} degraded, "
         f"{counts['failed']} failed",

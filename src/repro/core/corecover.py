@@ -76,6 +76,11 @@ class CoreCoverStats:
     view_tuple_seconds: float
     core_seconds: float
     cover_seconds: float
+    #: Views surviving the predicate-signature prune — the only ones the
+    #: grouping and view-tuple stages ever enumerated.  Equals
+    #: ``total_views`` when pruning is disabled (``prune_views=False``);
+    #: ``-1`` for stats built before pruning existed.
+    touched_views: int = -1
     #: Whether the run's PlannerContext had memoization enabled.
     caching_enabled: bool = True
     #: Homomorphism searches actually performed during this run.
@@ -94,6 +99,17 @@ class CoreCoverStats:
         """Fraction of cache lookups served from cache (0.0 when unused)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def touched_views_ratio(self) -> float:
+        """Fraction of the catalog the planner actually enumerated.
+
+        1.0 for an empty catalog or for stats predating the prune — the
+        conservative reading ("everything was touched").
+        """
+        if self.touched_views < 0 or not self.total_views:
+            return 1.0
+        return self.touched_views / self.total_views
 
 
 @dataclass(frozen=True)
@@ -126,6 +142,7 @@ def core_cover(
     group_views: bool = True,
     group_tuples: bool = True,
     *,
+    prune_views: bool = True,
     context: PlannerContext | None = None,
 ) -> CoreCoverResult:
     """All globally-minimal rewritings of *query* using *views* (M1-optimal).
@@ -141,6 +158,7 @@ def core_cover(
         context=context,
         group_views=group_views,
         group_tuples=group_tuples,
+        prune_views=prune_views,
     ).details
 
 
@@ -151,6 +169,7 @@ def core_cover_star(
     group_tuples: bool = True,
     max_rewritings: int | None = None,
     *,
+    prune_views: bool = True,
     context: PlannerContext | None = None,
 ) -> CoreCoverResult:
     """All minimal rewritings using view tuples (the M2 search space).
@@ -167,6 +186,7 @@ def core_cover_star(
         group_views=group_views,
         group_tuples=group_tuples,
         max_rewritings=max_rewritings,
+        prune_views=prune_views,
     ).details
 
 
@@ -177,6 +197,7 @@ def core_cover_impl(
     all_minimal: bool = False,
     group_views: bool = True,
     group_tuples: bool = True,
+    prune_views: bool = True,
     max_rewritings: int | None = None,
     context: PlannerContext | None = None,
 ) -> CoreCoverResult:
@@ -193,16 +214,40 @@ def core_cover_impl(
         minimized = ctx.minimize(query)
     minimize_seconds = time.perf_counter() - t0
 
-    # Section 5.2: group views into equivalence classes, keep representatives.
+    # Predicate-signature pruning: a view sharing no (predicate, arity)
+    # pair with the minimized query has no answer over its canonical
+    # database — no view tuple, no core, no place in any rewriting
+    # (Section 3.3) — so neither the grouping hom searches nor the
+    # view-tuple evaluation need ever touch it.  A ViewCatalog answers
+    # from its index; a bare sequence falls back to a signature scan.
     t0 = time.perf_counter()
     with ctx.stage("grouping"):
+        if not prune_views:
+            touched = view_list
+        elif isinstance(views, ViewCatalog):
+            touched = list(views.relevant_views(minimized))
+        else:
+            pairs = frozenset(
+                (atom.predicate, atom.arity)
+                for atom in minimized.body
+                if not atom.is_comparison
+            )
+            touched = [
+                view
+                for view in view_list
+                if not view.predicate_signature()
+                or view.predicate_signature() & pairs
+            ]
+
+        # Section 5.2: group the surviving views into equivalence
+        # classes, keep representatives.
         if group_views:
-            classes = group_equivalent_views(view_list, context=ctx)
+            classes = group_equivalent_views(touched, context=ctx)
             representatives = [members[0] for members in classes]
             view_classes = len(classes)
         else:
-            representatives = view_list
-            view_classes = len(view_list)
+            representatives = touched
+            view_classes = len(touched)
     grouping_seconds = time.perf_counter() - t0
 
     # Step (2): view tuples over the canonical database.  The canonical-DB
@@ -286,6 +331,7 @@ def core_cover_impl(
     stats = CoreCoverStats(
         total_views=len(view_list),
         view_classes=view_classes,
+        touched_views=len(touched),
         total_view_tuples=len(tuples),
         view_tuple_classes=tuple_class_count,
         maximal_tuple_classes=maximal_tuple_classes,

@@ -133,7 +133,16 @@ def view_tuples(
     (query, definition) — structurally duplicate views are evaluated once.
     The cache is only consulted when *canonical* really is the canonical
     database of *query*.
+
+    When *views* is a :class:`ViewCatalog`, its predicate-signature
+    index prunes the enumeration to the views sharing at least one body
+    predicate with *query*: the others have no answer over the canonical
+    database (their body atoms match no frozen fact), so skipping them
+    changes nothing but the work done.  Pass an explicit view sequence
+    to opt out.
     """
+    if isinstance(views, ViewCatalog):
+        views = views.relevant_views(query)
     if canonical is None:
         canonical = (
             context.canonical_database(query)

@@ -8,8 +8,9 @@ Public surface:
   merging, and per-task crash isolation.
 * :func:`plan_map` — the experiment harness's lighter fan-out of bare
   ``plan()`` calls.
-* :class:`PlannerContextPool` / :func:`context_fingerprint` — the warm
-  context pool and its content-hash key.
+* :class:`PlannerContextPool` / :func:`catalog_fingerprint` — the warm
+  context pool and its structured, delta-aware catalog fingerprint
+  (:func:`context_fingerprint` is the legacy whole-catalog string key).
 """
 
 from .engine import (
@@ -18,7 +19,12 @@ from .engine import (
     ParallelPolicy,
     plan_map,
 )
-from .pool import PlannerContextPool, context_fingerprint
+from .pool import (
+    CatalogFingerprint,
+    PlannerContextPool,
+    catalog_fingerprint,
+    context_fingerprint,
+)
 from .worker import (
     PlanTask,
     PlanTaskResult,
@@ -32,6 +38,7 @@ from .worker import (
 
 __all__ = [
     "BreakerScoreboard",
+    "CatalogFingerprint",
     "ParallelPlanningEngine",
     "ParallelPolicy",
     "PlanTask",
@@ -41,6 +48,7 @@ __all__ = [
     "WorkerResult",
     "WorkerState",
     "WorkerTask",
+    "catalog_fingerprint",
     "context_fingerprint",
     "crash_outcome",
     "plan_map",

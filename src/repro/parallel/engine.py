@@ -132,6 +132,7 @@ class ParallelPlanningEngine:
         self.fell_back_to_serial = False
         self.fallback_reason: str | None = None
         self.pool_hits = 0
+        self.pool_delta_hits = 0
         self.pool_misses = 0
 
     def resolve_workers(self) -> int:
@@ -243,7 +244,9 @@ class ParallelPlanningEngine:
             raise result.error
         self.scoreboard.merge(result.breaker_deltas)
         if result.fingerprint:
-            if result.pool_hit:
+            if result.pool_event == "delta":
+                self.pool_delta_hits += 1
+            elif result.pool_hit:
                 self.pool_hits += 1
             else:
                 self.pool_misses += 1

@@ -96,6 +96,10 @@ class WorkerResult:
     )
     fingerprint: str = ""
     pool_hit: bool = False
+    #: ``"exact"`` (same catalog root), ``"delta"`` (warm context
+    #: upgraded across a small catalog delta), or ``"miss"``; empty for
+    #: error results.
+    pool_event: str = ""
     #: Planner-stats delta of this task on its (possibly warm) context.
     stats: PlannerStats | None = None
 
@@ -164,10 +168,10 @@ class WorkerState:
         request = task.request
         try:
             fire("worker_dispatch")
-            fingerprint = context_fingerprint(
+            context, pool_event = self.pool.acquire_catalog(
                 request.views, {"chain": list(self.executor.chain)}
             )
-            context, pool_hit = self.pool.acquire(fingerprint)
+            fingerprint = request.views.content_root()
             self._active_context = context
             before = context.snapshot()
             totals_before = self.executor.breaker_totals()
@@ -186,7 +190,8 @@ class WorkerState:
                 outcome=outcome,
                 breaker_deltas=deltas,
                 fingerprint=fingerprint,
-                pool_hit=pool_hit,
+                pool_hit=pool_event in ("exact", "delta"),
+                pool_event=pool_event,
                 stats=context.snapshot().since(before),
             )
         except ReproError as exc:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from ..containment.memo import CacheCounter, ContainmentCache
 from ..datalog.atoms import Atom
@@ -254,6 +254,33 @@ class PlannerContext:
         self._view_def_keys[id(view)] = key
         self._keepalive.append(view)
         return key
+
+    def retire_views(self, views: "Iterable[View]") -> int:
+        """Evict memoized work for view definitions leaving the catalog.
+
+        Called on a catalog delta for the *removed* views.  Every planner
+        cache is keyed on structural content, so entries can never go
+        stale — retiring is memory hygiene only, releasing tuple-cores,
+        view rows, and containment results that the shrunk catalog can no
+        longer ask for.  A definition still present under another view
+        name is simply recomputed on its next use.  Returns the number of
+        entries dropped.
+        """
+        def_keys = {self.view_definition_key(view) for view in views}
+        if not def_keys:
+            return 0
+        dropped = 0
+        for cache in (self._tuple_cores, self._view_rows):
+            for key in [k for k in cache if k[1] in def_keys]:
+                del cache[key]
+                dropped += 1
+        query_keys = {
+            self.interner.query_key(view.definition) for view in views
+        }
+        dropped += self.containment.evict_query_keys(query_keys)
+        for view in views:
+            self._view_def_keys.pop(id(view), None)
+        return dropped
 
     # -- tuple-core cache -------------------------------------------------------
     def tuple_core(

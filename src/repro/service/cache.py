@@ -1,10 +1,17 @@
 """Crash-safe on-disk plan cache with integrity checking.
 
 Entries are **content-addressed**: the key is a SHA-256 over a canonical
-rendering of the request — the query text, the sorted view-definition
-texts, and the planner configuration (chain, cost model, backend
-options) — so two textually different but identical requests share one
-entry and any input change misses cleanly.
+rendering of the request — the query text, the sorted definition texts
+of the views *relevant* to the query (those sharing a body predicate
+with it, per the catalog's predicate-signature index), and the planner
+configuration (chain, cost model, backend options) — so two textually
+different but identical requests share one entry and any input change
+misses cleanly.  Keying on the relevant subset gives per-view
+invalidation for free: a catalog delta that only touches views the
+query cannot use leaves its cached plan addressable, while a delta to
+any view the plan could have used changes the key (a miss, never a
+stale hit).  Keys from the previous whole-catalog scheme carry an older
+key version, so they too read as clean misses.
 
 Each entry is one JSON file ``<key>.json`` shaped as::
 
@@ -47,7 +54,12 @@ from ..testing.faults import fire
 
 __all__ = ["CachedPlan", "PlanCache", "request_key"]
 
-_KEY_VERSION = 1  # bump to invalidate every existing entry
+#: Bumping the version turns every existing entry into a clean miss —
+#: never corruption — because the version is hashed into the key.
+#: v2: keys hash only the views *relevant* to the query (per-view
+#: invalidation via the catalog's predicate-signature index); v1 keys
+#: hashed the whole catalog.
+_KEY_VERSION = 2
 
 
 def _canonical(payload: Mapping) -> bytes:

@@ -97,10 +97,20 @@ class PlanRequest:
     parse_seconds: float = 0.0
 
     def cache_key(self, chain: tuple[str, ...]) -> str:
-        """Content-addressed key over query + catalog + configuration."""
+        """Content-addressed key over query + relevant views + config.
+
+        Only the views sharing a body predicate with the query (the
+        catalog's predicate-signature index, a conservative superset of
+        anything a rewriting can use) are hashed, so a delta to an
+        irrelevant view leaves this request's cached plan addressable
+        while a delta to any potentially-used view misses cleanly.
+        """
         return request_key(
             str(self.query),
-            [str(view.definition) for view in self.views],
+            [
+                str(view.definition)
+                for view in self.views.relevant_views(self.query)
+            ],
             {"chain": list(chain), "options": dict(self.options)},
         )
 

@@ -29,6 +29,9 @@ point              fired from
 ``worker_dispatch``  :mod:`repro.parallel` worker task entry, once per
                      dispatched request (the serial fallback fires it
                      in-process)
+``catalog_delta``  :meth:`repro.views.view.ViewCatalog._commit`, once per
+                   add/remove/replace delta, before the copy-on-write
+                   successor state is installed
 =================  ==========================================================
 
 The registry is data: :func:`describe_injection_points` returns
@@ -104,6 +107,10 @@ _POINT_DESCRIPTIONS: dict[str, str] = {
     "worker_dispatch": (
         "parallel planning engine, once per task dispatch (worker-side; "
         "the in-process serial path fires it too)"
+    ),
+    "catalog_delta": (
+        "view-catalog mutation commit, once per add/remove/replace delta "
+        "(before the copy-on-write state is installed)"
     ),
 }
 

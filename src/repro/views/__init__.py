@@ -10,12 +10,14 @@ from .rewriting import (
     locally_minimize,
     subgoal_count,
 )
-from .view import View, ViewCatalog, as_view
+from .view import CatalogDelta, View, ViewCatalog, as_view, view_content_hash
 
 __all__ = [
+    "CatalogDelta",
     "View",
     "ViewCatalog",
     "as_view",
+    "view_content_hash",
     "enumerate_lmrs_within",
     "expand",
     "expand_atom",

@@ -22,10 +22,29 @@ class TestPinnedCounts:
         )
         result = core_cover(workload.query, workload.views)
         stats = result.stats
-        assert stats.view_classes == 119
+        # view_classes counts classes among the 181 predicate-relevant
+        # views (the catalog index prunes 19 of 200 before grouping);
+        # with prune_views=False it is 119, and the extra 8 classes are
+        # all empty-tuple views — the rewritings are identical either way
+        # (see test_pruning_preserves_rewritings).
+        assert stats.touched_views == 181
+        assert stats.view_classes == 111
         assert stats.total_view_tuples == 74
         assert stats.view_tuple_classes == 62
         assert result.minimum_subgoals() == 3
+
+    def test_pruning_preserves_rewritings(self):
+        workload = generate_workload(
+            WorkloadConfig(
+                shape="star", num_relations=13, num_views=200, seed=7
+            )
+        )
+        pruned = core_cover(workload.query, workload.views)
+        full = core_cover(workload.query, workload.views, prune_views=False)
+        assert full.stats.touched_views == full.stats.total_views == 200
+        assert {str(r) for r in pruned.rewritings} == {
+            str(r) for r in full.rewritings
+        }
 
     def test_chain_workload_seed7(self):
         workload = generate_workload(

@@ -1,0 +1,162 @@
+"""Incremental catalog maintenance equals a from-scratch rebuild.
+
+The oracle law for the delta API: after **any** sequence of
+add/remove/replace mutations, the catalog must be observationally
+identical to a fresh :class:`ViewCatalog` built from its surviving
+views — same index, same hashes, same content root, same view tuples,
+same tuple-cores, same rewritings.  A second law covers the
+multiprocessing boundary: pickling a mutated catalog (what every
+:class:`WorkerTask` does) must preserve all of the above, including
+interning round-trips — planning the unpickled catalog on a fresh
+context reproduces the original's rewritings exactly.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ViewCatalog, parse_query
+from repro.core import core_cover
+from repro.core.view_tuples import view_tuples
+from repro.planner import PlannerContext
+from repro.views import as_view
+
+#: A small relation universe so random views overlap the query often.
+RELATIONS = [("a", 2), ("b", 2), ("c", 2), ("d", 1)]
+
+QUERY = parse_query("q(X, Y) :- a(X, Z), b(Z, Y)")
+
+
+@st.composite
+def view_bodies(draw):
+    """1-3 relational atoms over the universe, variables from A-D."""
+    names = ["A", "B", "C", "D"]
+    atoms = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        predicate, arity = draw(st.sampled_from(RELATIONS))
+        args = [draw(st.sampled_from(names)) for _ in range(arity)]
+        atoms.append(f"{predicate}({', '.join(args)})")
+    head_vars = sorted({v for atom_args in atoms for v in names
+                        if v in atom_args})
+    heads = draw(
+        st.lists(
+            st.sampled_from(head_vars), min_size=1,
+            max_size=len(head_vars), unique=True,
+        )
+    )
+    return f"({', '.join(heads)}) :- {', '.join(atoms)}"
+
+
+@st.composite
+def mutation_sequences(draw):
+    """An initial catalog plus a random add/remove/replace script."""
+    initial = draw(
+        st.lists(view_bodies(), min_size=1, max_size=4)
+    )
+    script = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "replace"]),
+                view_bodies(),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return initial, script
+
+
+def _apply(catalog, script):
+    """Run the mutation script; names are v0, v1, ... in creation order."""
+    counter = len(catalog)
+    for action, body in script:
+        names = catalog.names()
+        if action == "add" or not names:
+            catalog.add_view(as_view(f"v{counter}{body}"))
+            counter += 1
+        elif action == "remove":
+            catalog.remove_view(names[counter % len(names)])
+        else:
+            name = names[counter % len(names)]
+            catalog.replace_view(as_view(f"{name}{body}"))
+
+
+def _build(initial):
+    return ViewCatalog(
+        as_view(f"v{i}{body}") for i, body in enumerate(initial)
+    )
+
+
+class TestIncrementalOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(mutation_sequences())
+    def test_mutated_equals_rebuilt(self, case):
+        initial, script = case
+        catalog = _build(initial)
+        _apply(catalog, script)
+        rebuilt = ViewCatalog(list(catalog))
+
+        assert catalog.names() == rebuilt.names()
+        assert catalog.view_hashes() == rebuilt.view_hashes()
+        assert catalog.content_root() == rebuilt.content_root()
+        assert catalog.indexed_predicates() == rebuilt.indexed_predicates()
+        for pair in catalog.indexed_predicates():
+            assert [
+                v.name for v in catalog.views_for_predicates([pair])
+            ] == [v.name for v in rebuilt.views_for_predicates([pair])]
+        assert catalog.relevant_names(QUERY) == rebuilt.relevant_names(QUERY)
+
+    @settings(max_examples=15, deadline=None)
+    @given(mutation_sequences())
+    def test_planning_artifacts_match_rebuilt(self, case):
+        """View tuples, tuple-cores, and rewritings off the mutated
+        catalog are identical to the from-scratch rebuild's."""
+        initial, script = case
+        catalog = _build(initial)
+        _apply(catalog, script)
+        rebuilt = ViewCatalog(list(catalog))
+
+        context = PlannerContext()
+        minimized = context.minimize(QUERY)
+        incremental = view_tuples(minimized, catalog, context=context)
+        scratch = view_tuples(minimized, rebuilt, context=PlannerContext())
+        assert [str(t.atom) for t in incremental] == [
+            str(t.atom) for t in scratch
+        ]
+
+        left = core_cover(QUERY, catalog)
+        right = core_cover(QUERY, rebuilt)
+        assert [str(c) for c in left.cores] == [str(c) for c in right.cores]
+        assert [str(r) for r in left.rewritings] == [
+            str(r) for r in right.rewritings
+        ]
+        assert left.stats.touched_views == right.stats.touched_views
+
+    @settings(max_examples=15, deadline=None)
+    @given(mutation_sequences())
+    def test_pickle_round_trip_preserves_everything(self, case):
+        """The multiprocessing boundary: an unpickled mutated catalog
+        plans identically, and its identity (version, hashes, root,
+        index) survives the round trip."""
+        initial, script = case
+        catalog = _build(initial)
+        _apply(catalog, script)
+
+        clone = pickle.loads(pickle.dumps(catalog))
+        assert clone.version == catalog.version
+        assert clone.names() == catalog.names()
+        assert clone.view_hashes() == catalog.view_hashes()
+        assert clone.content_root() == catalog.content_root()
+        assert clone.indexed_predicates() == catalog.indexed_predicates()
+        assert clone.relevant_names(QUERY) == catalog.relevant_names(QUERY)
+
+        # Fresh interner on the clone's side, as in a real worker.
+        original = core_cover(QUERY, catalog, context=PlannerContext())
+        shipped = core_cover(QUERY, clone, context=PlannerContext())
+        assert [str(r) for r in original.rewritings] == [
+            str(r) for r in shipped.rewritings
+        ]
+        # Mutating the clone further diverges it cleanly from the parent.
+        clone.add_view(as_view("vx(A) :- d(A)"))
+        assert clone.version == catalog.version + 1
+        assert "vx" in clone and "vx" not in catalog

@@ -44,6 +44,57 @@ class TestRequestKey:
         assert base != request_key("q(X) :- a(X)", ["v1(A) :- a(A)"], {"o": 2})
 
 
+class TestPerViewInvalidation:
+    """``PlanRequest.cache_key`` hashes only the query-relevant views."""
+
+    def _request(self, views):
+        from repro import ViewCatalog, parse_query
+        from repro.service import PlanRequest
+
+        return PlanRequest(
+            query=parse_query("q(X, Y) :- a(X, Z), b(Z, Y)"),
+            views=ViewCatalog(views),
+        )
+
+    def test_irrelevant_view_delta_keeps_the_key(self):
+        from repro.views import as_view
+
+        base = self._request(["v1(A, B) :- a(A, B)", "v2(A, B) :- b(A, B)"])
+        key = base.cache_key(("corecover",))
+        grown = self._request(["v1(A, B) :- a(A, B)", "v2(A, B) :- b(A, B)"])
+        grown.views.add_view(as_view("v3(A, B) :- c(A, B)"))  # no a/b atoms
+        assert grown.cache_key(("corecover",)) == key
+
+    def test_relevant_view_delta_changes_the_key(self):
+        base = self._request(["v1(A, B) :- a(A, B)", "v2(A, B) :- b(A, B)"])
+        key = base.cache_key(("corecover",))
+        changed = self._request(
+            ["v1(A, B) :- a(A, B), a(B, B)", "v2(A, B) :- b(A, B)"]
+        )
+        assert changed.cache_key(("corecover",)) != key
+
+    def test_old_whole_catalog_keys_read_as_misses(self, cache):
+        """A v1-era key (version 1, whole catalog hashed) addresses no
+        v2 entry: the version is hashed into the key, so the scheme
+        change is a clean miss, never corruption."""
+        import hashlib
+
+        v1_material = json.dumps(
+            {
+                "version": 1,
+                "query": "q(X) :- a(X)",
+                "views": ["v1(A) :- a(A)", "v9(C) :- c(C)"],
+                "config": {},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+        v1_key = hashlib.sha256(v1_material).hexdigest()
+        assert v1_key != request_key("q(X) :- a(X)", ["v1(A) :- a(A)"])
+        assert cache.read(v1_key) is None
+        assert cache.corruptions == 0
+
+
 class TestRoundTrip:
     def test_write_then_read(self, cache):
         cache.write(KEY, PLAN)

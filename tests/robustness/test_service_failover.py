@@ -215,11 +215,13 @@ class TestDegradedServing:
     def test_all_injection_points_fire_in_a_supervised_run(
         self, workload, fake_clock, tmp_path
     ):
-        """A cache-backed supervised run plus an engine dispatch
-        exercises the full registry of injection points — planner-,
-        service-, and parallel-level alike."""
+        """A cache-backed supervised run plus an engine dispatch and a
+        catalog delta exercises the full registry of injection points —
+        planner-, service-, catalog-, and parallel-level alike."""
         from repro.parallel import ParallelPlanningEngine, ParallelPolicy
+        from repro.views import as_view
 
+        query, views = workload
         cache = PlanCache(tmp_path / "plans")
         executor = make_executor(
             fake_clock, chain=("corecover",), cache=cache
@@ -229,8 +231,9 @@ class TestDegradedServing:
             parallel=ParallelPolicy(workers=1),
         )
         with inject() as active:
-            executor.execute(PlanRequest(*workload))
-            list(engine.run([PlanRequest(*workload)]))
+            executor.execute(PlanRequest(query, views))
+            list(engine.run([PlanRequest(query, views)]))
+            views.add_view(as_view("v_extra(X) :- a(X, X)"))
         assert active.exercised_points() == INJECTION_POINTS
 
 

@@ -1,0 +1,162 @@
+"""The indexed, versioned catalog: deltas, the index, and chaos safety.
+
+The contract under test: every mutation is one copy-on-write delta —
+version bumps monotonically, the content root tracks exactly the set of
+rendered definitions, the predicate index answers relevance queries
+identically to a from-scratch rebuild, and a fault injected mid-delta
+(the ``catalog_delta`` point) leaves the catalog on the **old**
+consistent version with no torn index.
+"""
+
+import pytest
+
+from repro.errors import DuplicateViewError, UnknownViewError
+from repro.testing.faults import RaiseFault, inject
+from repro.views import CatalogDelta, ViewCatalog, as_view, view_content_hash
+
+
+@pytest.fixture()
+def catalog():
+    return ViewCatalog(
+        [
+            "v1(A, B) :- a(A, B)",
+            "v2(A, B) :- b(A, B), a(B, B)",
+            "v3(A) :- c(A, A)",
+        ]
+    )
+
+
+class TestVersioning:
+    def test_version_bumps_once_per_mutation(self, catalog):
+        start = catalog.version
+        catalog.add("v4(A) :- d(A, A)")
+        catalog.remove_view("v4")
+        catalog.replace_view(as_view("v3(A) :- d(A, A)"))
+        assert catalog.version == start + 3
+
+    def test_delta_reports_versions_roots_and_members(self, catalog):
+        old_root = catalog.content_root()
+        delta = catalog.add_view(as_view("v4(A) :- d(A, A)"))
+        assert isinstance(delta, CatalogDelta)
+        assert delta.old_version + 1 == delta.new_version == catalog.version
+        assert delta.old_root == old_root
+        assert delta.new_root == catalog.content_root() != old_root
+        assert [v.name for v in delta.added] == ["v4"]
+        assert delta.removed == ()
+
+    def test_replace_is_one_delta(self, catalog):
+        start = catalog.version
+        delta = catalog.replace_view(as_view("v1(A, B) :- d(A, B)"))
+        assert catalog.version == start + 1
+        assert [v.name for v in delta.added] == ["v1"]
+        assert [v.name for v in delta.removed] == ["v1"]
+        assert delta.removed[0].definition != delta.added[0].definition
+
+    def test_content_root_is_order_independent(self):
+        texts = ["v1(A) :- a(A, A)", "v2(A) :- b(A, A)"]
+        forward = ViewCatalog(texts)
+        backward = ViewCatalog(list(reversed(texts)))
+        assert forward.content_root() == backward.content_root()
+
+    def test_root_round_trips_through_remove(self, catalog):
+        root = catalog.content_root()
+        catalog.add("v4(A) :- d(A, A)")
+        catalog.remove_view("v4")
+        assert catalog.content_root() == root
+
+    def test_hashes_are_per_view_content(self, catalog):
+        hashes = catalog.view_hashes()
+        assert set(hashes) == {"v1", "v2", "v3"}
+        assert hashes["v1"] == view_content_hash(catalog.get("v1"))
+
+
+class TestIndex:
+    def test_matches_from_scratch_rebuild(self, catalog):
+        catalog.add("v4(A) :- a(A, A), c(A, A)")
+        catalog.remove_view("v2")
+        catalog.replace_view(as_view("v3(A) :- b(A, A)"))
+        rebuilt = ViewCatalog(list(catalog))
+        assert catalog.indexed_predicates() == rebuilt.indexed_predicates()
+        for pair in catalog.indexed_predicates():
+            assert [
+                v.name for v in catalog.views_for_predicates([pair])
+            ] == [v.name for v in rebuilt.views_for_predicates([pair])]
+
+    def test_no_shared_predicate_prunes_to_nothing(self):
+        from repro import parse_query
+
+        catalog = ViewCatalog(["v1(A) :- a(A, A)"])
+        query = parse_query("q(X) :- b(X, X)")
+        assert catalog.relevant_names(query) == ()
+        assert ("a", 2) in catalog.indexed_predicates()
+
+    def test_comparison_atoms_stay_out_of_the_index(self):
+        catalog = ViewCatalog(["v1(A, B) :- a(A, B), A < B"])
+        assert catalog.indexed_predicates() == frozenset({("a", 2)})
+
+
+class TestChaosSafety:
+    def test_fault_mid_add_leaves_old_version(self, catalog):
+        version = catalog.version
+        root = catalog.content_root()
+        names = catalog.names()
+        index = {
+            pair: tuple(
+                v.name for v in catalog.views_for_predicates([pair])
+            )
+            for pair in catalog.indexed_predicates()
+        }
+        with inject(RaiseFault("catalog_delta")):
+            with pytest.raises(RuntimeError):
+                catalog.add("v4(A) :- a(A, A)")
+        # The mutation never happened: no torn index, no half-bump.
+        assert catalog.version == version
+        assert catalog.content_root() == root
+        assert catalog.names() == names
+        assert "v4" not in catalog
+        assert {
+            pair: tuple(
+                v.name for v in catalog.views_for_predicates([pair])
+            )
+            for pair in catalog.indexed_predicates()
+        } == index
+
+    def test_fault_mid_remove_keeps_the_view(self, catalog):
+        version = catalog.version
+        with inject(RaiseFault("catalog_delta")):
+            with pytest.raises(RuntimeError):
+                catalog.remove_view("v1")
+        assert "v1" in catalog and catalog.version == version
+        # The index still routes a-queries through v1.
+        assert "v1" in {
+            v.name for v in catalog.views_for_predicates([("a", 2)])
+        }
+
+    def test_fault_mid_replace_keeps_old_definition(self, catalog):
+        old = catalog.get("v1")
+        with inject(RaiseFault("catalog_delta")):
+            with pytest.raises(RuntimeError):
+                catalog.replace_view(as_view("v1(A, B) :- d(A, B)"))
+        assert catalog.get("v1") is old
+        assert ("d", 2) not in catalog.indexed_predicates()
+
+    def test_catalog_usable_after_fault(self, catalog):
+        """After an aborted delta the next mutation commits normally and
+        lands on the same state a never-faulted catalog reaches."""
+        with inject(RaiseFault("catalog_delta")):
+            with pytest.raises(RuntimeError):
+                catalog.add("v4(A) :- d(A, A)")
+        delta = catalog.add_view(as_view("v4(A) :- d(A, A)"))
+        assert delta.old_version + 1 == catalog.version
+        pristine = ViewCatalog(list(catalog))
+        assert pristine.content_root() == catalog.content_root()
+
+    def test_duplicate_and_unknown_raise_before_any_state_change(
+        self, catalog
+    ):
+        version = catalog.version
+        with pytest.raises(DuplicateViewError):
+            catalog.add("v1(A) :- a(A, A)")
+        with pytest.raises(UnknownViewError):
+            catalog.remove_view("nope")
+        assert catalog.version == version
