@@ -1,0 +1,235 @@
+"""CI smoke driver for the planning daemon.
+
+Boots ``repro serve run`` as a real subprocess with chaos injected
+(worker kills mid-batch, admission stalls), fires 100 concurrent
+requests at it, and holds the daemon to the robustness contract:
+
+* every request receives a terminal structured response — served,
+  degraded, failed with a worker-crash error, or shed with a retry
+  hint; none may be silently dropped;
+* SIGTERM then drains cleanly: exit code 0 and a final ``drained``
+  event on stdout;
+* the plan cache survives the drain — a follow-up daemon on the same
+  cache directory must answer the workload with a warm hit.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Exits 0 on success, 1 with a diagnostic summary on any violation.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+QUERY = "q(X, Z) :- car(X, Y), loc(Y, Z)"
+VIEWS = [
+    "v1(X, Z) :- car(X, Y), loc(Y, Z)",
+    "v2(X, Y) :- car(X, Y)",
+    "v3(Y, Z) :- loc(Y, Z)",
+]
+
+TOTAL_REQUESTS = 100
+CLIENTS = 10
+TERMINAL_STATUSES = {"ok", "degraded", "failed", "error"}
+
+CHAOS = [
+    # Each worker incarnation SIGKILLs itself on its 10th dispatch:
+    # several crashes land mid-batch and must surface as per-request
+    # WorkerCrashError responses, never as lost requests.
+    "kill:worker_dispatch:after=10:times=1",
+    # The admission path stalls briefly a few times: intake slows but
+    # no frame may be dropped.
+    "stall:serve_admission:seconds=0.05:times=5",
+]
+
+
+def _fail(message, **details):
+    print(json.dumps({"smoke": "FAIL", "error": message, **details}))
+    return 1
+
+
+def _boot_daemon(views_path, cache_dir, *, chaos=()):
+    argv = [
+        sys.executable, "-m", "repro", "serve", "run",
+        "--views", str(views_path),
+        "--host", "127.0.0.1", "--port", "0",
+        "--workers", "2",
+        "--cache", str(cache_dir),
+    ]
+    for spec in chaos:
+        argv += ["--chaos", spec]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        argv, env=env, cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    ready_line = proc.stdout.readline()
+    if not ready_line:
+        proc.kill()
+        raise RuntimeError(
+            "daemon never became ready: " + proc.stderr.read()
+        )
+    ready = json.loads(ready_line)
+    assert ready["event"] == "ready", ready
+    return proc, ready["host"], ready["port"]
+
+
+def _drained_event(stdout_text):
+    for line in stdout_text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if payload.get("event") == "drained":
+            return payload
+    return None
+
+
+def _client_worker(host, port, ids, responses, errors):
+    try:
+        client = ServeClient(host, port, timeout=120.0)
+        try:
+            batch = client.request_many(
+                {"id": request_id, "query": QUERY} for request_id in ids
+            )
+            responses.extend(batch)
+        finally:
+            client.close()
+    except Exception as exc:  # noqa: BLE001 - recorded, asserted below
+        errors.append(f"{type(exc).__name__}: {exc}")
+
+
+def run_smoke():
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    views_path = tmp / "views.dl"
+    views_path.write_text("\n".join(VIEWS) + "\n")
+    cache_dir = tmp / "cache"
+
+    proc, host, port = _boot_daemon(views_path, cache_dir, chaos=CHAOS)
+    responses: list = []
+    errors: list = []
+    try:
+        threads = []
+        per_client = TOTAL_REQUESTS // CLIENTS
+        for c in range(CLIENTS):
+            ids = [f"c{c}-r{i}" for i in range(per_client)]
+            thread = threading.Thread(
+                target=_client_worker,
+                args=(host, port, ids, responses, errors),
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=180.0)
+        if any(thread.is_alive() for thread in threads):
+            return _fail("client threads hung — requests were dropped")
+        if errors:
+            return _fail("client connections failed", errors=errors)
+
+        if len(responses) != TOTAL_REQUESTS:
+            return _fail(
+                "requests were silently dropped",
+                expected=TOTAL_REQUESTS, received=len(responses),
+            )
+        statuses: dict = {}
+        error_names: dict = {}
+        for response in responses:
+            status = response.get("status")
+            statuses[status] = statuses.get(status, 0) + 1
+            if status not in TERMINAL_STATUSES:
+                return _fail(
+                    "non-terminal response", response=response
+                )
+            if status in ("failed", "error"):
+                name = (response.get("error") or {}).get("error", "?")
+                error_names[name] = error_names.get(name, 0) + 1
+        # Chaos produces crashes and sheds; anything else in the error
+        # mix means requests are failing for the wrong reason.
+        unexpected = set(error_names) - {
+            "WorkerCrashError", "OverloadError", "ShuttingDownError"
+        }
+        if unexpected:
+            return _fail(
+                "unexpected error classes", errors=error_names
+            )
+        if statuses.get("ok", 0) + statuses.get("degraded", 0) == 0:
+            return _fail("no request was actually served", statuses=statuses)
+
+        # Clean drain on SIGTERM.
+        proc.send_signal(signal.SIGTERM)
+        try:
+            stdout_rest, stderr_rest = proc.communicate(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            return _fail("daemon did not drain within 60s of SIGTERM")
+        if proc.returncode != 0:
+            return _fail(
+                "drain exited non-zero",
+                returncode=proc.returncode, stderr=stderr_rest[-2000:],
+            )
+        drained = _drained_event(stdout_rest)
+        if drained is None:
+            return _fail("no drained event on stdout", stdout=stdout_rest)
+        if not (drained.get("cache_entries") or 0) >= 1:
+            return _fail("drain flushed no cache entries", drained=drained)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    # The cache must be intact: a fresh daemon on the same directory
+    # serves the workload warm.
+    proc2, host2, port2 = _boot_daemon(views_path, cache_dir)
+    try:
+        client = ServeClient(host2, port2, timeout=60.0)
+        try:
+            warm = client.plan(QUERY, id="warm")
+        finally:
+            client.close()
+        if warm.get("status") != "ok" or warm.get("cache") != "hit":
+            return _fail("follow-up run was not warm", response=warm)
+        proc2.send_signal(signal.SIGTERM)
+        proc2.communicate(timeout=60.0)
+        if proc2.returncode != 0:
+            return _fail("warm daemon drain exited non-zero",
+                         returncode=proc2.returncode)
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+
+    print(json.dumps({
+        "smoke": "PASS",
+        "requests": TOTAL_REQUESTS,
+        "statuses": statuses,
+        "errors": error_names,
+        "drain": drained,
+        "warm_cache": warm["cache"],
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    started = time.monotonic()
+    code = run_smoke()
+    print(
+        f"serve_smoke: {'PASS' if code == 0 else 'FAIL'} "
+        f"in {time.monotonic() - started:.1f}s",
+        file=sys.stderr,
+    )
+    sys.exit(code)

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro lint     "q(X) :- e(X, X)" --views views.dl [--format json]
     python -m repro batch    requests.ndjson --views views.dl [--cache DIR]
                              [--workers N] [--profile]
+    python -m repro serve run  --views views.dl [--port N] [--cache DIR]
+    python -m repro serve send requests.ndjson --port N
     python -m repro faults   list [--format json]
     python -m repro figures fig6a [--full] [--csv DIR]
 
@@ -38,6 +40,14 @@ Subcommands::
   the batch across the :mod:`repro.parallel` process pool (outcomes
   stay in input order); ``--profile`` attaches a phase-level profile to
   every outcome line.  ``plan`` is an alias of ``rewrite``.
+* ``serve`` is the resident planning daemon (:mod:`repro.serve`):
+  ``serve run`` listens on TCP/Unix for newline-delimited JSON plan
+  requests (batch schema plus ``catalog``/``tenant``), with bounded
+  admission, per-tenant rate limits, heartbeat-supervised workers, and
+  a graceful SIGTERM drain (clean drain exits 0; shed requests carry
+  exit code 78, drain-time rejections 79).  ``serve send`` is the
+  matching client; like ``batch``, its exit status reflects the final
+  failure's taxonomy code.
 * ``faults`` introspects the deterministic fault-injection harness;
   ``faults list`` enumerates every registered injection point, so chaos
   tests and docs cannot silently drift from the registry.
@@ -57,6 +67,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -80,7 +91,7 @@ from .views import ViewCatalog
 #: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
 _SUBCOMMANDS = (
     "rewrite", "plan", "optimize", "certain", "lint", "batch", "faults",
-    "figures",
+    "figures", "serve",
 )
 
 
@@ -568,6 +579,168 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    """Run the resident planning daemon until drained (SIGTERM/drain)."""
+    import asyncio
+
+    from .errors import ParseError
+    from .parallel import SupervisorPolicy
+    from .parallel.worker import WorkerConfig
+    from .serve import AdmissionPolicy, PlanningDaemon, ServeConfig
+    from .service import BreakerPolicy, RetryPolicy, ServicePolicy
+    from .testing.faults import fault_from_spec, inject
+
+    views = _load_views(args.views) if args.views is not None else None
+    chain = tuple(
+        name.strip() for name in args.chain.split(",") if name.strip()
+    )
+    policy = ServicePolicy(
+        chain=chain,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        breaker=BreakerPolicy(cooldown_seconds=args.breaker_cooldown),
+    )
+    tenant_rates: dict[str, float] = {}
+    for spec in args.tenant_rate_override or ():
+        name, sep, rate = spec.partition("=")
+        if not sep or not name:
+            raise ParseError(
+                f"--tenant-rate-override {spec!r} must be NAME=RATE"
+            )
+        try:
+            tenant_rates[name] = float(rate)
+        except ValueError:
+            raise ParseError(
+                f"--tenant-rate-override {spec!r}: rate must be a number"
+            ) from None
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        admission=AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            tenant_rates=tenant_rates,
+        ),
+        supervisor=SupervisorPolicy(
+            workers=args.workers,
+            pool_size=args.pool_size,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_grace=args.heartbeat_grace,
+            recycle_after_requests=args.recycle_after,
+            max_rss_bytes=(
+                int(args.max_rss_mb * 1024 * 1024)
+                if args.max_rss_mb is not None
+                else None
+            ),
+            task_grace_seconds=args.task_grace,
+            default_task_timeout=args.task_timeout,
+        ),
+        worker=WorkerConfig(
+            policy=policy,
+            cache_dir=args.cache,
+            cache_ttl=args.cache_ttl,
+            strict_cache=args.strict_cache,
+            profile=args.profile,
+            pool_size=args.pool_size,
+        ),
+        default_budget=_build_budget(args),
+        drain_deadline=args.drain_deadline,
+    )
+
+    def _on_ready(daemon: "PlanningDaemon") -> None:
+        address = daemon.address
+        payload: dict = {"event": "ready", "pid": os.getpid()}
+        if address is not None and address[0] == "unix":
+            payload["path"] = address[1]
+        elif address is not None:
+            payload["host"], payload["port"] = address[1], address[2]
+        print(json.dumps(payload), flush=True)
+
+    daemon = PlanningDaemon(
+        config, default_catalog=views, on_ready=_on_ready
+    )
+    try:
+        faults = tuple(fault_from_spec(spec) for spec in args.chaos or ())
+    except ValueError as exc:
+        raise ParseError(str(exc)) from None
+    if faults:
+        with inject(*faults):
+            code = asyncio.run(daemon.run())
+    else:
+        code = asyncio.run(daemon.run())
+    print(
+        json.dumps(
+            {
+                "event": "drained",
+                "exit_code": code,
+                "report": daemon.drain_report,
+                "cache_entries": daemon.cache_entries_flushed,
+            }
+        ),
+        flush=True,
+    )
+    return code
+
+
+def _cmd_serve_send(args: argparse.Namespace) -> int:
+    """Send NDJSON frames to a running daemon; batch-style exit codes."""
+    from .errors import ParseError
+    from .serve.client import ServeClient
+    from .serve.protocol import error_from_payload
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        lines = Path(args.requests).read_text().splitlines()
+    counts = {"ok": 0, "degraded": 0, "failed": 0, "error": 0, "control": 0}
+    last_error: ReproError | None = None
+    with ServeClient(
+        args.host,
+        args.port,
+        unix_socket=args.unix_socket,
+        timeout=args.client_timeout,
+    ) as client:
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise ParseError(
+                    f"request line {number}: invalid JSON: {exc}"
+                ) from None
+            response = client.request(payload)
+            status = str(response.get("status", ""))
+            if args.format == "json":
+                print(json.dumps(response))
+            else:
+                print(f"{response.get('id')}: {status or 'response'}")
+            if status == "error":
+                counts["error"] += 1
+                error = response.get("error")
+                if isinstance(error, dict):
+                    last_error = error_from_payload(error)
+            elif status in counts:
+                counts[status] += 1
+            else:
+                counts["control"] += 1
+    print(
+        f"serve send: {counts['ok']} ok, {counts['degraded']} degraded, "
+        f"{counts['failed']} failed, {counts['error']} error, "
+        f"{counts['control']} control",
+        file=sys.stderr,
+    )
+    if last_error is not None:
+        # Mirror batch semantics: all responses were printed; the exit
+        # status reflects the *final* failure through the taxonomy
+        # handler (e.g. 78 when the daemon shed the last request, 79
+        # when it was draining).
+        raise last_error
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Introspection of the fault-injection registry."""
     from .testing.faults import describe_injection_points
@@ -847,6 +1020,148 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_flags(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="the resident planning daemon (run) and its client (send)",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run",
+        help="run the supervised planning daemon until drained "
+             "(SIGTERM or a drain message; clean drain exits 0)",
+    )
+    serve_run.add_argument(
+        "--views", default=None,
+        help="datalog program file used as the default catalog "
+             "(tenants may also register named catalogs over the wire)",
+    )
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port (0 = ephemeral; the bound port is announced in "
+             "the ready line on stdout)",
+    )
+    serve_run.add_argument(
+        "--unix-socket", metavar="PATH", default=None,
+        help="listen on a Unix socket instead of TCP",
+    )
+    serve_run.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="supervised worker processes (heartbeat-monitored, "
+             "restarted on crash/hang)",
+    )
+    serve_run.add_argument(
+        "--pool-size", type=int, default=4, metavar="N",
+        help="warm planner-context pool entries per worker",
+    )
+    serve_run.add_argument(
+        "--max-queue-depth", type=int, default=64, metavar="N",
+        help="bounded intake queue; beyond this requests shed with "
+             "OverloadError (exit 78) and a retry_after hint",
+    )
+    serve_run.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="RPS",
+        help="default per-tenant token-bucket rate (requests/second)",
+    )
+    serve_run.add_argument(
+        "--tenant-burst", type=float, default=8.0, metavar="N",
+        help="token-bucket burst size per tenant",
+    )
+    serve_run.add_argument(
+        "--tenant-rate-override", action="append", metavar="NAME=RATE",
+        default=None,
+        help="per-tenant rate override (repeatable; 0 blocks the tenant)",
+    )
+    serve_run.add_argument(
+        "--heartbeat-interval", type=float, default=0.25, metavar="SECONDS",
+        help="worker heartbeat stamp/sweep cadence",
+    )
+    serve_run.add_argument(
+        "--heartbeat-grace", type=float, default=2.0, metavar="SECONDS",
+        help="a heartbeat older than this marks the worker hung",
+    )
+    serve_run.add_argument(
+        "--recycle-after", type=int, default=None, metavar="N",
+        help="retire each worker after serving N requests",
+    )
+    serve_run.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MB",
+        help="retire a worker whose resident set crosses this size",
+    )
+    serve_run.add_argument(
+        "--task-grace", type=float, default=5.0, metavar="SECONDS",
+        help="extra seconds past a request's deadline before its worker "
+             "is declared hung",
+    )
+    serve_run.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="timeout for requests without their own deadline",
+    )
+    serve_run.add_argument(
+        "--drain-deadline", type=float, default=10.0, metavar="SECONDS",
+        help="seconds a graceful drain may spend settling in-flight work "
+             "before aborting the remainder with ShuttingDownError",
+    )
+    serve_run.add_argument(
+        "--chain", default="corecover,bucket,naive", metavar="NAMES",
+        help="comma-separated backend failover chain",
+    )
+    serve_run.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="planning attempts per backend before failing over",
+    )
+    serve_run.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="seconds an open breaker waits before a half-open trial",
+    )
+    serve_run.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="shared crash-safe plan cache directory (flushed on drain)",
+    )
+    serve_run.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+    )
+    serve_run.add_argument("--strict-cache", action="store_true")
+    serve_run.add_argument(
+        "--profile", action="store_true",
+        help="attach phase profiles to outcomes and aggregate them "
+             "in the stats message",
+    )
+    serve_run.add_argument(
+        "--chaos", action="append", metavar="SPEC", default=None,
+        help="deterministic fault injection, e.g. "
+             "kill:worker_dispatch:after=10 or "
+             "stall:serve_admission:seconds=0.2 (repeatable; "
+             "chaos testing only)",
+    )
+    _add_budget_flags(serve_run)
+    serve_run.set_defaults(func=_cmd_serve_run)
+
+    serve_send = serve_sub.add_parser(
+        "send",
+        help="send NDJSON frames to a running daemon "
+             "(plan requests, catalog registration, healthz/stats/drain)",
+    )
+    serve_send.add_argument(
+        "requests",
+        help="NDJSON frame file (one JSON object per line), or - for stdin",
+    )
+    serve_send.add_argument("--host", default="127.0.0.1")
+    serve_send.add_argument("--port", type=int, default=None, metavar="N")
+    serve_send.add_argument(
+        "--unix-socket", metavar="PATH", default=None,
+    )
+    serve_send.add_argument(
+        "--client-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="socket timeout per response",
+    )
+    serve_send.add_argument(
+        "--format", choices=["json", "text"], default="json",
+        help="response rendering: NDJSON (default) or one-line text",
+    )
+    serve_send.set_defaults(func=_cmd_serve_send)
 
     faults = sub.add_parser(
         "faults", help="fault-injection harness introspection"

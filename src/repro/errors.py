@@ -20,7 +20,11 @@ can distinguish
   (:class:`CircuitOpenError`), a parallel worker died mid-request
   (:class:`WorkerCrashError`), or the on-disk plan cache is unusable
   (:class:`CacheCorruptionError`); all derive from
-  :class:`ServiceError`.
+  :class:`ServiceError`.  The :mod:`repro.serve` daemon adds two
+  admission-control refinements: the request was load-shed at intake
+  (:class:`OverloadError`, with a ``Retry-After``-style hint) or the
+  daemon is draining and no longer admits work
+  (:class:`ShuttingDownError`).
 
 Backwards compatibility: the refined classes keep subclassing the
 built-in exceptions historically raised at the same sites
@@ -46,10 +50,12 @@ __all__ = [
     "CircuitOpenError",
     "DuplicateViewError",
     "MalformedQueryError",
+    "OverloadError",
     "ParseError",
     "ReproError",
     "RetryExhaustedError",
     "ServiceError",
+    "ShuttingDownError",
     "SourceSpan",
     "UnknownViewError",
     "UnsafeQueryError",
@@ -298,6 +304,53 @@ class CacheCorruptionError(ServiceError):
         self.path = path
 
 
+class OverloadError(ServiceError):
+    """The serving tier shed this request at admission (backpressure).
+
+    Raised by the :mod:`repro.serve` admission controller when the
+    bounded intake queue is full or a per-tenant token bucket is empty —
+    *before* any planning work is spent.  ``retry_after`` is the
+    ``Retry-After``-style hint (seconds) rendered into the structured
+    error; ``reason`` names the shedding trigger (``"queue_full"`` or
+    ``"rate_limited"``); ``queue_depth`` is the intake depth observed at
+    shed time when known.
+    """
+
+    exit_code = 78
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        reason: str | None = None,
+        queue_depth: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+class ShuttingDownError(ServiceError):
+    """The daemon is draining and no longer admits new requests.
+
+    Raised at admission once a graceful drain (SIGTERM or a ``drain``
+    control message) has begun: in-flight requests finish within the
+    drain deadline, but new work must go elsewhere.  ``retry_after``
+    hints how long the drain may take when known — after that a
+    replacement instance is expected to be serving.
+    """
+
+    exit_code = 79
+
+    def __init__(
+        self, message: str, *, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 def structured_error(error: BaseException) -> str:
     """A one-line JSON rendering of *error* for machine-readable stderr."""
     exit_code = getattr(error, "exit_code", 70)
@@ -309,4 +362,10 @@ def structured_error(error: BaseException) -> str:
     span = getattr(error, "span", None)
     if isinstance(span, SourceSpan):
         payload["span"] = span.to_json()
+    # The Retry-After-style backpressure hint (OverloadError,
+    # CircuitOpenError, ShuttingDownError) rides along so clients can
+    # back off without parsing the message text.
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = round(float(retry_after), 3)
     return json.dumps(payload, default=str)

@@ -11,6 +11,9 @@ Public surface:
 * :class:`PlannerContextPool` / :func:`catalog_fingerprint` — the warm
   context pool and its structured, delta-aware catalog fingerprint
   (:func:`context_fingerprint` is the legacy whole-catalog string key).
+* :class:`SupervisedWorkerPool` / :class:`SupervisorPolicy` — the
+  :mod:`repro.serve` daemon's long-lived pool: heartbeat supervision,
+  crash isolation with restart, recycling, drain-aware shutdown.
 """
 
 from .engine import (
@@ -19,6 +22,7 @@ from .engine import (
     ParallelPolicy,
     plan_map,
 )
+from .supervisor import SupervisedWorkerPool, SupervisorPolicy
 from .pool import (
     CatalogFingerprint,
     PlannerContextPool,
@@ -44,6 +48,8 @@ __all__ = [
     "PlanTask",
     "PlanTaskResult",
     "PlannerContextPool",
+    "SupervisedWorkerPool",
+    "SupervisorPolicy",
     "WorkerConfig",
     "WorkerResult",
     "WorkerState",

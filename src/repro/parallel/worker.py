@@ -34,7 +34,7 @@ from typing import Mapping
 
 from ..core.corecover import CoreCoverStats
 from ..datalog.query import ConjunctiveQuery
-from ..errors import ReproError, WorkerCrashError
+from ..errors import ReproError, ServiceError, WorkerCrashError
 from ..planner.context import PlannerContext, PlannerStats
 from ..service.cache import PlanCache
 from ..service.executor import (
@@ -105,9 +105,15 @@ class WorkerResult:
 
 
 def crash_outcome(
-    request: PlanRequest, error: WorkerCrashError
+    request: PlanRequest, error: ServiceError
 ) -> ExecutionOutcome:
-    """A ``failed`` outcome for a request whose worker died on it."""
+    """A ``failed`` outcome for a request its worker could not finish.
+
+    Used for a worker that died or hung mid-plan
+    (:class:`~repro.errors.WorkerCrashError`) and for in-flight requests
+    aborted by a drain deadline
+    (:class:`~repro.errors.ShuttingDownError`).
+    """
     return ExecutionOutcome(
         status="failed",
         request_id=request.id,

@@ -1,0 +1,50 @@
+"""The resident planning daemon behind ``repro serve``.
+
+This package promotes the one-shot ``repro batch`` path into a
+long-lived multi-tenant service: an asyncio front door speaking
+newline-delimited JSON over a TCP or Unix socket, streaming plan
+requests into a :class:`~repro.parallel.SupervisedWorkerPool` whose
+warm planner-context pools amortize catalog work across requests.
+
+Robustness is the organizing principle (see the "Degradation ladder"
+section of ``docs/robustness.md``):
+
+* bounded admission with explicit load-shedding
+  (:class:`~repro.errors.OverloadError`, exit code 78, with a
+  ``Retry-After``-style hint) and per-tenant token-bucket rate limits;
+* deadline propagation — queue wait is charged against the request's
+  budget before a worker ever sees it;
+* heartbeat-supervised workers restarted on crash/hang with
+  breaker-scoreboard merge, recycled on request count or RSS;
+* named catalog registration (``catalog`` messages) reusing
+  :class:`~repro.views.view.CatalogDelta` fingerprint upgrades;
+* graceful drain on SIGTERM (:class:`~repro.errors.ShuttingDownError`,
+  exit code 79): stop admitting, settle in-flight work within a drain
+  deadline, flush the plan cache, exit 0;
+* ``healthz``/``stats`` introspection messages.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, TokenBucket
+from .catalogs import CatalogRegistry
+from .client import ServeClient
+from .daemon import PlanningDaemon, ServeConfig
+from .protocol import (
+    decode_frame,
+    encode_frame,
+    error_from_payload,
+    error_response,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CatalogRegistry",
+    "PlanningDaemon",
+    "ServeClient",
+    "ServeConfig",
+    "TokenBucket",
+    "decode_frame",
+    "encode_frame",
+    "error_from_payload",
+    "error_response",
+]

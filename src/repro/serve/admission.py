@@ -1,0 +1,198 @@
+"""Admission control for the serve daemon: shed early, shed cheaply.
+
+The whole point of admission control is to reject work *before* any
+planning cost is spent, with a structured answer that tells the client
+what to do next.  Three gates run in order:
+
+1. **Draining** — once a graceful drain has begun the daemon admits
+   nothing; clients get :class:`~repro.errors.ShuttingDownError`
+   (exit code 79) with a hint to retry against a replacement instance.
+2. **Per-tenant token bucket** — each tenant draws from its own
+   :class:`TokenBucket`; an empty bucket sheds with
+   :class:`~repro.errors.OverloadError` (``reason="rate_limited"``)
+   and a ``retry_after`` computed from the refill rate — the exact
+   wait until a token exists, not a guess.
+3. **Bounded queue** — when the intake queue is at capacity, admitting
+   more would only convert overload into latency for everyone;
+   :class:`~repro.errors.OverloadError` (``reason="queue_full"``)
+   carries a ``retry_after`` estimated from the recent service-time
+   EWMA times the backlog ahead of the would-be request.
+
+Only after all three gates pass does the ``serve_admission`` injection
+point fire (the chaos suite's hook for intake stalls/crashes) and the
+request count as admitted.  All gates are deterministic given the
+injected clock, so shed behaviour is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..errors import OverloadError, ShuttingDownError
+from ..testing.faults import fire
+
+__all__ = ["AdmissionController", "AdmissionPolicy", "TokenBucket"]
+
+
+class TokenBucket:
+    """A deterministic token bucket (tokens refill at ``rate`` per second)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        initial: float | None = None,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst if initial is None else float(initial)
+        self._stamp = clock()
+
+    def try_acquire(self, cost: float = 1.0) -> float | None:
+        """Take *cost* tokens; ``None`` on success, else seconds to wait.
+
+        The returned wait is exact for a constant refill rate — after
+        that many seconds the bucket is guaranteed to hold *cost*
+        tokens (absent other consumers).  A zero/negative rate never
+        refills; the wait degrades to a long constant.
+        """
+        now = self._clock()
+        if self.rate > 0:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return None
+        if self.rate <= 0:
+            return 60.0
+        return (cost - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Intake limits for the daemon."""
+
+    #: Bounded intake queue; at this depth new plan requests shed.
+    max_queue_depth: int = 64
+    #: Default per-tenant request rate (requests/second); ``None`` = no
+    #: rate limiting.
+    tenant_rate: float | None = None
+    #: Token-bucket burst size per tenant.
+    tenant_burst: float = 8.0
+    #: Per-tenant rate overrides (a rate of 0 blocks the tenant).
+    tenant_rates: Mapping[str, float] = field(default_factory=dict)
+    #: The ``retry_after`` hint attached to draining rejections.
+    drain_retry_after: float = 5.0
+
+
+class AdmissionController:
+    """The shed-or-admit decision, plus shed accounting."""
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.draining = False
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_rate_limited = 0
+        self.shed_draining = 0
+        #: EWMA of recent per-request service seconds (retry hints).
+        self._service_ewma: float | None = None
+
+    # -- service-time feedback ----------------------------------------------
+    def record_service_time(self, seconds: float) -> None:
+        """Fold one completed request's wall time into the EWMA."""
+        if seconds < 0:
+            return
+        if self._service_ewma is None:
+            self._service_ewma = seconds
+        else:
+            self._service_ewma = 0.8 * self._service_ewma + 0.2 * seconds
+
+    def queue_retry_after(self, queue_depth: int) -> float:
+        """Seconds until a full queue has plausibly made progress."""
+        per_request = self._service_ewma if self._service_ewma else 0.25
+        return round(max(0.05, per_request * max(1, queue_depth) / 4), 3)
+
+    # -- the decision --------------------------------------------------------
+    def _bucket_for(self, tenant: str) -> TokenBucket | None:
+        rate = self.policy.tenant_rates.get(tenant, self.policy.tenant_rate)
+        if rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None or bucket.rate != float(rate):
+            # A zero/negative rate blocks the tenant outright: the bucket
+            # starts empty and never refills.
+            bucket = TokenBucket(
+                float(rate),
+                self.policy.tenant_burst,
+                clock=self._clock,
+                initial=0.0 if float(rate) <= 0 else None,
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, *, tenant: str = "default", queue_depth: int = 0) -> None:
+        """Admit one plan request or raise the structured shed error."""
+        if self.draining:
+            self.shed_draining += 1
+            raise ShuttingDownError(
+                "daemon is draining and no longer admits requests; "
+                "retry against a replacement instance",
+                retry_after=self.policy.drain_retry_after,
+            )
+        bucket = self._bucket_for(tenant)
+        if bucket is not None:
+            wait = bucket.try_acquire()
+            if wait is not None:
+                self.shed_rate_limited += 1
+                raise OverloadError(
+                    f"tenant {tenant!r} exceeded its request rate",
+                    retry_after=round(max(wait, 0.001), 3),
+                    reason="rate_limited",
+                    queue_depth=queue_depth,
+                )
+        if queue_depth >= self.policy.max_queue_depth:
+            self.shed_queue_full += 1
+            raise OverloadError(
+                f"intake queue is full ({queue_depth}/"
+                f"{self.policy.max_queue_depth}); request shed",
+                retry_after=self.queue_retry_after(queue_depth),
+                reason="queue_full",
+                queue_depth=queue_depth,
+            )
+        fire("serve_admission")
+        self.admitted += 1
+
+    def stats(self) -> dict:
+        """JSON-ready shed accounting for the ``stats`` message."""
+        return {
+            "admitted": self.admitted,
+            "shed": {
+                "queue_full": self.shed_queue_full,
+                "rate_limited": self.shed_rate_limited,
+                "draining": self.shed_draining,
+            },
+            "service_ewma_seconds": (
+                round(self._service_ewma, 6)
+                if self._service_ewma is not None
+                else None
+            ),
+        }

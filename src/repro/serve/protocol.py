@@ -1,0 +1,128 @@
+"""The serve daemon's newline-delimited JSON wire protocol.
+
+Every frame is one JSON object on one line.  Requests are discriminated
+by an optional ``"type"`` field; a frame without one is a **plan**
+request in exactly the ``repro batch`` schema (``query``, optional
+``id``/``views``/``timeout``/``options``) plus two serve-only fields:
+``catalog`` (a registered catalog name) and ``tenant`` (the rate-limit
+bucket the request draws from).  Control frames::
+
+    {"type": "catalog", "action": "register", "name": "t1", "views": [...]}
+    {"type": "catalog", "action": "update", "name": "t1",
+     "add": [...], "remove": [...], "replace": [...]}
+    {"type": "healthz"}
+    {"type": "stats"}
+    {"type": "drain"}
+
+Responses echo the request ``id`` (plan outcomes use the batch outcome
+schema verbatim).  Failures are ``{"id": ..., "status": "error",
+"error": {...}}`` where the inner object is the taxonomy's
+:func:`~repro.errors.structured_error` payload — same class name, exit
+code, message, and ``retry_after`` hint as the CLI's stderr line, so a
+client can reconstruct the exception (:func:`error_from_payload`) and
+exit with the same status a local run would have.
+
+Unlike batch intake — where a malformed line is a producer bug that
+fails the whole run — a resident daemon converts *every* per-request
+failure into an error response on the same connection and keeps
+serving; one tenant's garbage must not take down another's traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .. import errors as _errors
+from ..errors import ParseError, ReproError
+
+__all__ = [
+    "decode_frame",
+    "encode_frame",
+    "error_from_payload",
+    "error_payload",
+    "error_response",
+]
+
+#: Taxonomy class name -> class, for client-side reconstruction.
+_ERROR_CLASSES: dict[str, type] = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+    if isinstance(getattr(_errors, name), type)
+    and issubclass(getattr(_errors, name), ReproError)
+}
+
+
+def decode_frame(raw: bytes | str) -> dict:
+    """One wire line -> a message object (:class:`ParseError` on junk)."""
+    if isinstance(raw, bytes):
+        try:
+            raw = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ParseError(f"frame is not valid UTF-8: {exc}") from None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ParseError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """A response object -> one newline-terminated wire line."""
+    return (json.dumps(payload, default=str) + "\n").encode("utf-8")
+
+
+def error_payload(error: BaseException) -> dict:
+    """The structured-error object embedded in an error response.
+
+    Delegates to :func:`~repro.errors.structured_error` so the wire
+    shape and the CLI's stderr line can never drift apart.
+    """
+    return json.loads(_errors.structured_error(error))
+
+
+def error_response(request_id: str | None, error: BaseException) -> dict:
+    """The full error response frame for one failed request."""
+    return {
+        "id": request_id,
+        "status": "error",
+        "error": error_payload(error),
+    }
+
+
+def error_from_payload(payload: Mapping[str, Any]) -> ReproError:
+    """Reconstruct a taxonomy error from a structured-error object.
+
+    Used by the ``repro serve send`` client to re-raise a daemon-side
+    failure locally, preserving the exit-code contract of the serial
+    CLI.  Unknown class names degrade to a plain :class:`ReproError`
+    carrying the payload's exit code on the instance.
+    """
+    name = str(payload.get("error", "ReproError"))
+    message = str(payload.get("message", ""))
+    cls = _ERROR_CLASSES.get(name)
+    error: ReproError
+    if cls is None:
+        error = ReproError(message)
+        try:
+            error.exit_code = int(payload.get("exit_code", 70))
+        except (TypeError, ValueError):
+            pass
+        return error
+    try:
+        error = cls(message)
+    except TypeError:  # pragma: no cover - all taxonomy ctors take a msg
+        error = ReproError(message)
+        error.exit_code = cls.exit_code
+        return error
+    retry_after = payload.get("retry_after")
+    if retry_after is not None and hasattr(error, "retry_after"):
+        try:
+            error.retry_after = float(retry_after)
+        except (TypeError, ValueError):
+            pass
+    return error

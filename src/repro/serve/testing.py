@@ -1,0 +1,104 @@
+"""Test/bench harness: run a daemon on a background thread.
+
+The daemon's natural habitat is its own process (see ``repro serve
+run`` and the CI smoke driver); tests and benchmarks instead want it
+in-process so they can inspect counters and inject faults
+deterministically.  :func:`running_daemon` runs the asyncio loop on a
+daemon thread and yields a :class:`DaemonHandle` exposing the bound
+address, client factories, and the eventual exit code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..views.view import ViewCatalog
+from .client import ServeClient
+from .daemon import PlanningDaemon, ServeConfig
+
+__all__ = ["DaemonHandle", "running_daemon"]
+
+
+class DaemonHandle:
+    """A daemon running on a background thread, plus its lifecycle."""
+
+    def __init__(
+        self, daemon: PlanningDaemon, thread: threading.Thread
+    ) -> None:
+        self.daemon = daemon
+        self.thread = thread
+        self.exit_code: int | None = None
+
+    @property
+    def address(self) -> tuple:
+        assert self.daemon.address is not None
+        return self.daemon.address
+
+    def client(self, *, timeout: float | None = 30.0) -> ServeClient:
+        """A fresh connection to the running daemon."""
+        address = self.address
+        if address[0] == "unix":
+            return ServeClient(unix_socket=address[1], timeout=timeout)
+        return ServeClient(address[1], address[2], timeout=timeout)
+
+    def begin_drain(self, reason: str = "test") -> None:
+        self.daemon.begin_drain(reason)
+
+    def join(self, timeout: float = 60.0) -> int:
+        """Wait for the daemon to finish; returns its exit code."""
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():
+            raise TimeoutError("daemon thread did not exit in time")
+        assert self.exit_code is not None
+        return self.exit_code
+
+
+@contextmanager
+def running_daemon(
+    config: ServeConfig | None = None,
+    *,
+    catalog: ViewCatalog | None = None,
+    start_timeout: float = 60.0,
+) -> Iterator[DaemonHandle]:
+    """Run a :class:`PlanningDaemon` for the block; drains on exit.
+
+    The context yields once the daemon is listening.  On exit, if the
+    daemon is still serving, a drain is requested and the thread is
+    joined — the handle's ``exit_code`` is then populated.
+    """
+    ready = threading.Event()
+    daemon = PlanningDaemon(
+        config,
+        default_catalog=catalog,
+        on_ready=lambda _daemon: ready.set(),
+    )
+    handle: DaemonHandle | None = None
+
+    def _run() -> None:
+        assert handle is not None
+        try:
+            handle.exit_code = asyncio.run(daemon.run())
+        except BaseException:
+            handle.exit_code = 70
+            ready.set()  # unblock a waiter observing a startup crash
+            raise
+
+    thread = threading.Thread(
+        target=_run, name="repro-serve-daemon", daemon=True
+    )
+    handle = DaemonHandle(daemon, thread)
+    thread.start()
+    if not ready.wait(timeout=start_timeout):
+        raise TimeoutError("daemon did not start listening in time")
+    if daemon.address is None:
+        thread.join(timeout=5.0)
+        raise RuntimeError("daemon crashed during startup")
+    try:
+        yield handle
+    finally:
+        if thread.is_alive():
+            daemon.begin_drain("context exit")
+        thread.join(timeout=start_timeout)

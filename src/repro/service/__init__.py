@@ -18,7 +18,12 @@ Quickstart::
     outcome.attempts      # planning attempts across the failover chain
 """
 
-from .batch import parse_request_line, parse_requests, run_batch
+from .batch import (
+    parse_request_line,
+    parse_requests,
+    request_from_payload,
+    run_batch,
+)
 from .breaker import BreakerState, CircuitBreaker
 from .cache import CachedPlan, PlanCache, request_key
 from .executor import (
@@ -58,6 +63,7 @@ __all__ = [
     "parse_requests",
     "quarantine",
     "quarantined_backends",
+    "request_from_payload",
     "request_key",
     "reset_quarantine",
     "resolve_chain",

@@ -43,7 +43,12 @@ from ..planner.limits import ResourceBudget
 from ..views.view import ViewCatalog
 from .executor import ExecutionOutcome, PlanRequest, ResilientExecutor
 
-__all__ = ["parse_request_line", "parse_requests", "run_batch"]
+__all__ = [
+    "parse_request_line",
+    "parse_requests",
+    "request_from_payload",
+    "run_batch",
+]
 
 
 def parse_request_line(
@@ -61,6 +66,33 @@ def parse_request_line(
         raise ParseError(
             f"request line {number}: invalid JSON: {exc}"
         ) from None
+    return request_from_payload(
+        payload,
+        catalog,
+        number=number,
+        default_budget=default_budget,
+        intake_started=intake_started,
+    )
+
+
+def request_from_payload(
+    payload: object,
+    catalog: ViewCatalog,
+    *,
+    number: int | str,
+    default_budget: ResourceBudget | None = None,
+    intake_started: float | None = None,
+) -> PlanRequest:
+    """A decoded request object -> a validated :class:`PlanRequest`.
+
+    Shared by the ``repro batch`` NDJSON intake and the
+    :mod:`repro.serve` daemon (whose protocol layer has already decoded
+    the JSON frame), so both paths validate and reject identically.
+    *number* labels intake errors (a line number for batch, a request id
+    for serve).
+    """
+    if intake_started is None:
+        intake_started = time.perf_counter()
     if not isinstance(payload, dict) or "query" not in payload:
         raise ParseError(
             f"request line {number}: expected an object with a "

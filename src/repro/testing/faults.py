@@ -32,6 +32,15 @@ point              fired from
 ``catalog_delta``  :meth:`repro.views.view.ViewCatalog._commit`, once per
                    add/remove/replace delta, before the copy-on-write
                    successor state is installed
+``serve_admission``  :meth:`repro.serve.admission.AdmissionController.admit`,
+                     once per admission decision (after the shedding
+                     checks pass, before the request is enqueued)
+``serve_drain``    the :mod:`repro.serve` drain protocol and
+                   :meth:`repro.parallel.supervisor.SupervisedWorkerPool.
+                   shutdown`, once per drain phase transition
+``worker_heartbeat``  :meth:`repro.parallel.supervisor.SupervisedWorkerPool.
+                      heartbeat_sweep`, parent-side, once per monitor
+                      tick over the worker slots
 =================  ==========================================================
 
 The registry is data: :func:`describe_injection_points` returns
@@ -81,6 +90,7 @@ __all__ = [
     "RaiseFault",
     "StallFault",
     "describe_injection_points",
+    "fault_from_spec",
     "fire",
     "inject",
     "injection_points",
@@ -111,6 +121,18 @@ _POINT_DESCRIPTIONS: dict[str, str] = {
     "catalog_delta": (
         "view-catalog mutation commit, once per add/remove/replace delta "
         "(before the copy-on-write state is installed)"
+    ),
+    "serve_admission": (
+        "serve-daemon admission controller, once per admission decision "
+        "(after shedding checks, before the request is enqueued)"
+    ),
+    "serve_drain": (
+        "serve-daemon graceful drain, once per drain phase transition "
+        "(stop-admitting, in-flight settled, pool shut down)"
+    ),
+    "worker_heartbeat": (
+        "worker supervisor heartbeat sweep (parent-side), once per "
+        "monitor tick over the worker slots"
     ),
 }
 
@@ -239,6 +261,57 @@ class FaultPlan:
     def exercised_points(self) -> tuple[str, ...]:
         """The points that fired at least once, in canonical order."""
         return tuple(p for p in INJECTION_POINTS if self.observed.get(p))
+
+
+def fault_from_spec(spec: str) -> Fault:
+    """Parse a CLI chaos spec ``kind:point[:key=value...]`` into a fault.
+
+    Kinds: ``kill`` (:class:`ExitFault`), ``stall`` (:class:`StallFault`,
+    ``seconds=``), ``raise`` (:class:`RaiseFault`), ``cancel``
+    (:class:`CancelFault`).  Common keys: ``after=N`` (1-based firing
+    that triggers first), ``times=N`` or ``times=inf`` (trigger count).
+    Examples::
+
+        kill:worker_dispatch:after=10
+        stall:serve_admission:seconds=0.2:times=3
+        raise:cache_read:times=inf
+    """
+    parts = [part.strip() for part in spec.split(":")]
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise ValueError(
+            f"chaos spec {spec!r} must look like kind:point[:key=value...]"
+        )
+    kind, point = parts[0], parts[1]
+    options: dict[str, str] = {}
+    for part in parts[2:]:
+        if "=" not in part:
+            raise ValueError(
+                f"chaos spec {spec!r}: option {part!r} is not key=value"
+            )
+        key, _, value = part.partition("=")
+        options[key.strip()] = value.strip()
+    after = int(options.pop("after", "1"))
+    times_raw = options.pop("times", "1")
+    times = None if times_raw in ("inf", "none", "forever") else int(times_raw)
+    if kind == "kill":
+        fault: Fault = ExitFault(point, after=after, times=times)
+    elif kind == "stall":
+        seconds = float(options.pop("seconds", "0.1"))
+        fault = StallFault(point, after=after, times=times, seconds=seconds)
+    elif kind == "raise":
+        fault = RaiseFault(point, after=after, times=times)
+    elif kind == "cancel":
+        fault = CancelFault(point, after=after, times=times)
+    else:
+        raise ValueError(
+            f"chaos spec {spec!r}: unknown kind {kind!r} "
+            "(expected kill/stall/raise/cancel)"
+        )
+    if options:
+        raise ValueError(
+            f"chaos spec {spec!r}: unknown options {sorted(options)}"
+        )
+    return fault
 
 
 #: The active plan; module-global (not a contextvar) so the hot-path

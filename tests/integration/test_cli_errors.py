@@ -1,19 +1,27 @@
 """Audit: every taxonomy error reaches the CLI surface correctly.
 
-For each documented exit code (65-77) a real command line triggers the
+For each documented exit code (65-79) a real command line triggers the
 error, and the contract is checked end to end: the process exit code
 matches the class's ``exit_code``, and the **last stderr line** is the
 structured one-line JSON rendering (``error``/``exit_code``/``message``)
 — under ``--format text`` and ``--format json`` alike for subcommands
 that render their happy-path output in multiple formats.
+
+The serve-tier codes (78 overload, 79 shutting down) are triggered
+through a real in-process daemon: ``repro serve send`` reconstructs the
+daemon's structured error response and exits with the same status a
+local run would have.
 """
 
 import json
+import time
+from contextlib import ExitStack
 
 import pytest
 
+from repro import ViewCatalog
 from repro.cli import main
-from repro.testing.faults import ExitFault, RaiseFault, inject
+from repro.testing.faults import ExitFault, RaiseFault, StallFault, inject
 
 QUERY = "q(X, Y) :- a(X, Z), a(Z, Z), b(Z, Y)"
 VIEWS_TEXT = """
@@ -131,6 +139,78 @@ def _case_cache_corruption(tmp_path, views_file):
     ], None
 
 
+def _serve_config(**overrides):
+    from repro.parallel import SupervisorPolicy
+    from repro.parallel.worker import WorkerConfig
+    from repro.serve import ServeConfig
+    from repro.service import ServicePolicy
+
+    overrides.setdefault(
+        "worker",
+        WorkerConfig(policy=ServicePolicy(chain=("corecover",)), pool_size=2),
+    )
+    overrides.setdefault("supervisor", SupervisorPolicy(workers=1))
+    return ServeConfig(**overrides)
+
+
+def _serve_catalog():
+    return ViewCatalog(
+        line.strip() for line in VIEWS_TEXT.splitlines() if line.strip()
+    )
+
+
+def _serve_argv(handle, requests):
+    _, host, port = handle.address
+    return ["serve", "send", requests, "--host", host, "--port", str(port)]
+
+
+def _case_overload(tmp_path, views_file):
+    # The "noisy" tenant's rate override is zero: its very first
+    # request sheds with OverloadError/78 and a retry hint.
+    from repro.serve import AdmissionPolicy
+    from repro.serve.testing import running_daemon
+
+    requests = _request_file(
+        tmp_path, {"id": "n1", "query": QUERY, "tenant": "noisy"}
+    )
+    stack = ExitStack()
+    handle = stack.enter_context(
+        running_daemon(
+            _serve_config(
+                admission=AdmissionPolicy(tenant_rates={"noisy": 0.0})
+            ),
+            catalog=_serve_catalog(),
+        )
+    )
+    return _serve_argv(handle, requests), stack
+
+
+def _case_shutting_down(tmp_path, views_file):
+    # A stalled request (on a side connection) keeps the drain from
+    # completing, so the daemon deterministically answers the post-drain
+    # plan frame with ShuttingDownError/79 before it exits.
+    from repro.serve.testing import running_daemon
+
+    requests = _request_file(
+        tmp_path, {"id": "d", "type": "drain"}, {"id": "l1", "query": QUERY}
+    )
+    stack = ExitStack()
+    stack.enter_context(inject(StallFault("worker_dispatch", seconds=2.0)))
+    handle = stack.enter_context(
+        running_daemon(_serve_config(), catalog=_serve_catalog())
+    )
+    blocker = stack.enter_context(handle.client())
+    blocker.send({"id": "blocker", "query": QUERY})
+    limit = time.monotonic() + 30.0
+    while time.monotonic() < limit:
+        if handle.daemon.pool.busy_workers() == 1:
+            break
+        time.sleep(0.02)
+    else:  # pragma: no cover - diagnostic only
+        raise TimeoutError("blocker request never reached a worker")
+    return _serve_argv(handle, requests), stack
+
+
 CASES = [
     pytest.param(_case_parse, 65, "ParseError", id="65-parse"),
     pytest.param(_case_unsafe, 66, "UnsafeQueryError", id="66-unsafe"),
@@ -161,11 +241,15 @@ CASES = [
     pytest.param(
         _case_worker_crash, 77, "WorkerCrashError", id="77-worker-crash"
     ),
+    pytest.param(_case_overload, 78, "OverloadError", id="78-overload"),
+    pytest.param(
+        _case_shutting_down, 79, "ShuttingDownError", id="79-shutting-down"
+    ),
 ]
 
 #: Subcommands whose happy-path output has a --format flag; the error
 #: contract must hold regardless of the chosen rendering.
-_FORMATTED = {"batch", "lint"}
+_FORMATTED = {"batch", "lint", "serve"}
 
 
 def _run(argv, fault_context, capsys):
@@ -213,4 +297,4 @@ def test_contract_holds_under_both_formats(
 def test_every_taxonomy_exit_code_is_audited():
     """The audit table covers the documented code range with no gaps."""
     audited = sorted(code for _, code, _ in (p.values for p in CASES))
-    assert audited == list(range(65, 78))
+    assert audited == list(range(65, 80))

@@ -1,0 +1,83 @@
+"""Regression: breaker-scoreboard merges must survive worker recycling.
+
+Workers report per-task breaker *deltas* (the diff of
+``executor.breaker_totals()`` around each task), and the parent merges
+them as they arrive.  The failure mode this guards: if workers reported
+cumulative *totals* instead, a worker recycled mid-batch would hand its
+replacement a zeroed executor while the parent had already absorbed the
+predecessor's totals — the next merge would re-add history and
+double-count.  With deltas, the sum over any interleaving of worker
+incarnations is exactly the work performed.
+"""
+
+from repro import ViewCatalog, parse_query
+from repro.parallel import (
+    BreakerScoreboard,
+    SupervisedWorkerPool,
+    SupervisorPolicy,
+    WorkerConfig,
+    WorkerTask,
+)
+from repro.service import PlanRequest, ServicePolicy
+
+QUERY = "q(X, Z) :- car(X, Y), loc(Y, Z)"
+
+
+def _catalog():
+    return ViewCatalog(
+        [
+            "v1(X, Z) :- car(X, Y), loc(Y, Z)",
+            "v2(X, Y) :- car(X, Y)",
+        ]
+    )
+
+
+def test_merge_accumulates_deltas_not_totals():
+    scoreboard = BreakerScoreboard()
+    # Two tasks served by incarnation A, then A is recycled and B
+    # serves two more.  Each merge is a per-task delta.
+    for _ in range(2):
+        scoreboard.merge({"corecover": (1, 0)})
+    # Recycling resets the worker-side totals to zero; the next delta
+    # is still (1, 0) per task, never the replacement's running total.
+    for _ in range(2):
+        scoreboard.merge({"corecover": (1, 0)})
+    assert scoreboard.summary() == {
+        "corecover": {"successes": 4, "failures": 0}
+    }
+
+
+def test_recycled_worker_does_not_double_count_mid_batch():
+    """Force a recycle after every request (workers=1) and check the
+    parent scoreboard equals exactly one success per request served —
+    across three worker incarnations."""
+    catalog = _catalog()
+    pool = SupervisedWorkerPool(
+        WorkerConfig(policy=ServicePolicy(chain=("corecover",)), pool_size=2),
+        policy=SupervisorPolicy(workers=1, recycle_after_requests=1),
+    ).start()
+    try:
+        total = 4
+        futures = [
+            pool.submit(
+                WorkerTask(
+                    index=i,
+                    request=PlanRequest(
+                        query=parse_query(QUERY), views=catalog, id=f"r{i}"
+                    ),
+                )
+            )
+            for i in range(total)
+        ]
+        results = [future.result(timeout=60) for future in futures]
+        assert all(r.outcome.status == "ok" for r in results)
+        assert pool.recycles >= 2, "the batch must span several incarnations"
+        summary = pool.scoreboard.summary()
+        assert summary["corecover"]["successes"] == total
+        assert summary["corecover"]["failures"] == 0
+        # Each task's delta is independent of which incarnation served
+        # it: every result carries its own single-success delta.
+        for result in results:
+            assert result.breaker_deltas["corecover"] == (1, 0)
+    finally:
+        pool.shutdown(drain=True, deadline=10.0)

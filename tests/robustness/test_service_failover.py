@@ -215,10 +215,14 @@ class TestDegradedServing:
     def test_all_injection_points_fire_in_a_supervised_run(
         self, workload, fake_clock, tmp_path
     ):
-        """A cache-backed supervised run plus an engine dispatch and a
-        catalog delta exercises the full registry of injection points —
-        planner-, service-, catalog-, and parallel-level alike."""
+        """A cache-backed supervised run plus an engine dispatch, a
+        catalog delta, and the serve-tier lifecycle (admission, drain,
+        heartbeat sweep) exercises the full registry of injection
+        points — planner-, service-, catalog-, parallel-, and
+        daemon-level alike."""
         from repro.parallel import ParallelPlanningEngine, ParallelPolicy
+        from repro.parallel import SupervisedWorkerPool
+        from repro.serve.admission import AdmissionController
         from repro.views import as_view
 
         query, views = workload
@@ -234,6 +238,10 @@ class TestDegradedServing:
             executor.execute(PlanRequest(query, views))
             list(engine.run([PlanRequest(query, views)]))
             views.add_view(as_view("v_extra(X) :- a(X, X)"))
+            AdmissionController().admit()
+            pool = SupervisedWorkerPool()  # unstarted: lifecycle only
+            pool.heartbeat_sweep()
+            pool.shutdown()
         assert active.exercised_points() == INJECTION_POINTS
 
 

@@ -1,0 +1,40 @@
+"""Shared fixtures for the serve-daemon suite."""
+
+import pytest
+
+from repro import ViewCatalog
+
+QUERY = "q(X, Z) :- car(X, Y), loc(Y, Z)"
+
+
+@pytest.fixture()
+def catalog():
+    return ViewCatalog(
+        [
+            "v1(X, Z) :- car(X, Y), loc(Y, Z)",
+            "v2(X, Y) :- car(X, Y)",
+        ]
+    )
+
+
+@pytest.fixture()
+def query_text():
+    return QUERY
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic timing."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def fake_clock():
+    return FakeClock()

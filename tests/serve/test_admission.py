@@ -1,0 +1,139 @@
+"""Unit tests for the admission controller's shed-or-admit decision.
+
+Everything here runs against an injected clock, so token-bucket refill
+and retry hints are asserted exactly — no sleeping, no flakes.
+"""
+
+import pytest
+
+from repro.errors import OverloadError, ShuttingDownError
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.testing.faults import inject
+
+
+class TestTokenBucket:
+    def test_burst_then_exact_refill_wait(self, fake_clock):
+        bucket = TokenBucket(2.0, 2.0, clock=fake_clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        # Bucket empty: at 2 tokens/s the next token is 0.5s away.
+        assert bucket.try_acquire() == pytest.approx(0.5)
+        fake_clock.advance(0.5)
+        assert bucket.try_acquire() is None
+
+    def test_refill_caps_at_burst(self, fake_clock):
+        bucket = TokenBucket(10.0, 3.0, clock=fake_clock)
+        for _ in range(3):
+            assert bucket.try_acquire() is None
+        fake_clock.advance(100.0)
+        for _ in range(3):
+            assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_zero_rate_never_refills(self, fake_clock):
+        bucket = TokenBucket(0.0, 1.0, clock=fake_clock)
+        assert bucket.try_acquire() is None
+        wait = bucket.try_acquire()
+        assert wait is not None and wait > 0
+        fake_clock.advance(1e6)
+        assert bucket.try_acquire() is not None
+
+
+class TestAdmissionController:
+    def test_healthy_admission_counts_and_fires(self, fake_clock):
+        controller = AdmissionController(clock=fake_clock)
+        with inject() as plan:
+            controller.admit(queue_depth=0)
+        assert controller.admitted == 1
+        assert plan.observed["serve_admission"] == 1
+
+    def test_draining_sheds_with_retry_hint(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(drain_retry_after=7.5), clock=fake_clock
+        )
+        controller.draining = True
+        with pytest.raises(ShuttingDownError) as excinfo:
+            controller.admit()
+        assert excinfo.value.retry_after == 7.5
+        assert excinfo.value.exit_code == 79
+        assert controller.shed_draining == 1
+        assert controller.admitted == 0
+
+    def test_rate_limit_sheds_with_exact_wait(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(tenant_rate=1.0, tenant_burst=1.0),
+            clock=fake_clock,
+        )
+        controller.admit(tenant="t")
+        with pytest.raises(OverloadError) as excinfo:
+            controller.admit(tenant="t")
+        error = excinfo.value
+        assert error.exit_code == 78
+        assert error.reason == "rate_limited"
+        # 1 request/second and an empty 1-token bucket: wait exactly 1s.
+        assert error.retry_after == pytest.approx(1.0)
+        assert controller.shed_rate_limited == 1
+
+    def test_rate_limits_are_per_tenant(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(tenant_rate=1.0, tenant_burst=1.0),
+            clock=fake_clock,
+        )
+        controller.admit(tenant="a")
+        controller.admit(tenant="b")  # b has its own bucket
+        with pytest.raises(OverloadError):
+            controller.admit(tenant="a")
+
+    def test_tenant_override_of_zero_blocks_the_tenant(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(tenant_rates={"noisy": 0.0}), clock=fake_clock
+        )
+        controller.admit(tenant="calm")  # default: unlimited
+        with pytest.raises(OverloadError) as excinfo:
+            controller.admit(tenant="noisy")
+        assert excinfo.value.reason == "rate_limited"
+
+    def test_queue_full_sheds_with_depth_and_hint(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=2), clock=fake_clock
+        )
+        controller.admit(queue_depth=1)
+        with pytest.raises(OverloadError) as excinfo:
+            controller.admit(queue_depth=2)
+        error = excinfo.value
+        assert error.reason == "queue_full"
+        assert error.queue_depth == 2
+        assert error.retry_after is not None and error.retry_after > 0
+        assert controller.shed_queue_full == 1
+
+    def test_queue_hint_tracks_service_time_ewma(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=4), clock=fake_clock
+        )
+        baseline = controller.queue_retry_after(4)
+        for _ in range(20):
+            controller.record_service_time(2.0)
+        assert controller.queue_retry_after(4) > baseline
+
+    def test_shed_requests_are_not_counted_admitted(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=1), clock=fake_clock
+        )
+        with pytest.raises(OverloadError):
+            controller.admit(queue_depth=1)
+        stats = controller.stats()
+        assert stats["admitted"] == 0
+        assert stats["shed"]["queue_full"] == 1
+
+    def test_shed_paths_do_not_fire_the_admission_point(self, fake_clock):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=1), clock=fake_clock
+        )
+        with inject() as plan:
+            with pytest.raises(OverloadError):
+                controller.admit(queue_depth=1)
+        assert plan.observed["serve_admission"] == 0

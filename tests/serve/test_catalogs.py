@@ -1,0 +1,89 @@
+"""Catalog-registry tests: named registration, incremental update, errors."""
+
+import pytest
+
+from repro.errors import ParseError, UnknownViewError
+from repro.serve.catalogs import CatalogRegistry
+
+V1 = "v1(X, Z) :- car(X, Y), loc(Y, Z)"
+V2 = "v2(X, Y) :- car(X, Y)"
+V2_PRIME = "v2(X, Y) :- car(Y, X)"
+W3 = "w3(Y, Z) :- loc(Y, Z)"
+
+
+def test_register_and_get():
+    registry = CatalogRegistry()
+    ack = registry.register("t1", [V1, V2])
+    assert ack["catalog"] == "t1"
+    assert ack["replaced"] is False
+    assert ack["views"] == 2
+    assert ack["version"] == len(registry.get("t1"))
+    assert "t1" in registry
+    assert len(registry.get("t1")) == 2
+
+
+def test_register_replaces_wholesale():
+    registry = CatalogRegistry()
+    registry.register("t1", [V1, V2])
+    ack = registry.register("t1", [W3])
+    assert ack["replaced"] is True
+    assert ack["views"] == 1
+    assert registry.registrations == 2
+
+
+def test_empty_name_rejected():
+    registry = CatalogRegistry()
+    with pytest.raises(ParseError):
+        registry.register("", [V1])
+
+
+def test_unknown_catalog_is_taxonomy_error():
+    registry = CatalogRegistry()
+    with pytest.raises(UnknownViewError) as excinfo:
+        registry.get("nope")
+    assert excinfo.value.exit_code == 68
+
+
+def test_resolve_prefers_name_then_default(catalog):
+    registry = CatalogRegistry()
+    registry.register("t1", [W3])
+    assert registry.resolve("t1", catalog) is registry.get("t1")
+    assert registry.resolve(None, catalog) is catalog
+    with pytest.raises(UnknownViewError):
+        registry.resolve(None, None)
+
+
+def test_update_applies_deltas_and_advances_version():
+    registry = CatalogRegistry()
+    registry.register("t1", [V1, V2])
+    before = registry.get("t1")
+    before_root = before.content_root()
+    before_version = before.version
+    ack = registry.update(
+        "t1", add=[W3], remove=["v1"], replace=[V2_PRIME]
+    )
+    assert ack["views"] == 2  # -v1, ~v2, +w3
+    assert ack["version"] == before_version + 3  # three deltas applied
+    assert len(ack["deltas"]) == 3
+    assert ack["content_root"] != before_root
+    assert registry.updates == 1
+    names = {view.name for view in registry.get("t1")}
+    assert names == {"v2", "w3"}
+
+
+def test_update_removal_of_missing_view_raises():
+    registry = CatalogRegistry()
+    registry.register("t1", [V1])
+    with pytest.raises(UnknownViewError):
+        registry.update("t1", remove=["ghost"])
+
+
+def test_stats_snapshot():
+    registry = CatalogRegistry()
+    registry.register("b", [V1])
+    registry.register("a", [V2, W3])
+    stats = registry.stats()
+    assert list(stats) == ["a", "b"]
+    assert stats["a"]["views"] == 2
+    assert stats["b"]["views"] == 1
+    assert isinstance(stats["b"]["content_root"], str)

@@ -1,0 +1,117 @@
+"""Wire-protocol tests: frame codec and error round-tripping.
+
+The load-bearing property is CLI parity — the error object a daemon
+puts on the wire is byte-identical to the structured stderr line the
+serial CLI would have printed, and the client can reconstruct the
+exception (same class, same exit code, same retry hint) to exit with
+the same status a local run would have.
+"""
+
+import json
+
+import pytest
+
+from repro import errors as errors_module
+from repro.errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    OverloadError,
+    ParseError,
+    ReproError,
+    ShuttingDownError,
+    UnsafeQueryError,
+    structured_error,
+)
+from repro.serve.protocol import (
+    decode_frame,
+    encode_frame,
+    error_from_payload,
+    error_payload,
+    error_response,
+)
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        payload = {"type": "plan", "id": "r1", "query": "q(X) :- a(X)"}
+        raw = encode_frame(payload)
+        assert raw.endswith(b"\n")
+        assert decode_frame(raw) == payload
+        assert decode_frame(raw.decode("utf-8")) == payload
+
+    def test_bad_utf8_is_a_parse_error(self):
+        with pytest.raises(ParseError):
+            decode_frame(b"\xff\xfe{}")
+
+    def test_bad_json_is_a_parse_error(self):
+        with pytest.raises(ParseError):
+            decode_frame(b"{not json")
+
+    def test_non_object_frame_is_a_parse_error(self):
+        with pytest.raises(ParseError):
+            decode_frame(b"[1, 2, 3]")
+
+
+class TestErrorPayload:
+    def test_matches_structured_error_exactly(self):
+        error = OverloadError(
+            "queue full", retry_after=1.5, reason="queue_full", queue_depth=64
+        )
+        assert error_payload(error) == json.loads(structured_error(error))
+
+    def test_response_shape(self):
+        error = ParseError("bad query")
+        response = error_response("r7", error)
+        assert response["id"] == "r7"
+        assert response["status"] == "error"
+        assert response["error"]["error"] == "ParseError"
+        assert response["error"]["exit_code"] == 65
+
+    def test_retry_after_is_on_the_wire(self):
+        payload = error_payload(ShuttingDownError("bye", retry_after=5.0))
+        assert payload["retry_after"] == 5.0
+        assert payload["exit_code"] == 79
+
+
+class TestErrorFromPayload:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            name
+            for name in errors_module.__all__
+            if isinstance(getattr(errors_module, name), type)
+            and issubclass(getattr(errors_module, name), ReproError)
+        ],
+    )
+    def test_every_taxonomy_class_roundtrips(self, name):
+        cls = getattr(errors_module, name)
+        payload = {"error": name, "message": "m", "exit_code": cls.exit_code}
+        rebuilt = error_from_payload(payload)
+        assert type(rebuilt).__name__ == name
+        assert rebuilt.exit_code == cls.exit_code
+
+    def test_full_wire_roundtrip_preserves_retry_after(self):
+        original = OverloadError("too hot", retry_after=2.25, reason="x")
+        rebuilt = error_from_payload(error_payload(original))
+        assert isinstance(rebuilt, OverloadError)
+        assert rebuilt.exit_code == 78
+        assert rebuilt.retry_after == 2.25
+
+    def test_unknown_class_degrades_to_repro_error_with_code(self):
+        rebuilt = error_from_payload(
+            {"error": "FutureError", "message": "m", "exit_code": 99}
+        )
+        assert type(rebuilt) is ReproError
+        assert rebuilt.exit_code == 99
+
+    def test_specific_codes_survive(self):
+        for cls, code in [
+            (BudgetExceededError, 69),
+            (CircuitOpenError, 75),
+            (UnsafeQueryError, 66),
+            (OverloadError, 78),
+            (ShuttingDownError, 79),
+        ]:
+            rebuilt = error_from_payload(error_payload(cls("m")))
+            assert isinstance(rebuilt, cls)
+            assert rebuilt.exit_code == code
