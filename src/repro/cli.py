@@ -717,12 +717,17 @@ def _cmd_serve_send(args: argparse.Namespace) -> int:
                 print(json.dumps(response))
             else:
                 print(f"{response.get('id')}: {status or 'response'}")
+            # Classify by what we *sent*, not just the status string: a
+            # healthz/stats answer echoes the daemon's ladder rung
+            # ("degraded", "draining", ...), which must not pollute the
+            # plan-outcome counters.
+            is_plan = str(payload.get("type", "plan")) == "plan"
             if status == "error":
                 counts["error"] += 1
                 error = response.get("error")
                 if isinstance(error, dict):
                     last_error = error_from_payload(error)
-            elif status in counts:
+            elif is_plan and status in ("ok", "degraded", "failed"):
                 counts[status] += 1
             else:
                 counts["control"] += 1

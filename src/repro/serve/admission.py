@@ -7,16 +7,19 @@ what to do next.  Three gates run in order:
 1. **Draining** — once a graceful drain has begun the daemon admits
    nothing; clients get :class:`~repro.errors.ShuttingDownError`
    (exit code 79) with a hint to retry against a replacement instance.
-2. **Per-tenant token bucket** — each tenant draws from its own
+2. **Bounded queue** — when the intake queue is at capacity, admitting
+   more would only convert overload into latency for everyone;
+   :class:`~repro.errors.OverloadError` (``reason="queue_full"``)
+   carries a ``retry_after`` estimated from the recent service-time
+   EWMA times the backlog ahead of the would-be request.  This gate
+   runs *before* the token bucket so a shed request never debits the
+   tenant's budget — a request that was never admitted must not make
+   the tenant rate-limited later.
+3. **Per-tenant token bucket** — each tenant draws from its own
    :class:`TokenBucket`; an empty bucket sheds with
    :class:`~repro.errors.OverloadError` (``reason="rate_limited"``)
    and a ``retry_after`` computed from the refill rate — the exact
    wait until a token exists, not a guess.
-3. **Bounded queue** — when the intake queue is at capacity, admitting
-   more would only convert overload into latency for everyone;
-   :class:`~repro.errors.OverloadError` (``reason="queue_full"``)
-   carries a ``retry_after`` estimated from the recent service-time
-   EWMA times the backlog ahead of the would-be request.
 
 Only after all three gates pass does the ``serve_admission`` injection
 point fire (the chaos suite's hook for intake stalls/crashes) and the
@@ -158,6 +161,15 @@ class AdmissionController:
                 "retry against a replacement instance",
                 retry_after=self.policy.drain_retry_after,
             )
+        if queue_depth >= self.policy.max_queue_depth:
+            self.shed_queue_full += 1
+            raise OverloadError(
+                f"intake queue is full ({queue_depth}/"
+                f"{self.policy.max_queue_depth}); request shed",
+                retry_after=self.queue_retry_after(queue_depth),
+                reason="queue_full",
+                queue_depth=queue_depth,
+            )
         bucket = self._bucket_for(tenant)
         if bucket is not None:
             wait = bucket.try_acquire()
@@ -169,15 +181,6 @@ class AdmissionController:
                     reason="rate_limited",
                     queue_depth=queue_depth,
                 )
-        if queue_depth >= self.policy.max_queue_depth:
-            self.shed_queue_full += 1
-            raise OverloadError(
-                f"intake queue is full ({queue_depth}/"
-                f"{self.policy.max_queue_depth}); request shed",
-                retry_after=self.queue_retry_after(queue_depth),
-                reason="queue_full",
-                queue_depth=queue_depth,
-            )
         fire("serve_admission")
         self.admitted += 1
 

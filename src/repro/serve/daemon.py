@@ -32,7 +32,9 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
+import os
 import signal
+import stat
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -151,6 +153,9 @@ class PlanningDaemon:
         self.started_at = time.monotonic()
         self.pool.start()
         if self.config.unix_socket is not None:
+            # A previous daemon (cleanly exited or killed) leaves its
+            # socket file behind; binding over a stale one must work.
+            self._unlink_socket(self.config.unix_socket)
             server = await asyncio.start_unix_server(
                 self._on_connection, path=self.config.unix_socket
             )
@@ -181,6 +186,8 @@ class PlanningDaemon:
         finally:
             server.close()
             await server.wait_closed()
+            if self.config.unix_socket is not None:
+                self._unlink_socket(self.config.unix_socket)
             for signum in installed_signals:
                 try:
                     loop.remove_signal_handler(signum)
@@ -188,11 +195,37 @@ class PlanningDaemon:
                     pass
         for _ in dispatchers:
             self._queue.put_nowait(None)
-        await asyncio.gather(*dispatchers, return_exceptions=True)
-        remaining = self._drain_remaining()
-        self.drain_report = await asyncio.to_thread(
-            self.pool.shutdown, drain=True, deadline=remaining
+        if not self._queue_settled:
+            # The drain deadline already elapsed queue-side.  Shut the
+            # pool down *before* waiting on the dispatchers: that aborts
+            # queued tickets and kills in-flight workers so every
+            # outstanding future settles with a structured
+            # ShuttingDownError — otherwise the dispatchers would keep
+            # planning the backlog past the deadline, and a
+            # deadline-less in-flight request on a healthy worker would
+            # never resolve, hanging the drain forever.
+            self.drain_report = await asyncio.to_thread(
+                self.pool.shutdown, drain=False
+            )
+        _, pending = await asyncio.wait(
+            dispatchers, timeout=max(self._drain_remaining(), 1.0)
         )
+        if pending:
+            # Dispatchers missed the deadline (e.g. stuck awaiting a
+            # future the pool still holds).  asyncio.wait does not
+            # cancel on timeout, so no response is torn mid-write;
+            # aborting the pool resolves whatever they are blocked on,
+            # and the second wait then settles promptly.
+            self._queue_settled = False
+            if self.drain_report is None:
+                self.drain_report = await asyncio.to_thread(
+                    self.pool.shutdown, drain=False
+                )
+            await asyncio.gather(*dispatchers, return_exceptions=True)
+        if self.drain_report is None:
+            self.drain_report = await asyncio.to_thread(
+                self.pool.shutdown, drain=True, deadline=self._drain_remaining()
+            )
         self.cache_entries_flushed = self._flush_cache()
         clean = (
             self._queue_settled
@@ -228,6 +261,15 @@ class PlanningDaemon:
             self._queue_settled = False
         fire("serve_drain")  # phase: in-flight settled (or deadline hit)
         self._drained.set()
+
+    @staticmethod
+    def _unlink_socket(path: str) -> None:
+        """Remove *path* only if it is (or was) a Unix socket file."""
+        try:
+            if stat.S_ISSOCK(os.stat(path).st_mode):
+                os.unlink(path)
+        except OSError:
+            pass
 
     def _drain_remaining(self) -> float:
         if self._drain_started is None:

@@ -110,6 +110,24 @@ class TestAdmissionController:
         assert error.retry_after is not None and error.retry_after > 0
         assert controller.shed_queue_full == 1
 
+    def test_queue_full_shed_does_not_debit_the_token_bucket(
+        self, fake_clock
+    ):
+        controller = AdmissionController(
+            AdmissionPolicy(
+                max_queue_depth=1, tenant_rate=1.0, tenant_burst=1.0
+            ),
+            clock=fake_clock,
+        )
+        with pytest.raises(OverloadError) as excinfo:
+            controller.admit(tenant="t", queue_depth=1)
+        assert excinfo.value.reason == "queue_full"
+        # The shed request never touched the bucket: once the queue has
+        # room again the tenant's full burst is still available, so it
+        # is not rate-limited for a request that was never admitted.
+        controller.admit(tenant="t", queue_depth=0)
+        assert controller.shed_rate_limited == 0
+
     def test_queue_hint_tracks_service_time_ewma(self, fake_clock):
         controller = AdmissionController(
             AdmissionPolicy(max_queue_depth=4), clock=fake_clock

@@ -7,6 +7,8 @@ cache intact for a warm follow-up run.
 """
 
 import json
+import os
+import socket
 import time
 
 import pytest
@@ -282,6 +284,111 @@ def test_sigterm_drain_under_load_settles_every_request(catalog, tmp_path):
             assert warm["cache"] == "hit"
             assert warm["attempts"] == 0
     assert handle2.join() == 0
+
+
+def test_drain_deadline_aborts_stuck_work_instead_of_hanging(catalog):
+    """A blown drain deadline must abort, answer, and exit 79 — not hang.
+
+    One worker is stuck far past the deadline (still heartbeating, no
+    request deadline of its own) and a second request sits queued
+    behind it.  The drain must kill the stuck worker, answer *both*
+    requests with a structured ShuttingDownError, and exit 79 shortly
+    after the deadline — not plan the backlog late or wait forever.
+    """
+    config = _config(
+        dispatchers=1,
+        supervisor=SupervisorPolicy(workers=1, heartbeat_grace=120.0),
+        drain_deadline=1.0,
+    )
+    with inject(StallFault("worker_dispatch", seconds=120.0)):
+        with running_daemon(config, catalog=catalog) as handle:
+            with handle.client(timeout=60.0) as client:
+                client.send({"query": QUERY, "id": "stuck"})
+                assert _wait_until(
+                    lambda: handle.daemon.pool.busy_workers() == 1
+                )
+                client.send({"query": QUERY, "id": "queued"})
+                assert _wait_until(
+                    lambda: handle.daemon.requests_total >= 2
+                )
+                started = time.monotonic()
+                handle.begin_drain("signal:SIGTERM")
+                responses = {}
+                for _ in range(2):
+                    response = client.recv()
+                    responses[response["id"]] = response
+        exit_code = handle.join(timeout=60.0)
+        elapsed = time.monotonic() - started
+
+    assert set(responses) == {"stuck", "queued"}
+    # The killed in-flight request settles as a structured "failed"
+    # outcome; the never-submitted backlog request as an error frame.
+    # Both carry ShuttingDownError — neither is planned late or dropped.
+    for response in responses.values():
+        assert response["status"] in ("failed", "error")
+        assert response["error"]["error"] == "ShuttingDownError"
+        assert response["error"]["exit_code"] == 79
+    assert exit_code == 79, "a deadline-violating drain is not clean"
+    assert elapsed < 30.0, "the drain must not wait out the 120s stall"
+    report = handle.daemon.drain_report
+    assert report is not None and report["drained"] is False
+
+
+def test_unix_socket_path_is_reusable_across_runs(catalog, tmp_path):
+    path = str(tmp_path / "repro.sock")
+    # A dead daemon (killed, or a pre-fix clean exit) leaves the bound
+    # socket file behind; startup must treat it as stale and rebind.
+    stale = socket.socket(socket.AF_UNIX)
+    stale.bind(path)
+    stale.close()
+    assert os.path.exists(path)
+    config = _config(unix_socket=path)
+    for run in range(2):
+        with running_daemon(config, catalog=catalog) as handle:
+            assert handle.address == ("unix", path)
+            with handle.client() as client:
+                served = client.plan(QUERY, id=f"run-{run}")
+                assert served["status"] == "ok"
+        assert handle.join() == 0
+        assert not os.path.exists(path), "clean drain removes the socket"
+
+
+def test_serve_send_counts_control_frames_separately(
+    catalog, tmp_path, capsys
+):
+    """A healthz answer on the degraded rung must not count as a plan.
+
+    The daemon's ladder status strings overlap the plan-outcome vocabulary
+    ("degraded"), so the CLI summary must classify by request type.
+    """
+    from repro.cli import main
+
+    with running_daemon(_config(), catalog=catalog) as handle:
+        handle.daemon.degraded_served = 1  # pin the ladder on "degraded"
+        requests = tmp_path / "requests.ndjson"
+        requests.write_text(
+            json.dumps({"id": "h", "type": "healthz"})
+            + "\n"
+            + json.dumps({"id": "p", "query": QUERY})
+            + "\n"
+        )
+        _, host, port = handle.address
+        code = main(
+            [
+                "serve", "send", str(requests),
+                "--host", host, "--port", str(port),
+                "--format", "json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["status"] for r in lines] == ["degraded", "ok"]
+        assert (
+            "serve send: 1 ok, 0 degraded, 0 failed, 0 error, 1 control"
+            in captured.err
+        )
+    assert handle.join() == 0
 
 
 def test_stats_are_json_serializable(catalog):
