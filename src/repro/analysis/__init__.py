@@ -21,6 +21,11 @@ Three entry points expose it:
   that attaches diagnostics to the :class:`~repro.planner.limits.PlanOutcome`
   and short-circuits on errors.
 
+The sibling catalog-audit layer (``repro audit``, :func:`audit_catalog`,
+``C1xx`` rules) analyzes a *view catalog* as a whole, incrementally
+across :class:`~repro.views.view.CatalogDelta` mutations; see
+``repro.analysis.catalog``.
+
 New rules plug in through :func:`register_rule`, following the same
 registry pattern as rewriter backends and cost models; see
 ``docs/analysis.md`` for the rule catalog and the plugin how-to.
@@ -37,25 +42,42 @@ from .registry import (
     register_rule,
     unregister_rule,
 )
-from .sarif import render_json, to_sarif
+from .sarif import render_json, result_fingerprint, to_sarif
 
 # Importing the built-in rule modules registers them.
 from . import structural as _structural  # noqa: F401  (registration side effect)
 from . import semantic as _semantic  # noqa: F401  (registration side effect)
 
+# The catalog-audit layer (C1xx rules, incremental auditor, baselines).
+from .catalog import (
+    AuditReport,
+    CatalogAuditInput,
+    CatalogAuditor,
+    audit_catalog,
+    load_baseline,
+    write_baseline,
+)
+
 __all__ = [
     "AnalysisInput",
     "AnalysisReport",
     "AnalysisRule",
+    "AuditReport",
+    "CatalogAuditInput",
+    "CatalogAuditor",
     "Diagnostic",
     "PlannerConfig",
     "Severity",
     "UnknownRuleError",
     "analyze",
+    "audit_catalog",
     "available_rules",
     "get_rule",
+    "load_baseline",
     "register_rule",
     "render_json",
+    "result_fingerprint",
     "to_sarif",
     "unregister_rule",
+    "write_baseline",
 ]

@@ -1,0 +1,33 @@
+"""``repro.analysis.catalog`` — whole-catalog static analysis (audit).
+
+Where ``repro lint`` analyzes one query against its catalog, ``repro
+audit`` analyzes the catalog itself: the ``C1xx`` rules flag subsumed,
+equivalent, shadowed, and unsatisfiable views, report base-predicate
+coverage, and classify each view's hypergraph acyclicity — all
+query-independent hygiene that silently taxes every later planning run.
+
+The audit is incremental: :class:`CatalogAuditor` content-addresses each
+per-view unit of work (view hash + index-neighbor signature), so
+re-auditing after a :class:`~repro.views.view.CatalogDelta` recomputes
+only the changed views and their predicate-index neighbors.  See
+``docs/analysis.md`` for the rule catalog and the baseline workflow.
+"""
+
+from .auditor import AuditReport, CatalogAuditor, audit_catalog
+from .baseline import load_baseline, write_baseline
+from .gyo import gyo_reduce, is_acyclic
+from .inputs import CatalogAuditInput
+
+# Importing the rule module registers C101-C106.
+from . import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "AuditReport",
+    "CatalogAuditInput",
+    "CatalogAuditor",
+    "audit_catalog",
+    "gyo_reduce",
+    "is_acyclic",
+    "load_baseline",
+    "write_baseline",
+]

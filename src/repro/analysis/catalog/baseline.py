@@ -1,0 +1,83 @@
+"""Audit baselines: gate CI on *new* findings only.
+
+A baseline file is a small JSON document pinning the fingerprints of
+known, accepted findings:
+
+.. code-block:: json
+
+    {"version": 1, "fingerprints": {"<sha256>": "C101 view:v2", ...}}
+
+The values are human-readable context only; matching is by key, via
+:func:`~repro.analysis.sarif.result_fingerprint`.  Because audit
+fingerprints hash view *content* (never registration positions), a
+baseline survives catalog reordering, re-registration, and unrelated
+edits — it stops pinning a finding exactly when the views involved
+change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ...errors import ParseError
+from ..diagnostics import AnalysisReport, Diagnostic
+from ..sarif import result_fingerprint
+
+__all__ = ["load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """The fingerprints pinned by the baseline file at *path*.
+
+    Raises :class:`~repro.errors.ParseError` (EX_DATAERR) when the file
+    is missing, unreadable, or not a version-1 baseline document.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ParseError(
+            f"cannot read baseline file {path}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ParseError(
+            f"baseline file {path} is not valid JSON: {error}"
+        ) from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("fingerprints"), dict)
+    ):
+        raise ParseError(
+            f"baseline file {path} is not a version-{BASELINE_VERSION} "
+            'audit baseline (expected {"version": 1, "fingerprints": ...})'
+        )
+    return frozenset(str(key) for key in payload["fingerprints"])
+
+
+def _describe(diagnostic: Diagnostic) -> str:
+    return f"{diagnostic.code} {diagnostic.subject or 'catalog'}"
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> int:
+    """Pin every finding in *report* as the new baseline at *path*.
+
+    Returns the number of fingerprints written.  The document is sorted
+    and newline-terminated so regenerating an unchanged baseline is a
+    no-op diff.
+    """
+    fingerprints = {
+        result_fingerprint(diagnostic): _describe(diagnostic)
+        for diagnostic in report.diagnostics
+    }
+    document = {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(fingerprints)

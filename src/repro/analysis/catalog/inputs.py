@@ -1,0 +1,73 @@
+"""The value object every catalog-audit rule receives.
+
+Audit rules never walk the whole catalog on their own: the incremental
+:class:`~repro.analysis.catalog.auditor.CatalogAuditor` hands a
+view-scope rule one :class:`CatalogAuditInput` per view — the view, its
+predicate-index neighbors (the only views it could possibly interact
+with), and the shared :class:`~repro.planner.context.PlannerContext` —
+and a catalog-scope rule a single aggregate input (``view`` is
+``None``).  Everything a rule reads off this object is part of the
+auditor's content-addressed unit key, which is what makes re-audits
+after a :class:`~repro.views.view.CatalogDelta` sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from ...datalog.parser import SourceMap
+from ...errors import SourceSpan
+from ...views.view import View, ViewCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...planner.context import PlannerContext
+
+__all__ = ["CatalogAuditInput"]
+
+
+@dataclass(frozen=True)
+class CatalogAuditInput:
+    """Everything one audit rule may inspect for one unit of work."""
+
+    #: The view under audit, or ``None`` for catalog-scope rules.
+    view: View | None
+    #: The view's predicate-index neighbors, registration order.
+    neighbors: tuple[View, ...]
+    catalog: ViewCatalog
+    context: "PlannerContext"
+    #: Per-view content hashes of the audited catalog (name -> sha256).
+    hashes: Mapping[str, str] = field(default_factory=dict)
+    #: Names of neighbors registered *before* :attr:`view`.
+    older: frozenset[str] = frozenset()
+    #: Declared base-relation schema: predicate name -> arity.
+    schema: Mapping[str, int] | None = None
+    #: Span records for the catalog's source text, when it was parsed.
+    view_spans: SourceMap | None = None
+
+    def span_of(self, obj: object) -> SourceSpan | None:
+        """The recorded source span of a parsed atom or rule, if any."""
+        if self.view_spans is not None:
+            return self.view_spans.span_for(obj)
+        return None
+
+    def is_older(self, neighbor: View) -> bool:
+        """Whether *neighbor* was registered before the audited view."""
+        return neighbor.name in self.older
+
+    def view_hash(self, name: str) -> str:
+        """The content hash of the catalog view *name* (empty if unknown)."""
+        return self.hashes.get(name, "")
+
+    def fingerprint(self, code: str, *parts: str) -> str:
+        """A stable diagnostic fingerprint over *code* and *parts*.
+
+        Rules pass view **content hashes** (or predicate names), never
+        registration positions, so fingerprints survive reordering and
+        whole-catalog re-registration — the property SARIF
+        ``partialFingerprints`` and ``--baseline`` files rely on.
+        """
+        return hashlib.sha256(
+            "|".join((code, *parts)).encode("utf-8")
+        ).hexdigest()

@@ -62,6 +62,12 @@ class Diagnostic:
     rule: str = ""
     #: Machine-applicable replacement rule text, when the fix is mechanical.
     fix: str | None = None
+    #: Stable content fingerprint (sha256 hex) for baseline suppression
+    #: and SARIF ``partialFingerprints``.  Audit rules compute it from the
+    #: *content hashes* of the views involved, so it survives view
+    #: reordering and whole-catalog re-registration; ``None`` for lint
+    #: diagnostics (the SARIF renderer falls back to a message hash).
+    fingerprint: str | None = None
 
     def to_json(self) -> dict:
         """A JSON-ready rendering (one SARIF-shaped ``result`` object)."""
@@ -76,6 +82,8 @@ class Diagnostic:
             payload["span"] = self.span.to_json()
         if self.fix is not None:
             payload["fix"] = self.fix
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
         return payload
 
     def __str__(self) -> str:

@@ -89,7 +89,14 @@ def analyze(
         query_spans=query_spans,
         view_spans=view_spans,
     )
-    rules = _selected(available_rules(), select, ignore)
+    # Catalog-audit rules (scope "view"/"catalog") receive a different
+    # input object and run under ``repro audit`` (repro.analysis.catalog);
+    # lint only ever dispatches the per-query rules.
+    rules = [
+        rule
+        for rule in _selected(available_rules(), select, ignore)
+        if rule.scope == "query"
+    ]
     diagnostics: list[Diagnostic] = []
     checked: list[str] = []
     with ctx.stage("analyze"):

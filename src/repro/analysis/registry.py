@@ -25,21 +25,19 @@ code::
         check=check_shouty_predicates,
     ))
 
-Codes must be unique; ``R0xx`` (structural), ``R1xx`` (semantic) and
-``R9xx`` (engine-internal) are reserved for the built-in families, so
-plugins should pick another prefix.
+Codes must be unique; ``R0xx`` (structural), ``R1xx`` (semantic),
+``R9xx`` (engine-internal) and ``C1xx`` (whole-catalog audit) are
+reserved for the built-in families, so plugins should pick another
+prefix.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from ..errors import ReproError, SourceSpan
 from .diagnostics import Diagnostic, Severity
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .inputs import AnalysisInput
 
 __all__ = [
     "AnalysisRule",
@@ -59,7 +57,7 @@ class UnknownRuleError(ReproError, LookupError):
 class AnalysisRule:
     """A named, coded diagnostic rule.
 
-    ``check`` receives one :class:`~repro.analysis.inputs.AnalysisInput`
+    ``check`` receives the input object matching the rule's ``scope``
     and yields (or returns an iterable of) :class:`Diagnostic` records.
     ``severity`` is the rule's default; :meth:`diagnostic` stamps it onto
     findings unless overridden per finding.
@@ -72,7 +70,20 @@ class AnalysisRule:
     #: ``"structural"`` (syntax-level), ``"semantic"`` (uses the planner's
     #: containment machinery), or ``"config"`` (planner configuration).
     family: str
-    check: Callable[["AnalysisInput"], Iterable[Diagnostic]]
+    #: What the rule's ``check`` receives:
+    #:
+    #: * ``"query"`` (default) — one
+    #:   :class:`~repro.analysis.inputs.AnalysisInput`; runs under
+    #:   :func:`repro.analysis.analyze` (``repro lint``).
+    #: * ``"view"`` — one
+    #:   :class:`~repro.analysis.catalog.CatalogAuditInput` per catalog
+    #:   view; runs under ``repro audit`` only, as a content-keyed,
+    #:   incrementally cached per-view unit.
+    #: * ``"catalog"`` — one aggregate
+    #:   :class:`~repro.analysis.catalog.CatalogAuditInput` (``view``
+    #:   is ``None``); runs under ``repro audit`` only.
+    check: Callable[[Any], Iterable[Diagnostic]]
+    scope: str = "query"
 
     def diagnostic(
         self,
@@ -82,6 +93,7 @@ class AnalysisRule:
         subject: str = "query",
         severity: Severity | None = None,
         fix: str | None = None,
+        fingerprint: str | None = None,
     ) -> Diagnostic:
         """A :class:`Diagnostic` pre-filled with this rule's code and name."""
         return Diagnostic(
@@ -92,6 +104,7 @@ class AnalysisRule:
             subject=subject,
             rule=self.name,
             fix=fix,
+            fingerprint=fingerprint,
         )
 
 

@@ -5,16 +5,29 @@ The output follows the SARIF 2.1.0 skeleton (``runs[].tool`` +
 shape, while keeping the repro-specific span/fix fields in each result's
 ``properties`` bag.  The exact schema is documented with an example in
 ``docs/analysis.md``.
+
+Two SARIF validity details matter for CI consumers:
+
+* Every ``physicalLocation`` carries an ``artifactLocation`` with a
+  ``uri`` (required by the 2.1.0 schema) — the source names are threaded
+  through :func:`to_sarif` so diagnostics about the query point at the
+  query source and diagnostics about views point at the views file.
+* Every result carries ``partialFingerprints`` under the ``repro/v1``
+  key: the diagnostic's content fingerprint when the emitting rule
+  computed one (the catalog-audit rules do — stable under view
+  reordering), else a hash of ``code|subject|message``.  Baseline files
+  (``repro audit --baseline``) match on exactly these values.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
-from .diagnostics import AnalysisReport, Severity
+from .diagnostics import AnalysisReport, Diagnostic, Severity
 from .registry import available_rules
 
-__all__ = ["to_sarif", "render_json"]
+__all__ = ["result_fingerprint", "to_sarif", "render_json"]
 
 #: SARIF ``level`` values for our severities.
 _SARIF_LEVELS = {
@@ -23,9 +36,40 @@ _SARIF_LEVELS = {
     Severity.INFO: "note",
 }
 
+#: The ``partialFingerprints`` key our results are stamped under.
+FINGERPRINT_KEY = "repro/v1"
 
-def to_sarif(report: AnalysisReport) -> dict:
-    """*report* as a SARIF 2.1.0-shaped dictionary."""
+
+def result_fingerprint(diagnostic: Diagnostic) -> str:
+    """The stable fingerprint a baseline matches *diagnostic* on.
+
+    The diagnostic's own content fingerprint when the rule computed one;
+    otherwise a sha256 over ``code|subject|message`` (stable across runs
+    but, unlike audit fingerprints, not across source edits).
+    """
+    if diagnostic.fingerprint is not None:
+        return diagnostic.fingerprint
+    return hashlib.sha256(
+        f"{diagnostic.code}|{diagnostic.subject}|{diagnostic.message}".encode(
+            "utf-8"
+        )
+    ).hexdigest()
+
+
+def to_sarif(
+    report: AnalysisReport,
+    *,
+    query_source: str = "query.dl",
+    views_source: str = "views.dl",
+    driver_name: str = "repro-lint",
+) -> dict:
+    """*report* as a SARIF 2.1.0-shaped dictionary.
+
+    ``query_source``/``views_source`` name the artifacts diagnostics
+    point into (the CLI passes the actual paths); a diagnostic whose
+    subject is a view (``"view:<name>"``) locates in ``views_source``,
+    everything else in ``query_source``.
+    """
     known = {rule.code: rule for rule in available_rules()}
     rule_descriptors = [
         {
@@ -42,19 +86,28 @@ def to_sarif(report: AnalysisReport) -> dict:
             "ruleId": diagnostic.code,
             "level": _SARIF_LEVELS[diagnostic.severity],
             "message": {"text": diagnostic.message},
+            "partialFingerprints": {
+                FINGERPRINT_KEY: result_fingerprint(diagnostic)
+            },
             "properties": {"subject": diagnostic.subject},
         }
         if diagnostic.span is not None:
             span = diagnostic.span
+            uri = (
+                views_source
+                if diagnostic.subject.startswith("view:")
+                else query_source
+            )
             result["locations"] = [
                 {
                     "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
                         "region": {
                             "startLine": span.line,
                             "startColumn": span.column,
                             "charOffset": span.start,
                             "charLength": span.length,
-                        }
+                        },
                     }
                 }
             ]
@@ -71,7 +124,7 @@ def to_sarif(report: AnalysisReport) -> dict:
             {
                 "tool": {
                     "driver": {
-                        "name": "repro-lint",
+                        "name": driver_name,
                         "informationUri": "docs/analysis.md",
                         "rules": rule_descriptors,
                     }
@@ -83,6 +136,22 @@ def to_sarif(report: AnalysisReport) -> dict:
     }
 
 
-def render_json(report: AnalysisReport, *, indent: int | None = 2) -> str:
+def render_json(
+    report: AnalysisReport,
+    *,
+    indent: int | None = 2,
+    query_source: str = "query.dl",
+    views_source: str = "views.dl",
+    driver_name: str = "repro-lint",
+) -> str:
     """The SARIF-shaped report serialized to a JSON string."""
-    return json.dumps(to_sarif(report), indent=indent, sort_keys=False)
+    return json.dumps(
+        to_sarif(
+            report,
+            query_source=query_source,
+            views_source=views_source,
+            driver_name=driver_name,
+        ),
+        indent=indent,
+        sort_keys=False,
+    )

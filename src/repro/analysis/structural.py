@@ -187,12 +187,24 @@ _COMPARISON_OPS = {
 }
 
 
-def _check_contradictory_constants(
-    inputs: AnalysisInput,
-) -> Iterator[Diagnostic]:
-    query = inputs.query
-    # (a) comparison atoms over two constants that are identically false.
-    for atom in query.body:
+def contradiction_witnesses(
+    rule: ConjunctiveQuery,
+) -> Iterator[tuple[Atom, Atom | None, str]]:
+    """Provable constant contradictions in *rule*'s body.
+
+    Yields ``(atom, other, reason)`` triples: the anchoring atom, an
+    optional second atom involved, and a human explanation.  Shared by
+    R004 (per-query lint) and C103 (whole-catalog unsatisfiable-view
+    audit) — both flag the same two patterns:
+
+    (a) comparison atoms over two constants that are identically false;
+    (b) equality atoms forcing one variable (transitively) to equal two
+        distinct constants.  Pass 1 unions variable classes over
+        ``X = Y`` atoms; pass 2 binds classes to constants, flagging
+        conflicts — the two-pass order catches chains like
+        ``X = a, Y = b, X = Y``.
+    """
+    for atom in rule.body:
         if not (atom.is_comparison and atom.arity == 2):
             continue
         left, right = atom.args
@@ -202,18 +214,14 @@ def _check_contradictory_constants(
             except TypeError:
                 continue  # incomparable constant types; not provably false
             if not holds:
-                yield RULE_CONTRADICTORY_CONSTANTS.diagnostic(
-                    f"comparison {atom} is between constants and always "
-                    "false: the query returns no answers on any database",
-                    span=inputs.span_of(atom),
+                yield (
+                    atom,
+                    None,
+                    f"comparison {atom} is between constants and always false",
                 )
-    # (b) equality atoms forcing one variable (transitively) to equal two
-    # distinct constants.  Pass 1 unions variable classes over ``X = Y``
-    # atoms; pass 2 binds classes to constants, flagging conflicts — the
-    # two-pass order catches chains like ``X = a, Y = b, X = Y``.
     equalities = [
         atom
-        for atom in query.body
+        for atom in rule.body
         if atom.is_comparison and atom.predicate == "=" and atom.arity == 2
     ]
     parent: dict[Variable, Variable] = {}
@@ -241,12 +249,23 @@ def _check_contradictory_constants(
         if existing is None:
             bound[root] = (right, atom)
         elif existing[0] != right:
-            yield RULE_CONTRADICTORY_CONSTANTS.diagnostic(
+            yield (
+                atom,
+                existing[1],
                 f"variable {left} is equated with both {existing[0]} and "
-                f"{right}; the join position is contradictory and the "
-                "query is unsatisfiable",
-                span=inputs.span_of(atom) or inputs.span_of(existing[1]),
+                f"{right}; the join position is contradictory",
             )
+
+
+def _check_contradictory_constants(
+    inputs: AnalysisInput,
+) -> Iterator[Diagnostic]:
+    for atom, other, reason in contradiction_witnesses(inputs.query):
+        yield RULE_CONTRADICTORY_CONSTANTS.diagnostic(
+            f"{reason}: the query returns no answers on any database",
+            span=inputs.span_of(atom)
+            or (inputs.span_of(other) if other is not None else None),
+        )
 
 
 RULE_CONTRADICTORY_CONSTANTS = register_rule(

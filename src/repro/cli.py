@@ -6,6 +6,7 @@ Subcommands::
     python -m repro optimize "q(X) :- e(X, X)" --views views.dl --data db.json
     python -m repro certain  "q(X) :- e(X, X)" --views views.dl --view-data v.json
     python -m repro lint     "q(X) :- e(X, X)" --views views.dl [--format json]
+    python -m repro audit    views.dl [--format json] [--baseline audit.json]
     python -m repro batch    requests.ndjson --views views.dl [--cache DIR]
                              [--workers N] [--profile]
     python -m repro serve run  --views views.dl [--port N] [--cache DIR]
@@ -32,6 +33,14 @@ Subcommands::
   (:class:`repro.errors.AnalysisError`).  ``rewrite`` and ``optimize``
   accept ``--preflight`` to run the same rules before planning and stop
   on error-severity findings.
+* ``audit`` runs the whole-catalog ``C1xx`` rules
+  (:mod:`repro.analysis.catalog`) over a view file alone — no query:
+  subsumed/equivalent/shadowed/unsatisfiable views, base-predicate
+  coverage, acyclicity classification.  Same ``--format``,
+  ``--select/--ignore``, and ``--fail-on`` contract as ``lint``;
+  ``--baseline FILE`` suppresses previously accepted findings (matched
+  by content fingerprint) so CI gates on *new* findings only, and
+  ``--update-baseline`` regenerates the file from the current findings.
 * ``batch`` runs the :mod:`repro.service` resilient executor over
   NDJSON requests (one JSON object per line; ``-`` reads stdin) and
   emits one JSON outcome per line: status, attempts, backend used,
@@ -79,7 +88,7 @@ from .cost import explain_plan, improve_with_filters
 from .datalog import ConjunctiveQuery, parse_program, parse_query
 from .datalog.sql import SqlSchema, parse_sql
 from .engine import Database, evaluate, materialize_views
-from .errors import AnalysisError, ReproError, structured_error
+from .errors import AnalysisError, ParseError, ReproError, structured_error
 from .planner import (
     PlanStatus,
     ResourceBudget,
@@ -90,8 +99,8 @@ from .views import ViewCatalog
 
 #: Subcommand names, used by the ``--backend``-without-subcommand shortcut.
 _SUBCOMMANDS = (
-    "rewrite", "plan", "optimize", "certain", "lint", "batch", "faults",
-    "figures", "serve",
+    "rewrite", "plan", "optimize", "certain", "lint", "audit", "batch",
+    "faults", "figures", "serve",
 )
 
 
@@ -461,6 +470,75 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Whole-catalog static analysis (the C1xx audit rules)."""
+    from .analysis import Severity, render_json
+    from .analysis.catalog import (
+        CatalogAuditor,
+        load_baseline,
+        write_baseline,
+    )
+    from .datalog.parser import parse_program_spans
+
+    rules, view_spans = parse_program_spans(Path(args.views).read_text())
+    views = ViewCatalog(rules)
+    schema = (
+        json.loads(Path(args.schema).read_text())
+        if args.schema is not None
+        else None
+    )
+    auditor = CatalogAuditor(
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore),
+    )
+    if args.update_baseline:
+        if args.baseline is None:
+            raise ParseError("--update-baseline requires --baseline FILE")
+        # Regenerate from the *unsuppressed* findings: pinning through an
+        # existing baseline would silently drop still-present findings.
+        report = auditor.audit(views, schema=schema, view_spans=view_spans)
+        count = write_baseline(report, args.baseline)
+        print(
+            f"baseline {args.baseline}: pinned {count} finding(s) "
+            f"from {report.views_total} view(s)"
+        )
+        return 0
+    baseline = (
+        load_baseline(args.baseline) if args.baseline is not None else None
+    )
+    report = auditor.audit(
+        views, schema=schema, view_spans=view_spans, baseline=baseline
+    )
+    if args.format == "json":
+        print(
+            render_json(
+                report,
+                views_source=args.views,
+                driver_name="repro-audit",
+            )
+        )
+    else:
+        print(report.render_text())
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.from_name(args.fail_on)
+    offending = report.at_least(threshold)
+    if offending:
+        # Same contract as lint: raising routes through main()'s taxonomy
+        # handler -> exit 73 + structured one-line JSON on stderr.
+        raise AnalysisError(
+            f"catalog audit: {len(offending)} diagnostic(s) at or above "
+            f"{args.fail_on} severity"
+            + (
+                f" ({report.suppressed} baseline-suppressed)"
+                if report.suppressed
+                else ""
+            ),
+            diagnostics=tuple(offending),
+        )
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Supervised NDJSON batch execution over the failover chain."""
     from .service import (
@@ -646,6 +724,9 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         ),
         default_budget=_build_budget(args),
         drain_deadline=args.drain_deadline,
+        audit_fail_on=(
+            None if args.audit_fail_on == "never" else args.audit_fail_on
+        ),
     )
 
     def _on_ready(daemon: "PlanningDaemon") -> None:
@@ -956,6 +1037,49 @@ def build_parser() -> argparse.ArgumentParser:
                       help="treat the query as SQL with this schema file")
     lint.set_defaults(func=_cmd_lint)
 
+    audit = sub.add_parser(
+        "audit",
+        help="whole-catalog static analysis of a view file (C1xx rules)",
+    )
+    audit.add_argument(
+        "views", help="datalog program file (the view catalog to audit)"
+    )
+    audit.add_argument(
+        "--schema", metavar="JSON", default=None,
+        help="declared base relations: JSON file mapping predicate -> "
+             "arity (enables the C105 unmentioned-relation checks)",
+    )
+    audit.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format: human-readable text or SARIF-shaped JSON",
+    )
+    audit.add_argument(
+        "--select", action="append", metavar="CODES", default=None,
+        help="run only these rule codes/prefixes (comma-separated, "
+             "repeatable), e.g. --select C1 --select C103",
+    )
+    audit.add_argument(
+        "--ignore", action="append", metavar="CODES", default=None,
+        help="skip these rule codes/prefixes (comma-separated, repeatable)",
+    )
+    audit.add_argument(
+        "--fail-on", choices=["error", "warning", "info", "never"],
+        default="error",
+        help="exit 73 when a diagnostic at or above this severity "
+             "survives baseline suppression (default: error)",
+    )
+    audit.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings whose content fingerprints this JSON "
+             "baseline pins (gate on new findings only)",
+    )
+    audit.add_argument(
+        "--update-baseline", action="store_true",
+        help="regenerate --baseline FILE from the current findings "
+             "and exit 0",
+    )
+    audit.set_defaults(func=_cmd_audit)
+
     batch = sub.add_parser(
         "batch",
         help="resilient NDJSON batch execution (retry, breakers, failover)",
@@ -1133,6 +1257,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="attach phase profiles to outcomes and aggregate them "
              "in the stats message",
+    )
+    serve_run.add_argument(
+        "--audit-fail-on", choices=["error", "warning", "info", "never"],
+        default="never", metavar="SEVERITY",
+        help="audit every catalog register/update (C1xx rules) and "
+             "reject it with a structured AnalysisError (client exit 73) "
+             "when findings reach this severity (default: never)",
     )
     serve_run.add_argument(
         "--chaos", action="append", metavar="SPEC", default=None,

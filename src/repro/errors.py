@@ -368,4 +368,13 @@ def structured_error(error: BaseException) -> str:
     retry_after = getattr(error, "retry_after", None)
     if retry_after is not None:
         payload["retry_after"] = round(float(retry_after), 3)
+    # AnalysisError rejections carry their offending diagnostics, so a
+    # serve client (or CI log scraper) sees *which* findings failed the
+    # gate, not just how many.
+    diagnostics = getattr(error, "diagnostics", None)
+    if diagnostics:
+        payload["diagnostics"] = [
+            item.to_json() if hasattr(item, "to_json") else item
+            for item in diagnostics
+        ]
     return json.dumps(payload, default=str)

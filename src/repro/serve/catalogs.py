@@ -15,6 +15,17 @@ structurally (per-view hashes), a small update delta-upgrades warm
 contexts instead of cold-starting them — the ``delta_hits`` counter in
 ``stats`` is this machinery paying off.
 
+With ``audit_fail_on`` set, every registration and update runs the
+incremental catalog audit (:mod:`repro.analysis.catalog`) as a
+**preflight**: a catalog whose findings reach the configured severity is
+rejected with :class:`~repro.errors.AnalysisError` (exit 73 on the
+client) *before* it becomes visible to plan requests — a registration
+never installs, and an update rolls its deltas back, leaving the
+previously accepted content in place.  One persistent
+:class:`~repro.analysis.catalog.CatalogAuditor` per catalog name keeps
+the audit incremental: an update re-analyzes only the changed views and
+their predicate-index neighbors.
+
 The registry is mutated only from the daemon's event-loop thread;
 the lock exists for cross-thread readers (``stats`` snapshots from
 tests and benchmarks).
@@ -23,10 +34,14 @@ tests and benchmarks).
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
-from ..errors import ParseError, UnknownViewError
-from ..views.view import ViewCatalog
+from ..analysis.diagnostics import Severity
+from ..errors import AnalysisError, ParseError, UnknownViewError
+from ..views.view import CatalogDelta, ViewCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.catalog import AuditReport, CatalogAuditor
 
 __all__ = ["CatalogRegistry"]
 
@@ -34,11 +49,54 @@ __all__ = ["CatalogRegistry"]
 class CatalogRegistry:
     """Named, versioned view catalogs, one per registering tenant."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, audit_fail_on: str | None = None) -> None:
         self._catalogs: dict[str, ViewCatalog] = {}
         self._lock = threading.Lock()
         self.registrations = 0
         self.updates = 0
+        if audit_fail_on in (None, "never"):
+            self._audit_threshold: Severity | None = None
+        else:
+            self._audit_threshold = Severity.from_name(audit_fail_on)
+        #: Per-catalog persistent auditors (incremental across updates).
+        self._auditors: dict[str, "CatalogAuditor"] = {}
+        #: Last accepted audit report per catalog (for ``stats``).
+        self._reports: dict[str, "AuditReport"] = {}
+        self.audits = 0
+        self.audit_rejections = 0
+
+    @property
+    def auditing(self) -> bool:
+        """Whether registrations/updates run the audit preflight."""
+        return self._audit_threshold is not None
+
+    def _audit(self, name: str, catalog: ViewCatalog) -> "AuditReport":
+        """Audit *catalog* with the persistent per-name auditor.
+
+        Raises :class:`~repro.errors.AnalysisError` when findings reach
+        the configured severity; the caller must not install/keep the
+        offending content.  On success the report is retained for
+        ``stats``.
+        """
+        from ..analysis.catalog import CatalogAuditor
+
+        assert self._audit_threshold is not None
+        auditor = self._auditors.get(name)
+        if auditor is None:
+            auditor = self._auditors[name] = CatalogAuditor()
+        report = auditor.audit(catalog)
+        self.audits += 1
+        offending = report.at_least(self._audit_threshold)
+        if offending:
+            self.audit_rejections += 1
+            raise AnalysisError(
+                f"catalog {name!r} rejected by audit preflight: "
+                f"{len(offending)} diagnostic(s) at or above "
+                f"{self._audit_threshold.name.lower()} severity",
+                diagnostics=tuple(offending),
+            )
+        self._reports[name] = report
+        return report
 
     def __contains__(self, name: object) -> bool:
         with self._lock:
@@ -73,22 +131,30 @@ class CatalogRegistry:
         return default
 
     def register(self, name: str, views: Iterable[str]) -> dict:
-        """Create (or wholly replace) the catalog under *name*."""
+        """Create (or wholly replace) the catalog under *name*.
+
+        With auditing enabled the catalog is audited *before* it is
+        installed: a rejected registration leaves any previously
+        registered content untouched.
+        """
         if not name:
             raise ParseError('catalog "name" must be a non-empty string')
         catalog = ViewCatalog(str(text) for text in views)
-        with self._lock:
-            replaced = name in self._catalogs
-            self._catalogs[name] = catalog
-            self.registrations += 1
-        return {
+        ack = {
             "catalog": name,
             "action": "register",
-            "replaced": replaced,
             "views": len(catalog),
             "version": catalog.version,
             "content_root": catalog.content_root(),
         }
+        if self.auditing:
+            report = self._audit(name, catalog)
+            ack["audit"] = _audit_ack(report)
+        with self._lock:
+            ack["replaced"] = name in self._catalogs
+            self._catalogs[name] = catalog
+            self.registrations += 1
+        return ack
 
     def update(
         self,
@@ -107,16 +173,14 @@ class CatalogRegistry:
         changed and at which version.
         """
         catalog = self.get(name)
-        deltas = []
+        deltas: list[CatalogDelta] = []
         for view_name in remove:
             deltas.append(catalog.remove_view(str(view_name)))
         for text in replace:
             deltas.append(catalog.replace_view(str(text)))
         for text in add:
             deltas.append(catalog.add_view(str(text)))
-        with self._lock:
-            self.updates += 1
-        return {
+        ack = {
             "catalog": name,
             "action": "update",
             "deltas": [str(delta) for delta in deltas],
@@ -124,16 +188,61 @@ class CatalogRegistry:
             "version": catalog.version,
             "content_root": catalog.content_root(),
         }
+        if self.auditing:
+            try:
+                report = self._audit(name, catalog)
+            except AnalysisError:
+                _roll_back(catalog, deltas)
+                raise
+            ack["audit"] = _audit_ack(report)
+        with self._lock:
+            self.updates += 1
+        return ack
 
     def stats(self) -> Mapping[str, dict]:
         """Per-catalog introspection for the ``stats`` message."""
         with self._lock:
             catalogs = dict(self._catalogs)
-        return {
-            name: {
+            reports = dict(self._reports)
+        snapshot = {}
+        for name, catalog in sorted(catalogs.items()):
+            entry = {
                 "views": len(catalog),
                 "version": catalog.version,
                 "content_root": catalog.content_root(),
             }
-            for name, catalog in sorted(catalogs.items())
-        }
+            report = reports.get(name)
+            if report is not None:
+                entry["diagnostics"] = {
+                    "error": len(report.errors),
+                    "warning": len(report.warnings),
+                    "info": len(report.infos),
+                }
+            snapshot[name] = entry
+        return snapshot
+
+
+def _audit_ack(report: "AuditReport") -> dict:
+    """The audit summary attached to a register/update acknowledgement."""
+    return {
+        "diagnostics": report.counts(),
+        "views_analyzed": report.views_analyzed,
+        "views_reused": report.views_reused,
+    }
+
+
+def _roll_back(catalog: ViewCatalog, deltas: Iterable[CatalogDelta]) -> None:
+    """Undo *deltas* (newest first) after a rejected audit.
+
+    Inverses restore the exact pre-update *content* (the Merkle root
+    matches) — a re-added removed view returns at the end of the
+    registration order, which no plan result and no audit fingerprint
+    observes, though pair-rule attribution ("older"/"newer") can shift.
+    """
+    for delta in reversed(list(deltas)):
+        if delta.added and delta.removed:
+            catalog.replace_view(delta.removed[0])
+        elif delta.added:
+            catalog.remove_view(delta.added[0].name)
+        elif delta.removed:
+            catalog.add_view(delta.removed[0])

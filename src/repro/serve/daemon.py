@@ -77,6 +77,10 @@ class ServeConfig:
     dispatchers: int = 0
     #: Seconds a graceful drain may spend settling in-flight work.
     drain_deadline: float = 10.0
+    #: Audit-preflight severity for catalog register/update messages:
+    #: ``"error"``/``"warning"``/``"info"`` reject catalogs whose C1xx
+    #: findings reach that severity; ``None``/``"never"`` disables.
+    audit_fail_on: str | None = None
 
     def resolve_dispatchers(self) -> int:
         if self.dispatchers > 0:
@@ -119,7 +123,9 @@ class PlanningDaemon:
             self.config.worker, policy=self.config.supervisor
         )
         self.admission = AdmissionController(self.config.admission)
-        self.catalogs = CatalogRegistry()
+        self.catalogs = CatalogRegistry(
+            audit_fail_on=self.config.audit_fail_on
+        )
         self.default_catalog = default_catalog
         self._on_ready = on_ready
         #: ``("tcp", host, port)`` or ``("unix", path)`` once listening.
@@ -604,5 +610,10 @@ class PlanningDaemon:
             "queue_capacity": self.config.admission.max_queue_depth,
             "pool": self.pool.stats(),
             "catalogs": dict(self.catalogs.stats()),
+            "audit": {
+                "enabled": self.catalogs.auditing,
+                "audits": self.catalogs.audits,
+                "rejections": self.catalogs.audit_rejections,
+            },
             "profile": profile,
         }

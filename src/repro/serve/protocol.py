@@ -125,4 +125,10 @@ def error_from_payload(payload: Mapping[str, Any]) -> ReproError:
             error.retry_after = float(retry_after)
         except (TypeError, ValueError):
             pass
+    # AnalysisError rejections ship their offending diagnostics; keep
+    # them (as the wire's plain JSON objects) on the reconstruction so
+    # clients can report *which* findings failed the audit gate.
+    diagnostics = payload.get("diagnostics")
+    if isinstance(diagnostics, list) and hasattr(error, "diagnostics"):
+        error.diagnostics = tuple(diagnostics)
     return error

@@ -88,12 +88,20 @@ class View:
         Comparison atoms are not base relations and are excluded; a view
         whose body is comparisons only has an empty signature and is
         treated as relevant to every query (never index-pruned).
+
+        Memoized: the definition is immutable and the signature sits on
+        the catalog index's hottest path (every lookup, every audit unit
+        key), so it is computed once per :class:`View` instance.
         """
-        return frozenset(
-            (atom.predicate, atom.arity)
-            for atom in self.definition.body
-            if not atom.is_comparison
-        )
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            cached = frozenset(
+                (atom.predicate, atom.arity)
+                for atom in self.definition.body
+                if not atom.is_comparison
+            )
+            object.__setattr__(self, "_signature", cached)
+        return cached
 
     def __str__(self) -> str:
         return str(self.definition)
@@ -167,6 +175,12 @@ class ViewCatalog:
         self._hashes: dict[str, str] = {}
         #: Cached Merkle root; ``None`` = recompute on next access.
         self._root: str | None = None
+        #: Cached names of comparison-only views (empty predicate
+        #: signature); ``None`` = rebuild on next index lookup.  These
+        #: views join every lookup result, and recomputing them by
+        #: scanning the whole catalog made ``views_for_predicates``
+        #: O(|V|) per call — quadratic across a whole-catalog audit.
+        self._blind: tuple[str, ...] | None = None
         for view in views:
             self.add(view)
 
@@ -327,6 +341,7 @@ class ViewCatalog:
         self._sequence += 1
         self._version = delta.new_version
         self._root = delta.new_root
+        self._blind = None
 
     # -- lookup ----------------------------------------------------------------
     def get(self, name: str) -> View:
@@ -377,11 +392,13 @@ class ViewCatalog:
         hits: set[str] = set()
         for pair in pairs:
             hits.update(self._index.get(pair, ()))
-        hits.update(
-            name
-            for name, view in self._views.items()
-            if not view.predicate_signature()
-        )
+        if self._blind is None:
+            self._blind = tuple(
+                name
+                for name, view in self._views.items()
+                if not view.predicate_signature()
+            )
+        hits.update(self._blind)
         return tuple(
             self._views[name]
             for name in sorted(hits, key=self._order.__getitem__)
@@ -408,6 +425,27 @@ class ViewCatalog:
     def relevant_names(self, query: ConjunctiveQuery) -> tuple[str, ...]:
         """Names of :meth:`relevant_views`, registration order."""
         return tuple(view.name for view in self.relevant_views(query))
+
+    def index_neighbors(self, name: str) -> tuple[View, ...]:
+        """The views sharing a ``(predicate, arity)`` pair with *name*.
+
+        Registration order, excluding the view itself.  This is the
+        catalog-audit unit's visibility set: the pairwise rules (C101/
+        C102/C104) only ever compare a view against its index neighbors,
+        because containment between views sharing no base predicate is
+        impossible (a homomorphism has no atom to map onto) — the same
+        exactness argument as :meth:`relevant_views`.  Comparison-only
+        views (empty signature) appear in every view's neighbor set, per
+        :meth:`views_for_predicates`.
+        """
+        view = self.get(name)
+        return tuple(
+            neighbor
+            for neighbor in self.views_for_predicates(
+                view.predicate_signature()
+            )
+            if neighbor.name != name
+        )
 
     def names_sharing_predicates(
         self, predicates: Iterable[str]

@@ -1,0 +1,258 @@
+"""Positive and negative tests for the catalog-audit rules C101-C106."""
+
+import pytest
+
+from repro.analysis import Severity, audit_catalog
+from repro.analysis.catalog import gyo_reduce, is_acyclic
+from repro.datalog.parser import parse_query
+from repro.views import ViewCatalog
+
+
+def codes(report):
+    return {diagnostic.code for diagnostic in report}
+
+
+def diags(report, code):
+    return [d for d in report if d.code == code]
+
+
+def run(view_lines, **kwargs):
+    return audit_catalog(ViewCatalog(view_lines), **kwargs)
+
+
+class TestSubsumedViewC101:
+    def test_positive_strict_containment(self):
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y), b(Y,Z)"]
+        )
+        (finding,) = diags(report, "C101")
+        assert finding.severity is Severity.INFO
+        # Reported on the contained (weaker) view.
+        assert finding.subject == "view:v2"
+        assert "'v1'" in finding.message
+        assert finding.fingerprint
+
+    def test_negative_incomparable_views(self):
+        report = run(["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- b(X,Y)"])
+        assert "C101" not in codes(report)
+
+    def test_negative_equivalent_pair_is_not_subsumption(self):
+        report = run(["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y)"])
+        assert "C101" not in codes(report)
+
+    def test_negative_different_arity(self):
+        report = run(["v1(X,Y) :- a(X,Y)", "v2(X) :- a(X,Y), b(Y,Z)"])
+        assert "C101" not in codes(report)
+
+    def test_negative_comparison_bodies_skipped(self):
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y), X < Y"]
+        )
+        assert "C101" not in codes(report)
+
+
+class TestEquivalentViewsC102:
+    def test_positive_redundant_atom(self):
+        # v2 carries a redundant atom (a(X,Z) folds onto a(X,Y)), so the
+        # bodies differ textually but the views are equivalent.
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y), a(X,Z)"]
+        )
+        (finding,) = diags(report, "C102")
+        assert finding.severity is Severity.WARNING
+        # Reported once, on the later view of the pair.
+        assert finding.subject == "view:v2"
+        assert "'v1'" in finding.message
+
+    def test_positive_pair_not_doubly_reported_as_c101_or_c104(self):
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y), a(X,Z)"]
+        )
+        assert "C101" not in codes(report)
+        assert "C104" not in codes(report)
+
+    def test_negative_plain_catalog(self):
+        report = run(["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- b(X,Y)"])
+        assert "C102" not in codes(report)
+
+    def test_negative_exact_duplicates_are_c104_not_c102(self):
+        report = run(["v1(X,Y) :- a(X,Y)", "v2(P,Q) :- a(P,Q)"])
+        assert "C102" not in codes(report)
+        assert "C104" in codes(report)
+
+
+class TestUnsatisfiableViewC103:
+    def test_positive_conflicting_constant_bindings(self):
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "bad(X) :- a(X,Y), Y = c1, Y = c2"]
+        )
+        (finding,) = diags(report, "C103")
+        assert finding.severity is Severity.ERROR
+        assert finding.subject == "view:bad"
+        assert not report.ok
+
+    def test_positive_false_comparison(self):
+        report = run(["bad(X) :- a(X,Y), 2 > 3"])
+        (finding,) = diags(report, "C103")
+        assert finding.severity is Severity.ERROR
+
+    def test_negative_satisfiable_constants(self):
+        report = run(["v(X) :- a(X,Y), Y = c1"])
+        assert "C103" not in codes(report)
+
+
+class TestShadowedViewC104:
+    def test_positive_identical_twin_reported_on_older(self):
+        report = run(
+            [
+                "v1(X,Y) :- a(X,Y)",
+                "v2(X,Y) :- b(X,Y)",
+                "v3(X,Y) :- a(X,Y)",
+            ]
+        )
+        (finding,) = diags(report, "C104")
+        assert finding.severity is Severity.WARNING
+        assert finding.subject == "view:v1"
+        assert "'v3'" in finding.message
+        assert finding.fix is not None and "keep v3" in finding.fix
+
+    def test_positive_fix_names_the_newest_of_three(self):
+        report = run(
+            [
+                "v1(X,Y) :- a(X,Y)",
+                "v2(X,Y) :- a(X,Y)",
+                "v3(X,Y) :- a(X,Y)",
+            ]
+        )
+        findings = diags(report, "C104")
+        # v1 and v2 are each shadowed by the newest equivalent, v3.
+        assert [f.subject for f in findings] == ["view:v1", "view:v2"]
+        assert all("keep v3" in f.fix for f in findings)
+
+    def test_negative_strict_containment_is_not_shadowing(self):
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y), a(Y,Z)"]
+        )
+        assert "C104" not in codes(report)
+
+    def test_negative_renamed_variables_still_shadow(self):
+        report = run(["v1(X,Y) :- a(X,Y)", "v2(P,Q) :- a(P,Q)"])
+        assert [f.subject for f in diags(report, "C104")] == ["view:v1"]
+
+
+class TestUnreachablePredicateC105:
+    def test_positive_no_join_variable_exported(self):
+        # b/2 appears only through existential variables.
+        report = run(["v(X) :- a(X,Y), b(Y2,Z2)"])
+        findings = diags(report, "C105")
+        assert len(findings) == 1
+        assert findings[0].subject == "catalog"
+        assert "b/2" in findings[0].message
+
+    def test_positive_schema_relation_never_mentioned(self):
+        report = run(
+            ["v(X,Y) :- a(X,Y)"], schema={"a": 2, "ghost": 3}
+        )
+        findings = diags(report, "C105")
+        assert len(findings) == 1
+        assert "ghost/3" in findings[0].message
+
+    def test_negative_all_predicates_exported(self):
+        report = run(
+            ["v(X,Y) :- a(X,Y)", "w(Y,Z) :- b(Y,Z)"],
+            schema={"a": 2, "b": 2},
+        )
+        assert "C105" not in codes(report)
+
+
+class TestCyclicViewC106:
+    def test_positive_triangle(self):
+        report = run(
+            ["tri(X) :- a(X,Y), b(Y,Z), c(Z,X)"]
+        )
+        (finding,) = diags(report, "C106")
+        assert finding.severity is Severity.INFO
+        assert finding.subject == "view:tri"
+        assert "cyclic" in finding.message
+
+    def test_negative_chain_is_acyclic(self):
+        report = run(["v(X,Z) :- a(X,Y), b(Y,Z)"])
+        assert "C106" not in codes(report)
+
+    def test_negative_single_atom(self):
+        report = run(["v(X,Y) :- a(X,Y)"])
+        assert "C106" not in codes(report)
+
+
+class TestGyoReduction:
+    def test_triangle_is_cyclic(self):
+        query = parse_query("q(X) :- a(X,Y), b(Y,Z), c(Z,X)")
+        assert not is_acyclic(query)
+        assert len(gyo_reduce(query)) == 3
+
+    def test_chain_is_acyclic(self):
+        query = parse_query("q(X,W) :- a(X,Y), b(Y,Z), c(Z,W)")
+        assert is_acyclic(query)
+
+    def test_star_is_acyclic(self):
+        query = parse_query("q(X) :- a(X,Y), b(X,Z), c(X,W)")
+        assert is_acyclic(query)
+
+    def test_comparisons_do_not_form_edges(self):
+        query = parse_query("q(X,Z) :- a(X,Y), b(Y,Z), X < Z")
+        assert is_acyclic(query)
+
+    def test_cycle_with_pendant_ear(self):
+        query = parse_query(
+            "q(X) :- a(X,Y), b(Y,Z), c(Z,X), d(X,W)"
+        )
+        assert not is_acyclic(query)
+        assert len(gyo_reduce(query)) == 3
+
+
+class TestReportShape:
+    def test_checked_rules_and_summary(self):
+        report = run(["v1(X,Y) :- a(X,Y)"])
+        assert {"C101", "C102", "C103", "C104", "C105", "C106"} <= set(
+            report.checked
+        )
+        text = report.render_text()
+        assert "audited 1 view(s)" in text
+
+    def test_select_restricts_audit_rules(self):
+        report = run(
+            ["v1(X,Y) :- a(X,Y)", "v2(X,Y) :- a(X,Y)"],
+            select=["C103"],
+        )
+        assert report.checked == ("C103",)
+        assert "C104" not in codes(report)
+
+    def test_fingerprints_are_reordering_stable(self):
+        lines = [
+            "v1(X,Y) :- a(X,Y)",
+            "v2(X,Y) :- a(X,Y), b(Y,Z)",
+            "bad(X) :- a(X,Y), Y = c1, Y = c2",
+        ]
+        forward = audit_catalog(ViewCatalog(lines))
+        backward = audit_catalog(ViewCatalog(list(reversed(lines))))
+        assert {d.fingerprint for d in forward} == {
+            d.fingerprint for d in backward
+        }
+
+    def test_triple_duplicate_fingerprints_survive_reordering(self):
+        # With >= 3 duplicates the (shadowed, newest) pairing depends on
+        # registration order; the class-based C104 fingerprint must not.
+        lines = [
+            "v1(X,Y) :- a(X,Y)",
+            "v2(P,Q) :- a(P,Q)",
+            "v3(R,S) :- a(R,S)",
+        ]
+        forward = audit_catalog(ViewCatalog(lines))
+        backward = audit_catalog(ViewCatalog(list(reversed(lines))))
+        assert {d.fingerprint for d in diags(forward, "C104")} == {
+            d.fingerprint for d in diags(backward, "C104")
+        }
+
+    def test_lint_rules_stay_out_of_audit(self):
+        report = run(["v(X,Y) :- a(X,Y)"])
+        assert not any(code.startswith("R") for code in report.checked)

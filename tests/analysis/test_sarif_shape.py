@@ -1,0 +1,126 @@
+"""Structural SARIF 2.1.0 conformance for lint and audit output.
+
+The serious one: every ``physicalLocation`` MUST carry an
+``artifactLocation`` (SARIF 2.1.0 §3.29.3 requires it for a region to
+be interpretable) — the original emitter produced bare ``region``
+objects that validators reject.
+"""
+
+import json
+
+from repro.analysis import analyze, audit_catalog, render_json, to_sarif
+from repro.analysis.sarif import FINGERPRINT_KEY, result_fingerprint
+from repro.datalog.parser import parse_program_spans, parse_query_spans
+from repro.views import ViewCatalog
+
+
+def lint_report():
+    query, query_spans = parse_query_spans("q(X, Y) :- e(X, Z)")
+    rules, view_spans = parse_program_spans("v(A) :- e(A, B, B)")
+    return analyze(
+        query,
+        ViewCatalog(rules),
+        query_spans=query_spans,
+        view_spans=view_spans,
+    )
+
+
+def audit_report():
+    rules, view_spans = parse_program_spans(
+        "v1(X,Y) :- a(X,Y)\nbad(X) :- a(X,Y), Y = c1, Y = c2"
+    )
+    return audit_catalog(ViewCatalog(rules), view_spans=view_spans)
+
+
+def all_results(sarif):
+    return [r for run in sarif["runs"] for r in run["results"]]
+
+
+class TestPhysicalLocationShape:
+    def test_every_physical_location_has_artifact_and_region(self):
+        for sarif in (
+            to_sarif(lint_report(), query_source="q.dl", views_source="v.dl"),
+            to_sarif(audit_report(), views_source="v.dl"),
+        ):
+            located = 0
+            for result in all_results(sarif):
+                for location in result.get("locations", []):
+                    physical = location["physicalLocation"]
+                    assert "artifactLocation" in physical
+                    assert physical["artifactLocation"]["uri"]
+                    region = physical["region"]
+                    assert region["startLine"] >= 1
+                    assert region["startColumn"] >= 1
+                    located += 1
+            assert located > 0
+
+    def test_findings_point_at_the_right_source(self):
+        # R001 (unsafe query head) locates in the query file; view-subject
+        # findings (the R002 arity mismatch inside v) in the views file.
+        sarif = to_sarif(
+            lint_report(), query_source="the-query.dl",
+            views_source="the-views.dl",
+        )
+        uris = {
+            loc["physicalLocation"]["artifactLocation"]["uri"]
+            for result in all_results(sarif)
+            for loc in result.get("locations", [])
+        }
+        assert uris == {"the-query.dl", "the-views.dl"}
+
+    def test_audit_driver_name(self):
+        sarif = to_sarif(audit_report(), driver_name="repro-audit")
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro-audit"
+        default = to_sarif(lint_report())
+        assert default["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+
+class TestPartialFingerprints:
+    def test_every_result_is_fingerprinted(self):
+        for report in (lint_report(), audit_report()):
+            sarif = to_sarif(report)
+            results = all_results(sarif)
+            assert results
+            for result in results:
+                fingerprint = result["partialFingerprints"][FINGERPRINT_KEY]
+                assert len(fingerprint) == 64
+
+    def test_audit_fingerprints_survive_view_reordering(self):
+        lines = [
+            "v1(X,Y) :- a(X,Y)",
+            "v2(X,Y) :- a(X,Y), b(Y,Z)",
+            "bad(X) :- a(X,Y), Y = c1, Y = c2",
+        ]
+        forward = to_sarif(audit_catalog(ViewCatalog(lines)))
+        backward = to_sarif(
+            audit_catalog(ViewCatalog(list(reversed(lines))))
+        )
+        keys = lambda sarif: {
+            r["partialFingerprints"][FINGERPRINT_KEY]
+            for r in all_results(sarif)
+        }
+        assert keys(forward) == keys(backward)
+
+    def test_lint_fallback_fingerprint_is_content_hashed(self):
+        report = lint_report()
+        finding = report.diagnostics[0]
+        assert result_fingerprint(finding)
+        assert result_fingerprint(finding) == result_fingerprint(finding)
+
+
+class TestRenderJson:
+    def test_render_json_forwards_sources(self):
+        rendered = json.loads(
+            render_json(
+                audit_report(),
+                views_source="catalog.dl",
+                driver_name="repro-audit",
+            )
+        )
+        assert rendered["runs"][0]["tool"]["driver"]["name"] == "repro-audit"
+        uris = {
+            loc["physicalLocation"]["artifactLocation"]["uri"]
+            for result in all_results(rendered)
+            for loc in result.get("locations", [])
+        }
+        assert uris == {"catalog.dl"}

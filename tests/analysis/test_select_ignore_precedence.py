@@ -1,0 +1,76 @@
+"""--select/--ignore prefix filters: precedence with overlapping prefixes.
+
+Shared by lint (``analyze``) and audit (``CatalogAuditor``) through the
+same ``_selected`` helper: select narrows first, then ignore prunes the
+survivors, so an ignore always wins over an overlapping select.
+"""
+
+from repro.analysis import analyze, audit_catalog
+from repro.cli import _split_codes
+from repro.datalog.parser import parse_query
+from repro.views import ViewCatalog
+
+
+def lint(select=None, ignore=None):
+    # Fires R001 (unsafe head) and R004 (contradiction).
+    query = parse_query("q(X, Y) :- e(X, Z), 2 > 3")
+    return analyze(query, ViewCatalog(), select=select, ignore=ignore)
+
+
+def audit(select=None, ignore=None):
+    return audit_catalog(
+        ViewCatalog(["v(X,Y) :- a(X,Y)"]), select=select, ignore=ignore
+    )
+
+
+class TestLintPrecedence:
+    def test_ignore_wins_inside_a_selected_prefix(self):
+        report = lint(select=["R0"], ignore=["R001"])
+        assert "R001" not in report.checked
+        assert "R004" in report.checked
+
+    def test_overlapping_prefixes_compose(self):
+        report = lint(select=["R"], ignore=["R00"])
+        assert not any(code.startswith("R00") for code in report.checked)
+        assert any(code.startswith("R1") for code in report.checked)
+
+    def test_ignore_everything_selected_yields_empty_run(self):
+        report = lint(select=["R0"], ignore=["R0"])
+        assert report.checked == ()
+        assert report.diagnostics == ()
+
+    def test_case_insensitive_prefixes(self):
+        report = lint(select=["r0"], ignore=["r004"])
+        assert "R001" in report.checked
+        assert "R004" not in report.checked
+
+
+class TestAuditPrecedence:
+    def test_ignore_wins_inside_a_selected_prefix(self):
+        report = audit(select=["C1"], ignore=["C103"])
+        assert "C103" not in report.checked
+        assert "C101" in report.checked
+
+    def test_select_r_prefix_runs_no_audit_rules(self):
+        # Audit only dispatches view/catalog-scope rules; selecting the
+        # lint series leaves nothing to run.
+        report = audit(select=["R1"])
+        assert report.checked == ()
+
+    def test_overlapping_select_and_ignore_prefixes(self):
+        report = audit(select=["C10"], ignore=["C105", "C106"])
+        assert set(report.checked) == {"C101", "C102", "C103", "C104"}
+
+
+class TestSplitCodes:
+    def test_commas_and_repeats_flatten(self):
+        assert _split_codes(["R1,R2", " C103 ", "R0"]) == [
+            "R1", "R2", "C103", "R0",
+        ]
+
+    def test_empty_input_is_none(self):
+        assert _split_codes(None) is None
+        assert _split_codes([]) is None
+
+    def test_blank_fragments_dropped(self):
+        assert _split_codes(["R1,,  ,R2"]) == ["R1", "R2"]

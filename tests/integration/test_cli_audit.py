@@ -1,0 +1,168 @@
+"""Exit-code matrix for ``repro audit`` under both output formats.
+
+The audit subcommand mirrors lint's contract: happy path exits 0 with
+a text summary or SARIF on stdout, a failed gate raises
+``AnalysisError`` through the taxonomy handler (exit 73, structured
+one-line JSON on stderr), and baseline files gate CI on *new* findings
+only.  Malformed baselines are data errors (exit 65).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "v1(X, Y) :- a(X, Y)\nv2(Y, Z) :- b(Y, Z)\n"
+# C103 is an ERROR: the comparison is false on every database.
+UNSAT = "v1(X, Y) :- a(X, Y)\nbad(X) :- a(X, Y), 2 > 3\n"
+# C104 is a WARNING: v2 duplicates v1 up to renaming.
+TWINS = "v1(X, Y) :- a(X, Y)\nv2(P, Q) :- a(P, Q)\n"
+
+
+def views_file(tmp_path, text, name="views.dl"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def last_stderr_json(captured):
+    lines = [line for line in captured.err.splitlines() if line.strip()]
+    return json.loads(lines[-1])
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_clean_catalog_exits_zero(self, fmt, tmp_path, capsys):
+        path = views_file(tmp_path, CLEAN)
+        assert main(["audit", path, "--format", fmt]) == 0
+        out = capsys.readouterr().out
+        if fmt == "text":
+            assert "audited 2 view(s)" in out
+        else:
+            assert json.loads(out)["runs"]
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_error_finding_exits_73(self, fmt, tmp_path, capsys):
+        path = views_file(tmp_path, UNSAT)
+        code = main(["audit", path, "--format", fmt])
+        captured = capsys.readouterr()
+        assert code == 73
+        payload = last_stderr_json(captured)
+        assert payload["error"] == "AnalysisError"
+        assert payload["exit_code"] == 73
+        assert {d["code"] for d in payload["diagnostics"]} == {"C103"}
+        # The report itself still lands on stdout before the gate fires.
+        if fmt == "json":
+            sarif = json.loads(captured.out)
+            driver = sarif["runs"][0]["tool"]["driver"]
+            assert driver["name"] == "repro-audit"
+
+    def test_fail_on_never_reports_but_passes(self, tmp_path, capsys):
+        path = views_file(tmp_path, UNSAT)
+        assert main(["audit", path, "--fail-on", "never"]) == 0
+        assert "C103" in capsys.readouterr().out
+
+    def test_fail_on_warning_catches_duplicates(self, tmp_path, capsys):
+        path = views_file(tmp_path, TWINS)
+        assert main(["audit", path]) == 0  # default gate is error-only
+        capsys.readouterr()
+        assert main(["audit", path, "--fail-on", "warning"]) == 73
+        payload = last_stderr_json(capsys.readouterr())
+        assert {d["code"] for d in payload["diagnostics"]} == {"C104"}
+
+    def test_fail_on_info_catches_schema_gaps(self, tmp_path, capsys):
+        path = views_file(tmp_path, CLEAN)
+        schema = tmp_path / "schema.json"
+        schema.write_text(json.dumps({"a": 2, "b": 2, "ghost": 3}))
+        code = main(
+            ["audit", path, "--schema", str(schema), "--fail-on", "info"]
+        )
+        assert code == 73
+        payload = last_stderr_json(capsys.readouterr())
+        assert any(d["code"] == "C105" for d in payload["diagnostics"])
+
+    def test_select_and_ignore_narrow_the_gate(self, tmp_path, capsys):
+        path = views_file(tmp_path, UNSAT)
+        assert main(["audit", path, "--ignore", "C103"]) == 0
+        capsys.readouterr()
+        assert main(["audit", path, "--select", "C104"]) == 0
+        capsys.readouterr()
+        assert main(["audit", path, "--select", "C103,C104"]) == 73
+
+    def test_sarif_points_at_the_views_file(self, tmp_path, capsys):
+        path = views_file(tmp_path, TWINS)
+        assert main(["audit", path, "--format", "json"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        uris = {
+            loc["physicalLocation"]["artifactLocation"]["uri"]
+            for run in sarif["runs"]
+            for result in run["results"]
+            for loc in result.get("locations", [])
+        }
+        assert uris == {path}
+
+
+class TestBaselines:
+    def test_pin_then_suppress_then_catch_new(self, tmp_path, capsys):
+        path = views_file(tmp_path, UNSAT)
+        baseline = str(tmp_path / "baseline.json")
+        code = main(
+            ["audit", path, "--baseline", baseline, "--update-baseline"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "pinned 1 finding(s)" in captured.out
+        # The pinned finding no longer fails the gate...
+        assert main(["audit", path, "--baseline", baseline]) == 0
+        capsys.readouterr()
+        # ...but a *new* error does, and the summary says what was
+        # suppressed so the gate's arithmetic is auditable.
+        grown = views_file(
+            tmp_path, UNSAT + "worse(X) :- a(X, Y), 3 > 4\n", "grown.dl"
+        )
+        assert main(["audit", grown, "--baseline", baseline]) == 73
+        payload = last_stderr_json(capsys.readouterr())
+        assert "1 baseline-suppressed" in payload["message"]
+        assert len(payload["diagnostics"]) == 1
+        assert payload["diagnostics"][0]["subject"] == "view:worse"
+
+    def test_baseline_survives_view_reordering(self, tmp_path, capsys):
+        path = views_file(tmp_path, UNSAT)
+        baseline = str(tmp_path / "baseline.json")
+        main(["audit", path, "--baseline", baseline, "--update-baseline"])
+        capsys.readouterr()
+        reordered = views_file(
+            tmp_path,
+            "bad(X) :- a(X, Y), 2 > 3\nv1(X, Y) :- a(X, Y)\n",
+            "reordered.dl",
+        )
+        assert main(["audit", reordered, "--baseline", baseline]) == 0
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path, capsys):
+        path = views_file(tmp_path, CLEAN)
+        assert main(["audit", path, "--update-baseline"]) == 65
+        payload = last_stderr_json(capsys.readouterr())
+        assert payload["error"] == "ParseError"
+
+    def test_malformed_baseline_is_a_data_error(self, tmp_path, capsys):
+        path = views_file(tmp_path, CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert main(["audit", path, "--baseline", str(baseline)]) == 65
+        capsys.readouterr()
+        assert main(["audit", path, "--baseline",
+                     str(tmp_path / "missing.json")]) == 65
+        payload = last_stderr_json(capsys.readouterr())
+        assert payload["exit_code"] == 65
+
+    def test_update_baseline_on_clean_catalog_pins_nothing(
+        self, tmp_path, capsys
+    ):
+        path = views_file(tmp_path, CLEAN)
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            ["audit", path, "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0
+        assert json.loads(baseline.read_text())["fingerprints"] == {}

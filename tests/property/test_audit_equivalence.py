@@ -1,0 +1,101 @@
+"""Delta-aware re-audit equals a from-scratch audit — the tentpole law.
+
+A persistent :class:`CatalogAuditor` carried across an arbitrary
+add/remove/replace mutation script must report exactly what a fresh
+auditor reports on a from-scratch rebuild of the surviving views — same
+diagnostics, same order, same fingerprints — and the same again across
+the pickle (multiprocessing) boundary.  Timing-free fields only: the
+reports' reuse counters legitimately differ (that is the whole point).
+"""
+
+import pickle
+
+from hypothesis import given, settings
+
+from repro import ViewCatalog
+from repro.analysis import CatalogAuditor, audit_catalog
+from repro.views import as_view
+
+from .test_catalog_incremental import _apply, _build, mutation_sequences
+
+SCHEMA = {"a": 2, "b": 2, "c": 2, "d": 1, "ghost": 2}
+
+
+def observable(report):
+    """Everything an audit consumer can see, minus cache/timing facts."""
+    return (
+        report.diagnostics,
+        tuple(d.fingerprint for d in report.diagnostics),
+        report.checked,
+        report.catalog_root,
+        report.views_total,
+        report.ok,
+    )
+
+
+class TestAuditEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(mutation_sequences())
+    def test_incremental_audit_equals_scratch_audit(self, case):
+        initial, script = case
+        catalog = _build(initial)
+        auditor = CatalogAuditor()
+        auditor.audit(catalog, schema=SCHEMA)
+        _apply(catalog, script)
+        incremental = auditor.audit(catalog, schema=SCHEMA)
+        scratch = audit_catalog(ViewCatalog(list(catalog)), schema=SCHEMA)
+        assert observable(incremental) == observable(scratch)
+
+    @settings(max_examples=15, deadline=None)
+    @given(mutation_sequences())
+    def test_audit_after_every_step_stays_consistent(self, case):
+        """Auditing after *each* mutation (the serve daemon's cadence)
+        never drifts from scratch — reuse across steps is sound."""
+        initial, script = case
+        catalog = _build(initial)
+        auditor = CatalogAuditor()
+        auditor.audit(catalog, schema=SCHEMA)
+        # _apply's stepping, with the name counter carried across steps.
+        counter = len(catalog)
+        for action, body in script:
+            names = catalog.names()
+            if action == "add" or not names:
+                catalog.add_view(as_view(f"v{counter}{body}"))
+                counter += 1
+            elif action == "remove":
+                catalog.remove_view(names[counter % len(names)])
+            else:
+                name = names[counter % len(names)]
+                catalog.replace_view(as_view(f"{name}{body}"))
+            incremental = auditor.audit(catalog, schema=SCHEMA)
+            scratch = audit_catalog(
+                ViewCatalog(list(catalog)), schema=SCHEMA
+            )
+            assert observable(incremental) == observable(scratch)
+
+    @settings(max_examples=15, deadline=None)
+    @given(mutation_sequences())
+    def test_pickle_round_trip_audits_identically(self, case):
+        initial, script = case
+        catalog = _build(initial)
+        _apply(catalog, script)
+        clone = pickle.loads(pickle.dumps(catalog))
+        original = audit_catalog(catalog, schema=SCHEMA)
+        shipped = audit_catalog(clone, schema=SCHEMA)
+        assert observable(original) == observable(shipped)
+
+    @settings(max_examples=15, deadline=None)
+    @given(mutation_sequences())
+    def test_fingerprints_are_registration_order_free(self, case):
+        """Reversing registration order changes attribution (who is
+        'older') but never the *set* of content fingerprints."""
+        initial, script = case
+        catalog = _build(initial)
+        _apply(catalog, script)
+        forward = audit_catalog(ViewCatalog(list(catalog)), schema=SCHEMA)
+        backward = audit_catalog(
+            ViewCatalog(list(reversed(list(catalog)))), schema=SCHEMA
+        )
+        assert {d.fingerprint for d in forward.diagnostics} == {
+            d.fingerprint for d in backward.diagnostics
+        }

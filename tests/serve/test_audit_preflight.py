@@ -1,0 +1,213 @@
+"""Audit preflight on catalog register/update — registry and daemon.
+
+With ``--audit-fail-on`` set, a catalog whose C1xx findings reach the
+threshold never becomes visible to plan requests: a rejected
+registration is not installed and a rejected update is rolled back.
+Rejections travel as structured :class:`AnalysisError` frames (exit 73
+through ``serve send``) carrying the offending diagnostics.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError, UnknownViewError
+from repro.serve import ServeClient, ServeConfig
+from repro.serve.catalogs import CatalogRegistry
+from repro.serve.testing import running_daemon
+from repro.parallel import SupervisorPolicy
+from repro.parallel.worker import WorkerConfig
+from repro.service import ServicePolicy
+
+from .conftest import QUERY
+
+GOOD = [
+    "v1(X, Z) :- car(X, Y), loc(Y, Z)",
+    "v2(X, Y) :- car(X, Y)",
+]
+# C103 (ERROR): the comparison is false on every database.
+UNSAT = "bad(X) :- car(X, Y), 2 > 3"
+# C104 (WARNING): w2 duplicates w1 up to renaming.
+TWINS = ["w1(X, Y) :- car(X, Y)", "w2(P, Q) :- car(P, Q)"]
+
+
+def _config(**overrides):
+    overrides.setdefault(
+        "worker",
+        WorkerConfig(policy=ServicePolicy(chain=("corecover",)), pool_size=2),
+    )
+    overrides.setdefault("supervisor", SupervisorPolicy(workers=2))
+    return ServeConfig(**overrides)
+
+
+class TestRegistryPreflight:
+    def test_rejected_registration_is_not_installed(self):
+        registry = CatalogRegistry(audit_fail_on="error")
+        with pytest.raises(AnalysisError) as excinfo:
+            registry.register("t1", GOOD + [UNSAT])
+        assert excinfo.value.exit_code == 73
+        assert {d.code for d in excinfo.value.diagnostics} == {"C103"}
+        assert "t1" not in registry
+        assert registry.registrations == 0
+        assert registry.audit_rejections == 1
+
+    def test_warnings_pass_at_error_threshold(self):
+        registry = CatalogRegistry(audit_fail_on="error")
+        ack = registry.register("t1", TWINS)
+        assert ack["audit"]["diagnostics"]["warning"] >= 1
+        assert "t1" in registry
+
+    def test_warning_threshold_rejects_duplicates(self):
+        registry = CatalogRegistry(audit_fail_on="warning")
+        with pytest.raises(AnalysisError) as excinfo:
+            registry.register("t1", TWINS)
+        assert any(d.code == "C104" for d in excinfo.value.diagnostics)
+
+    def test_disabled_registry_never_audits(self):
+        for off in (None, "never"):
+            registry = CatalogRegistry(audit_fail_on=off)
+            assert registry.auditing is False
+            ack = registry.register("t1", GOOD + [UNSAT])
+            assert "audit" not in ack
+            assert registry.audits == 0
+
+    def test_rejected_update_rolls_back_added_view(self):
+        registry = CatalogRegistry(audit_fail_on="error")
+        registry.register("t1", GOOD)
+        catalog = registry.get("t1")
+        before_root = catalog.content_root()
+        before_names = catalog.names()
+        with pytest.raises(AnalysisError):
+            registry.update("t1", add=[UNSAT])
+        assert catalog.content_root() == before_root
+        assert catalog.names() == before_names
+        assert registry.updates == 0
+
+    def test_rejected_update_rolls_back_replacement(self):
+        registry = CatalogRegistry(audit_fail_on="error")
+        registry.register("t1", GOOD)
+        catalog = registry.get("t1")
+        before_root = catalog.content_root()
+        with pytest.raises(AnalysisError):
+            registry.update(
+                "t1", replace=["v2(X, Y) :- car(X, Y), 2 > 3"]
+            )
+        assert catalog.content_root() == before_root
+
+    def test_audit_is_incremental_across_updates(self):
+        registry = CatalogRegistry(audit_fail_on="error")
+        ack = registry.register(
+            "t1", ["a1(X, Y) :- r1(X, Y)", "a2(X, Y) :- r2(X, Y)"]
+        )
+        assert ack["audit"]["views_analyzed"] == 2
+        ack = registry.update("t1", add=["a3(X, Y) :- r3(X, Y)"])
+        # The new view shares no predicate with the old ones, so only
+        # it is re-analyzed; both existing units are cache hits.
+        assert ack["audit"]["views_analyzed"] == 1
+        assert ack["audit"]["views_reused"] == 2
+
+    def test_stats_reports_per_catalog_diagnostics(self):
+        registry = CatalogRegistry(audit_fail_on="error")
+        registry.register("t1", TWINS)
+        stats = registry.stats()
+        assert stats["t1"]["diagnostics"] == {
+            "error": 0,
+            "warning": 1,
+            "info": 0,
+        }
+
+
+class TestDaemonPreflight:
+    def test_register_rejection_over_the_wire(self, catalog):
+        config = _config(audit_fail_on="error")
+        with running_daemon(config, catalog=catalog) as handle:
+            with handle.client() as client:
+                response = client.register_catalog(
+                    "tenant-a", GOOD + [UNSAT]
+                )
+                assert response["status"] == "error"
+                error = response["error"]
+                assert error["error"] == "AnalysisError"
+                assert error["exit_code"] == 73
+                codes = {d["code"] for d in error["diagnostics"]}
+                assert "C103" in codes
+                with pytest.raises(AnalysisError) as excinfo:
+                    ServeClient.raise_for_response(response)
+                assert excinfo.value.diagnostics
+                # The rejected catalog never became plannable.
+                missing = client.plan(QUERY, id="m", catalog="tenant-a")
+                assert missing["error"]["error"] == "UnknownViewError"
+                with pytest.raises(UnknownViewError):
+                    ServeClient.raise_for_response(missing)
+                stats = client.stats()
+                assert stats["audit"] == {
+                    "enabled": True,
+                    "audits": 1,
+                    "rejections": 1,
+                }
+        assert handle.join() == 0
+
+    def test_update_rejection_keeps_serving_old_content(self, catalog):
+        config = _config(audit_fail_on="error")
+        with running_daemon(config, catalog=catalog) as handle:
+            with handle.client() as client:
+                ack = client.register_catalog("tenant-a", GOOD)
+                assert ack["status"] == "ok"
+                assert ack["audit"]["views_analyzed"] == 2
+                rejected = client.update_catalog("tenant-a", add=[UNSAT])
+                assert rejected["status"] == "error"
+                assert rejected["error"]["exit_code"] == 73
+                # The catalog still serves with its accepted content.
+                served = client.plan(QUERY, id="ok", catalog="tenant-a")
+                assert served["status"] == "ok"
+                stats = client.stats()
+                entry = stats["catalogs"]["tenant-a"]
+                assert entry["views"] == 2
+                assert entry["diagnostics"]["error"] == 0
+        assert handle.join() == 0
+
+    def test_audit_disabled_by_default(self, catalog):
+        with running_daemon(_config(), catalog=catalog) as handle:
+            with handle.client() as client:
+                ack = client.register_catalog("t", GOOD + [UNSAT])
+                assert ack["status"] == "ok"
+                assert "audit" not in ack
+                stats = client.stats()
+                assert stats["audit"]["enabled"] is False
+        assert handle.join() == 0
+
+
+def test_serve_send_exits_73_on_audit_rejection(catalog, tmp_path, capsys):
+    from repro.cli import main
+
+    config = _config(audit_fail_on="error")
+    with running_daemon(config, catalog=catalog) as handle:
+        requests = tmp_path / "requests.ndjson"
+        requests.write_text(
+            json.dumps(
+                {
+                    "id": "reg",
+                    "type": "catalog",
+                    "action": "register",
+                    "name": "tenant-a",
+                    "views": GOOD + [UNSAT],
+                }
+            )
+            + "\n"
+        )
+        _, host, port = handle.address
+        code = main(
+            [
+                "serve", "send", str(requests),
+                "--host", host, "--port", str(port),
+                "--format", "json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 73
+        (line,) = [
+            json.loads(line) for line in captured.out.splitlines()
+        ]
+        assert line["error"]["error"] == "AnalysisError"
+        assert line["error"]["diagnostics"]
+    assert handle.join() == 0
