@@ -12,6 +12,12 @@ requests at it, and holds the daemon to the robustness contract:
 * the plan cache survives the drain — a follow-up daemon on the same
   cache directory must answer the workload with a warm hit.
 
+A second phase smokes the durability contract: a daemon with a
+``--state-dir`` is SIGKILLed mid-commit (``kill:journal_append``
+chaos), and a clean restart must recover exactly the acknowledged
+prefix of catalog operations — content roots equal to an uncrashed
+in-memory oracle's — then serve a plan from the recovered catalog.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/serve_smoke.py
@@ -61,14 +67,18 @@ def _fail(message, **details):
     return 1
 
 
-def _boot_daemon(views_path, cache_dir, *, chaos=()):
+def _boot_daemon(views_path, cache_dir, *, chaos=(), state_dir=None):
     argv = [
         sys.executable, "-m", "repro", "serve", "run",
-        "--views", str(views_path),
         "--host", "127.0.0.1", "--port", "0",
         "--workers", "2",
-        "--cache", str(cache_dir),
     ]
+    if views_path is not None:
+        argv += ["--views", str(views_path)]
+    if cache_dir is not None:
+        argv += ["--cache", str(cache_dir)]
+    if state_dir is not None:
+        argv += ["--state-dir", str(state_dir)]
     for spec in chaos:
         argv += ["--chaos", spec]
     env = dict(os.environ)
@@ -224,9 +234,131 @@ def run_smoke():
     return 0
 
 
+#: The durable-catalog mutation script the crash phase and its
+#: in-memory oracle both run, in order.
+CATALOG_OPS = [
+    ("register", {"name": "t1", "views": VIEWS}),
+    ("update", {"name": "t1", "add": ["w4(X, Y) :- car(X, Y)"]}),
+    ("update", {"name": "t1", "add": ["w5(Y, Z) :- loc(Y, Z)"]}),
+]
+
+
+def _oracle_roots(count):
+    """Catalog content roots after the first *count* operations."""
+    from repro.serve.catalogs import CatalogRegistry
+
+    oracle = CatalogRegistry()
+    for action, kwargs in CATALOG_OPS[:count]:
+        getattr(oracle, action)(**kwargs)
+    return {
+        name: oracle.get(name).content_root() for name in oracle.names()
+    }
+
+
+def run_crash_recovery_smoke():
+    """SIGKILL mid-commit, then recover exactly the acked prefix."""
+    tmp = Path(tempfile.mkdtemp(prefix="serve-crash-smoke-"))
+    state_dir = tmp / "state"
+
+    # kill:journal_append:after=3 SIGKILLs the daemon before the third
+    # record's bytes reach the journal: op 3 must never be acked.
+    proc, host, port = _boot_daemon(
+        None, None, state_dir=state_dir,
+        chaos=["kill:journal_append:after=3"],
+    )
+    acked = 0
+    try:
+        client = ServeClient(host, port, timeout=30.0)
+        try:
+            for index, (action, kwargs) in enumerate(CATALOG_OPS):
+                try:
+                    response = client.request(
+                        {"id": f"op-{index}", "type": "catalog",
+                         "action": action, **kwargs}
+                    )
+                except (ConnectionError, OSError):
+                    break
+                if response.get("status") != "ok":
+                    break
+                acked += 1
+        finally:
+            client.close()
+        proc.wait(timeout=30.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    if proc.returncode != -signal.SIGKILL:
+        return _fail(
+            "chaos daemon did not die by SIGKILL",
+            returncode=proc.returncode,
+        )
+    if acked != 2:
+        return _fail(
+            "expected exactly 2 acknowledged catalog ops before the "
+            "kill", acked=acked,
+        )
+
+    # A clean restart recovers the acked prefix — no more, no less.
+    proc2, host2, port2 = _boot_daemon(None, None, state_dir=state_dir)
+    try:
+        client = ServeClient(host2, port2, timeout=30.0)
+        try:
+            stats = client.stats()
+            health = client.healthz()
+            probe = client.request(
+                {"id": "probe", "query": QUERY, "catalog": "t1"}
+            )
+        finally:
+            client.close()
+        proc2.send_signal(signal.SIGTERM)
+        try:
+            _stdout_rest, stderr_rest = proc2.communicate(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc2.kill()
+            return _fail("recovered daemon did not drain after SIGTERM")
+        if proc2.returncode != 0:
+            return _fail(
+                "recovered daemon drain exited non-zero",
+                returncode=proc2.returncode, stderr=stderr_rest[-2000:],
+            )
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+
+    recovered = {
+        name: entry.get("content_root")
+        for name, entry in (stats.get("catalogs") or {}).items()
+    }
+    expected = _oracle_roots(acked)
+    if recovered != expected:
+        return _fail(
+            "recovered catalogs do not match the acked-prefix oracle",
+            recovered=recovered, expected=expected,
+        )
+    durability = stats.get("durability") or {}
+    if durability.get("recovered_catalogs") != 1:
+        return _fail(
+            "daemon did not report the recovered catalog",
+            durability=durability,
+        )
+    if health.get("quarantined_catalogs"):
+        return _fail("recovery quarantined a catalog", healthz=health)
+    if probe.get("status") != "ok":
+        return _fail(
+            "plan against the recovered catalog failed", response=probe
+        )
+    print(json.dumps({
+        "smoke": "PASS",
+        "phase": "crash-recovery",
+        "acked_before_kill": acked,
+        "recovered": recovered,
+    }))
+    return 0
+
+
 if __name__ == "__main__":
     started = time.monotonic()
-    code = run_smoke()
+    code = run_smoke() or run_crash_recovery_smoke()
     print(
         f"serve_smoke: {'PASS' if code == 0 else 'FAIL'} "
         f"in {time.monotonic() - started:.1f}s",

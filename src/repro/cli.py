@@ -727,6 +727,8 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         audit_fail_on=(
             None if args.audit_fail_on == "never" else args.audit_fail_on
         ),
+        state_dir=args.state_dir,
+        snapshot_every=args.snapshot_every,
     )
 
     def _on_ready(daemon: "PlanningDaemon") -> None:
@@ -757,6 +759,8 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                 "exit_code": code,
                 "report": daemon.drain_report,
                 "cache_entries": daemon.cache_entries_flushed,
+                "checkpoint": daemon.final_checkpoint,
+                "durability": daemon.catalogs.durability_stats(),
             }
         ),
         flush=True,
@@ -767,14 +771,27 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
 def _cmd_serve_send(args: argparse.Namespace) -> int:
     """Send NDJSON frames to a running daemon; batch-style exit codes."""
     from .errors import ParseError
-    from .serve.client import ServeClient
+    from .serve.client import RetryBackoff, ServeClient
     from .serve.protocol import error_from_payload
 
+    retry_codes: frozenset[int] = frozenset()
+    if args.retry_on:
+        try:
+            retry_codes = frozenset(
+                int(part) for part in args.retry_on.split(",") if part.strip()
+            )
+        except ValueError:
+            raise ParseError(
+                f"--retry-on {args.retry_on!r} must be comma-separated "
+                "exit codes (e.g. 78,79)"
+            ) from None
+    backoff = RetryBackoff(base=args.retry_base)
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
     else:
         lines = Path(args.requests).read_text().splitlines()
     counts = {"ok": 0, "degraded": 0, "failed": 0, "error": 0, "control": 0}
+    retries_total = 0
     last_error: ReproError | None = None
     with ServeClient(
         args.host,
@@ -792,7 +809,16 @@ def _cmd_serve_send(args: argparse.Namespace) -> int:
                 raise ParseError(
                     f"request line {number}: invalid JSON: {exc}"
                 ) from None
-            response = client.request(payload)
+            if retry_codes:
+                response, retries = client.request_with_retry(
+                    payload,
+                    retry_on=retry_codes,
+                    max_retries=args.retry_max,
+                    backoff=backoff,
+                )
+                retries_total += retries
+            else:
+                response = client.request(payload)
             status = str(response.get("status", ""))
             if args.format == "json":
                 print(json.dumps(response))
@@ -812,12 +838,14 @@ def _cmd_serve_send(args: argparse.Namespace) -> int:
                 counts[status] += 1
             else:
                 counts["control"] += 1
-    print(
+    summary = (
         f"serve send: {counts['ok']} ok, {counts['degraded']} degraded, "
         f"{counts['failed']} failed, {counts['error']} error, "
-        f"{counts['control']} control",
-        file=sys.stderr,
+        f"{counts['control']} control"
     )
+    if retries_total:
+        summary += f", {retries_total} retried"
+    print(summary, file=sys.stderr)
     if last_error is not None:
         # Mirror batch semantics: all responses were printed; the exit
         # status reflects the *final* failure through the taxonomy
@@ -1266,6 +1294,18 @@ def build_parser() -> argparse.ArgumentParser:
              "when findings reach this severity (default: never)",
     )
     serve_run.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable catalog state: a checksummed write-ahead journal "
+             "plus compacted snapshots; named catalogs registered over "
+             "the wire are recovered on the next start (root-verified; "
+             "corrupt content is quarantined with exit 80)",
+    )
+    serve_run.add_argument(
+        "--snapshot-every", type=int, default=64, metavar="N",
+        help="journaled catalog operations between compacted snapshots "
+             "(durable mode only)",
+    )
+    serve_run.add_argument(
         "--chaos", action="append", metavar="SPEC", default=None,
         help="deterministic fault injection, e.g. "
              "kill:worker_dispatch:after=10 or "
@@ -1296,6 +1336,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_send.add_argument(
         "--format", choices=["json", "text"], default="json",
         help="response rendering: NDJSON (default) or one-line text",
+    )
+    serve_send.add_argument(
+        "--retry-on", metavar="CODES", default=None,
+        help="comma-separated error exit codes to retry with backoff, "
+             "honoring the server's retry_after hint "
+             "(e.g. 78,79 rides out load sheds and drains)",
+    )
+    serve_send.add_argument(
+        "--retry-max", type=int, default=5, metavar="N",
+        help="retries per request before giving up (default 5)",
+    )
+    serve_send.add_argument(
+        "--retry-base", type=float, default=0.05, metavar="SECONDS",
+        help="exponential backoff base used when no retry_after hint "
+             "rides on the error (delay = base * 2^attempt, capped)",
     )
     serve_send.set_defaults(func=_cmd_serve_send)
 

@@ -24,7 +24,9 @@ can distinguish
   admission-control refinements: the request was load-shed at intake
   (:class:`OverloadError`, with a ``Retry-After``-style hint) or the
   daemon is draining and no longer admits work
-  (:class:`ShuttingDownError`).
+  (:class:`ShuttingDownError`); and one durability refinement: a
+  catalog recovered from the write-ahead journal failed content-root
+  verification and is quarantined (:class:`CatalogCorruptionError`).
 
 Backwards compatibility: the refined classes keep subclassing the
 built-in exceptions historically raised at the same sites
@@ -47,6 +49,7 @@ __all__ = [
     "ArityMismatchError",
     "BudgetExceededError",
     "CacheCorruptionError",
+    "CatalogCorruptionError",
     "CircuitOpenError",
     "DuplicateViewError",
     "MalformedQueryError",
@@ -330,6 +333,38 @@ class OverloadError(ServiceError):
         self.retry_after = retry_after
         self.reason = reason
         self.queue_depth = queue_depth
+
+
+class CatalogCorruptionError(ServiceError):
+    """A durably stored catalog failed integrity verification on recovery.
+
+    Raised by the :mod:`repro.serve` catalog registry when a catalog
+    rebuilt from the write-ahead journal / snapshot does not re-derive
+    the ``catalog_content_root`` recorded at commit time (or cannot be
+    rebuilt at all): the catalog is **quarantined** — requests naming it
+    get this error instead of plans computed from wrong view
+    definitions.  Re-registering the catalog over the wire clears the
+    quarantine.  ``catalog`` names the quarantined catalog;
+    ``expected_root``/``actual_root`` carry the mismatched fingerprints
+    when root verification is what failed.
+    """
+
+    exit_code = 80
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        catalog: str | None = None,
+        expected_root: str | None = None,
+        actual_root: str | None = None,
+        diagnostics: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.catalog = catalog
+        self.expected_root = expected_root
+        self.actual_root = actual_root
+        self.diagnostics = tuple(diagnostics)
 
 
 class ShuttingDownError(ServiceError):

@@ -20,31 +20,43 @@ section of ``docs/robustness.md``):
   :class:`~repro.views.view.CatalogDelta` fingerprint upgrades;
 * graceful drain on SIGTERM (:class:`~repro.errors.ShuttingDownError`,
   exit code 79): stop admitting, settle in-flight work within a drain
-  deadline, flush the plan cache, exit 0;
+  deadline, flush the plan cache, checkpoint the catalog state, exit 0;
+* durable catalog state (``--state-dir``): a checksummed write-ahead
+  journal (:class:`~repro.serve.journal.CatalogJournal`) plus compacted
+  snapshots (:class:`~repro.serve.snapshot.SnapshotStore`) recover
+  every named catalog across restarts, content-root-verified, with
+  corrupt content quarantined
+  (:class:`~repro.errors.CatalogCorruptionError`, exit code 80);
 * ``healthz``/``stats`` introspection messages.
 """
 
 from .admission import AdmissionController, AdmissionPolicy, TokenBucket
 from .catalogs import CatalogRegistry
-from .client import ServeClient
+from .client import RetryBackoff, ServeClient
 from .daemon import PlanningDaemon, ServeConfig
+from .journal import CatalogJournal, scan_journal
 from .protocol import (
     decode_frame,
     encode_frame,
     error_from_payload,
     error_response,
 )
+from .snapshot import SnapshotStore
 
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
+    "CatalogJournal",
     "CatalogRegistry",
     "PlanningDaemon",
+    "RetryBackoff",
     "ServeClient",
     "ServeConfig",
+    "SnapshotStore",
     "TokenBucket",
     "decode_frame",
     "encode_frame",
     "error_from_payload",
     "error_response",
+    "scan_journal",
 ]

@@ -15,13 +15,39 @@ structurally (per-view hashes), a small update delta-upgrades warm
 contexts instead of cold-starting them — the ``delta_hits`` counter in
 ``stats`` is this machinery paying off.
 
+Durability
+==========
+
+With a ``state_dir`` the registry is **crash-consistent**: every
+mutation is appended to the write-ahead journal
+(:mod:`repro.serve.journal`) *before* it is acknowledged, and every
+``snapshot_every`` journaled operations the registry checkpoints — a
+compacted snapshot (:mod:`repro.serve.snapshot`) replaces the journal.
+On construction the registry **recovers**: load the latest valid
+snapshot, truncate any torn journal tail with a WARNING, replay the
+remaining records, and re-derive each catalog's
+``catalog_content_root`` against the root journaled at commit time.  A
+catalog that cannot be rebuilt byte-for-byte is **quarantined**:
+requests naming it get a structured
+:class:`~repro.errors.CatalogCorruptionError` (exit 80) instead of
+plans computed from wrong view definitions, until a re-registration
+replaces it wholesale.
+
+The commit protocol orders validation → in-memory apply → audit →
+journal append (fsync) → acknowledge, rolling the in-memory state back
+whenever a later step fails, so the served state never runs ahead of
+the journal: a daemon SIGKILLed mid-commit restarts serving exactly
+the acknowledged prefix of operations.
+
 With ``audit_fail_on`` set, every registration and update runs the
 incremental catalog audit (:mod:`repro.analysis.catalog`) as a
 **preflight**: a catalog whose findings reach the configured severity is
 rejected with :class:`~repro.errors.AnalysisError` (exit 73 on the
 client) *before* it becomes visible to plan requests — a registration
 never installs, and an update rolls its deltas back, leaving the
-previously accepted content in place.  One persistent
+previously accepted content in place.  The same preflight re-runs over
+every *recovered* catalog, quarantining (not serving) content that no
+longer passes the gate.  One persistent
 :class:`~repro.analysis.catalog.CatalogAuditor` per catalog name keeps
 the audit incremental: an update re-analyzes only the changed views and
 their predicate-index neighbors.
@@ -33,27 +59,59 @@ tests and benchmarks).
 
 from __future__ import annotations
 
+import logging
 import threading
+from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..analysis.diagnostics import Severity
-from ..errors import AnalysisError, ParseError, UnknownViewError
-from ..views.view import CatalogDelta, ViewCatalog
+from ..errors import (
+    AnalysisError,
+    CatalogCorruptionError,
+    ParseError,
+    ReproError,
+    UnknownViewError,
+)
+from ..views.view import CatalogDelta, ViewCatalog, as_view
+from .journal import JOURNAL_NAME, CatalogJournal, scan_journal
+from .snapshot import SnapshotStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.catalog import AuditReport, CatalogAuditor
 
 __all__ = ["CatalogRegistry"]
 
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class _Quarantine:
+    """Why one named catalog is being refused service."""
+
+    reason: str
+    expected_root: str | None = None
+    actual_root: str | None = None
+    diagnostics: tuple = ()
+
 
 class CatalogRegistry:
     """Named, versioned view catalogs, one per registering tenant."""
 
-    def __init__(self, *, audit_fail_on: str | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        audit_fail_on: str | None = None,
+        state_dir: str | Path | None = None,
+        snapshot_every: int = 64,
+        journal_fsync: bool = True,
+    ) -> None:
         self._catalogs: dict[str, ViewCatalog] = {}
+        self._quarantined: dict[str, _Quarantine] = {}
         self._lock = threading.Lock()
         self.registrations = 0
         self.updates = 0
+        self.removals = 0
         if audit_fail_on in (None, "never"):
             self._audit_threshold: Severity | None = None
         else:
@@ -64,12 +122,315 @@ class CatalogRegistry:
         self._reports: dict[str, "AuditReport"] = {}
         self.audits = 0
         self.audit_rejections = 0
+        # -- durability (all zero / None without a state_dir) ---------------
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._snapshot_every = max(1, int(snapshot_every))
+        self._journal_fsync = journal_fsync
+        self._journal: CatalogJournal | None = None
+        self._snapshots: SnapshotStore | None = None
+        self._ops_since_checkpoint = 0
+        self.journaled_ops = 0
+        self.compactions = 0
+        self.snapshot_failures = 0
+        self.snapshots_skipped = 0
+        self.recovered_catalogs = 0
+        self.replayed_ops = 0
+        self.journal_truncations = 0
+        self.truncated_bytes = 0
+        if self._state_dir is not None:
+            self._recover(self._state_dir)
 
     @property
     def auditing(self) -> bool:
         """Whether registrations/updates run the audit preflight."""
         return self._audit_threshold is not None
 
+    @property
+    def durable(self) -> bool:
+        """Whether mutations are journaled to a state directory."""
+        return self._journal is not None
+
+    # -- recovery -----------------------------------------------------------
+    def _recover(self, root: Path) -> None:
+        """Rebuild the registry from *root*: snapshot, then journal tail."""
+        root.mkdir(parents=True, exist_ok=True)
+        self._snapshots = SnapshotStore(root)
+        snapshot, skipped = self._snapshots.load_latest()
+        for name in skipped:
+            logger.warning(
+                "state dir %s: snapshot %s is unreadable or failed its "
+                "checksum; falling back to the previous generation",
+                root,
+                name,
+            )
+        self.snapshots_skipped = len(skipped)
+        base_seq = 0
+        if snapshot is not None:
+            base_seq = int(snapshot["seq"])
+            catalogs = snapshot.get("catalogs")
+            if isinstance(catalogs, dict):
+                for name in sorted(catalogs):
+                    entry = catalogs[name]
+                    if not isinstance(entry, dict):
+                        self._quarantine(
+                            name, _Quarantine("malformed snapshot entry")
+                        )
+                        continue
+                    self._rebuild(
+                        str(name),
+                        entry.get("views", ()),
+                        entry.get("root"),
+                        source=f"snapshot seq {base_seq}",
+                    )
+            quarantined = snapshot.get("quarantined")
+            if isinstance(quarantined, dict):
+                for name, reason in quarantined.items():
+                    self._quarantine(str(name), _Quarantine(str(reason)))
+        journal_path = root / JOURNAL_NAME
+        scan = scan_journal(journal_path, start_seq=base_seq)
+        if scan.torn_reason is not None:
+            logger.warning(
+                "state dir %s: journal tail is torn or corrupt at byte %d "
+                "(%s); truncating %d byte(s) — operations past the last "
+                "valid record were never acknowledged",
+                root,
+                scan.truncate_at,
+                scan.torn_reason,
+                scan.torn_bytes,
+            )
+            self.journal_truncations += 1
+            self.truncated_bytes += scan.torn_bytes
+            CatalogJournal(journal_path).truncate(scan.truncate_at)
+        for record in scan.records:
+            self._replay(record.op)
+            self.replayed_ops += 1
+        self.recovered_catalogs = len(self._catalogs)
+        if self.auditing:
+            # Honor --audit-fail-on over recovered content: a catalog
+            # that no longer passes the preflight gate must not serve.
+            for name in sorted(self._catalogs):
+                try:
+                    self._audit(name, self._catalogs[name])
+                except AnalysisError as exc:
+                    self._catalogs.pop(name, None)
+                    self._auditors.pop(name, None)
+                    self._quarantine(
+                        name,
+                        _Quarantine(
+                            f"recovered content rejected by audit "
+                            f"preflight: {exc}",
+                            diagnostics=getattr(exc, "diagnostics", ()),
+                        ),
+                    )
+        self._journal = CatalogJournal(
+            journal_path,
+            fsync=self._journal_fsync,
+            start_seq=max(base_seq, scan.last_seq),
+        )
+        # A long replayed tail means the last checkpoint is far behind;
+        # count it so the next mutation can compact promptly.
+        self._ops_since_checkpoint = len(scan.records)
+
+    def _rebuild(
+        self,
+        name: str,
+        views: object,
+        expected_root: object,
+        *,
+        source: str,
+    ) -> None:
+        """Reconstruct one catalog and verify its content root."""
+        try:
+            if not isinstance(views, (list, tuple)):
+                raise ValueError("view texts are not a list")
+            catalog = ViewCatalog(str(text) for text in views)
+        except Exception as exc:
+            self._catalogs.pop(name, None)
+            self._quarantine(
+                name,
+                _Quarantine(f"failed to rebuild from {source}: {exc}"),
+            )
+            return
+        actual = catalog.content_root()
+        if expected_root is not None and actual != expected_root:
+            self._catalogs.pop(name, None)
+            self._quarantine(
+                name,
+                _Quarantine(
+                    f"content root mismatch after {source}",
+                    expected_root=str(expected_root),
+                    actual_root=actual,
+                ),
+            )
+            return
+        self._catalogs[name] = catalog
+        self._quarantined.pop(name, None)
+
+    def _replay(self, op: Mapping) -> None:
+        """Apply one journaled operation during recovery."""
+        kind = op.get("op")
+        name = str(op.get("name", ""))
+        if kind == "remove":
+            self._catalogs.pop(name, None)
+            self._quarantined.pop(name, None)
+            return
+        if kind == "register":
+            self._rebuild(
+                name,
+                op.get("views", ()),
+                op.get("root"),
+                source=f"journal replay (seq {op.get('seq')})",
+            )
+            return
+        if kind == "update":
+            if name in self._quarantined:
+                return  # already refusing service; nothing to update
+            try:
+                catalog = self._catalogs[name]
+                for view_name in op.get("remove", ()):
+                    catalog.remove_view(str(view_name))
+                for text in op.get("replace", ()):
+                    catalog.replace_view(str(text))
+                for text in op.get("add", ()):
+                    catalog.add_view(str(text))
+            except Exception as exc:
+                self._catalogs.pop(name, None)
+                self._quarantine(
+                    name,
+                    _Quarantine(
+                        f"journal replay failed at seq {op.get('seq')}: "
+                        f"{exc}"
+                    ),
+                )
+                return
+            expected = op.get("root")
+            actual = catalog.content_root()
+            if expected is not None and actual != expected:
+                self._catalogs.pop(name, None)
+                self._quarantine(
+                    name,
+                    _Quarantine(
+                        f"content root mismatch after journal replay "
+                        f"(seq {op.get('seq')})",
+                        expected_root=str(expected),
+                        actual_root=actual,
+                    ),
+                )
+            return
+        # An unknown operation kind is a future-format record; the
+        # catalog it names can no longer be trusted to be current.
+        self._quarantine(
+            name, _Quarantine(f"unknown journaled operation {kind!r}")
+        )
+
+    def _quarantine(self, name: str, record: _Quarantine) -> None:
+        logger.warning("catalog %r quarantined: %s", name, record.reason)
+        self._quarantined[name] = record
+
+    def _corruption_error(self, name: str) -> CatalogCorruptionError:
+        record = self._quarantined[name]
+        return CatalogCorruptionError(
+            f"catalog {name!r} is quarantined: {record.reason}; "
+            "re-register it to restore service",
+            catalog=name,
+            expected_root=record.expected_root,
+            actual_root=record.actual_root,
+            diagnostics=record.diagnostics,
+        )
+
+    # -- journal / checkpoint ----------------------------------------------
+    def _journal_op(self, op: dict) -> None:
+        """Durably record *op*; the caller applies it only on success."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(op)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise CatalogCorruptionError(
+                f"write-ahead journal append failed: {exc}"
+            ) from exc
+        self.journaled_ops += 1
+        self._ops_since_checkpoint += 1
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self._journal is not None
+            and self._ops_since_checkpoint >= self._snapshot_every
+        ):
+            self.checkpoint()
+
+    def checkpoint(self) -> dict | None:
+        """Write a compacted snapshot and empty the journal.
+
+        Failure is non-fatal by design: the snapshot write is counted
+        and WARNed, and the journal is **kept** — recovery still works
+        from the previous generation plus the full journal.  The
+        journal is emptied only after the new snapshot is durable.
+        """
+        if self._journal is None or self._snapshots is None:
+            return None
+        with self._lock:
+            catalogs = dict(self._catalogs)
+            quarantined = dict(self._quarantined)
+        seq = self._journal.last_seq
+        payload = {
+            "seq": seq,
+            "catalogs": {
+                name: {
+                    "views": [str(view) for view in catalog],
+                    "root": catalog.content_root(),
+                }
+                for name, catalog in sorted(catalogs.items())
+            },
+            "quarantined": {
+                name: record.reason
+                for name, record in sorted(quarantined.items())
+            },
+        }
+        try:
+            self._snapshots.write(seq, payload)
+        except Exception as exc:
+            self.snapshot_failures += 1
+            logger.warning(
+                "snapshot at seq %d failed (%s); journal retained", seq, exc
+            )
+            return None
+        self._journal.reset(start_seq=seq)
+        self.compactions += 1
+        self._ops_since_checkpoint = 0
+        return {"seq": seq, "catalogs": len(catalogs)}
+
+    def durability_stats(self) -> dict | None:
+        """Journal/snapshot/recovery counters (``None`` when in-memory)."""
+        if self._journal is None or self._snapshots is None:
+            return None
+        with self._lock:
+            quarantined = len(self._quarantined)
+        return {
+            "state_dir": str(self._state_dir),
+            "last_seq": self._journal.last_seq,
+            "journaled_ops": self.journaled_ops,
+            "journal_bytes": self._journal.bytes_written,
+            "fsyncs": self._journal.fsyncs,
+            "snapshots_written": self._snapshots.written,
+            "snapshots_skipped": self.snapshots_skipped,
+            "snapshot_failures": self.snapshot_failures,
+            "compactions": self.compactions,
+            "recovered_catalogs": self.recovered_catalogs,
+            "replayed_ops": self.replayed_ops,
+            "journal_truncations": self.journal_truncations,
+            "truncated_bytes": self.truncated_bytes,
+            "quarantined": quarantined,
+        }
+
+    def close(self) -> None:
+        """Release the journal file handle (tests, daemon shutdown)."""
+        if self._journal is not None:
+            self._journal.close()
+
+    # -- audit --------------------------------------------------------------
     def _audit(self, name: str, catalog: ViewCatalog) -> "AuditReport":
         """Audit *catalog* with the persistent per-name auditor.
 
@@ -98,6 +459,7 @@ class CatalogRegistry:
         self._reports[name] = report
         return report
 
+    # -- lookup -------------------------------------------------------------
     def __contains__(self, name: object) -> bool:
         with self._lock:
             return name in self._catalogs
@@ -106,9 +468,15 @@ class CatalogRegistry:
         with self._lock:
             return tuple(sorted(self._catalogs))
 
+    def quarantined_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._quarantined))
+
     def get(self, name: str) -> ViewCatalog:
         """The catalog registered under *name* (taxonomy error if none)."""
         with self._lock:
+            if name in self._quarantined:
+                raise self._corruption_error(name)
             try:
                 return self._catalogs[name]
             except KeyError:
@@ -130,30 +498,48 @@ class CatalogRegistry:
             )
         return default
 
+    # -- mutation -----------------------------------------------------------
     def register(self, name: str, views: Iterable[str]) -> dict:
         """Create (or wholly replace) the catalog under *name*.
 
         With auditing enabled the catalog is audited *before* it is
         installed: a rejected registration leaves any previously
-        registered content untouched.
+        registered content untouched.  A durable registry journals the
+        accepted registration before installing it; re-registering a
+        quarantined name clears its quarantine.
         """
         if not name:
             raise ParseError('catalog "name" must be a non-empty string')
-        catalog = ViewCatalog(str(text) for text in views)
+        texts = [str(text) for text in views]
+        catalog = ViewCatalog(texts)
+        content_root = catalog.content_root()
         ack = {
             "catalog": name,
             "action": "register",
             "views": len(catalog),
             "version": catalog.version,
-            "content_root": catalog.content_root(),
+            "content_root": content_root,
         }
         if self.auditing:
             report = self._audit(name, catalog)
             ack["audit"] = _audit_ack(report)
+        # The journal carries the texts as received — they parse to the
+        # same views (that's what the journaled root verifies on replay),
+        # and skipping re-serialization keeps the append overhead low.
+        self._journal_op(
+            {
+                "op": "register",
+                "name": name,
+                "views": texts,
+                "root": content_root,
+            }
+        )
         with self._lock:
             ack["replaced"] = name in self._catalogs
             self._catalogs[name] = catalog
+            self._quarantined.pop(name, None)
             self.registrations += 1
+        self._maybe_checkpoint()
         return ack
 
     def update(
@@ -166,27 +552,46 @@ class CatalogRegistry:
     ) -> dict:
         """Apply incremental deltas to a registered catalog.
 
-        Removals run first (so a rename expressed as remove+add is
-        order-independent), then replacements, then additions.  Every
-        mutation's :class:`~repro.views.view.CatalogDelta` is echoed in
-        the acknowledgement so the client can audit exactly what
-        changed and at which version.
+        The catalog *name* is validated first — an unknown (or
+        quarantined) name reports its registry-level error even when
+        the view payload is also malformed.  View texts are then parsed
+        before anything mutates, so a parse error leaves the catalog
+        untouched.  Removals run first (so a rename expressed as
+        remove+add is order-independent), then replacements, then
+        additions.  Every mutation's
+        :class:`~repro.views.view.CatalogDelta` is echoed in the
+        acknowledgement so the client can audit exactly what changed
+        and at which version.  A durable registry journals the update
+        (post-audit) before acknowledging; any rejected or failed step
+        rolls the applied deltas back.
         """
         catalog = self.get(name)
+        # Parse every incoming text before the first mutation: a bad
+        # third view must not leave the first two half-applied.
+        remove_names = [str(view_name) for view_name in remove]
+        replace_texts = [str(text) for text in replace]
+        add_texts = [str(text) for text in add]
+        replace_views = [as_view(text) for text in replace_texts]
+        add_views = [as_view(text) for text in add_texts]
         deltas: list[CatalogDelta] = []
-        for view_name in remove:
-            deltas.append(catalog.remove_view(str(view_name)))
-        for text in replace:
-            deltas.append(catalog.replace_view(str(text)))
-        for text in add:
-            deltas.append(catalog.add_view(str(text)))
+        try:
+            for view_name in remove_names:
+                deltas.append(catalog.remove_view(view_name))
+            for view in replace_views:
+                deltas.append(catalog.replace_view(view))
+            for view in add_views:
+                deltas.append(catalog.add_view(view))
+        except Exception:
+            _roll_back(catalog, deltas)
+            raise
+        content_root = catalog.content_root()
         ack = {
             "catalog": name,
             "action": "update",
             "deltas": [str(delta) for delta in deltas],
             "views": len(catalog),
             "version": catalog.version,
-            "content_root": catalog.content_root(),
+            "content_root": content_root,
         }
         if self.auditing:
             try:
@@ -195,8 +600,56 @@ class CatalogRegistry:
                 _roll_back(catalog, deltas)
                 raise
             ack["audit"] = _audit_ack(report)
+        try:
+            self._journal_op(
+                {
+                    "op": "update",
+                    "name": name,
+                    "remove": remove_names,
+                    "replace": replace_texts,
+                    "add": add_texts,
+                    "root": content_root,
+                }
+            )
+        except Exception:
+            # Never acknowledge (or serve) state the journal does not
+            # hold: the in-memory apply is undone before re-raising.
+            _roll_back(catalog, deltas)
+            raise
         with self._lock:
             self.updates += 1
+        self._maybe_checkpoint()
+        return ack
+
+    def remove(self, name: str) -> dict:
+        """Drop the catalog under *name* (quarantined names included).
+
+        Removing a quarantined catalog is the operator's "give up on
+        this content" escape hatch — the quarantine marker is dropped
+        along with the name, and the removal is journaled so it
+        survives restarts.
+        """
+        with self._lock:
+            known = name in self._catalogs or name in self._quarantined
+            was_quarantined = name in self._quarantined
+        if not known:
+            raise UnknownViewError(
+                f"unknown catalog {name!r}; nothing to remove"
+            )
+        self._journal_op({"op": "remove", "name": name})
+        with self._lock:
+            self._catalogs.pop(name, None)
+            self._quarantined.pop(name, None)
+            self.removals += 1
+        self._auditors.pop(name, None)
+        self._reports.pop(name, None)
+        ack = {
+            "catalog": name,
+            "action": "remove",
+            "removed": True,
+            "was_quarantined": was_quarantined,
+        }
+        self._maybe_checkpoint()
         return ack
 
     def stats(self) -> Mapping[str, dict]:
@@ -204,6 +657,7 @@ class CatalogRegistry:
         with self._lock:
             catalogs = dict(self._catalogs)
             reports = dict(self._reports)
+            quarantined = dict(self._quarantined)
         snapshot = {}
         for name, catalog in sorted(catalogs.items()):
             entry = {
@@ -219,6 +673,11 @@ class CatalogRegistry:
                     "info": len(report.infos),
                 }
             snapshot[name] = entry
+        for name, record in sorted(quarantined.items()):
+            snapshot[name] = {
+                "quarantined": True,
+                "reason": record.reason,
+            }
         return snapshot
 
 
@@ -232,7 +691,7 @@ def _audit_ack(report: "AuditReport") -> dict:
 
 
 def _roll_back(catalog: ViewCatalog, deltas: Iterable[CatalogDelta]) -> None:
-    """Undo *deltas* (newest first) after a rejected audit.
+    """Undo *deltas* (newest first) after a rejected or failed commit.
 
     Inverses restore the exact pre-update *content* (the Merkle root
     matches) — a re-added removed view returns at the end of the

@@ -11,12 +11,35 @@ order within a connection, which a lockstep client never observes.
 from __future__ import annotations
 
 import socket
-from typing import Any, Iterable, Mapping
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
 
 from ..errors import ReproError
 from .protocol import decode_frame, encode_frame, error_from_payload
 
-__all__ = ["ServeClient"]
+__all__ = ["RetryBackoff", "ServeClient"]
+
+
+@dataclass(frozen=True)
+class RetryBackoff:
+    """The backoff schedule ``repro serve send --retry-on`` follows.
+
+    The daemon's backpressure errors (shed: exit 78, draining: 79)
+    carry a ``retry_after`` hint; when present it **is** the delay —
+    the server knows its own refill rate and drain deadline better than
+    any client-side guess.  Without a hint the schedule is capped
+    exponential: ``base * 2**attempt``, clamped to ``max_delay``.
+    """
+
+    base: float = 0.05
+    max_delay: float = 5.0
+
+    def delay(self, attempt: int, retry_after: float | None = None) -> float:
+        """Seconds to wait before retry *attempt* (0-based)."""
+        if retry_after is not None and retry_after >= 0:
+            return min(float(retry_after), self.max_delay)
+        return min(self.base * (2.0 ** attempt), self.max_delay)
 
 
 class ServeClient:
@@ -56,6 +79,48 @@ class ServeClient:
         """Send one frame, read one response."""
         self.send(payload)
         return self.recv()
+
+    def request_with_retry(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        retry_on: Iterable[int] = (78, 79),
+        max_retries: int = 5,
+        backoff: RetryBackoff | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> tuple[dict, int]:
+        """Like :meth:`request`, riding out sheds and drains.
+
+        Re-sends *payload* while the daemon answers with an error whose
+        ``exit_code`` is in *retry_on* (by default 78 = load shed and
+        79 = draining), waiting :meth:`RetryBackoff.delay` between
+        attempts and honoring the server's ``retry_after`` hint when
+        one rides on the error.  Returns ``(response, retries)`` —
+        the final response (which may still be an error, once
+        *max_retries* is spent) and how many retries were taken.
+        ``sleep`` is injectable so tests can pin the schedule without
+        waiting it out.
+        """
+        schedule = backoff if backoff is not None else RetryBackoff()
+        codes = frozenset(int(code) for code in retry_on)
+        retries = 0
+        while True:
+            response = self.request(payload)
+            error = response.get("error")
+            if (
+                response.get("status") != "error"
+                or not isinstance(error, Mapping)
+                or error.get("exit_code") not in codes
+                or retries >= max_retries
+            ):
+                return response, retries
+            retry_after = error.get("retry_after")
+            try:
+                hint = float(retry_after) if retry_after is not None else None
+            except (TypeError, ValueError):
+                hint = None
+            sleep(schedule.delay(retries, hint))
+            retries += 1
 
     def request_many(
         self, payloads: Iterable[Mapping[str, Any]]
@@ -102,6 +167,11 @@ class ServeClient:
                 "name": name,
                 **{key: list(value) for key, value in deltas.items()},
             }
+        )
+
+    def remove_catalog(self, name: str) -> dict:
+        return self.request(
+            {"type": "catalog", "action": "remove", "name": name}
         )
 
     @staticmethod

@@ -17,6 +17,14 @@ One :class:`PlanningDaemon` owns four pieces of machinery:
   with a structured ShuttingDownError outcome — never silence), flushes
   the plan cache directory, and exits 0 on a clean drain.
 
+With ``state_dir`` set, the catalog registry is durable: every
+register/update/remove is journaled-then-applied
+(:mod:`repro.serve.journal`), the drain writes a compacted snapshot
+(:mod:`repro.serve.snapshot`), and the next ``run()`` recovers all
+named catalogs before the ready line — content-root-verified, with
+corrupt content quarantined behind
+:class:`~repro.errors.CatalogCorruptionError` (exit 80).
+
 Deadline propagation: a request admitted with a ``timeout`` is stamped
 on admission; the dispatcher re-arms the budget with the *remaining*
 deadline via :meth:`~repro.planner.limits.ResourceBudget.with_deadline`
@@ -81,6 +89,13 @@ class ServeConfig:
     #: ``"error"``/``"warning"``/``"info"`` reject catalogs whose C1xx
     #: findings reach that severity; ``None``/``"never"`` disables.
     audit_fail_on: str | None = None
+    #: Directory holding the catalog write-ahead journal + snapshots;
+    #: ``None`` keeps the registry purely in-memory.  With a state dir
+    #: the daemon recovers every named catalog on startup and journals
+    #: every mutation before acknowledging it.
+    state_dir: str | None = None
+    #: Journaled operations between compacted snapshots.
+    snapshot_every: int = 64
 
     def resolve_dispatchers(self) -> int:
         if self.dispatchers > 0:
@@ -124,7 +139,9 @@ class PlanningDaemon:
         )
         self.admission = AdmissionController(self.config.admission)
         self.catalogs = CatalogRegistry(
-            audit_fail_on=self.config.audit_fail_on
+            audit_fail_on=self.config.audit_fail_on,
+            state_dir=self.config.state_dir,
+            snapshot_every=self.config.snapshot_every,
         )
         self.default_catalog = default_catalog
         self._on_ready = on_ready
@@ -148,6 +165,8 @@ class PlanningDaemon:
         self._queue_settled = True
         self.drain_report: dict | None = None
         self.cache_entries_flushed: int | None = None
+        #: Result of the drain-time catalog checkpoint (durable mode).
+        self.final_checkpoint: dict | None = None
 
     # -- lifecycle ----------------------------------------------------------
     async def run(self) -> int:
@@ -233,6 +252,14 @@ class PlanningDaemon:
                 self.pool.shutdown, drain=True, deadline=self._drain_remaining()
             )
         self.cache_entries_flushed = self._flush_cache()
+        if self.catalogs.durable:
+            # A clean drain leaves the state dir compacted: one
+            # snapshot, an empty journal, fast next boot.  Checkpoint
+            # failure is non-fatal — the journal alone still recovers.
+            try:
+                self.final_checkpoint = self.catalogs.checkpoint()
+            finally:
+                self.catalogs.close()
         clean = (
             self._queue_settled
             and bool(self.drain_report.get("drained", False))
@@ -378,6 +405,12 @@ class PlanningDaemon:
                 raise ParseError('catalog "views" must be a list of texts')
             return self.catalogs.register(name, views)
         if action == "update":
+            # Validate the catalog name *before* the payload shape: an
+            # update naming an unknown (or quarantined) catalog must
+            # report the registry-level error consistently, even when
+            # the view lists are also malformed.
+            self.catalogs.get(name)
+
             def _texts(key: str) -> list:
                 value = payload.get(key, [])
                 if not isinstance(value, list):
@@ -390,9 +423,11 @@ class PlanningDaemon:
                 remove=_texts("remove"),
                 replace=_texts("replace"),
             )
+        if action == "remove":
+            return self.catalogs.remove(name)
         raise ParseError(
-            f'unknown catalog action {action!r}; expected "register" or '
-            '"update"'
+            f'unknown catalog action {action!r}; expected "register", '
+            '"update", or "remove"'
         )
 
     async def _handle_plan(
@@ -551,8 +586,10 @@ class PlanningDaemon:
 
         ``draining`` > ``shedding`` (intake queue at capacity right
         now) > ``degraded`` (a worker was restarted, a request got a
-        crash outcome, or a degraded/stale-cache answer was served —
-        sticky until process restart) > ``healthy``.
+        crash outcome, a degraded/stale-cache answer was served — both
+        sticky until process restart — or a recovered catalog is
+        quarantined, sticky until it is re-registered or removed) >
+        ``healthy``.
         """
         if self._draining:
             return "draining"
@@ -563,6 +600,7 @@ class PlanningDaemon:
             self.pool.restarts > 0
             or self.pool.crashes > 0
             or self.degraded_served > 0
+            or self.catalogs.quarantined_names()
         ):
             return "degraded"
         return "healthy"
@@ -582,6 +620,9 @@ class PlanningDaemon:
                 if self.started_at is not None
                 else 0.0
             ),
+            "recovered_catalogs": self.catalogs.recovered_catalogs,
+            "compactions": self.catalogs.compactions,
+            "quarantined_catalogs": len(self.catalogs.quarantined_names()),
         }
 
     def stats(self) -> dict:
@@ -610,6 +651,7 @@ class PlanningDaemon:
             "queue_capacity": self.config.admission.max_queue_depth,
             "pool": self.pool.stats(),
             "catalogs": dict(self.catalogs.stats()),
+            "durability": self.catalogs.durability_stats(),
             "audit": {
                 "enabled": self.catalogs.auditing,
                 "audits": self.catalogs.audits,

@@ -1,0 +1,240 @@
+"""Append-only, checksummed write-ahead journal of catalog operations.
+
+Every mutation of a durable :class:`~repro.serve.catalogs.CatalogRegistry`
+— register, update (as the texts behind its
+:class:`~repro.views.view.CatalogDelta`), remove — is journaled **before**
+it is acknowledged, so a daemon killed mid-commit restarts serving
+exactly the committed prefix of operations.
+
+Record format
+=============
+
+One record per line, length-prefixed and checksummed::
+
+    <payload-length> <sha256-of-payload> <payload-json>\\n
+
+``payload-length`` is the ASCII decimal byte length of the JSON payload;
+the sha256 is over exactly those payload bytes.  The payload itself is
+compact sorted-keys JSON carrying a **monotone sequence number**
+(``seq``), the operation (``op``/``name``/op fields), and — for
+content-bearing operations — the catalog's post-operation
+``catalog_content_root``, which recovery re-derives and verifies.
+
+Crash consistency
+=================
+
+A SIGKILL can tear the last record (partial line) or, with fsync
+disabled by a fault, leave a record whose bytes never reached the disk.
+:func:`scan_journal` therefore validates each record in order — framing,
+length, checksum, JSON shape, and sequence monotonicity — and treats the
+**first** invalid record as the end of the journal: everything from its
+start offset is a torn tail, reported (and truncated by the registry)
+with a WARNING, never a crash.  Because records are validated
+prefix-wise, a valid record can never be resurrected *after* a torn one.
+
+The ``journal_append`` fault point fires before the framed bytes are
+written; ``journal_fsync`` fires after the write but before fsync — a
+kill at the first point loses the whole record, a kill at the second
+leaves durability to the page cache (the record may or may not survive,
+but never partially-framed as far as the checksum is concerned).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..testing.faults import fire
+
+__all__ = [
+    "CatalogJournal",
+    "JournalRecord",
+    "JournalScan",
+    "scan_journal",
+]
+
+#: The journal file name inside a ``--state-dir``.
+JOURNAL_NAME = "catalog.journal"
+
+
+def _frame(seq: int, op: Mapping[str, Any]) -> bytes:
+    """One wire record: ``<len> <sha256> <payload-json>\\n``."""
+    payload = json.dumps(
+        {"seq": seq, **op}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()
+    return b"%d %s %s\n" % (len(payload), digest.encode("ascii"), payload)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One validated journal record.
+
+    ``end_offset`` is the byte offset just past this record's newline —
+    truncating the file there keeps exactly the prefix ending at this
+    record, which is what the crash-boundary property tests sweep.
+    """
+
+    seq: int
+    op: dict
+    end_offset: int
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """The result of validating a journal file prefix-wise.
+
+    ``truncate_at`` is the offset of the first invalid byte (== file
+    size when the whole journal is valid); ``torn_bytes`` counts the
+    invalid tail and ``torn_reason`` says why validation stopped.
+    """
+
+    records: tuple[JournalRecord, ...]
+    truncate_at: int
+    torn_bytes: int
+    torn_reason: str | None
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+
+def scan_journal(path: Path, *, start_seq: int = 0) -> JournalScan:
+    """Validate *path* record by record; stop at the first bad one.
+
+    ``start_seq`` is the sequence number the journal is expected to
+    continue from (the snapshot's, for a compacted state dir); the
+    first record must carry ``start_seq + 1`` and each record must
+    advance the sequence by exactly one — a gap means lost records and
+    invalidates the tail from that point.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return JournalScan((), 0, 0, None)
+    records: list[JournalRecord] = []
+    pos = 0
+    seq = start_seq
+    reason: str | None = None
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            reason = "torn record (no trailing newline)"
+            break
+        line = data[pos:newline]
+        first = line.find(b" ")
+        second = line.find(b" ", first + 1)
+        if first <= 0 or second <= first:
+            reason = "malformed record framing"
+            break
+        try:
+            length = int(line[:first])
+        except ValueError:
+            reason = "malformed length prefix"
+            break
+        digest = line[first + 1 : second]
+        payload = line[second + 1 :]
+        if len(payload) != length:
+            reason = (
+                f"length mismatch (framed {length}, got {len(payload)} bytes)"
+            )
+            break
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            reason = "checksum mismatch"
+            break
+        try:
+            op = json.loads(payload)
+        except ValueError:
+            reason = "payload is not valid JSON"
+            break
+        if not isinstance(op, dict) or not isinstance(op.get("seq"), int):
+            reason = "payload is not a sequenced operation object"
+            break
+        if op["seq"] != seq + 1:
+            reason = (
+                f"sequence gap (expected {seq + 1}, found {op['seq']})"
+            )
+            break
+        seq = op["seq"]
+        records.append(JournalRecord(seq, op, newline + 1))
+        pos = newline + 1
+    return JournalScan(tuple(records), pos, len(data) - pos, reason)
+
+
+class CatalogJournal:
+    """The writer side: framed, checksummed, fsynced appends.
+
+    ``fsync=False`` trades durability of the last few records for
+    speed (used by the overhead benchmark to price the append itself);
+    the daemon always runs with ``fsync=True``.
+    """
+
+    def __init__(
+        self, path: Path | str, *, fsync: bool = True, start_seq: int = 0
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.last_seq = start_seq
+        self.appended = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self._handle: io.BufferedWriter | None = None
+
+    def _file(self) -> io.BufferedWriter:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, op: Mapping[str, Any]) -> int:
+        """Durably append one operation; returns its sequence number.
+
+        The record is not acknowledged (the method does not return)
+        until the bytes are written and — with ``fsync`` on — synced;
+        any failure propagates to the caller *before* the in-memory
+        state it describes becomes visible.
+        """
+        seq = self.last_seq + 1
+        frame = _frame(seq, op)
+        fire("journal_append")
+        handle = self._file()
+        handle.write(frame)
+        handle.flush()
+        fire("journal_fsync")
+        if self.fsync:
+            os.fsync(handle.fileno())
+            self.fsyncs += 1
+        self.last_seq = seq
+        self.appended += 1
+        self.bytes_written += len(frame)
+        return seq
+
+    def truncate(self, offset: int) -> None:
+        """Drop everything past *offset* (recovery's torn-tail cut)."""
+        self.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def reset(self, *, start_seq: int) -> None:
+        """Empty the journal after a snapshot compacted it away.
+
+        The sequence numbering continues from *start_seq* (the
+        snapshot's), so replay can verify there is no gap between the
+        snapshot and the journal tail.
+        """
+        self.close()
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.last_seq = start_seq
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None

@@ -10,6 +10,7 @@ bucket the request draws from).  Control frames::
     {"type": "catalog", "action": "register", "name": "t1", "views": [...]}
     {"type": "catalog", "action": "update", "name": "t1",
      "add": [...], "remove": [...], "replace": [...]}
+    {"type": "catalog", "action": "remove", "name": "t1"}
     {"type": "healthz"}
     {"type": "stats"}
     {"type": "drain"}

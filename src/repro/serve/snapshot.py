@@ -1,0 +1,131 @@
+"""Compacted catalog snapshots: the journal's periodic checkpoint.
+
+A snapshot is the full registry state — every named catalog's view
+texts in registration order plus its recorded content root, and the
+names currently quarantined — at one journal sequence number.  Recovery
+loads the **latest valid** snapshot and replays only the journal records
+past its sequence number; after a successful snapshot the journal is
+compacted (emptied, sequence numbering continuing), bounding both
+recovery time and disk growth.
+
+Write discipline is exactly the :class:`~repro.service.cache.PlanCache`
+one: serialize to a temp file in the same directory, flush, ``fsync``,
+then atomically ``os.replace`` into ``snapshot-<seq>.json`` — a crash
+mid-write leaves at worst a stray temp file, never a half-written
+generation.  The previous generation is kept until the new one is
+durable, so a snapshot that *does* end up corrupt on disk (torn by the
+kernel, bit-flipped) is skipped with a WARNING in favor of the previous
+one.  The ``snapshot_write`` fault point fires before the temp-file
+write begins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..testing.faults import fire
+
+__all__ = ["SnapshotStore"]
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{16})\.json$")
+
+
+def _canonical(payload: Mapping[str, Any]) -> bytes:
+    """The checksum input: sorted-keys compact JSON (cache discipline)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+class SnapshotStore:
+    """Checksummed snapshot generations inside one state directory."""
+
+    #: Generations kept on disk (the current one plus one fallback).
+    keep = 2
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.written = 0
+        self.skipped = 0
+
+    def path_for(self, seq: int) -> Path:
+        return self.root / f"snapshot-{seq:016d}.json"
+
+    def paths(self) -> list[Path]:
+        """Snapshot files, oldest first."""
+        found = []
+        for entry in self.root.iterdir():
+            if _SNAPSHOT_RE.match(entry.name):
+                found.append(entry)
+        return sorted(found)
+
+    def write(self, seq: int, payload: Mapping[str, Any]) -> Path:
+        """Durably persist *payload* as the generation at *seq*."""
+        fire("snapshot_write")
+        document = {
+            "checksum": hashlib.sha256(_canonical(payload)).hexdigest(),
+            "payload": dict(payload),
+        }
+        path = self.path_for(seq)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.written += 1
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        """Drop generations beyond :attr:`keep`, oldest first."""
+        paths = self.paths()
+        for stale in paths[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def load_latest(self) -> tuple[dict | None, list[str]]:
+        """The newest *valid* generation's payload, plus skipped files.
+
+        Walks generations newest-first; a snapshot that fails to read,
+        parse, or checksum-verify is skipped (its name is returned so
+        the registry can WARN and count it) and the previous generation
+        is tried — the fallback half of crash-consistent recovery.
+        """
+        skipped: list[str] = []
+        for path in reversed(self.paths()):
+            payload = self._load_one(path)
+            if payload is not None:
+                self.skipped += len(skipped)
+                return payload, skipped
+            skipped.append(path.name)
+        self.skipped += len(skipped)
+        return None, skipped
+
+    def _load_one(self, path: Path) -> dict | None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        payload = document.get("payload")
+        checksum = document.get("checksum")
+        if not isinstance(payload, dict) or not isinstance(checksum, str):
+            return None
+        if hashlib.sha256(_canonical(payload)).hexdigest() != checksum:
+            return None
+        if not isinstance(payload.get("seq"), int):
+            return None
+        return payload

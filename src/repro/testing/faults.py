@@ -41,6 +41,12 @@ point              fired from
 ``worker_heartbeat``  :meth:`repro.parallel.supervisor.SupervisedWorkerPool.
                       heartbeat_sweep`, parent-side, once per monitor
                       tick over the worker slots
+``journal_append``  :meth:`repro.serve.journal.CatalogJournal.append`,
+                    once per record, before the framed bytes hit the file
+``journal_fsync``   :meth:`repro.serve.journal.CatalogJournal.append`,
+                    once per commit, after the write but before fsync
+``snapshot_write``  :meth:`repro.serve.snapshot.SnapshotStore.write`,
+                    once per snapshot, before the temp-file write
 =================  ==========================================================
 
 The registry is data: :func:`describe_injection_points` returns
@@ -133,6 +139,18 @@ _POINT_DESCRIPTIONS: dict[str, str] = {
     "worker_heartbeat": (
         "worker supervisor heartbeat sweep (parent-side), once per "
         "monitor tick over the worker slots"
+    ),
+    "journal_append": (
+        "catalog write-ahead journal, once per record, before the "
+        "framed bytes are written"
+    ),
+    "journal_fsync": (
+        "catalog write-ahead journal, once per commit, after the write "
+        "but before fsync makes it durable"
+    ),
+    "snapshot_write": (
+        "catalog snapshot store, once per snapshot, before the "
+        "temp-file write begins"
     ),
 }
 

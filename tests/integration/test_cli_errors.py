@@ -211,6 +211,39 @@ def _case_shutting_down(tmp_path, views_file):
     return _serve_argv(handle, requests), stack
 
 
+def _case_catalog_corruption(tmp_path, views_file):
+    # A state dir whose journal claims a content root the views cannot
+    # reproduce: recovery quarantines the catalog, and the plan frame
+    # naming it answers with CatalogCorruptionError/80 over the wire.
+    from repro.serve.journal import JOURNAL_NAME, CatalogJournal
+    from repro.serve.testing import running_daemon
+
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {
+            "op": "register",
+            "name": "t-bad",
+            "views": [
+                line.strip()
+                for line in VIEWS_TEXT.splitlines()
+                if line.strip()
+            ],
+            "root": "0" * 64,
+        }
+    )
+    journal.close()
+    requests = _request_file(
+        tmp_path, {"id": "c1", "query": QUERY, "catalog": "t-bad"}
+    )
+    stack = ExitStack()
+    handle = stack.enter_context(
+        running_daemon(_serve_config(state_dir=str(state)))
+    )
+    return _serve_argv(handle, requests), stack
+
+
 CASES = [
     pytest.param(_case_parse, 65, "ParseError", id="65-parse"),
     pytest.param(_case_unsafe, 66, "UnsafeQueryError", id="66-unsafe"),
@@ -244,6 +277,12 @@ CASES = [
     pytest.param(_case_overload, 78, "OverloadError", id="78-overload"),
     pytest.param(
         _case_shutting_down, 79, "ShuttingDownError", id="79-shutting-down"
+    ),
+    pytest.param(
+        _case_catalog_corruption,
+        80,
+        "CatalogCorruptionError",
+        id="80-catalog-corruption",
     ),
 ]
 
@@ -297,4 +336,4 @@ def test_contract_holds_under_both_formats(
 def test_every_taxonomy_exit_code_is_audited():
     """The audit table covers the documented code range with no gaps."""
     audited = sorted(code for _, code, _ in (p.values for p in CASES))
-    assert audited == list(range(65, 80))
+    assert audited == list(range(65, 81))

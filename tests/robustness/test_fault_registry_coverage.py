@@ -104,6 +104,24 @@ def _exercise_worker_heartbeat():
     SupervisedWorkerPool().heartbeat_sweep()
 
 
+def _exercise_journal_append(tmp_path):
+    # One durable mutation commits one journal record: append + fsync.
+    from repro.serve.catalogs import CatalogRegistry
+
+    registry = CatalogRegistry(state_dir=tmp_path / "state")
+    registry.register("t1", VIEWS)
+    registry.close()
+
+
+def _exercise_snapshot_write(tmp_path):
+    from repro.serve.catalogs import CatalogRegistry
+
+    registry = CatalogRegistry(state_dir=tmp_path / "state")
+    registry.register("t1", VIEWS)
+    registry.checkpoint()
+    registry.close()
+
+
 #: point -> exerciser.  Keys are asserted equal to the live registry, so
 #: a new injection point cannot land without a chaos exerciser.
 EXERCISERS = {
@@ -118,6 +136,9 @@ EXERCISERS = {
     "serve_admission": lambda tmp_path: _exercise_serve_admission(),
     "serve_drain": lambda tmp_path: _exercise_serve_drain(),
     "worker_heartbeat": lambda tmp_path: _exercise_worker_heartbeat(),
+    "journal_append": _exercise_journal_append,
+    "journal_fsync": _exercise_journal_append,
+    "snapshot_write": _exercise_snapshot_write,
 }
 
 

@@ -216,13 +216,15 @@ class TestDegradedServing:
         self, workload, fake_clock, tmp_path
     ):
         """A cache-backed supervised run plus an engine dispatch, a
-        catalog delta, and the serve-tier lifecycle (admission, drain,
-        heartbeat sweep) exercises the full registry of injection
-        points — planner-, service-, catalog-, parallel-, and
-        daemon-level alike."""
+        catalog delta, the serve-tier lifecycle (admission, drain,
+        heartbeat sweep), and a durable catalog commit + checkpoint
+        exercises the full registry of injection points — planner-,
+        service-, catalog-, parallel-, daemon-, and durability-level
+        alike."""
         from repro.parallel import ParallelPlanningEngine, ParallelPolicy
         from repro.parallel import SupervisedWorkerPool
         from repro.serve.admission import AdmissionController
+        from repro.serve.catalogs import CatalogRegistry
         from repro.views import as_view
 
         query, views = workload
@@ -242,6 +244,10 @@ class TestDegradedServing:
             pool = SupervisedWorkerPool()  # unstarted: lifecycle only
             pool.heartbeat_sweep()
             pool.shutdown()
+            registry = CatalogRegistry(state_dir=tmp_path / "state")
+            registry.register("t1", ["v1(A, B) :- a(A, B)"])
+            registry.checkpoint()
+            registry.close()
         assert active.exercised_points() == INJECTION_POINTS
 
 

@@ -1,0 +1,229 @@
+"""`serve send --retry-on`: backoff schedule and retry loop semantics."""
+
+from repro.serve.client import RetryBackoff, ServeClient
+
+
+def _shed(retry_after=None):
+    error = {"error": "OverloadError", "exit_code": 78,
+             "message": "queue full"}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"id": "r", "status": "error", "error": error}
+
+
+def _draining():
+    return {
+        "id": "r",
+        "status": "error",
+        "error": {"error": "ShuttingDownError", "exit_code": 79,
+                  "message": "draining", "retry_after": 1.5},
+    }
+
+
+OK = {"id": "r", "status": "ok", "rewritings": []}
+
+
+class _ScriptedClient(ServeClient):
+    """A ServeClient whose wire is a canned response script."""
+
+    def __init__(self, responses):
+        # Deliberately skip ServeClient.__init__: no socket.
+        self._responses = list(responses)
+        self.sent = []
+
+    def request(self, payload):
+        self.sent.append(dict(payload))
+        return self._responses.pop(0)
+
+
+class TestRetryBackoff:
+    def test_capped_exponential_without_hint(self):
+        backoff = RetryBackoff(base=0.05, max_delay=1.0)
+        delays = [backoff.delay(attempt) for attempt in range(8)]
+        assert delays[:5] == [0.05, 0.1, 0.2, 0.4, 0.8]
+        assert delays[5:] == [1.0, 1.0, 1.0]  # clamped, never unbounded
+
+    def test_server_hint_wins_over_the_schedule(self):
+        backoff = RetryBackoff(base=0.05, max_delay=5.0)
+        # The daemon knows its refill rate: the hint IS the delay, on
+        # every attempt, not a floor or a ceiling for the exponential.
+        assert backoff.delay(0, retry_after=0.8) == 0.8
+        assert backoff.delay(6, retry_after=0.8) == 0.8
+
+    def test_hint_is_still_clamped_to_max_delay(self):
+        backoff = RetryBackoff(base=0.05, max_delay=2.0)
+        assert backoff.delay(0, retry_after=60.0) == 2.0
+
+    def test_negative_hint_falls_back_to_schedule(self):
+        backoff = RetryBackoff(base=0.1, max_delay=5.0)
+        assert backoff.delay(2, retry_after=-1.0) == 0.4
+
+
+class TestRequestWithRetry:
+    def test_retries_until_success_and_counts(self):
+        client = _ScriptedClient([_shed(), _shed(), OK])
+        slept = []
+        response, retries = client.request_with_retry(
+            {"id": "r", "query": "q(X) :- car(X, X)"},
+            sleep=slept.append,
+        )
+        assert response == OK
+        assert retries == 2
+        assert len(client.sent) == 3
+        # No hints rode on the sheds: pure exponential schedule.
+        assert slept == [0.05, 0.1]
+
+    def test_honors_retry_after_hint_per_attempt(self):
+        client = _ScriptedClient([_shed(retry_after=0.7), _draining(), OK])
+        slept = []
+        response, retries = client.request_with_retry(
+            {"id": "r"}, sleep=slept.append
+        )
+        assert response == OK
+        assert retries == 2
+        assert slept == [0.7, 1.5]
+
+    def test_gives_up_after_max_retries_returning_last_error(self):
+        responses = [_shed() for _ in range(4)]
+        client = _ScriptedClient(responses)
+        slept = []
+        response, retries = client.request_with_retry(
+            {"id": "r"}, max_retries=3, sleep=slept.append
+        )
+        assert response["status"] == "error"
+        assert retries == 3
+        assert len(slept) == 3  # one wait per retry, none after giving up
+
+    def test_non_retryable_error_returns_immediately(self):
+        unknown_view = {
+            "id": "r",
+            "status": "error",
+            "error": {"error": "UnknownViewError", "exit_code": 68,
+                      "message": "no such catalog"},
+        }
+        client = _ScriptedClient([unknown_view])
+        slept = []
+        response, retries = client.request_with_retry(
+            {"id": "r"}, sleep=slept.append
+        )
+        assert response == unknown_view
+        assert retries == 0
+        assert slept == []
+
+    def test_retry_on_codes_are_configurable(self):
+        # Only 79 is retryable here; the shed (78) must return as-is.
+        client = _ScriptedClient([_shed()])
+        response, retries = client.request_with_retry(
+            {"id": "r"}, retry_on=(79,), sleep=lambda _s: None
+        )
+        assert response["error"]["exit_code"] == 78
+        assert retries == 0
+
+    def test_injected_backoff_is_used(self):
+        client = _ScriptedClient([_shed(), OK])
+        slept = []
+        _response, retries = client.request_with_retry(
+            {"id": "r"},
+            backoff=RetryBackoff(base=2.0, max_delay=3.0),
+            sleep=slept.append,
+        )
+        assert retries == 1
+        assert slept == [2.0]
+
+
+class TestServeSendRetryCli:
+    def test_bad_retry_on_spec_is_a_parse_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        requests = tmp_path / "r.ndjson"
+        requests.write_text('{"type": "healthz"}\n')
+        code = main(
+            [
+                "serve", "send", str(requests),
+                "--host", "127.0.0.1", "--port", "1",
+                "--retry-on", "78,banana",
+            ]
+        )
+        assert code == 65  # ParseError, before any connection attempt
+        assert "--retry-on" in capsys.readouterr().err
+
+    def test_summary_reports_retries_taken(self, tmp_path, capsys):
+        """End-to-end: a draining daemon sheds, the client rides it out.
+
+        Uses a daemon with admission capped at zero burst for one
+        tenant so the first attempt sheds with a retry_after hint and
+        the retry (after the token refills) succeeds.
+        """
+        from repro.cli import main
+        from repro.parallel import SupervisorPolicy
+        from repro.parallel.worker import WorkerConfig
+        from repro.serve import AdmissionPolicy, ServeConfig
+        from repro.serve.testing import running_daemon
+        from repro.service import ServicePolicy
+        from repro.views.view import ViewCatalog
+
+        catalog = ViewCatalog(
+            ["v1(X, Z) :- car(X, Y), loc(Y, Z)", "v2(X, Y) :- car(X, Y)"]
+        )
+        config = ServeConfig(
+            worker=WorkerConfig(
+                policy=ServicePolicy(chain=("corecover",)), pool_size=2
+            ),
+            supervisor=SupervisorPolicy(workers=1),
+            # One request per second, no burst headroom: the second
+            # frame in a tight loop sheds with a refill hint.
+            admission=AdmissionPolicy(tenant_rate=1.0, tenant_burst=1),
+        )
+        requests = tmp_path / "r.ndjson"
+        requests.write_text(
+            '{"id": "a", "query": "q(X, Z) :- car(X, Y), loc(Y, Z)"}\n'
+            '{"id": "b", "query": "q(X, Z) :- car(X, Y), loc(Y, Z)"}\n'
+        )
+        with running_daemon(config, catalog=catalog) as handle:
+            host, port = handle.address[1], handle.address[2]
+            code = main(
+                [
+                    "serve", "send", str(requests),
+                    "--host", host, "--port", str(port),
+                    "--retry-on", "78,79",
+                    "--retry-base", "0.2",
+                ]
+            )
+        assert handle.join() == 0
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 ok" in captured.err
+        assert "retried" in captured.err
+
+    def test_summary_is_unchanged_when_nothing_retried(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.parallel import SupervisorPolicy
+        from repro.parallel.worker import WorkerConfig
+        from repro.serve import ServeConfig
+        from repro.serve.testing import running_daemon
+        from repro.service import ServicePolicy
+
+        config = ServeConfig(
+            worker=WorkerConfig(
+                policy=ServicePolicy(chain=("corecover",)), pool_size=2
+            ),
+            supervisor=SupervisorPolicy(workers=1),
+        )
+        requests = tmp_path / "r.ndjson"
+        requests.write_text('{"id": "h", "type": "healthz"}\n')
+        with running_daemon(config) as handle:
+            host, port = handle.address[1], handle.address[2]
+            code = main(
+                [
+                    "serve", "send", str(requests),
+                    "--host", host, "--port", str(port),
+                    "--retry-on", "78,79",
+                ]
+            )
+        assert handle.join() == 0
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "1 control" in err
+        assert "retried" not in err

@@ -1,0 +1,195 @@
+"""Kill-9 chaos: a real daemon subprocess dies mid-commit and recovers.
+
+The durability contract under test is *committed-prefix exactness*: a
+daemon SIGKILLed at a journal fault point must restart serving exactly
+the operations it acknowledged — verified by comparing every recovered
+catalog's ``content_root`` against an uncrashed in-memory oracle that
+applied the same operation prefix.  ``kill:journal_append`` fires
+*before* the record's bytes are written, so the crashed operation is
+deterministically absent; ``kill:journal_fsync`` fires after the write
+but before fsync, so recovery lands on the pre- or post-op state —
+never on a torn or quarantined one.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.serve.catalogs import CatalogRegistry
+from repro.serve.client import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+QUERY = "q(X, Z) :- car(X, Y), loc(Y, Z)"
+VIEWS = [
+    "v1(X, Z) :- car(X, Y), loc(Y, Z)",
+    "v2(X, Y) :- car(X, Y)",
+]
+
+#: The mutation script both the daemon and the oracle run, in order.
+#: Each entry is the kwargs of one registry operation.
+OPS = [
+    ("register", {"name": "t1", "views": VIEWS}),
+    ("update", {"name": "t1", "add": ["w3(Y, Z) :- loc(Y, Z)"]}),
+    ("update", {"name": "t1", "add": ["w4(X, Y) :- car(X, Y)"]}),
+]
+
+
+def _boot(state_dir, *, chaos=()):
+    argv = [
+        sys.executable, "-m", "repro", "serve", "run",
+        "--host", "127.0.0.1", "--port", "0",
+        "--workers", "1",
+        "--state-dir", str(state_dir),
+    ]
+    for spec in chaos:
+        argv += ["--chaos", spec]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        argv, env=env, cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    ready_line = proc.stdout.readline()
+    if not ready_line:
+        proc.kill()
+        raise RuntimeError(
+            "daemon never became ready: " + proc.stderr.read()
+        )
+    ready = json.loads(ready_line)
+    assert ready["event"] == "ready", ready
+    return proc, ready["host"], ready["port"]
+
+
+def _frame(index):
+    """The wire frame for OPS[index]."""
+    action, kwargs = OPS[index]
+    return {"id": f"op-{index}", "type": "catalog", "action": action,
+            **kwargs}
+
+
+def _apply_prefix(count):
+    """An uncrashed in-memory oracle after the first *count* operations."""
+    oracle = CatalogRegistry()
+    for action, kwargs in OPS[:count]:
+        getattr(oracle, action)(**kwargs)
+    return {
+        name: oracle.get(name).content_root() for name in oracle.names()
+    }
+
+
+def _drive_until_killed(host, port, proc):
+    """Send OPS one at a time; return how many were acknowledged."""
+    acked = 0
+    client = ServeClient(host, port, timeout=30.0)
+    try:
+        for index in range(len(OPS)):
+            try:
+                response = client.request(_frame(index))
+            except (ConnectionError, OSError):
+                break
+            if response.get("status") != "ok":
+                break
+            acked += 1
+    finally:
+        client.close()
+    proc.wait(timeout=30.0)
+    return acked
+
+
+def _recovered_roots(state_dir):
+    """Boot a clean daemon on *state_dir*; return its catalog roots."""
+    proc, host, port = _boot(state_dir)
+    try:
+        client = ServeClient(host, port, timeout=30.0)
+        try:
+            stats = client.stats()
+            health = client.healthz()
+            served = client.request(
+                {"id": "probe", "query": QUERY, "catalog": "t1"}
+            )
+        finally:
+            client.close()
+        proc.send_signal(signal.SIGTERM)
+        stdout_rest, stderr_rest = proc.communicate(timeout=60.0)
+        assert proc.returncode == 0, stderr_rest[-2000:]
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30.0)
+    roots = {
+        name: entry["content_root"]
+        for name, entry in stats["catalogs"].items()
+        if "content_root" in entry
+    }
+    return roots, stats, health, served, stdout_rest
+
+
+def test_sigkill_before_journal_write_recovers_exact_committed_prefix(
+    tmp_path,
+):
+    state = tmp_path / "state"
+    # The third append dies before any bytes reach the journal: ops 1-2
+    # were acknowledged, op 3 never was.
+    proc, host, port = _boot(
+        state, chaos=["kill:journal_append:after=3"]
+    )
+    try:
+        acked = _drive_until_killed(host, port, proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30.0)
+    assert proc.returncode == -signal.SIGKILL
+    assert acked == 2, "the fault must land on the third commit"
+
+    roots, stats, health, served, stdout_rest = _recovered_roots(state)
+    assert roots == _apply_prefix(2), (
+        "recovered state must equal the uncrashed oracle after exactly "
+        "the acknowledged operations"
+    )
+    assert health["recovered_catalogs"] == 1
+    assert health["quarantined_catalogs"] == 0
+    assert served["status"] == "ok"
+    # The recovered daemon's clean drain reports its checkpoint on the
+    # drained event — the operator's receipt that the state dir is
+    # compacted for the next boot.
+    drained = None
+    for line in stdout_rest.splitlines():
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if event.get("event") == "drained":
+            drained = event
+    assert drained is not None
+    assert drained["checkpoint"]["catalogs"] == 1
+    assert drained["durability"]["recovered_catalogs"] == 1
+
+
+def test_sigkill_before_fsync_recovers_a_committed_boundary(tmp_path):
+    state = tmp_path / "state"
+    # The second commit dies after its bytes were written but before
+    # fsync: the record may or may not survive, but recovery must land
+    # on a clean operation boundary either way — never a torn tail that
+    # crashes the daemon, never a quarantine.
+    proc, host, port = _boot(state, chaos=["kill:journal_fsync:after=2"])
+    try:
+        acked = _drive_until_killed(host, port, proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30.0)
+    assert proc.returncode == -signal.SIGKILL
+    assert acked == 1, "the second commit must never be acknowledged"
+
+    roots, stats, health, served, _ = _recovered_roots(state)
+    assert roots in (_apply_prefix(1), _apply_prefix(2)), (
+        "recovery must land on the state before or after the unsynced "
+        "commit, never in between"
+    )
+    assert health["quarantined_catalogs"] == 0
+    assert served["status"] == "ok"

@@ -1,0 +1,201 @@
+"""Unit tests for the write-ahead journal and snapshot store."""
+
+import json
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.serve.journal import CatalogJournal, scan_journal
+from repro.serve.snapshot import SnapshotStore
+from repro.testing.faults import CancelFault, RaiseFault, inject
+
+
+def _ops(n):
+    return [{"op": "register", "name": f"t{i}", "views": []} for i in range(n)]
+
+
+class TestJournal:
+    def test_append_then_scan_round_trips(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        for op in _ops(3):
+            journal.append(op)
+        journal.close()
+        scan = scan_journal(path)
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert [r.op["name"] for r in scan.records] == ["t0", "t1", "t2"]
+        assert scan.torn_reason is None
+        assert scan.torn_bytes == 0
+        assert scan.truncate_at == path.stat().st_size
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_journal(tmp_path / "nope.journal")
+        assert scan.records == ()
+        assert scan.last_seq == 0
+        assert scan.torn_reason is None
+
+    def test_sequence_numbers_are_monotone_across_reopens(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        journal.append({"op": "register", "name": "a", "views": []})
+        journal.close()
+        reopened = CatalogJournal(path, start_seq=scan_journal(path).last_seq)
+        assert reopened.append({"op": "remove", "name": "a"}) == 2
+        reopened.close()
+        assert [r.seq for r in scan_journal(path).records] == [1, 2]
+
+    def test_torn_tail_is_detected_and_prefix_kept(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        for op in _ops(3):
+            journal.append(op)
+        journal.close()
+        intact = scan_journal(path)
+        boundary = intact.records[1].end_offset
+        data = path.read_bytes()
+        # Simulate a crash mid-write: the third record loses its tail
+        # (including the newline).
+        path.write_bytes(data[: len(data) - 7])
+        scan = scan_journal(path)
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.truncate_at == boundary
+        assert scan.torn_bytes > 0
+        assert "torn" in scan.torn_reason
+
+    def test_corrupt_byte_invalidates_record_and_tail(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        for op in _ops(3):
+            journal.append(op)
+        journal.close()
+        intact = scan_journal(path)
+        # Flip one payload byte inside the *second* record: it and
+        # everything after it must be treated as torn — a later record
+        # can never outlive an earlier corruption.
+        offset = intact.records[0].end_offset
+        data = bytearray(path.read_bytes())
+        data[offset + 75] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = scan_journal(path)
+        assert [r.seq for r in scan.records] == [1]
+        assert scan.truncate_at == offset
+        assert scan.torn_bytes == len(data) - offset
+
+    def test_sequence_gap_invalidates_tail(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        journal.append({"op": "register", "name": "a", "views": []})
+        journal.close()
+        # A record whose seq skips ahead (2 expected, 7 found) means
+        # lost operations: framing is valid, so this is the sequence
+        # check's job.
+        skipper = CatalogJournal(path, start_seq=6)
+        skipper.append({"op": "remove", "name": "a"})
+        skipper.close()
+        scan = scan_journal(path)
+        assert [r.seq for r in scan.records] == [1]
+        assert "sequence gap" in scan.torn_reason
+
+    def test_truncate_drops_tail_and_appends_continue(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        for op in _ops(3):
+            journal.append(op)
+        journal.close()
+        boundary = scan_journal(path).records[1].end_offset
+        journal.truncate(boundary)
+        resumed = CatalogJournal(path, start_seq=2)
+        resumed.append({"op": "remove", "name": "t0"})
+        resumed.close()
+        scan = scan_journal(path)
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert scan.records[-1].op["op"] == "remove"
+
+    def test_reset_continues_numbering(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        for op in _ops(5):
+            journal.append(op)
+        journal.reset(start_seq=journal.last_seq)
+        assert path.stat().st_size == 0
+        assert journal.append({"op": "remove", "name": "t0"}) == 6
+        journal.close()
+        assert scan_journal(path, start_seq=5).last_seq == 6
+
+    def test_append_fires_fault_points_in_order(self, tmp_path):
+        path = tmp_path / "catalog.journal"
+        journal = CatalogJournal(path)
+        with inject(RaiseFault("journal_append")) as plan:
+            with pytest.raises(RuntimeError):
+                journal.append({"op": "remove", "name": "x"})
+        assert plan.observed["journal_append"] == 1
+        # The record never reached the file: append fires first.
+        assert not path.exists() or path.stat().st_size == 0
+        with inject(CancelFault("journal_fsync")) as plan:
+            with pytest.raises(BudgetExceededError):
+                journal.append({"op": "remove", "name": "x"})
+        assert plan.observed["journal_fsync"] == 1
+        journal.close()
+
+    def test_fsync_disabled_counts_no_fsyncs(self, tmp_path):
+        journal = CatalogJournal(tmp_path / "j", fsync=False)
+        journal.append({"op": "remove", "name": "x"})
+        assert journal.fsyncs == 0
+        assert journal.appended == 1
+        journal.close()
+
+
+class TestSnapshotStore:
+    def test_write_then_load_round_trips(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        payload = {"seq": 3, "catalogs": {"t1": {"views": [], "root": "r"}}}
+        store.write(3, payload)
+        loaded, skipped = store.load_latest()
+        assert loaded == payload
+        assert skipped == []
+
+    def test_corrupt_latest_falls_back_to_previous_generation(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        good = {"seq": 5, "catalogs": {}}
+        store.write(5, good)
+        # A newer generation torn on disk (invalid JSON tail).
+        store.path_for(9).write_text('{"checksum": "xx", "payl')
+        loaded, skipped = store.load_latest()
+        assert loaded == good
+        assert skipped == [store.path_for(9).name]
+        assert store.skipped == 1
+
+    def test_checksum_mismatch_is_skipped(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(1, {"seq": 1, "catalogs": {}})
+        tampered = store.path_for(2)
+        document = {
+            "checksum": "0" * 64,
+            "payload": {"seq": 2, "catalogs": {"evil": {}}},
+        }
+        tampered.write_text(json.dumps(document))
+        loaded, skipped = store.load_latest()
+        assert loaded == {"seq": 1, "catalogs": {}}
+        assert skipped == [tampered.name]
+
+    def test_generations_are_pruned(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for seq in (1, 2, 3):
+            store.write(seq, {"seq": seq, "catalogs": {}})
+        names = [path.name for path in store.paths()]
+        assert names == ["snapshot-0000000000000002.json",
+                         "snapshot-0000000000000003.json"]
+
+    def test_write_fires_fault_point_before_any_io(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with inject(RaiseFault("snapshot_write")) as plan:
+            with pytest.raises(RuntimeError):
+                store.write(1, {"seq": 1, "catalogs": {}})
+        assert plan.observed["snapshot_write"] == 1
+        assert store.paths() == []
+        assert store.written == 0
+
+    def test_empty_store_loads_nothing(self, tmp_path):
+        loaded, skipped = SnapshotStore(tmp_path).load_latest()
+        assert loaded is None
+        assert skipped == []

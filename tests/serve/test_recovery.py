@@ -1,0 +1,324 @@
+"""Durable-registry tests: journal-then-apply, recovery, quarantine.
+
+The contract under test is the commit protocol in
+:class:`repro.serve.catalogs.CatalogRegistry`: visible state never runs
+ahead of the journal, recovery rebuilds exactly the journaled prefix,
+and content that fails root verification is quarantined behind
+:class:`~repro.errors.CatalogCorruptionError` (exit 80) instead of
+served.
+"""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CatalogCorruptionError,
+    ParseError,
+    UnknownViewError,
+)
+from repro.serve.catalogs import CatalogRegistry
+from repro.serve.journal import JOURNAL_NAME, CatalogJournal, scan_journal
+from repro.testing.faults import RaiseFault, inject
+
+V1 = "v1(X, Z) :- car(X, Y), loc(Y, Z)"
+V2 = "v2(X, Y) :- car(X, Y)"
+V2_PRIME = "v2(X, Y) :- car(Y, X)"
+W3 = "w3(Y, Z) :- loc(Y, Z)"
+
+
+def _registry(tmp_path, **kwargs):
+    kwargs.setdefault("state_dir", tmp_path / "state")
+    return CatalogRegistry(**kwargs)
+
+
+def test_all_mutations_survive_restart(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1, V2])
+    registry.register("t2", [W3])
+    registry.update("t1", remove=["v2"], add=[W3])
+    registry.update("t1", replace=[V1.replace("car(X, Y)", "car(Y, X)")])
+    registry.remove("t2")
+    roots = {name: registry.get(name).content_root()
+             for name in registry.names()}
+    registry.close()
+
+    recovered = _registry(tmp_path)
+    assert recovered.names() == ("t1",)
+    assert recovered.quarantined_names() == ()
+    assert {
+        name: recovered.get(name).content_root()
+        for name in recovered.names()
+    } == roots
+    assert recovered.replayed_ops == 5
+    assert recovered.recovered_catalogs == 1
+
+
+def test_recovered_catalog_preserves_view_iteration_order(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1, V2, W3])
+    order = [view.name for view in registry.get("t1")]
+    registry.close()
+    recovered = _registry(tmp_path)
+    assert [view.name for view in recovered.get("t1")] == order
+
+
+def test_rejected_registration_is_not_journaled(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1])
+    with pytest.raises(ParseError):
+        registry.register("t1", ["nonsense (("])
+    with pytest.raises(ParseError):
+        registry.register("", [V1])
+    registry.close()
+    scan = scan_journal(tmp_path / "state" / JOURNAL_NAME)
+    assert len(scan.records) == 1  # only the accepted registration
+
+
+def test_failed_journal_append_rolls_the_update_back(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1, V2])
+    before_root = registry.get("t1").content_root()
+    with inject(RaiseFault("journal_append")):
+        with pytest.raises(CatalogCorruptionError) as excinfo:
+            registry.update("t1", add=[W3])
+    assert excinfo.value.exit_code == 80
+    # Visible state must equal journaled state: the apply was undone.
+    assert registry.get("t1").content_root() == before_root
+    assert "w3" not in registry.get("t1").names()
+    registry.close()
+    recovered = _registry(tmp_path)
+    assert recovered.get("t1").content_root() == before_root
+
+
+def test_checkpoint_compacts_and_recovery_uses_snapshot(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1, V2])
+    registry.update("t1", add=[W3])
+    report = registry.checkpoint()
+    assert report == {"seq": 2, "catalogs": 1}
+    journal = tmp_path / "state" / JOURNAL_NAME
+    assert journal.stat().st_size == 0
+    registry.update("t1", remove=["w3"])  # journal tail past the snapshot
+    root = registry.get("t1").content_root()
+    registry.close()
+
+    recovered = _registry(tmp_path)
+    assert recovered.get("t1").content_root() == root
+    assert recovered.replayed_ops == 1  # just the post-snapshot tail
+
+
+def test_snapshot_every_triggers_automatic_compaction(tmp_path):
+    registry = _registry(tmp_path, snapshot_every=2)
+    registry.register("t1", [V1])
+    assert registry.compactions == 0
+    registry.update("t1", add=[V2])
+    assert registry.compactions == 1
+    assert (tmp_path / "state" / JOURNAL_NAME).stat().st_size == 0
+
+
+def test_torn_journal_tail_is_truncated_not_fatal(tmp_path, caplog):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1])
+    committed_root = registry.get("t1").content_root()
+    registry.update("t1", add=[V2])
+    registry.close()
+    journal = tmp_path / "state" / JOURNAL_NAME
+    boundary = scan_journal(journal).records[0].end_offset
+    data = journal.read_bytes()
+    journal.write_bytes(data[: len(data) - 9])  # tear the update record
+
+    with caplog.at_level("WARNING"):
+        recovered = _registry(tmp_path)
+    assert recovered.get("t1").content_root() == committed_root
+    assert recovered.journal_truncations == 1
+    assert recovered.truncated_bytes > 0
+    assert any("torn or corrupt" in r.message for r in caplog.records)
+    # The truncation is durable: the file now ends at the last valid
+    # record and new appends continue the sequence from there.
+    assert journal.stat().st_size == boundary
+    recovered.update("t1", add=[W3])
+    recovered.close()
+    assert [r.seq for r in scan_journal(journal).records] == [1, 2]
+
+
+def test_corrupt_snapshot_falls_back_to_previous_generation(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1, V2])
+    registry.checkpoint()
+    root = registry.get("t1").content_root()
+    registry.close()
+    state = tmp_path / "state"
+    # A newer snapshot generation, torn on disk mid-write.
+    (state / "snapshot-0000000000000099.json").write_text('{"checksum"')
+
+    recovered = _registry(tmp_path)
+    assert recovered.get("t1").content_root() == root
+    assert recovered.snapshots_skipped == 1
+    assert recovered.quarantined_names() == ()
+
+
+def test_root_mismatch_quarantines_catalog(tmp_path):
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {"op": "register", "name": "t-bad", "views": [V1], "root": "0" * 64}
+    )
+    journal.close()
+
+    registry = CatalogRegistry(state_dir=state)
+    assert registry.names() == ()
+    assert registry.quarantined_names() == ("t-bad",)
+    with pytest.raises(CatalogCorruptionError) as excinfo:
+        registry.get("t-bad")
+    error = excinfo.value
+    assert error.exit_code == 80
+    assert error.catalog == "t-bad"
+    assert error.expected_root == "0" * 64
+    assert error.actual_root is not None and len(error.actual_root) == 64
+    assert "quarantined" in str(error)
+
+
+def test_quarantine_survives_checkpoint_and_restart(tmp_path):
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {"op": "register", "name": "t-bad", "views": [V1], "root": "0" * 64}
+    )
+    journal.close()
+    registry = CatalogRegistry(state_dir=state)
+    registry.register("t-good", [V2])
+    registry.checkpoint()
+    registry.close()
+
+    recovered = CatalogRegistry(state_dir=state)
+    assert recovered.names() == ("t-good",)
+    assert recovered.quarantined_names() == ("t-bad",)
+    with pytest.raises(CatalogCorruptionError):
+        recovered.get("t-bad")
+
+
+def test_reregistration_clears_quarantine(tmp_path):
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {"op": "register", "name": "t1", "views": [V1], "root": "0" * 64}
+    )
+    journal.close()
+    registry = CatalogRegistry(state_dir=state)
+    assert registry.quarantined_names() == ("t1",)
+    registry.register("t1", [V1, V2])
+    assert registry.quarantined_names() == ()
+    assert len(registry.get("t1")) == 2
+    registry.close()
+    recovered = CatalogRegistry(state_dir=state)
+    assert recovered.quarantined_names() == ()
+    assert len(recovered.get("t1")) == 2
+
+
+def test_remove_clears_quarantine(tmp_path):
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {"op": "register", "name": "t1", "views": [V1], "root": "0" * 64}
+    )
+    journal.close()
+    registry = CatalogRegistry(state_dir=state)
+    ack = registry.remove("t1")
+    assert ack["was_quarantined"] is True
+    with pytest.raises(UnknownViewError):
+        registry.get("t1")
+    registry.close()
+    assert CatalogRegistry(state_dir=state).quarantined_names() == ()
+
+
+def test_update_of_quarantined_catalog_reports_corruption(tmp_path):
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {"op": "register", "name": "t1", "views": [V1], "root": "0" * 64}
+    )
+    journal.close()
+    registry = CatalogRegistry(state_dir=state)
+    with pytest.raises(CatalogCorruptionError):
+        registry.update("t1", add=[V2])
+
+
+def test_audit_preflight_reruns_over_recovered_catalogs(tmp_path):
+    # Build the state dir WITHOUT auditing: v1 and its variable-renamed
+    # twin pass plain registration.
+    registry = _registry(tmp_path)
+    registry.register(
+        "t1", ["v1(X) :- car(X, X)", "v1_copy(Y) :- car(Y, Y)"]
+    )
+    registry.register("t2", [V2])
+    registry.close()
+    # Recover WITH --audit-fail-on warning: the duplicate pair trips a
+    # C1xx warning, so t1 must be quarantined, not served.
+    recovered = _registry(tmp_path, audit_fail_on="warning")
+    assert recovered.names() == ("t2",)
+    assert recovered.quarantined_names() == ("t1",)
+    with pytest.raises(CatalogCorruptionError) as excinfo:
+        recovered.get("t1")
+    assert "audit preflight" in str(excinfo.value)
+    assert excinfo.value.diagnostics
+
+
+def test_snapshot_write_failure_is_nonfatal_and_journal_retained(tmp_path):
+    registry = _registry(tmp_path)
+    registry.register("t1", [V1, V2])
+    with inject(RaiseFault("snapshot_write")):
+        assert registry.checkpoint() is None
+    assert registry.snapshot_failures == 1
+    assert registry.compactions == 0
+    journal = tmp_path / "state" / JOURNAL_NAME
+    assert journal.stat().st_size > 0  # journal kept; still recoverable
+    root = registry.get("t1").content_root()
+    registry.close()
+    assert CatalogRegistry(state_dir=tmp_path / "state").get(
+        "t1"
+    ).content_root() == root
+
+
+def test_update_validates_name_before_parsing_views(tmp_path):
+    """Satellite pin: bad name + malformed payload -> UnknownViewError.
+
+    The registry must report the catalog-level error (exit 68 family)
+    even when the view texts are also garbage — the name check runs
+    first, so the error a client sees does not depend on which
+    validation happens to fire.
+    """
+    registry = CatalogRegistry()
+    with pytest.raises(UnknownViewError) as excinfo:
+        registry.update("no-such-catalog", add=["v1(X ::= broken(("])
+    assert excinfo.value.exit_code == 68
+    assert "no-such-catalog" in str(excinfo.value)
+
+
+def test_update_parses_all_texts_before_mutating(tmp_path):
+    registry = CatalogRegistry()
+    registry.register("t1", [V1])
+    with pytest.raises(ParseError):
+        registry.update("t1", add=[V2, "broken(("])
+    # The parse failure on the second text left the first un-applied.
+    assert registry.get("t1").names() == ("v1",)
+
+
+def test_durability_counters_surface(tmp_path):
+    registry = _registry(tmp_path)
+    assert registry.durable is True
+    registry.register("t1", [V1])
+    registry.update("t1", add=[V2])
+    stats = registry.durability_stats()
+    assert stats["journaled_ops"] == 2
+    assert stats["last_seq"] == 2
+    assert stats["fsyncs"] == 2
+    assert stats["journal_bytes"] > 0
+    assert stats["quarantined"] == 0
+    registry.close()
+    assert CatalogRegistry().durability_stats() is None
+    assert CatalogRegistry().durable is False

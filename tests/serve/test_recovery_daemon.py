@@ -1,0 +1,267 @@
+"""Daemon-level durability: restart, recover, and keep serving.
+
+These tests run real daemons (in-process, over real sockets) against a
+shared ``--state-dir`` and check the end-to-end recovery contract: the
+catalogs a tenant registered come back content-root-identical after a
+drain→restart cycle, stale socket files and populated state dirs
+interact correctly, quarantined content answers with exit 80 over the
+wire, and the warm plan-cache/fingerprint machinery survives restarts.
+"""
+
+import os
+import socket
+
+from repro.parallel import SupervisorPolicy
+from repro.parallel.worker import WorkerConfig
+from repro.serve import ServeConfig
+from repro.serve.journal import JOURNAL_NAME, CatalogJournal
+from repro.serve.testing import running_daemon
+from repro.service import ServicePolicy
+
+from .conftest import QUERY
+
+VIEWS = [
+    "v1(X, Z) :- car(X, Y), loc(Y, Z)",
+    "v2(X, Y) :- car(X, Y)",
+]
+
+
+def _config(tmp_path, **overrides):
+    overrides.setdefault(
+        "worker",
+        WorkerConfig(policy=ServicePolicy(chain=("corecover",)), pool_size=2),
+    )
+    overrides.setdefault("supervisor", SupervisorPolicy(workers=1))
+    overrides.setdefault("state_dir", str(tmp_path / "state"))
+    return ServeConfig(**overrides)
+
+
+def test_registered_catalogs_survive_drain_and_restart(tmp_path):
+    config = _config(tmp_path)
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            ack = client.register_catalog("t1", VIEWS)
+            assert ack["status"] == "ok"
+            client.update_catalog("t1", add=["w3(Y, Z) :- loc(Y, Z)"])
+            stats = client.stats()
+            root = stats["catalogs"]["t1"]["content_root"]
+            assert stats["durability"]["journaled_ops"] == 2
+    assert handle.join() == 0
+    # The clean drain checkpointed: one snapshot, an empty journal.
+    assert handle.daemon.final_checkpoint == {"seq": 2, "catalogs": 1}
+    assert (tmp_path / "state" / JOURNAL_NAME).stat().st_size == 0
+
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            health = client.healthz()
+            assert health["recovered_catalogs"] == 1
+            assert health["quarantined_catalogs"] == 0
+            stats = client.stats()
+            assert stats["catalogs"]["t1"]["content_root"] == root
+            # Recovered content plans without re-registration.
+            served = client.plan(QUERY, id="r1", catalog="t1")
+            assert served["status"] == "ok"
+    assert handle.join() == 0
+
+
+def test_stale_socket_and_populated_state_dir_together(tmp_path):
+    """Satellite: recovery and stale-socket unlink must compose.
+
+    A SIGKILLed daemon leaves *both* artifacts behind — the bound Unix
+    socket file and a journal with un-checkpointed tail records.  The
+    next start must unlink the stale socket, recover the journaled
+    catalogs, and serve on the same path.
+    """
+    path = str(tmp_path / "repro.sock")
+    config = _config(tmp_path, unix_socket=path)
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            client.register_catalog("t1", VIEWS)
+            root = client.stats()["catalogs"]["t1"]["content_root"]
+    assert handle.join() == 0
+    # Simulate the kill-9 aftermath: a stale socket file reappears (the
+    # dead daemon never unlinked it) next to the populated state dir.
+    stale = socket.socket(socket.AF_UNIX)
+    stale.bind(path)
+    stale.close()
+    assert os.path.exists(path)
+
+    with running_daemon(config) as handle:
+        assert handle.address == ("unix", path)
+        with handle.client() as client:
+            stats = client.stats()
+            assert stats["catalogs"]["t1"]["content_root"] == root
+            assert stats["durability"]["recovered_catalogs"] == 1
+            served = client.plan(QUERY, id="again", catalog="t1")
+            assert served["status"] == "ok"
+    assert handle.join() == 0
+    assert not os.path.exists(path)
+
+
+def test_stats_counters_are_monotone_across_drain_restart_recover(tmp_path):
+    """Satellite: within a daemon, counters only grow; across a restart,
+    the journal sequence number carries forward monotonically."""
+    config = _config(tmp_path)
+    seen_seq = 0
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            observed = []
+            client.register_catalog("t1", VIEWS)
+            observed.append(client.stats())
+            client.plan(QUERY, id="p1", catalog="t1")
+            observed.append(client.stats())
+            client.update_catalog("t1", add=["w3(Y, Z) :- loc(Y, Z)"])
+            observed.append(client.stats())
+        for before, after in zip(observed, observed[1:]):
+            for key in ("received", "responses"):
+                assert after["requests"][key] >= before["requests"][key]
+            assert (
+                after["durability"]["last_seq"]
+                >= before["durability"]["last_seq"]
+            )
+            assert (
+                after["durability"]["journaled_ops"]
+                >= before["durability"]["journaled_ops"]
+            )
+        seen_seq = observed[-1]["durability"]["last_seq"]
+        assert seen_seq == 2
+    assert handle.join() == 0
+
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            stats = client.stats()
+            # Sequence numbering survives compaction and restart: the
+            # recovered daemon continues from the drained one's seq.
+            assert stats["durability"]["last_seq"] >= seen_seq
+            client.update_catalog("t1", remove=["w3"])
+            after = client.stats()
+            assert after["durability"]["last_seq"] == seen_seq + 1
+    assert handle.join() == 0
+
+
+def test_quarantined_catalog_answers_exit_80_over_the_wire(tmp_path):
+    state = tmp_path / "state"
+    state.mkdir()
+    journal = CatalogJournal(state / JOURNAL_NAME)
+    journal.append(
+        {
+            "op": "register",
+            "name": "t-bad",
+            "views": VIEWS,
+            "root": "0" * 64,
+        }
+    )
+    journal.close()
+    with running_daemon(_config(tmp_path)) as handle:
+        with handle.client() as client:
+            health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["quarantined_catalogs"] == 1
+            response = client.plan(QUERY, id="r1", catalog="t-bad")
+            assert response["status"] == "error"
+            assert response["error"]["error"] == "CatalogCorruptionError"
+            assert response["error"]["exit_code"] == 80
+            stats = client.stats()
+            assert stats["catalogs"]["t-bad"]["quarantined"] is True
+            # Re-registration clears the quarantine and restores service.
+            ack = client.register_catalog("t-bad", VIEWS)
+            assert ack["status"] == "ok"
+            assert client.healthz()["quarantined_catalogs"] == 0
+            served = client.plan(QUERY, id="r2", catalog="t-bad")
+            assert served["status"] == "ok"
+    assert handle.join() == 0
+
+
+def test_remove_action_over_the_wire(tmp_path):
+    config = _config(tmp_path)
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            client.register_catalog("t1", VIEWS)
+            ack = client.remove_catalog("t1")
+            assert ack["status"] == "ok"
+            assert ack["removed"] is True
+            missing = client.plan(QUERY, id="gone", catalog="t1")
+            assert missing["error"]["exit_code"] == 68
+    assert handle.join() == 0
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            assert client.healthz()["recovered_catalogs"] == 0
+            still_missing = client.plan(QUERY, id="still", catalog="t1")
+            assert still_missing["error"]["exit_code"] == 68
+    assert handle.join() == 0
+
+
+def test_update_with_bad_name_and_malformed_payload_reports_registry_error(
+    tmp_path,
+):
+    """Satellite pin, daemon-side: the name check precedes shape checks."""
+    with running_daemon(_config(tmp_path)) as handle:
+        with handle.client() as client:
+            response = client.request(
+                {
+                    "type": "catalog",
+                    "action": "update",
+                    "name": "no-such-catalog",
+                    "add": "not-even-a-list",
+                }
+            )
+            assert response["status"] == "error"
+            assert response["error"]["error"] == "UnknownViewError"
+            assert response["error"]["exit_code"] == 68
+    assert handle.join() == 0
+
+
+def test_warm_plan_cache_and_fingerprints_survive_restart(tmp_path):
+    """The parallel tier's warm machinery keys on catalog content roots;
+    recovery rebuilds byte-identical roots, so a restarted daemon serves
+    cache hits for plans computed before the restart."""
+    cache_dir = str(tmp_path / "cache")
+    config = _config(
+        tmp_path,
+        worker=WorkerConfig(
+            policy=ServicePolicy(chain=("corecover",)),
+            pool_size=2,
+            cache_dir=cache_dir,
+        ),
+    )
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            client.register_catalog("t1", VIEWS)
+            first = client.plan(QUERY, id="cold", catalog="t1")
+            assert first["status"] == "ok"
+            root = client.stats()["catalogs"]["t1"]["content_root"]
+    assert handle.join() == 0
+
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            assert client.stats()["catalogs"]["t1"]["content_root"] == root
+            warm = client.plan(QUERY, id="warm", catalog="t1")
+            assert warm["status"] == "ok"
+            assert warm["cache"] == "hit", (
+                "recovered catalog must hash to the same cache key"
+            )
+            assert warm["rewritings"] == first["rewritings"]
+    assert handle.join() == 0
+
+
+def test_drain_exposes_final_checkpoint_and_durability_stats(tmp_path):
+    config = _config(tmp_path)
+    with running_daemon(config) as handle:
+        with handle.client() as client:
+            client.register_catalog("t1", VIEWS)
+            health = client.healthz()
+            assert health["recovered_catalogs"] == 0
+            assert health["compactions"] == 0
+            stats = client.stats()
+            assert stats["durability"]["state_dir"] == str(
+                tmp_path / "state"
+            )
+            assert stats["durability"]["fsyncs"] == 1
+    assert handle.join() == 0
+    # The drain-time checkpoint is the operator's recovery receipt: it
+    # rides on the CLI's drained event verbatim.
+    assert handle.daemon.final_checkpoint == {"seq": 1, "catalogs": 1}
+    durability = handle.daemon.catalogs.durability_stats()
+    assert durability is not None
+    assert durability["journaled_ops"] == 1
+    assert durability["compactions"] == 1
