@@ -13,9 +13,9 @@ only the changed views and their predicate-index neighbors.  See
 ``docs/analysis.md`` for the rule catalog and the baseline workflow.
 """
 
+from ...datalog.hypergraph import gyo_reduce, is_acyclic
 from .auditor import AuditReport, CatalogAuditor, audit_catalog
 from .baseline import load_baseline, write_baseline
-from .gyo import gyo_reduce, is_acyclic
 from .inputs import CatalogAuditInput
 
 # Importing the rule module registers C101-C106.

@@ -30,7 +30,7 @@ from ..diagnostics import Diagnostic, Severity
 from ..registry import AnalysisRule, register_rule
 from ..semantic import _has_comparisons, _marker_definition
 from ..structural import contradiction_witnesses
-from .gyo import gyo_reduce
+from ...datalog.hypergraph import gyo_reduce
 from .inputs import CatalogAuditInput
 
 __all__ = [

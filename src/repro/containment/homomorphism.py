@@ -27,7 +27,14 @@ from ..testing.faults import fire
 
 
 class SearchObserver(Protocol):
-    """Anything that wants to count homomorphism searches."""
+    """Anything that wants to count homomorphism searches.
+
+    Observers may additionally implement ``record_nodes(count)`` (called
+    once per finished search with the number of work items it expanded)
+    and ``record_fast_path_search()`` (called when a search is routed
+    through the acyclic fast path); both are looked up with ``getattr``
+    so minimal observers keep working.
+    """
 
     def record_search(self) -> None:  # pragma: no cover - protocol
         ...
@@ -79,6 +86,52 @@ def cancellation_scope(checkpoint: Callable[[], None]) -> Iterator[None]:
         _CHECKPOINT.reset(token)
 
 
+class AcyclicGuide(Protocol):
+    """A router deciding per search whether to run the acyclic fast path.
+
+    ``guide`` returns a substitution iterator implementing the whole
+    search — contractually yielding **exactly** the substitutions the
+    backtracker would, in the same order — or ``None`` to fall back to
+    the general backtracking search (cyclic source, comparison atoms,
+    trivial bodies).  The concrete implementation is
+    :class:`repro.containment.join_guided.AcyclicRouter`.
+    """
+
+    def guide(
+        self,
+        source: Sequence[Atom],
+        target: Sequence[Atom],
+        seed: Substitution,
+        injective: bool,
+    ) -> Optional[Iterator[Substitution]]:  # pragma: no cover - protocol
+        ...
+
+
+#: The active acyclic router, if any.  Installed by ``plan()`` (via
+#: :meth:`PlannerContext.routed_acyclic`) only when the planned query is
+#: alpha-acyclic and the fast path was not disabled; a context variable
+#: for the same thread/asyncio reasons as the observer.
+_ACYCLIC: ContextVar[Optional[AcyclicGuide]] = ContextVar(
+    "repro_homomorphism_acyclic", default=None
+)
+
+
+@contextmanager
+def acyclic_scope(guide: AcyclicGuide) -> Iterator[None]:
+    """Route eligible searches through *guide* within the block.
+
+    Every :func:`find_homomorphisms` call inside the block offers its
+    search to *guide* first; the guide declines (returns ``None``)
+    whenever its preconditions do not hold, so installing a scope is
+    always safe.  Nesting restores the previous guide.
+    """
+    token = _ACYCLIC.set(guide)
+    try:
+        yield
+    finally:
+        _ACYCLIC.reset(token)
+
+
 def unify_atom(
     source: Atom, target: Atom, substitution: Substitution
 ) -> Optional[Substitution]:
@@ -110,14 +163,16 @@ def _target_index(target: Sequence[Atom]) -> dict[tuple[str, int], list[Atom]]:
     return index
 
 
-def _ordered_sources(
+def _ordered_positions(
     source: Sequence[Atom], index: dict[tuple[str, int], list[Atom]]
-) -> list[Atom]:
-    """Order source atoms to fail fast.
+) -> list[int]:
+    """Source atom positions ordered to fail fast.
 
     Atoms with fewer candidate targets and more constants/repeated
     variables are tried first; ties are broken by the original order to
-    keep the search deterministic.
+    keep the search deterministic.  The acyclic fast path reuses this
+    exact ordering, which is one half of its bit-identical-enumeration
+    contract (the other half is preserving candidate order per atom).
     """
 
     def constrainedness(item: tuple[int, Atom]) -> tuple[int, int, int]:
@@ -126,7 +181,17 @@ def _ordered_sources(
         ground_args = sum(1 for arg in atom.args if isinstance(arg, Constant))
         return (candidates, -ground_args, position)
 
-    return [atom for _, atom in sorted(enumerate(source), key=constrainedness)]
+    return [
+        position
+        for position, _ in sorted(enumerate(source), key=constrainedness)
+    ]
+
+
+def _ordered_sources(
+    source: Sequence[Atom], index: dict[tuple[str, int], list[Atom]]
+) -> list[Atom]:
+    """The source atoms in :func:`_ordered_positions` order."""
+    return [source[position] for position in _ordered_positions(source, index)]
 
 
 def _source_terms(source: Sequence[Atom]) -> set[Term]:
@@ -167,6 +232,15 @@ def find_homomorphisms(
     observer = _OBSERVER.get()
     if observer is not None:
         observer.record_search()
+    guide = _ACYCLIC.get()
+    if guide is not None:
+        guided = guide.guide(source, target, seed, injective)
+        if guided is not None:
+            if observer is not None:
+                record = getattr(observer, "record_fast_path_search", None)
+                if record is not None:
+                    record()
+            return guided
     return _search(source, target, seed, injective)
 
 
@@ -180,8 +254,19 @@ def _search(
     ordered = _ordered_sources(source, index)
     all_terms = _source_terms(source) if injective else set()
     checkpoint = _CHECKPOINT.get()
+    observer = _OBSERVER.get()
+    record_nodes = (
+        getattr(observer, "record_nodes", None) if observer is not None else None
+    )
+    # Nodes count units of work, not just recursion depth: one per
+    # backtracking entry plus one per candidate unification attempted.
+    # The acyclic fast path reports the same units (including its
+    # semijoin work), so the two engines' node counts are comparable.
+    nodes = 0
 
     def backtrack(position: int, substitution: Substitution) -> Iterator[Substitution]:
+        nonlocal nodes
+        nodes += 1
         if checkpoint is not None:
             checkpoint()
         if position == len(ordered):
@@ -190,11 +275,18 @@ def _search(
             return
         atom = ordered[position]
         for candidate in index.get((atom.predicate, atom.arity), ()):
+            nodes += 1
             extended = unify_atom(atom, candidate, substitution)
             if extended is not None:
                 yield from backtrack(position + 1, extended)
 
-    yield from backtrack(0, seed)
+    try:
+        yield from backtrack(0, seed)
+    finally:
+        # Flush even on early close (e.g. ``find_homomorphism`` taking
+        # only the first solution): closing the generator runs this.
+        if record_nodes is not None and nodes:
+            record_nodes(nodes)
 
 
 def find_homomorphism(

@@ -75,6 +75,11 @@ class ContainmentCache:
         self.caching = caching
         #: Number of homomorphism searches actually performed.
         self.hom_searches = 0
+        #: Work units (backtracking entries + candidate unifications +
+        #: semijoin tests) expanded by those searches.
+        self.hom_nodes = 0
+        #: Searches routed through the acyclic join-tree-guided engine.
+        self.fast_path_searches = 0
         #: Active resource-budget meter, set by the PlannerContext.  Each
         #: recorded search is charged against it, and its ``checkpoint``
         #: is installed as the backtracking cancellation hook.
@@ -101,6 +106,14 @@ class ContainmentCache:
         self.hom_searches += 1
         if self.meter is not None:
             self.meter.charge_hom_search()
+
+    def record_nodes(self, nodes: int) -> None:
+        """Observer callback: a finished search expanded *nodes* work units."""
+        self.hom_nodes += nodes
+
+    def record_fast_path_search(self) -> None:
+        """Observer callback: a search ran on the acyclic fast path."""
+        self.fast_path_searches += 1
 
     def observing(self):
         """Context manager attributing homomorphism searches to this cache."""

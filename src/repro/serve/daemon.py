@@ -155,6 +155,7 @@ class PlanningDaemon:
         self._task_seq = itertools.count()
         self._rid_seq = itertools.count(1)
         self._profile_totals: dict[str, float] = {}
+        self._search_totals: dict[str, int] = {}
         self._profiled_requests = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.Queue | None = None
@@ -561,6 +562,15 @@ class PlanningDaemon:
                 ) + float(value)
             except (TypeError, ValueError):
                 continue
+        search = profile.get("search")
+        if isinstance(search, dict):
+            for counter, value in search.items():
+                try:
+                    self._search_totals[counter] = self._search_totals.get(
+                        counter, 0
+                    ) + int(value)
+                except (TypeError, ValueError):
+                    continue
         self._profiled_requests += 1
 
     async def _send(
@@ -635,6 +645,12 @@ class PlanningDaemon:
                     phase: round(seconds, 6)
                     for phase, seconds in sorted(
                         self._profile_totals.items()
+                    )
+                },
+                "search": {
+                    counter: total
+                    for counter, total in sorted(
+                        self._search_totals.items()
                     )
                 },
             }

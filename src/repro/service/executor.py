@@ -469,9 +469,20 @@ class ResilientExecutor:
         if not self.profile:
             return None
         stages = stats.stages if stats is not None else ()
-        return profile_from_stages(
+        payload = profile_from_stages(
             stages, parse_seconds=request.parse_seconds
         ).to_json()
+        # Search-effort counters ride along with the phase timings so
+        # batch/serve consumers can see how much homomorphism work each
+        # request cost and whether the acyclic fast path carried it.
+        payload["search"] = {
+            "hom_searches": stats.hom_searches if stats is not None else 0,
+            "hom_nodes": stats.hom_nodes if stats is not None else 0,
+            "fast_path_searches": (
+                stats.fast_path_searches if stats is not None else 0
+            ),
+        }
+        return payload
 
     def _drive_backend(
         self,

@@ -1,0 +1,206 @@
+"""The acyclic fast path must be bit-identical to the general search."""
+
+import random
+
+import pytest
+
+from repro.containment.homomorphism import (
+    acyclic_scope,
+    find_homomorphisms,
+    observe_searches,
+)
+from repro.containment.join_guided import AcyclicRouter
+from repro.datalog import Atom, Constant, Substitution, Variable
+
+X, Y, Z, W, U = (Variable(n) for n in ("X", "Y", "Z", "W", "U"))
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def both_paths(source, target, seed=Substitution(), injective=False):
+    general = list(find_homomorphisms(source, target, seed, injective))
+    with acyclic_scope(AcyclicRouter()):
+        guided = list(find_homomorphisms(source, target, seed, injective))
+    return general, guided
+
+
+def _random_edges(rng, size, universe):
+    return [
+        Atom("e", (Constant(rng.choice(universe)), Constant(rng.choice(universe))))
+        for _ in range(size)
+    ]
+
+
+class TestBitIdenticalEnumeration:
+    def test_chain_source(self):
+        source = [Atom("e", (X, Y)), Atom("e", (Y, Z)), Atom("e", (Z, W))]
+        rng = random.Random(7)
+        target = _random_edges(rng, 12, "abcd")
+        general, guided = both_paths(source, target)
+        assert general == guided
+        assert len(general) > 0
+
+    def test_seeded_search(self):
+        source = [Atom("e", (X, Y)), Atom("e", (Y, Z))]
+        target = [Atom("e", (a, b)), Atom("e", (b, a)), Atom("e", (b, c))]
+        general, guided = both_paths(source, target, seed=Substitution({X: a}))
+        assert general == guided == [
+            Substitution({X: a, Y: b, Z: a}),
+            Substitution({X: a, Y: b, Z: c}),
+        ]
+
+    def test_injective_mode(self):
+        source = [Atom("e", (X, Y)), Atom("e", (Y, X))]
+        target = [Atom("e", (a, a)), Atom("e", (a, b)), Atom("e", (b, a))]
+        general, guided = both_paths(source, target, injective=True)
+        assert general == guided
+        # The only injective solutions swap a and b.
+        assert all(h[X] != h[Y] for h in guided)
+
+    def test_constants_in_source(self):
+        source = [Atom("e", (a, X)), Atom("e", (X, Y))]
+        target = [Atom("e", (a, b)), Atom("e", (b, c)), Atom("e", (c, a))]
+        general, guided = both_paths(source, target)
+        assert general == guided == [Substitution({X: b, Y: c})]
+
+    def test_duplicate_source_atoms(self):
+        source = [Atom("e", (X, Y)), Atom("e", (X, Y))]
+        target = [Atom("e", (a, b)), Atom("e", (b, c))]
+        general, guided = both_paths(source, target)
+        assert general == guided
+
+    def test_no_solution(self):
+        source = [Atom("e", (X, X)), Atom("e", (X, Y))]
+        target = [Atom("e", (a, b))]
+        general, guided = both_paths(source, target)
+        assert general == guided == []
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_random_acyclic_sources(self, seed):
+        rng = random.Random(seed)
+        variables = [X, Y, Z, W, U]
+        # Build a random tree-shaped (hence acyclic) source: each new
+        # atom shares exactly one variable with the atoms so far.
+        used = [variables[0]]
+        source = []
+        for i in range(rng.randint(2, 4)):
+            hook = rng.choice(used)
+            fresh = variables[len(used)]
+            used.append(fresh)
+            source.append(
+                Atom("e", (hook, fresh) if rng.random() < 0.5 else (fresh, hook))
+            )
+        target = _random_edges(rng, rng.randint(4, 14), "abc")
+        general, guided = both_paths(source, target)
+        assert general == guided
+
+
+class TestRoutingAndFallback:
+    def test_cyclic_source_falls_back(self):
+        router = AcyclicRouter()
+        source = [Atom("e", (X, Y)), Atom("e", (Y, Z)), Atom("e", (Z, X))]
+        target = [Atom("e", (a, a))]
+        with acyclic_scope(router):
+            homs = list(find_homomorphisms(source, target))
+        assert router.guided_searches == 0  # declined: cyclic
+        assert homs == list(find_homomorphisms(source, target))
+
+    def test_trivial_source_falls_back(self):
+        router = AcyclicRouter()
+        with acyclic_scope(router):
+            list(find_homomorphisms([Atom("e", (X, Y))], [Atom("e", (a, b))]))
+        assert router.guided_searches == 0
+
+    def test_comparison_source_falls_back(self):
+        router = AcyclicRouter()
+        source = [Atom("e", (X, Y)), Atom("<", (X, Y))]
+        target = [Atom("e", (a, b)), Atom("<", (a, b))]
+        with acyclic_scope(router):
+            list(find_homomorphisms(source, target))
+        assert router.guided_searches == 0
+
+    def test_guided_searches_count(self):
+        router = AcyclicRouter()
+        source = [Atom("e", (X, Y)), Atom("e", (Y, Z))]
+        target = [Atom("e", (a, b)), Atom("e", (b, c))]
+        with acyclic_scope(router):
+            list(find_homomorphisms(source, target))
+            list(find_homomorphisms(source, target))
+        assert router.guided_searches == 2
+
+    def test_join_tree_memoized_per_source(self):
+        router = AcyclicRouter()
+        source = (Atom("e", (X, Y)), Atom("e", (Y, Z)))
+        first = router.tree_for(source)
+        assert router.tree_for(source) is first
+
+
+class _CountingObserver:
+    def __init__(self):
+        self.searches = 0
+        self.fast_path = 0
+        self.nodes = 0
+
+    def record_search(self):
+        self.searches += 1
+
+    def record_fast_path_search(self):
+        self.fast_path += 1
+
+    def record_nodes(self, nodes):
+        self.nodes += nodes
+
+
+class _MinimalObserver:
+    """An observer implementing only the required protocol method."""
+
+    def __init__(self):
+        self.searches = 0
+
+    def record_search(self):
+        self.searches += 1
+
+
+class TestObserverAccounting:
+    def _self_join_chain(self, length):
+        variables = [Variable(f"V{i}") for i in range(length + 1)]
+        return [
+            Atom("e", (variables[i], variables[i + 1])) for i in range(length)
+        ]
+
+    def test_fast_path_reduces_nodes_on_self_join_chains(self):
+        source = self._self_join_chain(8)
+        rng = random.Random(3)
+        target = [
+            Atom("e", (Constant(f"n{i}"), Constant(f"n{i + 1}")))
+            for i in range(9)
+        ] + [
+            Atom("e", (Constant(f"n{rng.randint(0, 9)}"), Constant("x")))
+            for _ in range(6)
+        ]
+        general = _CountingObserver()
+        with observe_searches(general):
+            general_homs = list(find_homomorphisms(source, target))
+        guided = _CountingObserver()
+        with observe_searches(guided), acyclic_scope(AcyclicRouter()):
+            guided_homs = list(find_homomorphisms(source, target))
+        assert general_homs == guided_homs
+        assert guided.fast_path == 1 and general.fast_path == 0
+        assert guided.nodes < general.nodes  # pruned dead branches
+
+    def test_minimal_observer_keeps_working(self):
+        observer = _MinimalObserver()
+        source = [Atom("e", (X, Y)), Atom("e", (Y, Z))]
+        target = [Atom("e", (a, b)), Atom("e", (b, c))]
+        with observe_searches(observer), acyclic_scope(AcyclicRouter()):
+            list(find_homomorphisms(source, target))
+        assert observer.searches == 1
+
+    def test_nodes_flush_on_early_close(self):
+        observer = _CountingObserver()
+        source = [Atom("e", (X, Y)), Atom("e", (Y, Z))]
+        target = [Atom("e", (a, b)), Atom("e", (b, c)), Atom("e", (b, a))]
+        with observe_searches(observer), acyclic_scope(AcyclicRouter()):
+            iterator = find_homomorphisms(source, target)
+            next(iterator)
+            iterator.close()
+        assert observer.nodes > 0

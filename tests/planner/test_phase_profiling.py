@@ -200,6 +200,11 @@ class TestPlannerSurfaces:
         payload = profiled.to_json()["profile"]
         assert payload["phase_seconds"]["parse"] == 0.5
         assert payload["phase_seconds"]["set_cover"] > 0.0
+        # Search-effort counters ride along with the phase timings.
+        search = payload["search"]
+        assert search["hom_searches"] > 0
+        assert search["hom_nodes"] > 0
+        assert search["fast_path_searches"] > 0  # QUERY is acyclic
 
 
 class TestCliSurfaces:
@@ -236,6 +241,8 @@ class TestCliSurfaces:
         assert set(profile["phase_seconds"]) == set(CANONICAL_PHASES)
         assert profile["phase_seconds"]["parse"] > 0.0
         assert profile["total_seconds"] > 0.0
+        assert profile["search"]["hom_searches"] > 0
+        assert profile["search"]["fast_path_searches"] > 0
 
         # Without --profile the key is absent (default JSON unchanged).
         main(
